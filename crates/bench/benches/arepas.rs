@@ -1,0 +1,56 @@
+//! AREPAS micro-benchmarks: section splitting and full skyline
+//! simulation across skyline lengths (Figures 6–8 machinery). The paper's
+//! pitch is that AREPAS is a *lightweight* augmentation path that scales
+//! to hundreds of thousands of jobs — these benches quantify that.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn make_skyline(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|i| {
+            let base = 10.0 + 40.0 * ((i as f64 / 37.0).sin().abs());
+            base * rng.gen_range(0.5..1.5)
+        })
+        .collect()
+}
+
+fn bench_split_sections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arepas/split_sections");
+    for len in [60usize, 600, 6000] {
+        let skyline = make_skyline(len, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &skyline, |b, s| {
+            b.iter(|| arepas::split_sections(black_box(s), black_box(25.0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arepas/simulate");
+    for len in [60usize, 600, 6000] {
+        let skyline = make_skyline(len, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &skyline, |b, s| {
+            b.iter(|| arepas::simulate(black_box(s), black_box(20.0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_augmentation_sweep(c: &mut Criterion) {
+    // One job's full augmentation: five allocations from one skyline.
+    let skyline = make_skyline(600, 3);
+    c.bench_function("arepas/augment_five_allocations", |b| {
+        b.iter(|| {
+            for fraction in [0.8, 0.6, 0.4, 0.2, 0.1] {
+                black_box(arepas::simulate_runtime(black_box(&skyline), 60.0 * fraction));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_split_sections, bench_simulate, bench_augmentation_sweep);
+criterion_main!(benches);

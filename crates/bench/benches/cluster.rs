@@ -1,0 +1,67 @@
+//! Cluster-scheduler and baseline-simulator benchmarks (the extension
+//! machinery): shared-pool simulation throughput and per-prediction costs
+//! of AREPAS vs. the Amdahl and Jockey baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scope_sim::amdahl::AmdahlModel;
+use scope_sim::cluster::{poisson_arrivals, Cluster};
+use scope_sim::jockey::JockeyModel;
+use scope_sim::{ExecutionConfig, StageGraph, WorkloadConfig, WorkloadGenerator};
+use std::hint::black_box;
+
+fn bench_cluster_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/simulate");
+    for n in [20usize, 80] {
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: n,
+            seed: 13,
+            ..Default::default()
+        })
+        .generate();
+        let capacity =
+            jobs.iter().map(|j| j.requested_tokens).max().unwrap_or(1).max(100) * 2;
+        let cluster = Cluster::new(capacity);
+        let submissions = poisson_arrivals(&jobs, 15.0, |j| j.requested_tokens, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &submissions, |b, s| {
+            b.iter(|| cluster.simulate(black_box(s)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_predictions(c: &mut Criterion) {
+    let job = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 30,
+        seed: 14,
+        ..Default::default()
+    })
+    .generate()
+    .into_iter()
+    .max_by_key(|j| j.plan.num_operators())
+    .expect("non-empty workload");
+    let graph = StageGraph::from_plan(&job.plan, job.seed);
+    let skyline = job
+        .executor()
+        .run(job.requested_tokens, &ExecutionConfig::default())
+        .skyline;
+    let amdahl = AmdahlModel::from_stage_graph(&graph);
+    let jockey = JockeyModel::from_prior_run(graph);
+    let alloc = (job.requested_tokens / 2).max(1);
+
+    c.bench_function("cluster/predict_arepas", |b| {
+        b.iter(|| arepas::simulate_runtime(black_box(skyline.samples()), alloc as f64));
+    });
+    c.bench_function("cluster/predict_amdahl", |b| {
+        b.iter(|| amdahl.predict_runtime(black_box(alloc)));
+    });
+    c.bench_function("cluster/predict_jockey", |b| {
+        b.iter(|| jockey.predict_runtime(black_box(alloc)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cluster_simulation, bench_baseline_predictions
+}
+criterion_main!(benches);

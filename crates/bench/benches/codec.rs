@@ -1,0 +1,50 @@
+//! Model-artifact codec benchmarks: serializing and deserializing the NN
+//! model the pipeline registers in the store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scope_sim::{WorkloadConfig, WorkloadGenerator};
+use std::hint::black_box;
+use tasq::augment::AugmentConfig;
+use tasq::codec;
+use tasq::dataset::Dataset;
+use tasq::models::{NnPcc, NnTrainConfig};
+
+fn trained_nn() -> NnPcc {
+    let jobs =
+        WorkloadGenerator::new(WorkloadConfig { num_jobs: 40, seed: 10, ..Default::default() })
+            .generate();
+    let ds = Dataset::build(&jobs, &AugmentConfig::default());
+    NnPcc::train(&ds, &NnTrainConfig { epochs: 3, ..Default::default() })
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let nn = trained_nn();
+    c.bench_function("codec/serialize_nn_model", |b| {
+        b.iter(|| codec::to_bytes(black_box(&nn)).unwrap());
+    });
+}
+
+fn bench_deserialize(c: &mut Criterion) {
+    let nn = trained_nn();
+    let bytes = codec::to_bytes(&nn).unwrap();
+    c.bench_function("codec/deserialize_nn_model", |b| {
+        b.iter(|| codec::from_bytes::<NnPcc>(black_box(&bytes)).unwrap());
+    });
+}
+
+fn bench_matrix_roundtrip(c: &mut Criterion) {
+    let m = tasq_ml::Matrix::from_fn(100, 100, |r, col| (r * 100 + col) as f64 * 0.5);
+    c.bench_function("codec/matrix_100x100_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = codec::to_bytes(black_box(&m)).unwrap();
+            codec::from_bytes::<tasq_ml::Matrix>(&bytes).unwrap()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_serialize, bench_deserialize, bench_matrix_roundtrip
+}
+criterion_main!(benches);

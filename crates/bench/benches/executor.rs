@@ -1,0 +1,79 @@
+//! Cluster-executor benchmarks: workload generation, stage extraction,
+//! and event-driven execution at several allocations (the ground-truth
+//! substrate behind Figures 1, 3 and 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scope_sim::{ExecutionConfig, StageGraph, WorkloadConfig, WorkloadGenerator};
+use std::hint::black_box;
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor/generate_workload");
+    for n in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let config = WorkloadConfig { num_jobs: n, seed: 1, ..Default::default() };
+            b.iter(|| WorkloadGenerator::new(config.clone()).generate());
+        });
+    }
+    group.finish();
+}
+
+fn bench_stage_extraction(c: &mut Criterion) {
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 50,
+        seed: 2,
+        ..Default::default()
+    })
+    .generate();
+    c.bench_function("executor/stage_extraction_50_jobs", |b| {
+        b.iter(|| {
+            for job in &jobs {
+                black_box(StageGraph::from_plan(black_box(&job.plan), job.seed));
+            }
+        });
+    });
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 200,
+        seed: 3,
+        ..Default::default()
+    })
+    .generate();
+    // A mid-sized job.
+    let job = jobs
+        .iter()
+        .find(|j| (50..=150).contains(&j.requested_tokens))
+        .unwrap_or(&jobs[0]);
+    let executor = job.executor();
+    let config = ExecutionConfig::default();
+
+    let mut group = c.benchmark_group("executor/run");
+    for divisor in [1u32, 4, 16] {
+        let alloc = (job.requested_tokens / divisor).max(1);
+        group.bench_with_input(BenchmarkId::from_parameter(alloc), &alloc, |b, &alloc| {
+            b.iter(|| executor.run(black_box(alloc), &config));
+        });
+    }
+    group.finish();
+}
+
+fn bench_performance_curve(c: &mut Criterion) {
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 20,
+        seed: 4,
+        ..Default::default()
+    })
+    .generate();
+    let executor = jobs[0].executor();
+    c.bench_function("executor/performance_curve_6_points", |b| {
+        b.iter(|| executor.performance_curve(black_box(&[5, 10, 20, 40, 80, 160])));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_workload_generation, bench_stage_extraction, bench_execution, bench_performance_curve
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Featurization benchmarks (paper Tables 1–2): job-level aggregation,
+//! operator-level extraction, and dataset preparation including the
+//! one-time execution + AREPAS augmentation per job.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scope_sim::{StageGraph, WorkloadConfig, WorkloadGenerator};
+use std::hint::black_box;
+use tasq::augment::AugmentConfig;
+use tasq::dataset::Dataset;
+use tasq::featurize::{featurize_job, featurize_operators, FeatureScaler};
+
+fn bench_featurize(c: &mut Criterion) {
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 100,
+        seed: 5,
+        ..Default::default()
+    })
+    .generate();
+    let stages: Vec<usize> = jobs
+        .iter()
+        .map(|j| StageGraph::from_plan(&j.plan, j.seed).num_stages())
+        .collect();
+
+    c.bench_function("featurize/job_level_100_jobs", |b| {
+        b.iter(|| {
+            for (job, &num_stages) in jobs.iter().zip(&stages) {
+                black_box(featurize_job(black_box(&job.plan), num_stages));
+            }
+        });
+    });
+
+    c.bench_function("featurize/operator_level_100_jobs", |b| {
+        b.iter(|| {
+            for job in &jobs {
+                black_box(featurize_operators(black_box(&job.plan)));
+            }
+        });
+    });
+}
+
+fn bench_scaler(c: &mut Criterion) {
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 200,
+        seed: 6,
+        ..Default::default()
+    })
+    .generate();
+    let rows: Vec<Vec<f64>> = jobs
+        .iter()
+        .map(|j| {
+            let stages = StageGraph::from_plan(&j.plan, j.seed).num_stages();
+            featurize_job(&j.plan, stages).values
+        })
+        .collect();
+    c.bench_function("featurize/scaler_fit_200_rows", |b| {
+        b.iter(|| FeatureScaler::fit(black_box(&rows)));
+    });
+    let scaler = FeatureScaler::fit(&rows);
+    c.bench_function("featurize/scaler_transform_200_rows", |b| {
+        b.iter(|| scaler.transform_all(black_box(&rows)));
+    });
+}
+
+fn bench_dataset_build(c: &mut Criterion) {
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 50,
+        seed: 7,
+        ..Default::default()
+    })
+    .generate();
+    let config = AugmentConfig::default();
+    c.bench_function("featurize/dataset_build_50_jobs", |b| {
+        b.iter(|| Dataset::build(black_box(&jobs), &config));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_featurize, bench_scaler, bench_dataset_build
+}
+criterion_main!(benches);

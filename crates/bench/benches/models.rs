@@ -1,0 +1,97 @@
+//! Model benchmarks — the machinery behind the paper's Table 7
+//! (training time per epoch and inference time): NN and GNN epochs,
+//! per-job inference for all four models, and XGBoost training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scope_sim::{WorkloadConfig, WorkloadGenerator};
+use std::hint::black_box;
+use tasq::augment::AugmentConfig;
+use tasq::dataset::Dataset;
+use tasq::models::{
+    GnnPcc, GnnTrainConfig, NnPcc, NnTrainConfig, PccPredictor, ScoringInput, XgbRuntime,
+    XgbTrainConfig, XgboostPl, XgboostSs,
+};
+
+fn dataset(n: usize) -> Dataset {
+    let jobs =
+        WorkloadGenerator::new(WorkloadConfig { num_jobs: n, seed: 8, ..Default::default() })
+            .generate();
+    Dataset::build(&jobs, &AugmentConfig::default())
+}
+
+/// Table 7, "training per epoch": one NN epoch over 200 jobs.
+fn bench_nn_train_epoch(c: &mut Criterion) {
+    let ds = dataset(200);
+    c.bench_function("models/nn_train_epoch_200_jobs", |b| {
+        b.iter(|| {
+            NnPcc::train(
+                black_box(&ds),
+                &NnTrainConfig { epochs: 1, ..Default::default() },
+            )
+        });
+    });
+}
+
+/// Table 7, GNN counterpart: one GNN epoch over 200 jobs.
+fn bench_gnn_train_epoch(c: &mut Criterion) {
+    let ds = dataset(200);
+    c.bench_function("models/gnn_train_epoch_200_jobs", |b| {
+        b.iter(|| {
+            GnnPcc::train(
+                black_box(&ds),
+                &GnnTrainConfig { epochs: 1, ..Default::default() },
+            )
+        });
+    });
+}
+
+/// Table 7, "inference per 10,000 jobs": per-job prediction costs.
+fn bench_inference(c: &mut Criterion) {
+    let ds = dataset(200);
+    let nn = NnPcc::train(&ds, &NnTrainConfig { epochs: 5, ..Default::default() });
+    let gnn = GnnPcc::train(&ds, &GnnTrainConfig { epochs: 2, ..Default::default() });
+    let xgb = XgbRuntime::train(&ds, &XgbTrainConfig { num_rounds: 50, ..Default::default() });
+    let xgb_ss = XgboostSs::new(xgb.clone());
+    let xgb_pl = XgboostPl::new(xgb);
+
+    let models: [(&str, &dyn PccPredictor); 4] = [
+        ("nn", &nn),
+        ("gnn", &gnn),
+        ("xgb_ss", &xgb_ss),
+        ("xgb_pl", &xgb_pl),
+    ];
+    for (name, model) in models {
+        c.bench_function(&format!("models/inference_{name}_per_job"), |b| {
+            let mut idx = 0usize;
+            b.iter(|| {
+                let example = &ds.examples[idx % ds.len()];
+                idx += 1;
+                let input = ScoringInput {
+                    features: &example.features,
+                    op_features: &example.op_features,
+                    reference_tokens: example.observed_tokens,
+                };
+                black_box(model.predict(&input))
+            });
+        });
+    }
+}
+
+fn bench_xgb_train(c: &mut Criterion) {
+    let ds = dataset(200);
+    c.bench_function("models/xgb_train_50_rounds_200_jobs", |b| {
+        b.iter(|| {
+            XgbRuntime::train(
+                black_box(&ds),
+                &XgbTrainConfig { num_rounds: 50, ..Default::default() },
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_nn_train_epoch, bench_gnn_train_epoch, bench_inference, bench_xgb_train
+}
+criterion_main!(benches);

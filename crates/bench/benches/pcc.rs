@@ -1,0 +1,58 @@
+//! PCC benchmarks: power-law fitting (Figure 9), optimal-token search,
+//! elbow finding (Figure 3), and smoothing-spline fitting (XGBoost SS).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tasq::pcc::PowerLawPcc;
+use tasq_ml::spline::SmoothingSpline;
+
+fn curve_points(n: usize) -> Vec<(f64, f64)> {
+    let truth = PowerLawPcc::new(-0.7, 5000.0);
+    (0..n)
+        .map(|i| {
+            let tokens = 2.0 + i as f64 * 3.0;
+            (tokens, truth.predict(tokens as u32) * (1.0 + 0.01 * ((i * 7) % 5) as f64))
+        })
+        .collect()
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pcc/fit");
+    for n in [5usize, 20, 100] {
+        let points = curve_points(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, p| {
+            b.iter(|| PowerLawPcc::fit(black_box(p)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimal_tokens(c: &mut Criterion) {
+    let pcc = PowerLawPcc::new(-0.65, 4200.0);
+    c.bench_function("pcc/optimal_tokens", |b| {
+        b.iter(|| pcc.optimal_tokens(black_box(0.01), 1, 6287));
+    });
+}
+
+fn bench_elbow(c: &mut Criterion) {
+    let pcc = PowerLawPcc::new(-0.8, 2500.0);
+    c.bench_function("pcc/elbow_10_to_200", |b| {
+        b.iter(|| pcc.elbow(black_box(10), black_box(200)));
+    });
+}
+
+fn bench_spline_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pcc/spline_fit");
+    for n in [9usize, 50, 200] {
+        let points = curve_points(n);
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| SmoothingSpline::fit(black_box(&xs), black_box(&ys), 50.0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_optimal_tokens, bench_elbow, bench_spline_fit);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Allocation-policy benchmarks (Figures 1–2 machinery): policy series
+//! construction and the bisection search for the minimum token count
+//! within a performance-loss budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scope_sim::{ExecutionConfig, Skyline, WorkloadConfig, WorkloadGenerator};
+use std::hint::black_box;
+use tasq::policy::{min_tokens_within_loss, reduction_histogram, AllocationPolicy};
+
+fn observed_skylines(n: usize) -> Vec<(Skyline, u32)> {
+    let jobs =
+        WorkloadGenerator::new(WorkloadConfig { num_jobs: n, seed: 11, ..Default::default() })
+            .generate();
+    let config = ExecutionConfig::default();
+    jobs.iter()
+        .map(|j| {
+            (
+                j.executor().run(j.requested_tokens, &config).skyline,
+                j.requested_tokens,
+            )
+        })
+        .collect()
+}
+
+fn bench_policy_series(c: &mut Criterion) {
+    let skylines = observed_skylines(20);
+    c.bench_function("policy/adaptive_peak_series_20_jobs", |b| {
+        b.iter(|| {
+            for (skyline, requested) in &skylines {
+                black_box(AllocationPolicy::AdaptivePeak.series(skyline, *requested));
+            }
+        });
+    });
+}
+
+fn bench_min_tokens(c: &mut Criterion) {
+    let skylines = observed_skylines(10);
+    c.bench_function("policy/min_tokens_bisection_10_jobs", |b| {
+        b.iter(|| {
+            for (skyline, requested) in &skylines {
+                black_box(min_tokens_within_loss(skyline, *requested, black_box(0.05)));
+            }
+        });
+    });
+}
+
+fn bench_reduction_histogram(c: &mut Criterion) {
+    let skylines = observed_skylines(30);
+    c.bench_function("policy/figure2_histogram_30_jobs", |b| {
+        b.iter(|| reduction_histogram(black_box(&skylines), &[0.0, 0.05, 0.10]));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_policy_series, bench_min_tokens, bench_reduction_histogram
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Job-subset-selection benchmarks (Figure 11 machinery): k-means
+//! clustering, the full four-step selection, and the KS quality test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scope_sim::{WorkloadConfig, WorkloadGenerator};
+use std::hint::black_box;
+use tasq::augment::AugmentConfig;
+use tasq::dataset::Dataset;
+use tasq::selection::{select_jobs, SelectionConfig};
+use tasq_ml::kmeans::{kmeans, KMeansConfig};
+use tasq_ml::matrix::Matrix;
+use tasq_ml::stats::ks_two_sample;
+
+fn dataset(n: usize) -> Dataset {
+    let jobs =
+        WorkloadGenerator::new(WorkloadConfig { num_jobs: n, seed: 9, ..Default::default() })
+            .generate();
+    Dataset::build(&jobs, &AugmentConfig::default())
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let ds = dataset(300);
+    let data = Matrix::from_rows(&ds.job_feature_rows());
+    c.bench_function("selection/kmeans_k8_300_jobs", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            kmeans(&mut rng, black_box(&data), &KMeansConfig { k: 8, ..Default::default() })
+        });
+    });
+}
+
+fn bench_full_selection(c: &mut Criterion) {
+    let ds = dataset(300);
+    let config = SelectionConfig { sample_size: 50, ..Default::default() };
+    c.bench_function("selection/full_procedure_300_jobs", |b| {
+        b.iter(|| select_jobs(black_box(&ds), &config));
+    });
+}
+
+fn bench_ks_test(c: &mut Criterion) {
+    let a: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.37).sin() * 100.0).collect();
+    let b_sample: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.41).cos() * 110.0).collect();
+    c.bench_function("selection/ks_two_sample_5k", |b| {
+        b.iter(|| ks_two_sample(black_box(&a), black_box(&b_sample)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kmeans, bench_full_selection, bench_ks_test
+}
+criterion_main!(benches);

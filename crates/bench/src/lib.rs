@@ -1,0 +1,1 @@
+//! Criterion benchmarks for the TASQ workspace (see benches/).

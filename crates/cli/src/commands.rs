@@ -1,0 +1,272 @@
+//! The four subcommands.
+
+use crate::options::Options;
+use crate::CliError;
+use scope_sim::{Job, WorkloadConfig, WorkloadGenerator};
+use std::fmt::Write as _;
+use tasq::codec;
+use tasq::models::{NnTrainConfig, XgbTrainConfig};
+use tasq::pipeline::{
+    AllocationDecision, DiskModelStore, JobRepository, ModelChoice, ModelStore, PipelineConfig,
+    ScoringConfig, ScoringService, TasqPipeline, NN_MODEL_NAME, XGB_MODEL_NAME,
+};
+
+fn read_workload(path: &str) -> Result<Vec<Job>, CliError> {
+    let bytes = std::fs::read(path)?;
+    Ok(codec::from_bytes(&bytes)?)
+}
+
+/// `tasq generate --out <file> [--jobs N] [--seed N]`
+pub fn generate(args: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(args, &["out", "jobs", "seed"])?;
+    let out = opts.required("out")?;
+    let jobs = opts.number::<usize>("jobs", 500)?;
+    let seed = opts.number::<u64>("seed", 0)?;
+    let workload = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: jobs,
+        seed,
+        ..Default::default()
+    })
+    .generate();
+    let bytes = codec::to_bytes(&workload)?;
+    std::fs::write(out, &bytes)?;
+    Ok(format!("wrote {jobs} jobs ({} bytes) to {out}\n", bytes.len()))
+}
+
+/// `tasq inspect --workload <file>`
+pub fn inspect(args: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(args, &["workload"])?;
+    let jobs = read_workload(opts.required("workload")?)?;
+    let tokens: Vec<f64> = jobs.iter().map(|j| j.requested_tokens as f64).collect();
+    let operators: Vec<f64> = jobs.iter().map(|j| j.plan.num_operators() as f64).collect();
+    let recurring = jobs.iter().filter(|j| j.meta.recurring_template.is_some()).count();
+    let mut out = String::new();
+    let _ = writeln!(out, "workload: {} jobs", jobs.len());
+    let _ = writeln!(
+        out,
+        "requested tokens: median {:.0}, mean {:.0}, max {:.0}",
+        tasq_ml::stats::median(&tokens),
+        tasq_ml::stats::mean(&tokens),
+        tokens.iter().copied().fold(0.0, f64::max),
+    );
+    let _ = writeln!(
+        out,
+        "operators per plan: median {:.0}, max {:.0}",
+        tasq_ml::stats::median(&operators),
+        operators.iter().copied().fold(0.0, f64::max),
+    );
+    let _ = writeln!(
+        out,
+        "recurring: {recurring} ({:.0}%), ad-hoc: {}",
+        100.0 * recurring as f64 / jobs.len().max(1) as f64,
+        jobs.len() - recurring
+    );
+    Ok(out)
+}
+
+/// `tasq train --workload <file> --model-dir <dir> [--nn-epochs N] [--xgb-rounds N]`
+pub fn train(args: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(args, &["workload", "model-dir", "nn-epochs", "xgb-rounds"])?;
+    let jobs = read_workload(opts.required("workload")?)?;
+    let model_dir = opts.required("model-dir")?;
+    let nn_epochs = opts.number::<usize>("nn-epochs", 120)?;
+    let xgb_rounds = opts.number::<usize>("xgb-rounds", 120)?;
+
+    // Train through the in-memory pipeline, then persist to disk.
+    let repo = JobRepository::new();
+    let job_count = jobs.len();
+    repo.ingest(jobs);
+    let memory_store = ModelStore::new();
+    let pipeline = TasqPipeline::new(PipelineConfig {
+        nn: NnTrainConfig { epochs: nn_epochs, ..Default::default() },
+        xgb: XgbTrainConfig { num_rounds: xgb_rounds, ..Default::default() },
+        ..Default::default()
+    });
+    let dataset = pipeline.train(&repo, &memory_store);
+
+    let disk = DiskModelStore::open(model_dir)?;
+    let nn: tasq::models::NnPcc =
+        memory_store.load_latest(NN_MODEL_NAME).expect("pipeline registered the NN");
+    let xgb: tasq::models::XgbRuntime =
+        memory_store.load_latest(XGB_MODEL_NAME).expect("pipeline registered XGBoost");
+    let nn_version = disk.register(NN_MODEL_NAME, &nn)?;
+    let xgb_version = disk.register(XGB_MODEL_NAME, &xgb)?;
+    Ok(format!(
+        "trained on {job_count} jobs ({} examples)\nregistered {NN_MODEL_NAME} v{nn_version}, \
+         {XGB_MODEL_NAME} v{xgb_version} in {model_dir}\n",
+        dataset.len()
+    ))
+}
+
+/// `tasq score --workload <file> --model-dir <dir> [--model nn|xgb-ss|xgb-pl]
+///  [--min-improvement FRAC]`
+pub fn score(args: &[String]) -> Result<String, CliError> {
+    let opts =
+        Options::parse(args, &["workload", "model-dir", "model", "min-improvement"])?;
+    let jobs = read_workload(opts.required("workload")?)?;
+    let disk = DiskModelStore::open(opts.required("model-dir")?)?;
+    let choice = match opts.get("model").unwrap_or("nn") {
+        "nn" => ModelChoice::Nn,
+        "xgb-ss" => ModelChoice::XgboostSs,
+        "xgb-pl" => ModelChoice::XgboostPl,
+        other => return Err(CliError::Usage(format!("unknown --model {other}"))),
+    };
+    let min_improvement = opts.number::<f64>("min-improvement", 0.01)?;
+
+    // Rehydrate the in-memory store the scoring service expects.
+    let store = ModelStore::new();
+    match choice {
+        ModelChoice::Nn => {
+            let nn: tasq::models::NnPcc = disk
+                .load_latest(NN_MODEL_NAME)
+                .ok_or_else(|| CliError::Usage("no NN artifact in model dir".into()))?;
+            store.register(NN_MODEL_NAME, &nn)?;
+        }
+        ModelChoice::XgboostSs | ModelChoice::XgboostPl => {
+            let xgb: tasq::models::XgbRuntime = disk
+                .load_latest(XGB_MODEL_NAME)
+                .ok_or_else(|| CliError::Usage("no XGBoost artifact in model dir".into()))?;
+            store.register(XGB_MODEL_NAME, &xgb)?;
+        }
+    }
+    let service = ScoringService::deploy(
+        &store,
+        choice,
+        ScoringConfig { min_improvement, ..Default::default() },
+    )
+    .expect("artifact registered above");
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>15} {:>16} {:>9}",
+        "job", "requested", "pred. runtime", "optimal tokens", "saving"
+    );
+    let mut total_requested = 0.0;
+    let mut total_optimal = 0.0;
+    for job in &jobs {
+        let response = service.score(job);
+        let AllocationDecision::Automatic { tokens } = response.decision else {
+            unreachable!("automatic mode configured");
+        };
+        total_requested += job.requested_tokens as f64;
+        total_optimal += tokens as f64;
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>14.0}s {:>16} {:>8.0}%",
+            job.id,
+            job.requested_tokens,
+            response.predicted_runtime_at_request,
+            tokens,
+            100.0 * (1.0 - tokens as f64 / job.requested_tokens as f64)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\ntotal: {total_requested:.0} requested -> {total_optimal:.0} optimal ({:.0}% saved)",
+        100.0 * (1.0 - total_optimal / total_requested.max(1.0))
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tasq-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn generate_inspect_train_score_roundtrip() {
+        let dir = temp_dir("e2e");
+        let workload = dir.join("w.bin");
+        let models = dir.join("models");
+        let workload_str = workload.to_str().unwrap().to_string();
+        let models_str = models.to_str().unwrap().to_string();
+
+        let out = generate(&strings(&["--out", &workload_str, "--jobs", "30", "--seed", "3"]))
+            .unwrap();
+        assert!(out.contains("wrote 30 jobs"));
+
+        let out = inspect(&strings(&["--workload", &workload_str])).unwrap();
+        assert!(out.contains("workload: 30 jobs"));
+        assert!(out.contains("recurring:"));
+
+        let out = train(&strings(&[
+            "--workload",
+            &workload_str,
+            "--model-dir",
+            &models_str,
+            "--nn-epochs",
+            "5",
+            "--xgb-rounds",
+            "10",
+        ]))
+        .unwrap();
+        assert!(out.contains("registered"));
+
+        for model in ["nn", "xgb-pl", "xgb-ss"] {
+            let out = score(&strings(&[
+                "--workload",
+                &workload_str,
+                "--model-dir",
+                &models_str,
+                "--model",
+                model,
+            ]))
+            .unwrap();
+            assert!(out.contains("optimal tokens"), "{model}");
+            assert!(out.contains("total:"), "{model}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn score_without_artifacts_is_a_usage_error() {
+        let dir = temp_dir("noart");
+        let workload = dir.join("w.bin");
+        generate(&strings(&["--out", workload.to_str().unwrap(), "--jobs", "3"])).unwrap();
+        let err = score(&strings(&[
+            "--workload",
+            workload.to_str().unwrap(),
+            "--model-dir",
+            dir.join("empty").to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("no NN artifact"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_model_is_rejected() {
+        let dir = temp_dir("badmodel");
+        let workload = dir.join("w.bin");
+        generate(&strings(&["--out", workload.to_str().unwrap(), "--jobs", "3"])).unwrap();
+        let err = score(&strings(&[
+            "--workload",
+            workload.to_str().unwrap(),
+            "--model-dir",
+            dir.to_str().unwrap(),
+            "--model",
+            "oracle",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown --model"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn top_level_dispatch() {
+        assert!(crate::run(&strings(&["help"])).unwrap().contains("USAGE"));
+        assert!(crate::run(&[]).is_err());
+        assert!(crate::run(&strings(&["frobnicate"])).is_err());
+    }
+}

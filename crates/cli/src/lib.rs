@@ -1,0 +1,84 @@
+//! Library backing the `tasq` command-line binary.
+//!
+//! Four subcommands drive the pipeline from files on disk, with workloads
+//! and model artifacts serialized through the workspace's binary codec:
+//!
+//! * `generate` — synthesize a workload and write it to a file.
+//! * `inspect`  — print population statistics of a workload file.
+//! * `train`    — prepare a dataset from a workload file, train the NN and
+//!   XGBoost models, and register them in a directory-backed model store.
+//! * `score`    — load the latest artifacts and score a workload file,
+//!   printing per-job allocation decisions.
+//!
+//! Commands return their output as a `String` so they are directly
+//! testable; `main` just prints.
+
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod options;
+
+use std::fmt;
+
+/// CLI error: bad usage or an underlying I/O / codec failure.
+#[derive(Debug)]
+pub enum CliError {
+    /// Invalid flags or arguments; the string is a usage message.
+    Usage(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Artifact encoding/decoding failure.
+    Codec(tasq::codec::CodecError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(message) => write!(f, "usage error: {message}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<tasq::codec::CodecError> for CliError {
+    fn from(e: tasq::codec::CodecError) -> Self {
+        CliError::Codec(e)
+    }
+}
+
+/// Top-level dispatch: run a command line (without the program name).
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::Usage(USAGE.to_string()));
+    };
+    match command.as_str() {
+        "generate" => commands::generate(rest),
+        "inspect" => commands::inspect(rest),
+        "train" => commands::train(rest),
+        "score" => commands::score(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+tasq-cli — token allocation for scalable queries
+
+USAGE:
+    tasq-cli generate --out <file> [--jobs N] [--seed N]
+    tasq-cli inspect  --workload <file>
+    tasq-cli train    --workload <file> --model-dir <dir> [--nn-epochs N] [--xgb-rounds N]
+    tasq-cli score    --workload <file> --model-dir <dir> [--model nn|xgb-ss|xgb-pl]
+                      [--min-improvement FRAC]
+    tasq-cli help
+";

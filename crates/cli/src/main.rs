@@ -1,0 +1,12 @@
+//! The `tasq-cli` command-line binary.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match tasq_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(error) => {
+            eprintln!("{error}");
+            std::process::exit(2);
+        }
+    }
+}

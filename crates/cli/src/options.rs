@@ -1,0 +1,94 @@
+//! Tiny `--key value` option parser shared by the subcommands.
+
+use crate::CliError;
+use std::collections::HashMap;
+
+/// Parsed `--key value` options.
+#[derive(Debug, Default)]
+pub struct Options {
+    values: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parse a flat list of `--key value` pairs.
+    pub fn parse(args: &[String], allowed: &[&str]) -> Result<Self, CliError> {
+        let mut values = HashMap::new();
+        let mut iter = args.iter();
+        while let Some(key) = iter.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(CliError::Usage(format!("expected --flag, got `{key}`")));
+            };
+            if !allowed.contains(&name) {
+                return Err(CliError::Usage(format!(
+                    "unknown flag --{name} (allowed: {})",
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+            let Some(value) = iter.next() else {
+                return Err(CliError::Usage(format!("missing value for --{name}")));
+            };
+            values.insert(name.to_string(), value.clone());
+        }
+        Ok(Self { values })
+    }
+
+    /// A required string option.
+    pub fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("--{name} is required")))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// An optional numeric option with a default.
+    pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid value for --{name}: {raw}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let opts =
+            Options::parse(&strings(&["--jobs", "50", "--out", "w.bin"]), &["jobs", "out"])
+                .unwrap();
+        assert_eq!(opts.required("out").unwrap(), "w.bin");
+        assert_eq!(opts.number::<usize>("jobs", 1).unwrap(), 50);
+        assert_eq!(opts.number::<u64>("seed", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = Options::parse(&strings(&["--nope", "1"]), &["jobs"]).unwrap_err();
+        assert!(err.to_string().contains("unknown flag"));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = Options::parse(&strings(&["--jobs"]), &["jobs"]).unwrap_err();
+        assert!(err.to_string().contains("missing value"));
+    }
+
+    #[test]
+    fn required_missing_is_error() {
+        let opts = Options::parse(&[], &["out"]).unwrap();
+        assert!(opts.required("out").is_err());
+    }
+}

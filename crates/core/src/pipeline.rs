@@ -1,0 +1,537 @@
+//! The end-to-end TASQ pipeline (paper Figure 4), in-process.
+//!
+//! The production system wires Cosmos storage, ADLS, Azure ML, AKS and
+//! the SCOPE job scheduler together; this module reproduces the same
+//! dataflow with in-process components:
+//!
+//! ```text
+//! JobRepository (historical jobs + telemetry)
+//!     └─ TasqPipeline::train  — augment (AREPAS) → featurize → train
+//!            └─ ModelStore    — versioned serialized artifacts
+//!                   └─ ScoringService — compile-time featurize → predict
+//!                          └─ AllocationDecision (auto token count, or
+//!                             the PCC for the user to decide)
+//! ```
+
+use crate::augment::AugmentConfig;
+use crate::dataset::Dataset;
+use crate::featurize::{featurize_job, featurize_operators};
+use crate::models::{
+    NnPcc, NnTrainConfig, PccPredictor, PredictedPcc, ScoringInput, XgbRuntime, XgbTrainConfig,
+    XgboostPl, XgboostSs,
+};
+use crate::codec;
+use parking_lot::RwLock;
+use scope_sim::{Job, StageGraph};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// In-memory repository of historical jobs (the Cosmos job repository).
+#[derive(Debug, Default)]
+pub struct JobRepository {
+    jobs: RwLock<Vec<Job>>,
+}
+
+impl JobRepository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest a batch of jobs.
+    pub fn ingest(&self, jobs: impl IntoIterator<Item = Job>) {
+        self.jobs.write().extend(jobs);
+    }
+
+    /// Snapshot of all jobs.
+    pub fn all_jobs(&self) -> Vec<Job> {
+        self.jobs.read().clone()
+    }
+
+    /// Number of stored jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.read().len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.read().is_empty()
+    }
+}
+
+/// A stored model artifact.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Monotonically increasing version within a model name.
+    pub version: u32,
+    /// Serialized model bytes.
+    pub bytes: bytes::Bytes,
+}
+
+/// Versioned, thread-safe store of serialized model artifacts
+/// (the Azure ML model store stand-in).
+#[derive(Debug, Default)]
+pub struct ModelStore {
+    artifacts: RwLock<HashMap<String, Vec<Artifact>>>,
+}
+
+impl ModelStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serialize and register a model; returns the assigned version.
+    pub fn register<T: Serialize>(&self, name: &str, model: &T) -> Result<u32, codec::CodecError> {
+        let bytes = codec::to_bytes(model)?;
+        let mut store = self.artifacts.write();
+        let entry = store.entry(name.to_string()).or_default();
+        let version = entry.last().map_or(1, |a| a.version + 1);
+        entry.push(Artifact { version, bytes });
+        Ok(version)
+    }
+
+    /// Load the latest version of a model.
+    pub fn load_latest<T: DeserializeOwned>(&self, name: &str) -> Option<T> {
+        let store = self.artifacts.read();
+        let artifact = store.get(name)?.last()?;
+        codec::from_bytes(&artifact.bytes).ok()
+    }
+
+    /// Load a specific version.
+    pub fn load_version<T: DeserializeOwned>(&self, name: &str, version: u32) -> Option<T> {
+        let store = self.artifacts.read();
+        let artifact = store.get(name)?.iter().find(|a| a.version == version)?;
+        codec::from_bytes(&artifact.bytes).ok()
+    }
+
+    /// Registered versions of a model name.
+    pub fn versions(&self, name: &str) -> Vec<u32> {
+        self.artifacts
+            .read()
+            .get(name)
+            .map(|v| v.iter().map(|a| a.version).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// A file-backed model store: the same versioned artifact semantics as
+/// [`ModelStore`], persisted under a directory as `<name>.v<N>.bin` files
+/// encoded with [`crate::codec`]. This is the deployable counterpart of
+/// the paper's Azure ML model registry.
+#[derive(Debug, Clone)]
+pub struct DiskModelStore {
+    directory: std::path::PathBuf,
+}
+
+impl DiskModelStore {
+    /// Open (creating the directory if needed).
+    pub fn open(directory: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        let directory = directory.into();
+        std::fs::create_dir_all(&directory)?;
+        Ok(Self { directory })
+    }
+
+    fn artifact_path(&self, name: &str, version: u32) -> std::path::PathBuf {
+        self.directory.join(format!("{name}.v{version}.bin"))
+    }
+
+    /// Registered versions of a model, ascending.
+    pub fn versions(&self, name: &str) -> Vec<u32> {
+        let prefix = format!("{name}.v");
+        let mut versions: Vec<u32> = std::fs::read_dir(&self.directory)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|entry| {
+                let file = entry.file_name().into_string().ok()?;
+                let rest = file.strip_prefix(&prefix)?.strip_suffix(".bin")?;
+                rest.parse().ok()
+            })
+            .collect();
+        versions.sort_unstable();
+        versions
+    }
+
+    /// Serialize and register a model; returns the assigned version.
+    pub fn register<T: Serialize>(&self, name: &str, model: &T) -> std::io::Result<u32> {
+        let bytes = codec::to_bytes(model)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let version = self.versions(name).last().map_or(1, |v| v + 1);
+        std::fs::write(self.artifact_path(name, version), &bytes)?;
+        Ok(version)
+    }
+
+    /// Load a specific version.
+    pub fn load_version<T: DeserializeOwned>(
+        &self,
+        name: &str,
+        version: u32,
+    ) -> std::io::Result<T> {
+        let bytes = std::fs::read(self.artifact_path(name, version))?;
+        codec::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Load the latest version, or `None` when the model is unregistered.
+    pub fn load_latest<T: DeserializeOwned>(&self, name: &str) -> Option<T> {
+        let version = *self.versions(name).last()?;
+        self.load_version(name, version).ok()
+    }
+}
+
+/// Which model family the scoring service should serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelChoice {
+    /// XGBoost with smoothing-spline PCC.
+    XgboostSs,
+    /// XGBoost with power-law PCC.
+    XgboostPl,
+    /// Feed-forward network (the paper's recommended balance).
+    Nn,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Augmentation settings.
+    pub augment: AugmentConfig,
+    /// XGBoost training settings.
+    pub xgb: XgbTrainConfig,
+    /// NN training settings.
+    pub nn: NnTrainConfig,
+    /// Which model the scoring service serves.
+    pub serve: ModelChoice,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            augment: AugmentConfig::default(),
+            xgb: XgbTrainConfig::default(),
+            nn: NnTrainConfig::default(),
+            serve: ModelChoice::Nn,
+        }
+    }
+}
+
+/// Names under which the pipeline registers artifacts.
+pub const XGB_MODEL_NAME: &str = "tasq-xgb-runtime";
+/// NN artifact name.
+pub const NN_MODEL_NAME: &str = "tasq-nn-pcc";
+
+/// The training pipeline: repository → dataset → models → store.
+#[derive(Debug)]
+pub struct TasqPipeline {
+    config: PipelineConfig,
+}
+
+impl TasqPipeline {
+    /// Create a pipeline.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// Train on the repository's jobs and register artifacts in the store.
+    ///
+    /// Returns the prepared dataset (useful for evaluation).
+    ///
+    /// # Panics
+    /// Panics if the repository is empty.
+    pub fn train(&self, repository: &JobRepository, store: &ModelStore) -> Dataset {
+        let jobs = repository.all_jobs();
+        assert!(!jobs.is_empty(), "TasqPipeline::train: empty repository");
+        let dataset = Dataset::build(&jobs, &self.config.augment);
+        let xgb = XgbRuntime::train(&dataset, &self.config.xgb);
+        store.register(XGB_MODEL_NAME, &xgb).expect("serialize XGBoost artifact");
+        let nn = NnPcc::train(&dataset, &self.config.nn);
+        store.register(NN_MODEL_NAME, &nn).expect("serialize NN artifact");
+        dataset
+    }
+}
+
+/// The scheduler-facing decision for a scored job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AllocationDecision {
+    /// Pass the predicted optimal token count straight to the scheduler.
+    Automatic {
+        /// Chosen token count.
+        tokens: u32,
+    },
+    /// Show the user the predicted PCC to make an informed choice.
+    ShowCurve {
+        /// Predicted `(tokens, runtime)` points across the search range.
+        curve: Vec<(u32, f64)>,
+    },
+}
+
+/// Scoring response for one submitted job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoreResponse {
+    /// Job id.
+    pub job_id: u64,
+    /// Predicted run time at the requested allocation.
+    pub predicted_runtime_at_request: f64,
+    /// Predicted optimal token count.
+    pub optimal_tokens: u32,
+    /// The decision handed to the scheduler/user.
+    pub decision: AllocationDecision,
+}
+
+/// Scoring-service configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoringConfig {
+    /// Minimum marginal improvement per extra token that still counts
+    /// (the optimality threshold of Section 2.1; default 1%).
+    pub min_improvement: f64,
+    /// Lower bound of the token search range.
+    pub min_tokens: u32,
+    /// Upper bound of the token search range.
+    pub max_tokens: u32,
+    /// If true, never propose more tokens than the job requested — the
+    /// paper's optimal allocation trades *down* from the default, so the
+    /// request acts as a per-job ceiling.
+    pub cap_at_request: bool,
+    /// If true, emit [`AllocationDecision::Automatic`]; otherwise show the
+    /// curve to the user.
+    pub automatic: bool,
+}
+
+impl Default for ScoringConfig {
+    fn default() -> Self {
+        Self {
+            min_improvement: 0.01,
+            min_tokens: 1,
+            max_tokens: 6287,
+            cap_at_request: true,
+            automatic: true,
+        }
+    }
+}
+
+/// The deployed scoring service: loads a model artifact from the store and
+/// scores incoming jobs from their compile-time plans alone.
+pub struct ScoringService {
+    model: Box<dyn PccPredictor + Send + Sync>,
+    config: ScoringConfig,
+}
+
+impl ScoringService {
+    /// Deploy from a model store.
+    ///
+    /// Returns `None` if the requested artifact is missing.
+    pub fn deploy(store: &ModelStore, choice: ModelChoice, config: ScoringConfig) -> Option<Self> {
+        let model: Box<dyn PccPredictor + Send + Sync> = match choice {
+            ModelChoice::Nn => Box::new(store.load_latest::<NnPcc>(NN_MODEL_NAME)?),
+            ModelChoice::XgboostSs => {
+                Box::new(XgboostSs::new(store.load_latest::<XgbRuntime>(XGB_MODEL_NAME)?))
+            }
+            ModelChoice::XgboostPl => {
+                Box::new(XgboostPl::new(store.load_latest::<XgbRuntime>(XGB_MODEL_NAME)?))
+            }
+        };
+        Some(Self { model, config })
+    }
+
+    /// Score a submitted job from its compile-time plan.
+    pub fn score(&self, job: &Job) -> ScoreResponse {
+        let num_stages = StageGraph::from_plan(&job.plan, job.seed).num_stages();
+        let features = featurize_job(&job.plan, num_stages);
+        let op_features = featurize_operators(&job.plan);
+        let input = ScoringInput {
+            features: &features,
+            op_features: &op_features,
+            reference_tokens: job.requested_tokens,
+        };
+        let predicted = self.model.predict(&input);
+        let ceiling = if self.config.cap_at_request {
+            self.config.max_tokens.min(job.requested_tokens).max(self.config.min_tokens)
+        } else {
+            self.config.max_tokens
+        };
+        let optimal_tokens = self.optimal_tokens(&predicted, ceiling);
+        let decision = if self.config.automatic {
+            AllocationDecision::Automatic { tokens: optimal_tokens }
+        } else {
+            AllocationDecision::ShowCurve { curve: self.sample_curve(&predicted) }
+        };
+        ScoreResponse {
+            job_id: job.id,
+            predicted_runtime_at_request: predicted.predict(job.requested_tokens),
+            optimal_tokens,
+            decision,
+        }
+    }
+
+    fn optimal_tokens(&self, predicted: &PredictedPcc, max_tokens: u32) -> u32 {
+        match predicted.power_law() {
+            Some(pcc) => pcc.optimal_tokens(
+                self.config.min_improvement,
+                self.config.min_tokens,
+                max_tokens,
+            ),
+            None => {
+                // Point-wise curve: scan for the last token count whose
+                // marginal improvement clears the threshold.
+                let mut best = self.config.min_tokens;
+                let mut prev = predicted.predict(self.config.min_tokens);
+                let mut t = self.config.min_tokens;
+                while t < max_tokens {
+                    let next_t = (t + (t / 10).max(1)).min(max_tokens);
+                    let next = predicted.predict(next_t);
+                    let per_token_gain =
+                        (prev - next) / prev / (next_t - t).max(1) as f64;
+                    if per_token_gain >= self.config.min_improvement {
+                        best = next_t;
+                    }
+                    prev = next;
+                    t = next_t;
+                }
+                best
+            }
+        }
+    }
+
+    fn sample_curve(&self, predicted: &PredictedPcc) -> Vec<(u32, f64)> {
+        let mut curve = Vec::new();
+        let mut t = self.config.min_tokens.max(1);
+        while t <= self.config.max_tokens {
+            curve.push((t, predicted.predict(t)));
+            t = (t as f64 * 1.5).ceil() as u32;
+        }
+        curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_sim::{WorkloadConfig, WorkloadGenerator};
+
+    fn quick_config() -> PipelineConfig {
+        PipelineConfig {
+            xgb: XgbTrainConfig { num_rounds: 20, ..Default::default() },
+            nn: NnTrainConfig { epochs: 10, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    fn jobs(n: usize, seed: u64) -> Vec<Job> {
+        WorkloadGenerator::new(WorkloadConfig { num_jobs: n, seed, ..Default::default() })
+            .generate()
+    }
+
+    #[test]
+    fn end_to_end_train_and_score() {
+        let repo = JobRepository::new();
+        repo.ingest(jobs(25, 81));
+        let store = ModelStore::new();
+        let pipeline = TasqPipeline::new(quick_config());
+        let dataset = pipeline.train(&repo, &store);
+        assert_eq!(dataset.len(), 25);
+        assert_eq!(store.versions(NN_MODEL_NAME), vec![1]);
+        assert_eq!(store.versions(XGB_MODEL_NAME), vec![1]);
+
+        let service =
+            ScoringService::deploy(&store, ModelChoice::Nn, ScoringConfig::default()).unwrap();
+        for job in jobs(5, 99) {
+            let response = service.score(&job);
+            assert_eq!(response.job_id, job.id);
+            assert!(response.predicted_runtime_at_request >= 1.0);
+            assert!((1..=6287).contains(&response.optimal_tokens));
+            assert!(matches!(response.decision, AllocationDecision::Automatic { .. }));
+        }
+    }
+
+    #[test]
+    fn scoring_with_curve_decision() {
+        let repo = JobRepository::new();
+        repo.ingest(jobs(15, 83));
+        let store = ModelStore::new();
+        TasqPipeline::new(quick_config()).train(&repo, &store);
+        let service = ScoringService::deploy(
+            &store,
+            ModelChoice::XgboostSs,
+            ScoringConfig { automatic: false, ..Default::default() },
+        )
+        .unwrap();
+        let response = service.score(&jobs(1, 101).remove(0));
+        match response.decision {
+            AllocationDecision::ShowCurve { curve } => {
+                assert!(curve.len() > 5);
+                assert!(curve.windows(2).all(|w| w[0].0 < w[1].0));
+            }
+            other => panic!("expected curve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_store_versioning() {
+        let store = ModelStore::new();
+        let v1 = store.register("m", &42u64).unwrap();
+        let v2 = store.register("m", &43u64).unwrap();
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(store.load_latest::<u64>("m"), Some(43));
+        assert_eq!(store.load_version::<u64>("m", 1), Some(42));
+        assert_eq!(store.load_version::<u64>("m", 9), None);
+        assert!(store.load_latest::<u64>("missing").is_none());
+    }
+
+    #[test]
+    fn nn_artifact_roundtrips_through_store() {
+        let repo = JobRepository::new();
+        repo.ingest(jobs(12, 85));
+        let store = ModelStore::new();
+        let pipeline = TasqPipeline::new(quick_config());
+        let dataset = pipeline.train(&repo, &store);
+        let loaded: NnPcc = store.load_latest(NN_MODEL_NAME).unwrap();
+        // Loaded model must predict identically to a fresh in-memory one.
+        let fresh = NnPcc::train(&dataset, &quick_config().nn);
+        for e in &dataset.examples {
+            let a = loaded.predict_pcc(&e.features);
+            let b = fresh.predict_pcc(&e.features);
+            assert!((a.a - b.a).abs() < 1e-12 && (a.b - b.b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn repository_basics() {
+        let repo = JobRepository::new();
+        assert!(repo.is_empty());
+        repo.ingest(jobs(3, 87));
+        assert_eq!(repo.len(), 3);
+        assert_eq!(repo.all_jobs().len(), 3);
+    }
+
+    #[test]
+    fn disk_store_roundtrips_and_versions() {
+        let dir = std::env::temp_dir().join(format!("tasq-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskModelStore::open(&dir).unwrap();
+        assert!(store.versions("m").is_empty());
+        assert_eq!(store.register("m", &41u64).unwrap(), 1);
+        assert_eq!(store.register("m", &42u64).unwrap(), 2);
+        assert_eq!(store.versions("m"), vec![1, 2]);
+        assert_eq!(store.load_latest::<u64>("m"), Some(42));
+        assert_eq!(store.load_version::<u64>("m", 1).unwrap(), 41);
+        assert!(store.load_latest::<u64>("missing").is_none());
+        // A trained NN survives the disk round trip.
+        let jobs = jobs(8, 95);
+        let dataset = Dataset::build(&jobs, &AugmentConfig::default());
+        let nn = NnPcc::train(&dataset, &NnTrainConfig { epochs: 3, ..Default::default() });
+        store.register("nn", &nn).unwrap();
+        let loaded: NnPcc = store.load_latest("nn").unwrap();
+        let a = nn.predict_pcc(&dataset.examples[0].features);
+        let b = loaded.predict_pcc(&dataset.examples[0].features);
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deploy_missing_artifact_returns_none() {
+        let store = ModelStore::new();
+        assert!(ScoringService::deploy(&store, ModelChoice::Nn, ScoringConfig::default())
+            .is_none());
+    }
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `ablation_arepas_rounding` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::ablation_arepas_rounding::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `ext_autotoken_comparison` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::ext_autotoken_comparison::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `ext_cluster_scheduling` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::ext_cluster_scheduling::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `ext_loss_weight_tuning` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::ext_loss_weight_tuning::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `ext_platform_families` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::ext_platform_families::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `ext_workload_calibration` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::ext_workload_calibration::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `fig01_skyline_policies` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::fig01_skyline_policies::run(&args));
+}

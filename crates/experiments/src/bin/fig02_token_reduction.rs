@@ -1,0 +1,6 @@
+//! Binary wrapper for the `fig02_token_reduction` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::fig02_token_reduction::run(&args));
+}

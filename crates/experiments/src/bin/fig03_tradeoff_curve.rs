@@ -1,0 +1,6 @@
+//! Binary wrapper for the `fig03_tradeoff_curve` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::fig03_tradeoff_curve::run(&args));
+}

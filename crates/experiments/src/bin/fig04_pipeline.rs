@@ -1,0 +1,6 @@
+//! Binary wrapper for the `fig04_pipeline` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::fig04_pipeline::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `fig05_skyline_sections` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::fig05_skyline_sections::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `fig06_07_arepas_sections` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::fig06_07_arepas_sections::run(&args));
+}

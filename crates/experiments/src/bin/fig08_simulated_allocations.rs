@@ -1,0 +1,6 @@
+//! Binary wrapper for the `fig08_simulated_allocations` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::fig08_simulated_allocations::run(&args));
+}

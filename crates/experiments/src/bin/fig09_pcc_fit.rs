@@ -1,0 +1,6 @@
+//! Binary wrapper for the `fig09_pcc_fit` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::fig09_pcc_fit::run(&args));
+}

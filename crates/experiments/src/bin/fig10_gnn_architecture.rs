@@ -1,0 +1,6 @@
+//! Binary wrapper for the `fig10_gnn_architecture` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::fig10_gnn_architecture::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `fig11_job_selection` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::fig11_job_selection::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `fig12_area_conservation` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::fig12_area_conservation::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `fig13_arepas_error` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::fig13_arepas_error::run(&args));
+}

@@ -1,0 +1,48 @@
+//! Runs the full experiment battery in order and prints every report.
+
+use tasq_experiments::experiments as exp;
+use tasq_experiments::Args;
+
+/// One experiment: display name + entry point.
+type Experiment = (&'static str, fn(&Args) -> String);
+
+fn main() {
+    let args = Args::parse();
+    let battery: Vec<Experiment> = vec![
+        ("ext_workload_calibration", exp::ext_workload_calibration::run),
+        ("fig01_skyline_policies", exp::fig01_skyline_policies::run),
+        ("fig02_token_reduction", exp::fig02_token_reduction::run),
+        ("fig03_tradeoff_curve", exp::fig03_tradeoff_curve::run),
+        ("fig04_pipeline", exp::fig04_pipeline::run),
+        ("fig05_skyline_sections", exp::fig05_skyline_sections::run),
+        ("fig06_07_arepas_sections", exp::fig06_07_arepas_sections::run),
+        ("fig08_simulated_allocations", exp::fig08_simulated_allocations::run),
+        ("fig09_pcc_fit", exp::fig09_pcc_fit::run),
+        ("fig10_gnn_architecture", exp::fig10_gnn_architecture::run),
+        ("fig11_job_selection", exp::fig11_job_selection::run),
+        ("fig12_area_conservation", exp::fig12_area_conservation::run),
+        ("fig13_arepas_error", exp::fig13_arepas_error::run),
+        ("table03_arepas_error", exp::table03_arepas_error::run),
+        ("table0456_models", exp::table0456_models::run),
+        ("table07_model_costs", exp::table07_model_costs::run),
+        ("table08_flighted", exp::table08_flighted::run),
+        ("sec51_monotonicity", exp::sec51_monotonicity::run),
+        ("sec54_workload_savings", exp::sec54_workload_savings::run),
+        ("ablation_amdahl", exp::ablation_amdahl::run),
+        ("ext_cluster_scheduling", exp::ext_cluster_scheduling::run),
+        ("ext_adaptive_release", exp::ext_adaptive_release::run),
+        ("ext_autotoken_comparison", exp::ext_autotoken_comparison::run),
+        ("ext_slo_allocation", exp::ext_slo_allocation::run),
+        ("ext_platform_families", exp::ext_platform_families::run),
+        ("ext_attention_analysis", exp::ext_attention_analysis::run),
+        ("ext_error_breakdown", exp::ext_error_breakdown::run),
+        ("ext_loss_weight_tuning", exp::ext_loss_weight_tuning::run),
+        ("ext_model_drift", exp::ext_model_drift::run),
+        ("ablation_granularity", exp::ablation_granularity::run),
+        ("ablation_arepas_rounding", exp::ablation_arepas_rounding::run),
+    ];
+    for (name, run) in battery {
+        eprintln!(">>> running {name}");
+        print!("{}", run(&args));
+    }
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `sec51_monotonicity` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::sec51_monotonicity::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `sec54_workload_savings` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::sec54_workload_savings::run(&args));
+}

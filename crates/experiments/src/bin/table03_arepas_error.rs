@@ -1,0 +1,6 @@
+//! Binary wrapper for the `table03_arepas_error` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::table03_arepas_error::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `table0456_models` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::table0456_models::run(&args));
+}

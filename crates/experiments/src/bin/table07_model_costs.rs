@@ -1,0 +1,6 @@
+//! Binary wrapper for the `table07_model_costs` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::table07_model_costs::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `table08_flighted` experiment.
+
+fn main() {
+    let args = tasq_experiments::Args::parse();
+    print!("{}", tasq_experiments::experiments::table08_flighted::run(&args));
+}

@@ -1,0 +1,117 @@
+//! Minimal command-line parsing shared by all experiment binaries.
+
+/// Common experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Number of training jobs.
+    pub train_jobs: usize,
+    /// Number of test jobs (the paper's "next day" historical test set).
+    pub test_jobs: usize,
+    /// Number of jobs to select and flight for ground-truth validation.
+    pub flighted_jobs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// NN training epochs.
+    pub nn_epochs: usize,
+    /// GNN training epochs.
+    pub gnn_epochs: usize,
+    /// XGBoost boosting rounds.
+    pub xgb_rounds: usize,
+    /// Optional loss selector for the model-comparison tables
+    /// (`lf1`/`lf2`/`lf3`/`all`).
+    pub loss: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            train_jobs: 600,
+            test_jobs: 300,
+            flighted_jobs: 31,
+            seed: 20220329, // EDBT 2022 opening day
+            nn_epochs: 120,
+            gnn_epochs: 30,
+            xgb_rounds: 100,
+            loss: "all".to_string(),
+        }
+    }
+}
+
+impl Args {
+    /// Parse `--key value` pairs from `std::env::args()`, falling back to
+    /// defaults. Unknown keys are rejected with a usage message.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(key) = iter.next() {
+            let value = iter.next().unwrap_or_else(|| usage(&format!("missing value for {key}")));
+            match key.as_str() {
+                "--train-jobs" => out.train_jobs = parse_num(&key, &value),
+                "--test-jobs" => out.test_jobs = parse_num(&key, &value),
+                "--flighted-jobs" => out.flighted_jobs = parse_num(&key, &value),
+                "--seed" => out.seed = parse_num(&key, &value) as u64,
+                "--nn-epochs" => out.nn_epochs = parse_num(&key, &value),
+                "--gnn-epochs" => out.gnn_epochs = parse_num(&key, &value),
+                "--xgb-rounds" => out.xgb_rounds = parse_num(&key, &value),
+                "--loss" => out.loss = value,
+                _ => usage(&format!("unknown flag {key}")),
+            }
+        }
+        out
+    }
+
+    /// A scaled-down copy for smoke tests.
+    pub fn tiny() -> Self {
+        Self {
+            train_jobs: 40,
+            test_jobs: 20,
+            flighted_jobs: 8,
+            nn_epochs: 8,
+            gnn_epochs: 3,
+            xgb_rounds: 15,
+            ..Self::default()
+        }
+    }
+}
+
+fn parse_num(key: &str, value: &str) -> usize {
+    value.parse().unwrap_or_else(|_| usage(&format!("invalid number for {key}: {value}")))
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: <experiment> [--train-jobs N] [--test-jobs N] [--flighted-jobs N] \
+         [--seed N] [--nn-epochs N] [--gnn-epochs N] [--xgb-rounds N] [--loss lf1|lf2|lf3|all]"
+    );
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_flags() {
+        let args = Args::parse_from(Vec::<String>::new());
+        assert_eq!(args.train_jobs, 600);
+        assert_eq!(args.loss, "all");
+    }
+
+    #[test]
+    fn parses_overrides() {
+        let args = Args::parse_from(
+            ["--train-jobs", "50", "--seed", "9", "--loss", "lf2"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(args.train_jobs, 50);
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.loss, "lf2");
+    }
+}

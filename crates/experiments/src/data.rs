@@ -1,0 +1,199 @@
+//! Shared dataset construction for the experiments: standard workloads,
+//! train/test splits, trained model bundles, and flighted ground truth.
+
+use crate::cli::Args;
+use scope_sim::flight::{filter_non_anomalous, flight_job, FlightConfig, FlightedJob};
+use scope_sim::{Job, NoiseModel, WorkloadConfig, WorkloadGenerator};
+use tasq::augment::AugmentConfig;
+use tasq::dataset::Dataset;
+use tasq::loss::{LossConfig, LossKind};
+use tasq::models::{
+    GnnPcc, GnnTrainConfig, NnPcc, NnTrainConfig, XgbRuntime, XgbTrainConfig, XgboostPl,
+    XgboostSs,
+};
+use tasq::selection::{select_jobs, SelectionConfig};
+
+/// Training and test workloads plus their prepared datasets.
+pub struct Workbench {
+    /// Training jobs ("day one" of the production workload).
+    pub train_jobs: Vec<Job>,
+    /// Test jobs ("the day after", same cluster).
+    pub test_jobs: Vec<Job>,
+    /// Prepared training dataset.
+    pub train: Dataset,
+    /// Prepared test dataset (AREPAS targets act as proxy ground truth,
+    /// exactly as in the paper's Section 5.3).
+    pub test: Dataset,
+}
+
+impl Workbench {
+    /// Build the standard experiment workbench from the CLI args.
+    ///
+    /// One continuous workload is generated and split by submission order
+    /// — the paper's test set is "submitted a day after the training jobs
+    /// on the same production cluster", so recurring jobs share templates
+    /// across the split while ad-hoc jobs remain unseen.
+    pub fn build(args: &Args) -> Self {
+        let mut all = WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: args.train_jobs + args.test_jobs,
+            seed: args.seed,
+            ..Default::default()
+        })
+        .generate();
+        let test_jobs = all.split_off(args.train_jobs);
+        let train_jobs = all;
+        let config = AugmentConfig::default();
+        let train = Dataset::build(&train_jobs, &config);
+        let test = Dataset::build(&test_jobs, &config);
+        Self { train_jobs, test_jobs, train, test }
+    }
+}
+
+/// All four trained models.
+pub struct ModelBundle {
+    /// Shared XGBoost run-time regressor.
+    pub xgb: XgbRuntime,
+    /// XGBoost + smoothing spline.
+    pub xgb_ss: XgboostSs,
+    /// XGBoost + power-law fit.
+    pub xgb_pl: XgboostPl,
+    /// Feed-forward network.
+    pub nn: NnPcc,
+    /// Graph neural network.
+    pub gnn: GnnPcc,
+}
+
+impl ModelBundle {
+    /// Train all four models with the given loss for NN/GNN.
+    pub fn train(args: &Args, dataset: &Dataset, loss: LossKind) -> Self {
+        let xgb = XgbRuntime::train(
+            dataset,
+            &XgbTrainConfig { num_rounds: args.xgb_rounds, seed: args.seed, ..Default::default() },
+        );
+        // LF3 transfers from XGBoost's run-time predictions.
+        let teacher: Option<Vec<f64>> = (loss == LossKind::Lf3).then(|| {
+            dataset
+                .examples
+                .iter()
+                .map(|e| xgb.predict_runtime(&e.features.values, e.observed_tokens))
+                .collect()
+        });
+        let nn = NnPcc::train_with_teacher(
+            dataset,
+            &NnTrainConfig {
+                epochs: args.nn_epochs,
+                loss: LossConfig::of_kind(loss),
+                seed: args.seed,
+                ..Default::default()
+            },
+            teacher.as_deref(),
+        );
+        let gnn = GnnPcc::train_with_teacher(
+            dataset,
+            &GnnTrainConfig {
+                epochs: args.gnn_epochs,
+                loss: LossConfig::of_kind(loss),
+                seed: args.seed,
+                ..Default::default()
+            },
+            teacher.as_deref(),
+        );
+        Self {
+            xgb_ss: XgboostSs::new(xgb.clone()),
+            xgb_pl: XgboostPl::new(xgb.clone()),
+            xgb,
+            nn,
+            gnn,
+        }
+    }
+}
+
+/// Select a representative subset from the test set and flight each job at
+/// the paper's standard fractions with mild execution noise.
+pub fn flight_selected(args: &Args, workbench: &Workbench) -> Vec<FlightedJob> {
+    flight_selected_with(args, workbench, NoiseModel::mild())
+}
+
+/// [`flight_selected`] with an explicit noise model (the area-conservation
+/// experiments use [`NoiseModel::production`] so that flights of the same
+/// job visibly disagree on token-seconds, as on the real shared cluster).
+pub fn flight_selected_with(
+    args: &Args,
+    workbench: &Workbench,
+    noise: NoiseModel,
+) -> Vec<FlightedJob> {
+    let selection = select_jobs(
+        &workbench.test,
+        &SelectionConfig {
+            sample_size: args.flighted_jobs,
+            seed: args.seed,
+            ..Default::default()
+        },
+    );
+    let flight_config = FlightConfig { noise, seed: args.seed, ..Default::default() };
+    let flighted: Vec<FlightedJob> = selection
+        .selected
+        .iter()
+        .map(|&i| {
+            let example = &workbench.test.examples[i];
+            let job = workbench
+                .test_jobs
+                .iter()
+                .find(|j| j.id == example.job_id)
+                .expect("selected job exists");
+            flight_job(job, job.requested_tokens, &flight_config)
+        })
+        .collect();
+    filter_non_anomalous(flighted, 0.10)
+}
+
+/// Parse the CLI loss string into the kinds to run.
+pub fn loss_kinds(loss: &str) -> Vec<LossKind> {
+    match loss {
+        "lf1" => vec![LossKind::Lf1],
+        "lf2" => vec![LossKind::Lf2],
+        "lf3" => vec![LossKind::Lf3],
+        _ => vec![LossKind::Lf1, LossKind::Lf2, LossKind::Lf3],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workbench_builds_at_tiny_scale() {
+        let args = Args::tiny();
+        let wb = Workbench::build(&args);
+        assert_eq!(wb.train.len(), args.train_jobs);
+        assert_eq!(wb.test.len(), args.test_jobs);
+    }
+
+    #[test]
+    fn bundle_trains_all_models() {
+        let args = Args::tiny();
+        let wb = Workbench::build(&args);
+        let bundle = ModelBundle::train(&args, &wb.train, LossKind::Lf2);
+        assert!(bundle.nn.num_parameters() > 0);
+        assert!(bundle.gnn.num_parameters() > 0);
+        let e = &wb.train.examples[0];
+        assert!(bundle.xgb.predict_runtime(&e.features.values, e.observed_tokens) >= 1.0);
+    }
+
+    #[test]
+    fn flighting_produces_clean_jobs() {
+        let args = Args::tiny();
+        let wb = Workbench::build(&args);
+        let flighted = flight_selected(&args, &wb);
+        assert!(!flighted.is_empty());
+        for fj in &flighted {
+            assert!(fj.is_monotonic(0.10));
+        }
+    }
+
+    #[test]
+    fn loss_kinds_parse() {
+        assert_eq!(loss_kinds("lf1"), vec![LossKind::Lf1]);
+        assert_eq!(loss_kinds("all").len(), 3);
+    }
+}

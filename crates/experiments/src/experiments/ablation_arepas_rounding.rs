@@ -1,0 +1,101 @@
+//! Ablation — AREPAS rounding: the paper's literal `int(secArea/Nt)`
+//! truncation vs. this implementation's exact area preservation.
+//!
+//! Truncation drops up to one allocation-second of work per over-section;
+//! on spiky skylines with many threshold crossings that bias accumulates
+//! into systematically optimistic (too fast) run-time estimates. This
+//! ablation quantifies both the area leak and the run-time estimation
+//! error of each variant against re-executions.
+
+use crate::cli::Args;
+use crate::report::{pct, pct1, Report};
+use arepas::{simulate, simulate_truncating, ErrorSummary};
+use scope_sim::{ExecutionConfig, WorkloadConfig, WorkloadGenerator};
+
+/// Run the experiment.
+pub fn run(args: &Args) -> String {
+    let mut report = Report::new();
+    report.header("Ablation: AREPAS rounding (exact area vs. paper's int() truncation)");
+
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: args.test_jobs.min(120),
+        seed: args.seed,
+        ..Default::default()
+    })
+    .generate();
+    let config = ExecutionConfig::default();
+
+    let mut exact_pred = Vec::new();
+    let mut truncated_pred = Vec::new();
+    let mut actual = Vec::new();
+    let mut area_leaks = Vec::new();
+    for job in &jobs {
+        let executor = job.executor();
+        let ground = executor.run(job.requested_tokens, &config);
+        let original_area = ground.skyline.area();
+        for fraction in [0.5, 0.2] {
+            let alloc = ((job.requested_tokens as f64 * fraction).round()).max(1.0);
+            if alloc as u32 == job.requested_tokens {
+                continue;
+            }
+            let exact = simulate(ground.skyline.samples(), alloc);
+            let truncated = simulate_truncating(ground.skyline.samples(), alloc);
+            if original_area > 0.0 {
+                area_leaks.push(1.0 - truncated.area() / original_area);
+            }
+            let truth = executor.run(alloc as u32, &config).runtime_secs.max(1.0);
+            exact_pred.push(exact.runtime_secs() as f64);
+            truncated_pred.push(truncated.runtime_secs() as f64);
+            actual.push(truth);
+        }
+    }
+
+    let exact_summary = ErrorSummary::from_pairs(&exact_pred, &actual);
+    let truncated_summary = ErrorSummary::from_pairs(&truncated_pred, &actual);
+    // Signed bias: negative = predicts too fast.
+    let signed_bias = |preds: &[f64]| -> f64 {
+        let diffs: Vec<f64> =
+            preds.iter().zip(&actual).map(|(p, a)| (p - a) / a).collect();
+        tasq_ml::stats::median(&diffs)
+    };
+
+    report.kv("jobs", jobs.len());
+    report.kv("comparisons", actual.len());
+    report.kv("median area leaked by truncation", pct1(tasq_ml::stats::median(&area_leaks)));
+    report.kv("worst area leak", pct1(area_leaks.iter().copied().fold(0.0, f64::max)));
+    report.table(
+        &["Variant", "MedianAPE", "MeanAPE", "Median signed bias"],
+        &[
+            vec![
+                "Exact area (this repo)".to_string(),
+                pct(exact_summary.median_ape),
+                pct(exact_summary.mean_ape),
+                pct1(signed_bias(&exact_pred)),
+            ],
+            vec![
+                "int() truncation (paper literal)".to_string(),
+                pct(truncated_summary.median_ape),
+                pct(truncated_summary.mean_ape),
+                pct1(signed_bias(&truncated_pred)),
+            ],
+        ],
+    );
+    report.line("\nTruncation leaks little area on realistic skylines (few threshold");
+    report.line("crossings per job), so the paper's int() is an acceptable shortcut;");
+    report.line("exact preservation removes even that bias for free and keeps the");
+    report.line("area-conservation property testable to machine precision.");
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compares_rounding_variants() {
+        let out = run(&Args::tiny());
+        assert!(out.contains("Exact area"));
+        assert!(out.contains("truncation"));
+        assert!(out.contains("area leaked"));
+    }
+}

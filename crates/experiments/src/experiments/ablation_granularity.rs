@@ -1,0 +1,109 @@
+//! Ablation — modeling granularity (paper Section 4.2): one global model
+//! for all jobs vs. fine-grained per-cluster models. The paper chooses the
+//! global model for coverage (fine-grained models cannot score ad-hoc jobs
+//! outside their cluster's support); this ablation quantifies the
+//! accuracy/coverage trade-off on the synthetic workload.
+
+use crate::cli::Args;
+use crate::data::Workbench;
+use crate::report::{pct, Report};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tasq::dataset::Dataset;
+use tasq::models::{NnPcc, NnTrainConfig};
+use tasq_ml::kmeans::{kmeans, KMeansConfig};
+use tasq_ml::matrix::Matrix;
+use tasq_ml::stats;
+
+/// Run the experiment.
+pub fn run(args: &Args) -> String {
+    let mut report = Report::new();
+    report.header("Ablation: global vs. fine-grained modeling granularity");
+
+    let workbench = Workbench::build(args);
+    let nn_config = NnTrainConfig { epochs: args.nn_epochs, ..Default::default() };
+
+    // Global model.
+    let global = NnPcc::train(&workbench.train, &nn_config);
+
+    // Fine-grained: k-means clusters over training features, one NN each.
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let rows = workbench.train.job_feature_rows();
+    let clustering = kmeans(
+        &mut rng,
+        &Matrix::from_rows(&rows),
+        &KMeansConfig { k: 8, ..Default::default() },
+    );
+    let mut cluster_models: Vec<Option<NnPcc>> = Vec::new();
+    let mut cluster_sizes = Vec::new();
+    for c in 0..clustering.k() {
+        let members: Vec<_> = workbench
+            .train
+            .examples
+            .iter()
+            .zip(&clustering.assignments)
+            .filter(|(_, &a)| a == c)
+            .map(|(e, _)| e.clone())
+            .collect();
+        cluster_sizes.push(members.len());
+        // Too-small clusters cannot support a model: a coverage gap.
+        cluster_models.push(if members.len() >= 10 {
+            Some(NnPcc::train(&Dataset { examples: members }, &nn_config))
+        } else {
+            None
+        });
+    }
+
+    // Evaluate run-time prediction at the observed token count.
+    let mut global_errors = Vec::new();
+    let mut fine_errors = Vec::new();
+    let mut uncovered = 0usize;
+    for example in &workbench.test.examples {
+        let actual = example.observed_runtime;
+        let g = global.predict_pcc(&example.features).predict(example.observed_tokens);
+        global_errors.push((g - actual).abs() / actual);
+        let cluster = clustering.predict(&example.features.values);
+        match &cluster_models[cluster] {
+            Some(model) => {
+                let f = model.predict_pcc(&example.features).predict(example.observed_tokens);
+                fine_errors.push((f - actual).abs() / actual);
+            }
+            None => uncovered += 1,
+        }
+    }
+
+    report.kv("test jobs", workbench.test.len());
+    report.kv("clusters (train)", format!("{cluster_sizes:?}"));
+    report.table(
+        &["Granularity", "Coverage", "Median AE (run time)"],
+        &[
+            vec![
+                "Global (paper's choice)".to_string(),
+                pct(1.0),
+                pct(stats::median(&global_errors)),
+            ],
+            vec![
+                "Fine-grained (8 clusters)".to_string(),
+                pct(fine_errors.len() as f64 / workbench.test.len() as f64),
+                pct(stats::median(&fine_errors)),
+            ],
+        ],
+    );
+    report.kv("test jobs without a covering cluster model", uncovered);
+    report.line("\nPaper: fine-grained models may specialize better but cover only");
+    report.line("recurring jobs; 40-60% of SCOPE jobs are new, so TASQ goes global.");
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_both_granularities() {
+        let out = run(&Args::tiny());
+        assert!(out.contains("Global"));
+        assert!(out.contains("Fine-grained"));
+        assert!(out.contains("Coverage"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Extension — online adaptive release vs. TASQ static-optimal grants.
+//!
+//! Figure 1's "Adaptive Peak Allocation" (Bag et al.) releases tokens
+//! during execution as the remaining-lifetime peak drops; TASQ instead
+//! grants fewer tokens up front. This experiment measures granted and
+//! idle token-seconds across a workload for four policies — including
+//! their combination, which the paper implies but never evaluates:
+//! a TASQ-sized grant that also releases adaptively.
+
+use crate::cli::Args;
+use crate::data::Workbench;
+use crate::report::{pct, pct1, Report};
+use scope_sim::adaptive::adaptive_release_series;
+use scope_sim::ExecutionConfig;
+use tasq::models::{NnPcc, NnTrainConfig};
+
+/// Run the experiment.
+pub fn run(args: &Args) -> String {
+    let mut report = Report::new();
+    report.header("Extension: adaptive release vs. TASQ static grants (and both)");
+
+    let workbench = Workbench::build(args);
+    let nn = NnPcc::train(
+        &workbench.train,
+        &NnTrainConfig { epochs: args.nn_epochs, ..Default::default() },
+    );
+    let config = ExecutionConfig::default();
+
+    #[derive(Default)]
+    struct Totals {
+        granted: f64,
+        idle: f64,
+        runtime: f64,
+        admission: f64,
+    }
+    let mut default_policy = Totals::default();
+    let mut adaptive = Totals::default();
+    let mut tasq_static = Totals::default();
+    let mut tasq_adaptive = Totals::default();
+
+    let jobs: Vec<_> = workbench.test_jobs.iter().zip(&workbench.test.examples).take(100).collect();
+    for (job, example) in &jobs {
+        let executor = job.executor();
+        // Default: constant grant at the request.
+        let at_request = executor.run(job.requested_tokens, &config);
+        default_policy.granted +=
+            job.requested_tokens as f64 * at_request.skyline.runtime_secs() as f64;
+        default_policy.idle += at_request.skyline.over_allocation(job.requested_tokens as f64);
+        default_policy.runtime += at_request.runtime_secs;
+        default_policy.admission += job.requested_tokens as f64;
+
+        // Adaptive release from the request.
+        let (result, grants) =
+            adaptive_release_series(&executor, job.requested_tokens, &config);
+        adaptive.granted += grants.total();
+        adaptive.idle += grants.idle_against(&result);
+        adaptive.runtime += result.runtime_secs;
+        adaptive.admission += job.requested_tokens as f64;
+
+        // TASQ static-optimal grant.
+        let optimal = nn
+            .predict_pcc(&example.features)
+            .optimal_tokens(0.01, 1, job.requested_tokens);
+        let at_optimal = executor.run(optimal, &config);
+        tasq_static.granted += optimal as f64 * at_optimal.skyline.runtime_secs() as f64;
+        tasq_static.idle += at_optimal.skyline.over_allocation(optimal as f64);
+        tasq_static.runtime += at_optimal.runtime_secs;
+        tasq_static.admission += optimal as f64;
+
+        // TASQ grant + adaptive release on top.
+        let (result, grants) = adaptive_release_series(&executor, optimal, &config);
+        tasq_adaptive.granted += grants.total();
+        tasq_adaptive.idle += grants.idle_against(&result);
+        tasq_adaptive.runtime += result.runtime_secs;
+        tasq_adaptive.admission += optimal as f64;
+    }
+
+    let baseline_granted = default_policy.granted;
+    let baseline_runtime = default_policy.runtime;
+    let rows: Vec<Vec<String>> = [
+        ("Default (constant request)", &default_policy),
+        ("Adaptive release (Bag et al.)", &adaptive),
+        ("TASQ static optimal", &tasq_static),
+        ("TASQ optimal + adaptive release", &tasq_adaptive),
+    ]
+    .iter()
+    .map(|(label, totals)| {
+        vec![
+            label.to_string(),
+            format!("{:.2}M", totals.granted / 1e6),
+            pct(1.0 - totals.granted / baseline_granted),
+            pct(totals.idle / totals.granted.max(1.0)),
+            format!("{:.0}", totals.admission / jobs.len() as f64),
+            pct1(totals.runtime / baseline_runtime - 1.0),
+        ]
+    })
+    .collect();
+    report.kv("jobs", jobs.len());
+    report.table(
+        &[
+            "Policy",
+            "Granted tok-s",
+            "Grant saving",
+            "Idle share",
+            "Mean admission grant",
+            "Slowdown",
+        ],
+        &rows,
+    );
+    report.line("\nAdaptive release recovers held-grant waste for free, but the job");
+    report.line("must still be *admitted* at its full request — so queue waits (see");
+    report.line("ext_cluster_scheduling) do not improve. TASQ shrinks the admission");
+    report.line("grant itself at a bounded run-time cost, and stacking adaptive");
+    report.line("release on top brings its idle share down to the adaptive level.");
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_four_policies() {
+        let out = run(&Args::tiny());
+        assert!(out.contains("Adaptive release"));
+        assert!(out.contains("TASQ optimal + adaptive release"));
+        assert!(out.contains("Idle share"));
+    }
+}

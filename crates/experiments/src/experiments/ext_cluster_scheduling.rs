@@ -1,0 +1,98 @@
+//! Extension — cluster-level effects of TASQ allocations.
+//!
+//! The paper's Section 1 motivation: "Utilizing fewer tokens reduces job
+//! wait time and improves the overall resource availability for other
+//! jobs in the cluster." This experiment submits the same job stream to a
+//! shared token pool under three grant policies — user defaults,
+//! actual-peak grants, and TASQ-optimal grants from the trained NN — and
+//! measures queueing waits, end-to-end latency, and pool utilization.
+
+use crate::cli::Args;
+use crate::data::Workbench;
+use crate::report::{pct, Report};
+use scope_sim::cluster::{poisson_arrivals, Cluster};
+use scope_sim::Job;
+use tasq::models::{NnPcc, NnTrainConfig};
+
+/// Run the experiment.
+pub fn run(args: &Args) -> String {
+    let mut report = Report::new();
+    report.header("Extension: cluster-level scheduling with TASQ grants");
+
+    let workbench = Workbench::build(args);
+    let model = NnPcc::train(
+        &workbench.train,
+        &NnTrainConfig { epochs: args.nn_epochs, ..Default::default() },
+    );
+
+    // The job stream: the test workload arriving at a loaded cluster.
+    let stream: Vec<Job> = workbench.test_jobs.iter().take(120).cloned().collect();
+    let max_request = stream.iter().map(|j| j.requested_tokens).max().unwrap_or(1);
+    let capacity = ((max_request as f64 * 1.3) as u32).max(150);
+    let cluster = Cluster::new(capacity);
+    // Mean inter-arrival chosen to create contention.
+    let mean_gap = 6.0;
+
+    let optimal_grant = |job: &Job| -> u32 {
+        let example = tasq::dataset::Dataset::prepare_example(
+            job,
+            &tasq::augment::AugmentConfig::default(),
+        )
+        .expect("featurizable");
+        model
+            .predict_pcc(&example.features)
+            .optimal_tokens(0.01, 1, job.requested_tokens)
+    };
+    let peak_grant = |job: &Job| -> u32 {
+        let example = tasq::dataset::Dataset::prepare_example(
+            job,
+            &tasq::augment::AugmentConfig::default(),
+        )
+        .expect("featurizable");
+        (example.peak_tokens.ceil() as u32).clamp(1, job.requested_tokens)
+    };
+
+    let mut rows = Vec::new();
+    for (label, grants) in [
+        ("Default (user request)", &(|j: &Job| j.requested_tokens) as &dyn Fn(&Job) -> u32),
+        ("Peak (AutoToken-style)", &peak_grant),
+        ("TASQ optimal (NN)", &optimal_grant),
+    ] {
+        let submissions = poisson_arrivals(&stream, mean_gap, grants, args.seed);
+        let result = cluster.simulate(&submissions);
+        let total_grant_tokens: f64 =
+            result.outcomes.iter().map(|o| o.granted_tokens as f64).sum();
+        rows.push(vec![
+            label.to_string(),
+            format!("{total_grant_tokens:.0}"),
+            format!("{:.0}s", result.mean_wait_secs()),
+            format!("{:.0}s", result.median_wait_secs()),
+            format!("{:.0}s", result.mean_latency_secs()),
+            pct(result.grant_utilization()),
+        ]);
+    }
+    report.kv("jobs in stream", stream.len());
+    report.kv("pool capacity (tokens)", capacity);
+    report.kv("mean inter-arrival (s)", mean_gap);
+    report.table(
+        &["Grant policy", "Tokens granted", "Mean wait", "Median wait", "Mean latency", "Pool busy"],
+        &rows,
+    );
+    report.line("\nExpected shape: smaller grants (peak, TASQ) cut queueing waits");
+    report.line("sharply; TASQ trades a bounded run-time slowdown for further");
+    report.line("wait reduction beyond the peak policy.");
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compares_three_policies() {
+        let out = run(&Args::tiny());
+        assert!(out.contains("Default (user request)"));
+        assert!(out.contains("TASQ optimal"));
+        assert!(out.contains("Mean wait"));
+    }
+}

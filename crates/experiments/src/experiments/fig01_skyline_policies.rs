@@ -1,0 +1,83 @@
+//! Figure 1 — the skyline of one SCOPE job and the over-allocation under
+//! the Default / Peak / Adaptive-Peak allocation policies.
+
+use crate::cli::Args;
+use crate::report::{pct, Report};
+use scope_sim::{ExecutionConfig, WorkloadConfig, WorkloadGenerator};
+use tasq::policy::AllocationPolicy;
+
+/// Run the experiment.
+pub fn run(args: &Args) -> String {
+    let mut report = Report::new();
+    report.header("Figure 1: skyline and allocation policies");
+
+    // Pick a visibly peaky job, like the paper's example (uses < 80
+    // tokens, allocated 125 by default).
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 60,
+        seed: args.seed,
+        ..Default::default()
+    })
+    .generate();
+    let job = jobs
+        .iter()
+        .filter(|j| j.requested_tokens >= 30)
+        .max_by(|a, b| {
+            let peakiness = |j: &scope_sim::Job| {
+                j.executor()
+                    .run(j.requested_tokens, &ExecutionConfig::default())
+                    .skyline
+                    .peakiness()
+            };
+            peakiness(a).total_cmp(&peakiness(b))
+        })
+        .expect("workload has a sizable job");
+
+    let result = job.executor().run(job.requested_tokens, &ExecutionConfig::default());
+    let skyline = &result.skyline;
+
+    report.kv("job id", job.id);
+    report.kv("archetype", format!("{:?}", job.meta.archetype));
+    report.kv("default allocation (requested tokens)", job.requested_tokens);
+    report.kv("peak usage (tokens)", format!("{:.0}", skyline.peak()));
+    report.kv("run time (s)", format!("{:.0}", result.runtime_secs));
+    report.subheader("skyline (tokens used over time)");
+    report.line(skyline.ascii_plot(64, 10));
+
+    let mut rows = Vec::new();
+    for policy in [
+        AllocationPolicy::Default,
+        AllocationPolicy::Peak,
+        AllocationPolicy::AdaptivePeak,
+    ] {
+        let series = policy.series(skyline, job.requested_tokens);
+        let allocated = series.total();
+        let idle = series.idle_against(skyline);
+        rows.push(vec![
+            format!("{policy:?}"),
+            format!("{allocated:.0}"),
+            format!("{idle:.0}"),
+            pct(idle / allocated),
+        ]);
+    }
+    report.subheader("over-allocation by policy");
+    report.table(&["Policy", "Allocated tok-s", "Idle tok-s", "Waste"], &rows);
+    report.line("\nPaper: default allocation leaves large idle valleys; peak and");
+    report.line("adaptive-peak reduce but do not eliminate them.");
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_orders_policies_by_waste() {
+        let out = run(&Args::tiny());
+        assert!(out.contains("Figure 1"));
+        assert!(out.contains("Default"));
+        assert!(out.contains("AdaptivePeak"));
+        // The skyline plot rendered.
+        assert!(out.contains('█'));
+    }
+}

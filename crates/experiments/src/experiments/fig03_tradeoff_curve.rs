@@ -1,0 +1,64 @@
+//! Figure 3 — the run-time-versus-tokens trade-off curve of one job, with
+//! the elbow marked.
+
+use crate::cli::Args;
+use crate::report::Report;
+use scope_sim::{WorkloadConfig, WorkloadGenerator};
+use tasq::pcc::PowerLawPcc;
+
+/// Run the experiment.
+pub fn run(args: &Args) -> String {
+    let mut report = Report::new();
+    report.header("Figure 3: run time vs. token trade-off");
+
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 40,
+        seed: args.seed,
+        ..Default::default()
+    })
+    .generate();
+    // A mid-sized job gives a readable curve.
+    let job = jobs
+        .iter()
+        .find(|j| (64..=256).contains(&j.requested_tokens))
+        .unwrap_or(&jobs[0]);
+
+    let allocations: Vec<u32> =
+        [5, 10, 15, 20, 30, 40, 60, 80, 100, 125, 150, 175, 200]
+            .iter()
+            .copied()
+            .filter(|&a| a <= job.requested_tokens.max(200) * 2)
+            .collect();
+    let curve = job.executor().performance_curve(&allocations);
+
+    report.kv("job id", job.id);
+    report.kv("archetype", format!("{:?}", job.meta.archetype));
+    let points: Vec<(f64, f64)> = curve.iter().map(|&(t, r)| (t as f64, r)).collect();
+    report.curve(&points, 52, 12);
+
+    // Fit the PCC to find the elbow (the paper's red marker).
+    let pcc = PowerLawPcc::fit(&points).expect("curve has distinct points");
+    let elbow = pcc.elbow(allocations[0], *allocations.last().unwrap());
+    report.kv("fitted PCC", format!("runtime = {:.1} * A^{:.3}", pcc.b, pcc.a));
+    report.kv("elbow (diminishing returns) at", format!("{elbow} tokens"));
+    report.subheader("measured points");
+    let rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|&(t, r)| vec![t.to_string(), format!("{r:.0}s")])
+        .collect();
+    report.table(&["Tokens", "Run time"], &rows);
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_and_elbow_render() {
+        let out = run(&Args::tiny());
+        assert!(out.contains("Figure 3"));
+        assert!(out.contains("elbow"));
+        assert!(out.contains("fitted PCC"));
+    }
+}

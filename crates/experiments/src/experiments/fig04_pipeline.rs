@@ -1,0 +1,92 @@
+//! Figure 4 — the TASQ system integration, exercised end-to-end:
+//! repository → training pipeline → model store → scoring service →
+//! allocation decision.
+
+use crate::cli::Args;
+use crate::report::Report;
+use scope_sim::{WorkloadConfig, WorkloadGenerator};
+use tasq::models::{NnTrainConfig, XgbTrainConfig};
+use tasq::pipeline::{
+    AllocationDecision, JobRepository, ModelChoice, ModelStore, PipelineConfig, ScoringConfig,
+    ScoringService, TasqPipeline, NN_MODEL_NAME, XGB_MODEL_NAME,
+};
+
+/// Run the experiment.
+pub fn run(args: &Args) -> String {
+    let mut report = Report::new();
+    report.header("Figure 4: TASQ system integration (end-to-end)");
+
+    // 1. Historical jobs land in the repository.
+    let repo = JobRepository::new();
+    repo.ingest(
+        WorkloadGenerator::new(WorkloadConfig {
+            num_jobs: args.train_jobs.min(200),
+            seed: args.seed,
+            ..Default::default()
+        })
+        .generate(),
+    );
+    report.kv("repository: historical jobs ingested", repo.len());
+
+    // 2. The training pipeline prepares data, trains, registers artifacts.
+    let store = ModelStore::new();
+    let pipeline = TasqPipeline::new(PipelineConfig {
+        xgb: XgbTrainConfig { num_rounds: args.xgb_rounds.min(60), ..Default::default() },
+        nn: NnTrainConfig { epochs: args.nn_epochs.min(60), ..Default::default() },
+        ..Default::default()
+    });
+    let dataset = pipeline.train(&repo, &store);
+    report.kv("pipeline: training examples prepared", dataset.len());
+    report.kv(
+        "model store: registered artifacts",
+        format!(
+            "{NN_MODEL_NAME} v{:?}, {XGB_MODEL_NAME} v{:?}",
+            store.versions(NN_MODEL_NAME),
+            store.versions(XGB_MODEL_NAME)
+        ),
+    );
+
+    // 3. The scoring service deploys the NN and scores incoming jobs.
+    let service =
+        ScoringService::deploy(&store, ModelChoice::Nn, ScoringConfig::default()).unwrap();
+    let incoming = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 8,
+        seed: args.seed.wrapping_add(7),
+        ..Default::default()
+    })
+    .generate();
+
+    report.subheader("scoring service: incoming job decisions");
+    let mut rows = Vec::new();
+    for job in &incoming {
+        let response = service.score(job);
+        let decision = match response.decision {
+            AllocationDecision::Automatic { tokens } => format!("allocate {tokens}"),
+            AllocationDecision::ShowCurve { .. } => "show curve".to_string(),
+        };
+        rows.push(vec![
+            job.id.to_string(),
+            job.requested_tokens.to_string(),
+            format!("{:.0}s", response.predicted_runtime_at_request),
+            response.optimal_tokens.to_string(),
+            decision,
+        ]);
+    }
+    report.table(
+        &["Job", "Requested", "Pred. runtime", "Optimal tokens", "Decision"],
+        &rows,
+    );
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_flows_end_to_end() {
+        let out = run(&Args::tiny());
+        assert!(out.contains("scoring service"));
+        assert!(out.contains("allocate"));
+    }
+}

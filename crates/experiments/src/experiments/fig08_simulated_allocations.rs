@@ -1,0 +1,87 @@
+//! Figure 8 — AREPAS simulations of a flat job and a peaky job at several
+//! allocations: flat jobs lose performance as soon as tokens drop, peaky
+//! jobs tolerate aggressive reductions.
+
+use crate::cli::Args;
+use crate::report::{pct1, Report};
+use arepas::simulate;
+use scope_sim::{Archetype, ExecutionConfig, WorkloadConfig, WorkloadGenerator};
+
+/// Run the experiment.
+pub fn run(args: &Args) -> String {
+    let mut report = Report::new();
+    report.header("Figure 8: simulated skylines at reduced allocations");
+
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 300,
+        seed: args.seed,
+        ..Default::default()
+    })
+    .generate();
+    let flat = jobs
+        .iter()
+        .find(|j| j.meta.archetype == Archetype::Featurization && j.requested_tokens >= 40)
+        .expect("a Featurization job");
+    let peaky = jobs
+        .iter()
+        .find(|j| j.meta.archetype == Archetype::LogMining && j.requested_tokens >= 40)
+        .expect("a LogMining job");
+
+    for (label, job) in [("Flatter job (left)", flat), ("Peaky job (right)", peaky)] {
+        let ground = job.executor().run(job.requested_tokens, &ExecutionConfig::default());
+        let base_rt = ground.skyline.runtime_secs() as f64;
+        report.subheader(label);
+        report.kv("archetype", format!("{:?}", job.meta.archetype));
+        report.kv("ground-truth allocation (G.T)", job.requested_tokens);
+        report.kv("peakiness", format!("{:.2}", ground.skyline.peakiness()));
+        let mut rows = vec![vec![
+            format!("{} (G.T)", job.requested_tokens),
+            format!("{base_rt:.0}s"),
+            "1.00x".to_string(),
+        ]];
+        for fraction in [0.75, 0.5, 0.25, 0.1] {
+            let alloc = ((job.requested_tokens as f64 * fraction).round()).max(1.0);
+            let sim = simulate(ground.skyline.samples(), alloc);
+            let slowdown = sim.runtime_secs() as f64 / base_rt;
+            rows.push(vec![
+                format!("{alloc:.0} (sim)"),
+                format!("{}s", sim.runtime_secs()),
+                format!("{slowdown:.2}x"),
+            ]);
+        }
+        report.table(&["Allocation", "Run time", "Slowdown"], &rows);
+    }
+
+    // Aggregate check across many jobs: peaky archetypes tolerate a 50%
+    // reduction better than flat ones.
+    let mean_slowdown_at_half = |arch: Archetype| -> f64 {
+        let mut slowdowns = Vec::new();
+        for job in jobs.iter().filter(|j| j.meta.archetype == arch).take(15) {
+            let ground = job.executor().run(job.requested_tokens, &ExecutionConfig::default());
+            let half = (job.requested_tokens as f64 / 2.0).max(1.0);
+            let sim = simulate(ground.skyline.samples(), half);
+            slowdowns
+                .push(sim.runtime_secs() as f64 / ground.skyline.runtime_secs() as f64 - 1.0);
+        }
+        tasq_ml::stats::mean(&slowdowns)
+    };
+    report.subheader("mean slowdown at 50% allocation, by archetype");
+    report.kv("Featurization (flat)", pct1(mean_slowdown_at_half(Archetype::Featurization)));
+    report.kv("DataCopy (flat)", pct1(mean_slowdown_at_half(Archetype::DataCopy)));
+    report.kv("LogMining (peaky)", pct1(mean_slowdown_at_half(Archetype::LogMining)));
+    report.kv("StarJoinAgg (peaky)", pct1(mean_slowdown_at_half(Archetype::StarJoinAgg)));
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compares_flat_and_peaky() {
+        let out = run(&Args::tiny());
+        assert!(out.contains("Flatter job"));
+        assert!(out.contains("Peaky job"));
+        assert!(out.contains("Slowdown"));
+    }
+}

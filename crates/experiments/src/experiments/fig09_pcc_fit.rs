@@ -1,0 +1,87 @@
+//! Figure 9 — the simulated performance curve and its power-law fit, in
+//! absolute and log-log space.
+
+use crate::cli::Args;
+use crate::report::Report;
+use arepas::simulate_runtime;
+use scope_sim::{ExecutionConfig, WorkloadConfig, WorkloadGenerator};
+use tasq::pcc::PowerLawPcc;
+
+/// Run the experiment.
+pub fn run(args: &Args) -> String {
+    let mut report = Report::new();
+    report.header("Figure 9: PCC target curve and power-law fit");
+
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 50,
+        seed: args.seed,
+        ..Default::default()
+    })
+    .generate();
+    let job = jobs
+        .iter()
+        .filter(|j| j.requested_tokens >= 50)
+        .max_by_key(|j| j.requested_tokens)
+        .expect("a sizable job");
+
+    let ground = job.executor().run(job.requested_tokens, &ExecutionConfig::default());
+
+    // Simulated target curve over a dense token grid.
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    let max_tokens = job.requested_tokens;
+    let mut t = (max_tokens as f64 * 0.05).max(1.0) as u32;
+    while t <= max_tokens {
+        let rt = simulate_runtime(ground.skyline.samples(), t as f64).max(1);
+        points.push((t as f64, rt as f64));
+        t = ((t as f64) * 1.25).ceil() as u32;
+    }
+
+    let pcc = PowerLawPcc::fit(&points).expect("dense curve fits");
+    report.kv("job id", job.id);
+    report.kv("fitted parameters", format!("a = {:.4}, b = {:.1}", pcc.a, pcc.b));
+    report.kv(
+        "fit errors at endpoints",
+        format!(
+            "{:.1}% / {:.1}%",
+            100.0 * (pcc.predict(points[0].0 as u32) / points[0].1 - 1.0).abs(),
+            100.0
+                * (pcc.predict(points.last().unwrap().0 as u32) / points.last().unwrap().1
+                    - 1.0)
+                    .abs()
+        ),
+    );
+
+    report.subheader("absolute space (runtime vs. tokens)");
+    report.curve(&points, 52, 10);
+
+    report.subheader("log-log space (straight line => power law)");
+    let log_points: Vec<(f64, f64)> =
+        points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    report.curve(&log_points, 52, 10);
+
+    report.subheader("target vs. fitted");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|&(t, rt)| {
+            vec![
+                format!("{t:.0}"),
+                format!("{rt:.0}s"),
+                format!("{:.0}s", pcc.predict(t as u32)),
+            ]
+        })
+        .collect();
+    report.table(&["Tokens", "Simulated", "Power-law fit"], &rows);
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_and_plots_both_spaces() {
+        let out = run(&Args::tiny());
+        assert!(out.contains("log-log space"));
+        assert!(out.contains("fitted parameters"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Tables 4–6 — model comparison on the historical dataset for the three
+//! loss functions: Pattern (monotone non-increase), curve-parameter MAE,
+//! and run-time Median AE.
+
+use crate::cli::Args;
+use crate::data::{loss_kinds, ModelBundle, Workbench};
+use crate::report::Report;
+use tasq::eval::{evaluate_model, runtime_ape_samples, ModelRow};
+use tasq::loss::LossKind;
+use tasq::models::PccPredictor;
+
+/// Evaluate one trained bundle into four table rows.
+pub fn bundle_rows(bundle: &ModelBundle, test: &tasq::dataset::Dataset) -> Vec<ModelRow> {
+    let models: [&dyn PccPredictor; 4] =
+        [&bundle.xgb_ss, &bundle.xgb_pl, &bundle.nn, &bundle.gnn];
+    models.iter().map(|m| evaluate_model(*m, test)).collect()
+}
+
+/// Run the experiment.
+pub fn run(args: &Args) -> String {
+    let mut report = Report::new();
+    report.header("Tables 4-6: model accuracy on the historical dataset");
+    let workbench = Workbench::build(args);
+    report.kv("training jobs", workbench.train.len());
+    report.kv("test jobs (next-day historical)", workbench.test.len());
+
+    for kind in loss_kinds(&args.loss) {
+        let table_number = match kind {
+            LossKind::Lf1 => 4,
+            LossKind::Lf2 => 5,
+            LossKind::Lf3 => 6,
+        };
+        report.subheader(&format!("Table {table_number}: loss {kind:?}"));
+        let bundle = ModelBundle::train(args, &workbench.train, kind);
+        let rows = bundle_rows(&bundle, &workbench.test);
+        let models: [&dyn PccPredictor; 4] =
+            [&bundle.xgb_ss, &bundle.xgb_pl, &bundle.nn, &bundle.gnn];
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .zip(models)
+            .map(|(r, model)| {
+                // Percentile-bootstrap 95% CI on the run-time Median AE.
+                let apes = runtime_ape_samples(model, &workbench.test);
+                let ci = tasq_ml::stats::bootstrap_ci(
+                    &apes,
+                    tasq_ml::stats::median,
+                    400,
+                    0.05,
+                    args.seed,
+                );
+                vec![
+                    r.model.clone(),
+                    format!("{:.0}%", r.pattern_non_increase * 100.0),
+                    r.mae_curve_params
+                        .map(|v| format!("{v:.3}"))
+                        .unwrap_or_else(|| "NA".to_string()),
+                    format!(
+                        "{:.0}% [{:.0}-{:.0}%]",
+                        r.median_ae_runtime * 100.0,
+                        ci.lower * 100.0,
+                        ci.upper * 100.0
+                    ),
+                ]
+            })
+            .collect();
+        report.table(
+            &[
+                "Model",
+                "Pattern (non-incr.)",
+                "MAE (curve params)",
+                "Median AE (run time) [95% CI]",
+            ],
+            &table,
+        );
+    }
+
+    report.subheader("paper reference (85K-job production workload)");
+    report.line("  XGBoost SS: 41% pattern, NA,    13% Median AE (all LFs)");
+    report.line("  XGBoost PL: 73% pattern, 0.232, 13% Median AE (all LFs)");
+    report.line("  NN:  100% pattern, 0.083-0.090, 31% (LF1) -> 22% (LF2/LF3)");
+    report.line("  GNN: 100% pattern, 0.071-0.077, 31% (LF1) -> 20-21% (LF2/LF3)");
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_selected_loss_only() {
+        let mut args = Args::tiny();
+        args.loss = "lf2".to_string();
+        let out = run(&args);
+        assert!(out.contains("Table 5"));
+        assert!(!out.contains("Table 4:"));
+        assert!(out.contains("GNN"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Experiment harness: regenerates every table and figure of the TASQ
+//! paper on the synthetic SCOPE substrate.
+//!
+//! Each experiment lives in [`experiments`] as a `run(&Args) -> String`
+//! function returning the formatted report; the `src/bin/*` binaries are
+//! thin wrappers, and `run_all` executes the full battery. See
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod data;
+pub mod experiments;
+pub mod report;
+
+pub use cli::Args;

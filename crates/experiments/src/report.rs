@@ -1,0 +1,162 @@
+//! Plain-text report formatting: headers, tables, ASCII bar charts and
+//! curve plots, shared by every experiment.
+
+use std::fmt::Write;
+
+/// A growing plain-text report.
+#[derive(Debug, Default)]
+pub struct Report {
+    buffer: String,
+}
+
+impl Report {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Section header with a rule.
+    pub fn header(&mut self, title: &str) {
+        let _ = writeln!(self.buffer, "\n=== {title} ===");
+    }
+
+    /// Sub-header.
+    pub fn subheader(&mut self, title: &str) {
+        let _ = writeln!(self.buffer, "\n--- {title} ---");
+    }
+
+    /// Free-form line.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        let _ = writeln!(self.buffer, "{}", text.as_ref());
+    }
+
+    /// Key/value line.
+    pub fn kv(&mut self, key: &str, value: impl std::fmt::Display) {
+        let _ = writeln!(self.buffer, "  {key:<42} {value}");
+    }
+
+    /// A fixed-width table: header row then data rows.
+    pub fn table(&mut self, headers: &[&str], rows: &[Vec<String>]) {
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut line = String::from("  ");
+        for (h, w) in headers.iter().zip(&widths) {
+            let _ = write!(line, "{h:<w$}  ");
+        }
+        self.line(line.trim_end());
+        let rule: String = widths.iter().map(|w| "-".repeat(*w) + "  ").collect();
+        self.line(format!("  {}", rule.trim_end()));
+        for row in rows {
+            let mut line = String::from("  ");
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{cell:<w$}  ");
+            }
+            self.line(line.trim_end());
+        }
+    }
+
+    /// Horizontal bar chart: `(label, value)` pairs scaled to `width`.
+    pub fn bar_chart(&mut self, entries: &[(String, f64)], width: usize) {
+        let max = entries.iter().map(|e| e.1).fold(0.0f64, f64::max).max(1e-12);
+        let label_width = entries.iter().map(|e| e.0.len()).max().unwrap_or(0);
+        for (label, value) in entries {
+            let bars = ((value / max) * width as f64).round() as usize;
+            self.line(format!(
+                "  {label:<label_width$}  {:<width$}  {value:.3}",
+                "#".repeat(bars)
+            ));
+        }
+    }
+
+    /// XY curve as an ASCII scatter, `height` rows by `width` cols.
+    pub fn curve(&mut self, points: &[(f64, f64)], width: usize, height: usize) {
+        if points.len() < 2 {
+            return;
+        }
+        let (min_x, max_x) = points
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), p| (lo.min(p.0), hi.max(p.0)));
+        let (min_y, max_y) = points
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), p| (lo.min(p.1), hi.max(p.1)));
+        let span_x = (max_x - min_x).max(1e-12);
+        let span_y = (max_y - min_y).max(1e-12);
+        let mut grid = vec![vec![' '; width]; height];
+        for &(x, y) in points {
+            let col = (((x - min_x) / span_x) * (width - 1) as f64).round() as usize;
+            let row = (((y - min_y) / span_y) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - row][col] = '*';
+        }
+        self.line(format!("  y: {max_y:.1}"));
+        for row in grid {
+            self.line(format!("  |{}", row.into_iter().collect::<String>()));
+        }
+        self.line(format!("  y: {min_y:.1}  (x: {min_x:.1} .. {max_x:.1})"));
+    }
+
+    /// Consume into the final string.
+    pub fn finish(self) -> String {
+        self.buffer
+    }
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.0}%", fraction * 100.0)
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct1(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut r = Report::new();
+        r.table(
+            &["Model", "Err"],
+            &[
+                vec!["NN".into(), "22%".into()],
+                vec!["XGBoost SS".into(), "13%".into()],
+            ],
+        );
+        let out = r.finish();
+        assert!(out.contains("Model"));
+        assert!(out.contains("XGBoost SS"));
+        // Every data line is at least as wide as the widest label.
+        assert!(out.lines().all(|l| l.is_empty() || l.starts_with("  ")));
+    }
+
+    #[test]
+    fn bar_chart_scales() {
+        let mut r = Report::new();
+        r.bar_chart(&[("a".into(), 1.0), ("b".into(), 0.5)], 10);
+        let out = r.finish();
+        assert!(out.contains("##########"));
+        assert!(out.contains("#####"));
+    }
+
+    #[test]
+    fn curve_renders_extremes() {
+        let mut r = Report::new();
+        let points: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 100.0 / i as f64)).collect();
+        r.curve(&points, 30, 8);
+        let out = r.finish();
+        assert!(out.contains('*'));
+        assert_eq!(out.lines().filter(|l| l.starts_with("  |")).count(), 8);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.39), "39%");
+        assert_eq!(pct1(0.391), "39.1%");
+    }
+}

@@ -1,0 +1,171 @@
+//! A single graph-convolution layer (Kipf & Welling).
+
+use crate::matrix::Matrix;
+use crate::nn::Activation;
+use crate::rand_ext;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Graph convolution: `out = act(Â H W + b)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GcnLayer {
+    /// Weight, `in_dim x out_dim`.
+    pub weight: Matrix,
+    /// Bias row, `1 x out_dim`.
+    pub bias: Matrix,
+    /// Activation applied element-wise.
+    pub activation: Activation,
+}
+
+/// Forward cache for one graph.
+#[derive(Debug, Clone)]
+pub struct GcnCache {
+    /// `Â H` — the aggregated input (N x in_dim).
+    aggregated: Matrix,
+    /// Pre-activation `Â H W + b` (N x out_dim).
+    pre_activation: Matrix,
+}
+
+impl GcnLayer {
+    /// Glorot-initialized layer.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+    ) -> Self {
+        let scale = (2.0 / (in_dim + out_dim) as f64).sqrt();
+        let weight = Matrix::from_fn(in_dim, out_dim, |_, _| rand_ext::standard_normal(rng) * scale);
+        Self { weight, bias: Matrix::zeros(1, out_dim), activation }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Forward pass: `act(Â H W + b)`.
+    pub fn forward(&self, norm_adj: &Matrix, h: &Matrix) -> Matrix {
+        let aggregated = norm_adj.matmul(h);
+        let mut pre = aggregated.matmul(&self.weight);
+        pre.add_row_broadcast(self.bias.as_slice());
+        self.activation.apply(&pre)
+    }
+
+    /// Forward pass with cache.
+    pub fn forward_cached(&self, norm_adj: &Matrix, h: &Matrix) -> (Matrix, GcnCache) {
+        let aggregated = norm_adj.matmul(h);
+        let mut pre = aggregated.matmul(&self.weight);
+        pre.add_row_broadcast(self.bias.as_slice());
+        let out = self.activation.apply(&pre);
+        (out, GcnCache { aggregated, pre_activation: pre })
+    }
+
+    /// Backward pass.
+    ///
+    /// Returns `(dW, db, dH)` where `dH` is the gradient w.r.t. the layer's
+    /// input node embeddings. Uses the symmetry of `Â` (so `Â^T = Â`).
+    pub fn backward(
+        &self,
+        norm_adj: &Matrix,
+        cache: &GcnCache,
+        d_out: &Matrix,
+    ) -> (Matrix, Matrix, Matrix) {
+        let d_pre = d_out.hadamard(&self.activation.derivative(&cache.pre_activation));
+        let d_weight = cache.aggregated.t_matmul(&d_pre);
+        let d_bias = Matrix::row_vector(&d_pre.col_sums());
+        // d(ÂH) = d_pre W^T ; dH = Â^T d(ÂH) = Â d(ÂH).
+        let d_aggregated = d_pre.matmul_t(&self.weight);
+        let d_h = norm_adj.matmul(&d_aggregated);
+        (d_weight, d_bias, d_h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnn::graph::GraphData;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_graph(rng: &mut StdRng) -> GraphData {
+        let features = Matrix::from_fn(4, 3, |_, _| rng.gen_range(-1.0..1.0));
+        GraphData::new(features, &[(0, 1), (1, 2), (2, 3), (0, 3)])
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = toy_graph(&mut rng);
+        let layer = GcnLayer::new(&mut rng, 3, 5, Activation::Relu);
+        let out = layer.forward(&g.norm_adjacency, &g.features);
+        assert_eq!(out.shape(), (4, 5));
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = toy_graph(&mut rng);
+        let mut layer = GcnLayer::new(&mut rng, 3, 2, Activation::Tanh);
+        let loss = |layer: &GcnLayer, h: &Matrix| -> f64 {
+            layer
+                .forward(&g.norm_adjacency, h)
+                .as_slice()
+                .iter()
+                .map(|v| v * v)
+                .sum()
+        };
+
+        let (out, cache) = layer.forward_cached(&g.norm_adjacency, &g.features);
+        let (dw, db, dh) = layer.backward(&g.norm_adjacency, &cache, &out.scale(2.0));
+
+        let h = 1e-6;
+        for i in 0..layer.weight.len() {
+            let orig = layer.weight.as_slice()[i];
+            layer.weight.as_mut_slice()[i] = orig + h;
+            let up = loss(&layer, &g.features);
+            layer.weight.as_mut_slice()[i] = orig - h;
+            let down = loss(&layer, &g.features);
+            layer.weight.as_mut_slice()[i] = orig;
+            let numeric = (up - down) / (2.0 * h);
+            assert!((numeric - dw.as_slice()[i]).abs() < 1e-4, "dW[{i}]");
+        }
+        for i in 0..layer.bias.len() {
+            let orig = layer.bias.as_slice()[i];
+            layer.bias.as_mut_slice()[i] = orig + h;
+            let up = loss(&layer, &g.features);
+            layer.bias.as_mut_slice()[i] = orig - h;
+            let down = loss(&layer, &g.features);
+            layer.bias.as_mut_slice()[i] = orig;
+            let numeric = (up - down) / (2.0 * h);
+            assert!((numeric - db.as_slice()[i]).abs() < 1e-4, "db[{i}]");
+        }
+        let mut feat = g.features.clone();
+        for i in 0..feat.len() {
+            let orig = feat.as_slice()[i];
+            feat.as_mut_slice()[i] = orig + h;
+            let up = loss(&layer, &feat);
+            feat.as_mut_slice()[i] = orig - h;
+            let down = loss(&layer, &feat);
+            feat.as_mut_slice()[i] = orig;
+            let numeric = (up - down) / (2.0 * h);
+            assert!((numeric - dh.as_slice()[i]).abs() < 1e-4, "dH[{i}]");
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_only_see_themselves() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Two disconnected nodes: each output row depends only on its own
+        // features (Â is diagonal).
+        let features = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let g = GraphData::new(features, &[]);
+        let layer = GcnLayer::new(&mut rng, 2, 3, Activation::Identity);
+        let out = layer.forward(&g.norm_adjacency, &g.features);
+        // Row 0 = W row 0 + bias, row 1 = W row 1 + bias.
+        for c in 0..3 {
+            assert!((out[(0, c)] - layer.weight[(0, c)]).abs() < 1e-12);
+            assert!((out[(1, c)] - layer.weight[(1, c)]).abs() < 1e-12);
+        }
+    }
+}

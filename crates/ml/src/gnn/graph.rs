@@ -1,0 +1,98 @@
+//! Graph input representation: node features + normalized adjacency.
+
+use crate::matrix::Matrix;
+
+/// One graph sample: per-node features and the pre-normalized adjacency
+/// used by every GCN layer.
+#[derive(Debug, Clone)]
+pub struct GraphData {
+    /// Node features, `N x feature_dim`.
+    pub features: Matrix,
+    /// Symmetric-normalized adjacency with self-loops,
+    /// `Â = D^-1/2 (A + I) D^-1/2`, `N x N`.
+    pub norm_adjacency: Matrix,
+}
+
+impl GraphData {
+    /// Build from node features and a directed edge list (`from -> to`).
+    ///
+    /// Edges are symmetrized (GCN treats the DAG as an undirected graph for
+    /// message passing) and self-loops are added before normalization.
+    ///
+    /// # Panics
+    /// Panics if any edge endpoint is out of range or the graph is empty.
+    pub fn new(features: Matrix, edges: &[(usize, usize)]) -> Self {
+        let n = features.rows();
+        assert!(n > 0, "GraphData::new: graph must have at least one node");
+        let mut adj = Matrix::zeros(n, n);
+        for i in 0..n {
+            adj[(i, i)] = 1.0; // self loop
+        }
+        for &(from, to) in edges {
+            assert!(from < n && to < n, "GraphData::new: edge ({from},{to}) out of range");
+            adj[(from, to)] = 1.0;
+            adj[(to, from)] = 1.0;
+        }
+        // D^-1/2 (A+I) D^-1/2
+        let deg_inv_sqrt: Vec<f64> = (0..n)
+            .map(|i| {
+                let d: f64 = adj.row(i).iter().sum();
+                1.0 / d.sqrt()
+            })
+            .collect();
+        let norm_adjacency = Matrix::from_fn(n, n, |i, j| {
+            adj[(i, j)] * deg_inv_sqrt[i] * deg_inv_sqrt[j]
+        });
+        Self { features, norm_adjacency }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Node feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_self_loop() {
+        let g = GraphData::new(Matrix::from_vec(1, 2, vec![1.0, 2.0]), &[]);
+        assert_eq!(g.num_nodes(), 1);
+        assert!((g.norm_adjacency[(0, 0)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_rows_of_regular_graph() {
+        // Path graph 0-1-2: degrees with self-loops are 2, 3, 2.
+        let g = GraphData::new(Matrix::zeros(3, 1), &[(0, 1), (1, 2)]);
+        let a = &g.norm_adjacency;
+        assert!((a[(0, 0)] - 0.5).abs() < 1e-12);
+        assert!((a[(1, 1)] - 1.0 / 3.0).abs() < 1e-12);
+        let expected01 = 1.0 / (2.0f64.sqrt() * 3.0f64.sqrt());
+        assert!((a[(0, 1)] - expected01).abs() < 1e-12);
+        // Symmetric.
+        assert!((a[(0, 1)] - a[(1, 0)]).abs() < 1e-15);
+        // No edge between 0 and 2.
+        assert_eq!(a[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn symmetrizes_directed_edges() {
+        let g = GraphData::new(Matrix::zeros(2, 1), &[(0, 1)]);
+        assert!(g.norm_adjacency[(1, 0)] > 0.0);
+        assert!(g.norm_adjacency[(0, 1)] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let _ = GraphData::new(Matrix::zeros(2, 1), &[(0, 5)]);
+    }
+}

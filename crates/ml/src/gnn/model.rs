@@ -1,0 +1,382 @@
+//! The full GNN: stacked GCN layers, attention pooling, and an MLP head.
+
+use super::attention::{AttentionCache, AttentionPool};
+use super::gcn::{GcnCache, GcnLayer};
+use super::graph::GraphData;
+use crate::matrix::Matrix;
+use crate::nn::{Activation, Mlp, MlpCache};
+use crate::optim::{Adam, AdamConfig, ParamId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// GNN architecture: `GCN+ -> attention pool -> MLP head`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GnnModel {
+    gcn_layers: Vec<GcnLayer>,
+    pool: AttentionPool,
+    head: Mlp,
+}
+
+/// Forward cache for one graph.
+#[derive(Debug, Clone)]
+pub struct GnnCache {
+    gcn_caches: Vec<GcnCache>,
+    pool_cache: AttentionCache,
+    head_cache: MlpCache,
+}
+
+/// Gradients for every parameter tensor in the model.
+#[derive(Debug, Clone)]
+pub struct GnnGrads {
+    /// `(dW, db)` per GCN layer.
+    pub gcn: Vec<(Matrix, Matrix)>,
+    /// Gradient of the attention context weight.
+    pub pool: Matrix,
+    /// `(dW, db)` per head layer.
+    pub head: Vec<(Matrix, Matrix)>,
+}
+
+impl GnnGrads {
+    /// Zero-initialized gradients matching a model's shapes.
+    pub fn zeros_like(model: &GnnModel) -> Self {
+        Self {
+            gcn: model
+                .gcn_layers
+                .iter()
+                .map(|l| {
+                    (
+                        Matrix::zeros(l.weight.rows(), l.weight.cols()),
+                        Matrix::zeros(1, l.bias.cols()),
+                    )
+                })
+                .collect(),
+            pool: Matrix::zeros(model.pool.dim(), model.pool.dim()),
+            head: model
+                .head
+                .layers()
+                .iter()
+                .map(|l| {
+                    (
+                        Matrix::zeros(l.weight.rows(), l.weight.cols()),
+                        Matrix::zeros(1, l.bias.cols()),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Accumulate another gradient set (for mini-batch averaging).
+    pub fn accumulate(&mut self, other: &GnnGrads) {
+        for ((w, b), (ow, ob)) in self.gcn.iter_mut().zip(&other.gcn) {
+            w.axpy(1.0, ow);
+            b.axpy(1.0, ob);
+        }
+        self.pool.axpy(1.0, &other.pool);
+        for ((w, b), (ow, ob)) in self.head.iter_mut().zip(&other.head) {
+            w.axpy(1.0, ow);
+            b.axpy(1.0, ob);
+        }
+    }
+
+    /// Scale all gradients (e.g. by `1/batch_size`).
+    pub fn scale(&mut self, alpha: f64) {
+        for (w, b) in &mut self.gcn {
+            w.scale_inplace(alpha);
+            b.scale_inplace(alpha);
+        }
+        self.pool.scale_inplace(alpha);
+        for (w, b) in &mut self.head {
+            w.scale_inplace(alpha);
+            b.scale_inplace(alpha);
+        }
+    }
+}
+
+/// Adam optimizer plus the registered parameter ids for a [`GnnModel`].
+#[derive(Debug, Clone)]
+pub struct GnnOptimizer {
+    adam: Adam,
+    gcn_ids: Vec<(ParamId, ParamId)>,
+    pool_id: ParamId,
+    head_ids: Vec<(ParamId, ParamId)>,
+}
+
+impl GnnModel {
+    /// Build a GNN.
+    ///
+    /// * `feature_dim` — per-node input features.
+    /// * `gcn_dims` — output dims of each GCN layer (at least one).
+    /// * `head_hidden` — hidden sizes of the MLP head.
+    /// * `out_dim` — final output size (2 for the PCC parameters).
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        feature_dim: usize,
+        gcn_dims: &[usize],
+        head_hidden: &[usize],
+        out_dim: usize,
+    ) -> Self {
+        assert!(!gcn_dims.is_empty(), "GnnModel::new: need at least one GCN layer");
+        let mut gcn_layers = Vec::with_capacity(gcn_dims.len());
+        let mut in_dim = feature_dim;
+        for &dim in gcn_dims {
+            gcn_layers.push(GcnLayer::new(rng, in_dim, dim, Activation::Relu));
+            in_dim = dim;
+        }
+        let pool = AttentionPool::new(rng, in_dim);
+        let mut head_sizes = vec![in_dim];
+        head_sizes.extend_from_slice(head_hidden);
+        head_sizes.push(out_dim);
+        let head = Mlp::new(rng, &head_sizes, Activation::Relu, Activation::Identity);
+        Self { gcn_layers, pool, head }
+    }
+
+    /// Total trainable parameters (paper Table 7 reports 19,210 for their
+    /// configuration).
+    pub fn param_count(&self) -> usize {
+        self.gcn_layers.iter().map(GcnLayer::param_count).sum::<usize>()
+            + self.pool.param_count()
+            + self.head.param_count()
+    }
+
+    /// Output dimensionality of the head.
+    pub fn out_dim(&self) -> usize {
+        self.head.out_dim()
+    }
+
+    /// Layer-by-layer summary: `(stage, layer description, parameters)` —
+    /// the paper's Figure 10 stages (node-level embedding via GCN, graph
+    /// embedding via attention, curve prediction via the FC head).
+    pub fn layer_summary(&self) -> Vec<(String, String, usize)> {
+        let mut rows = Vec::new();
+        for (i, layer) in self.gcn_layers.iter().enumerate() {
+            rows.push((
+                "node embedding".to_string(),
+                format!(
+                    "GCN {} ({} -> {}, {:?})",
+                    i + 1,
+                    layer.weight.rows(),
+                    layer.weight.cols(),
+                    layer.activation
+                ),
+                layer.param_count(),
+            ));
+        }
+        rows.push((
+            "graph embedding".to_string(),
+            format!("attention pool (context {}x{})", self.pool.dim(), self.pool.dim()),
+            self.pool.param_count(),
+        ));
+        for (i, layer) in self.head.layers().iter().enumerate() {
+            rows.push((
+                "curve prediction".to_string(),
+                format!("FC {} ({} -> {})", i + 1, layer.in_dim(), layer.out_dim()),
+                layer.param_count(),
+            ));
+        }
+        rows
+    }
+
+    /// Forward pass for one graph; returns a `1 x out_dim` row.
+    pub fn forward(&self, graph: &GraphData) -> Matrix {
+        let mut h = graph.features.clone();
+        for layer in &self.gcn_layers {
+            h = layer.forward(&graph.norm_adjacency, &h);
+        }
+        let embedding = self.pool.forward(&h);
+        self.head.forward(&embedding)
+    }
+
+    /// Per-node attention weights for one graph (the pooling layer's
+    /// node-importance scores, in `[0, 1]`). Exposes the interpretability
+    /// the paper attributes to the attention mechanism: which operators
+    /// the model focuses on when predicting.
+    pub fn attention_weights(&self, graph: &GraphData) -> Vec<f64> {
+        let mut h = graph.features.clone();
+        for layer in &self.gcn_layers {
+            h = layer.forward(&graph.norm_adjacency, &h);
+        }
+        let (_, cache) = self.pool.forward_cached(&h);
+        AttentionPool::weights_of(&cache).to_vec()
+    }
+
+    /// Forward pass with caches for [`GnnModel::backward`].
+    pub fn forward_cached(&self, graph: &GraphData) -> (Matrix, GnnCache) {
+        let mut h = graph.features.clone();
+        let mut gcn_caches = Vec::with_capacity(self.gcn_layers.len());
+        for layer in &self.gcn_layers {
+            let (out, cache) = layer.forward_cached(&graph.norm_adjacency, &h);
+            gcn_caches.push(cache);
+            h = out;
+        }
+        let (embedding, pool_cache) = self.pool.forward_cached(&h);
+        let (out, head_cache) = self.head.forward_cached(&embedding);
+        (out, GnnCache { gcn_caches, pool_cache, head_cache })
+    }
+
+    /// Backward pass given `d_output: 1 x out_dim`.
+    pub fn backward(&self, graph: &GraphData, cache: &GnnCache, d_output: &Matrix) -> GnnGrads {
+        let head_grads = self.head.backward(&cache.head_cache, d_output);
+        let (d_wc, mut d_h) = self.pool.backward(&cache.pool_cache, &head_grads.input);
+        let mut gcn_grads = Vec::with_capacity(self.gcn_layers.len());
+        for (i, layer) in self.gcn_layers.iter().enumerate().rev() {
+            let (dw, db, dh_prev) =
+                layer.backward(&graph.norm_adjacency, &cache.gcn_caches[i], &d_h);
+            gcn_grads.push((dw, db));
+            d_h = dh_prev;
+        }
+        gcn_grads.reverse();
+        GnnGrads { gcn: gcn_grads, pool: d_wc, head: head_grads.layers }
+    }
+
+    /// Create an Adam optimizer registered against this model's parameters.
+    pub fn make_optimizer(&self, config: AdamConfig) -> GnnOptimizer {
+        let mut adam = Adam::new(config);
+        let gcn_ids = self
+            .gcn_layers
+            .iter()
+            .map(|l| {
+                let w = adam.register(l.weight.rows(), l.weight.cols());
+                let b = adam.register(1, l.bias.cols());
+                (w, b)
+            })
+            .collect();
+        let pool_id = adam.register(self.pool.dim(), self.pool.dim());
+        let head_ids = self.head.register_params(&mut adam);
+        GnnOptimizer { adam, gcn_ids, pool_id, head_ids }
+    }
+
+    /// Apply one optimizer step.
+    pub fn apply_grads(&mut self, opt: &mut GnnOptimizer, grads: GnnGrads) {
+        let mut pairs: Vec<(ParamId, &mut Matrix, Matrix)> = Vec::new();
+        for (layer, (&(wid, bid), (gw, gb))) in
+            self.gcn_layers.iter_mut().zip(opt.gcn_ids.iter().zip(grads.gcn))
+        {
+            pairs.push((wid, &mut layer.weight, gw));
+            pairs.push((bid, &mut layer.bias, gb));
+        }
+        pairs.push((opt.pool_id, &mut self.pool.context_weight, grads.pool));
+        for (layer, (&(wid, bid), (gw, gb))) in
+            self.head.layers_mut().iter_mut().zip(opt.head_ids.iter().zip(grads.head))
+        {
+            pairs.push((wid, &mut layer.weight, gw));
+            pairs.push((bid, &mut layer.bias, gb));
+        }
+        opt.adam.step(&mut pairs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_graph(rng: &mut StdRng, n: usize, dim: usize) -> GraphData {
+        let features = Matrix::from_fn(n, dim, |_, _| rng.gen_range(-1.0..1.0));
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        GraphData::new(features, &edges)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = GnnModel::new(&mut rng, 6, &[8, 8], &[16], 2);
+        let g = toy_graph(&mut rng, 5, 6);
+        let out = model.forward(&g);
+        assert_eq!(out.shape(), (1, 2));
+    }
+
+    #[test]
+    fn param_count_arithmetic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = GnnModel::new(&mut rng, 4, &[8], &[6], 2);
+        // GCN: 4*8+8 = 40; pool: 8*8 = 64; head: 8*6+6 + 6*2+2 = 68.
+        assert_eq!(model.param_count(), 40 + 64 + 68);
+    }
+
+    /// Gradient check through the entire network.
+    #[test]
+    fn full_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = GnnModel::new(&mut rng, 3, &[4], &[5], 2);
+        let g = toy_graph(&mut rng, 4, 3);
+
+        let loss = |model: &GnnModel| -> f64 {
+            model.forward(&g).as_slice().iter().map(|v| v * v).sum()
+        };
+        let (out, cache) = model.forward_cached(&g);
+        let grads = model.backward(&g, &cache, &out.scale(2.0));
+
+        let h = 1e-6;
+        // GCN layer 0 weight.
+        for i in 0..model.gcn_layers[0].weight.len() {
+            let orig = model.gcn_layers[0].weight.as_slice()[i];
+            model.gcn_layers[0].weight.as_mut_slice()[i] = orig + h;
+            let up = loss(&model);
+            model.gcn_layers[0].weight.as_mut_slice()[i] = orig - h;
+            let down = loss(&model);
+            model.gcn_layers[0].weight.as_mut_slice()[i] = orig;
+            let numeric = (up - down) / (2.0 * h);
+            assert!(
+                (numeric - grads.gcn[0].0.as_slice()[i]).abs() < 1e-4,
+                "gcn dW[{i}]: {numeric} vs {}",
+                grads.gcn[0].0.as_slice()[i]
+            );
+        }
+        // Pool weight.
+        for i in 0..model.pool.context_weight.len() {
+            let orig = model.pool.context_weight.as_slice()[i];
+            model.pool.context_weight.as_mut_slice()[i] = orig + h;
+            let up = loss(&model);
+            model.pool.context_weight.as_mut_slice()[i] = orig - h;
+            let down = loss(&model);
+            model.pool.context_weight.as_mut_slice()[i] = orig;
+            let numeric = (up - down) / (2.0 * h);
+            assert!(
+                (numeric - grads.pool.as_slice()[i]).abs() < 1e-4,
+                "pool dWc[{i}]"
+            );
+        }
+    }
+
+    /// Train on a toy regression: output should fit the target for a fixed
+    /// set of small graphs.
+    #[test]
+    fn learns_graph_regression() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = GnnModel::new(&mut rng, 3, &[8], &[8], 1);
+        // Target: sum of all node features (a graph-level statistic).
+        let graphs: Vec<GraphData> =
+            (0..20).map(|i| toy_graph(&mut rng, 3 + i % 4, 3)).collect();
+        let targets: Vec<f64> = graphs.iter().map(|g| g.features.sum()).collect();
+
+        let mut opt = model.make_optimizer(AdamConfig { learning_rate: 0.01, ..Default::default() });
+        let total_loss = |model: &GnnModel| -> f64 {
+            graphs
+                .iter()
+                .zip(&targets)
+                .map(|(g, &t)| {
+                    let e = model.forward(g)[(0, 0)] - t;
+                    e * e
+                })
+                .sum::<f64>()
+                / graphs.len() as f64
+        };
+        let initial = total_loss(&model);
+        for _ in 0..300 {
+            let mut batch_grads = GnnGrads::zeros_like(&model);
+            for (g, &t) in graphs.iter().zip(&targets) {
+                let (out, cache) = model.forward_cached(g);
+                let d = Matrix::from_vec(1, 1, vec![2.0 * (out[(0, 0)] - t)]);
+                batch_grads.accumulate(&model.backward(g, &cache, &d));
+            }
+            batch_grads.scale(1.0 / graphs.len() as f64);
+            model.apply_grads(&mut opt, batch_grads);
+        }
+        let final_loss = total_loss(&model);
+        assert!(
+            final_loss < initial * 0.05,
+            "GNN should fit: {initial} -> {final_loss}"
+        );
+    }
+}

@@ -1,0 +1,513 @@
+//! Dense row-major `f64` matrices.
+//!
+//! This is intentionally a small, predictable linear-algebra core rather
+//! than a general tensor library: the networks in this workspace are tiny
+//! (thousands to tens of thousands of parameters, per the paper's Table 7),
+//! so a cache-friendly row-major layout with straightforward triple loops is
+//! both fast enough and easy to audit. Matmuls are written `ikj`-ordered so
+//! the inner loop streams contiguous memory.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a `rows x cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Create a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Create a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Create a matrix from a slice of rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            assert_eq!(row.len(), ncols, "Matrix::from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: nrows, cols: ncols, data }
+    }
+
+    /// Create a 1 x n row vector.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// Create an n x 1 column vector.
+    pub fn col_vector(values: &[f64]) -> Self {
+        Self { rows: values.len(), cols: 1, data: values.to_vec() }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy column `c` into a new `Vec`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Iterate over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: inner dimensions mismatch ({}x{} * {}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // ikj loop order: inner loop streams rhs row + out row contiguously.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * rhs` without materializing the transpose.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul: dimensions mismatch ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let b_row = &rhs.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * rhs^T` without materializing the transpose.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_t: dimensions mismatch {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..rhs.rows {
+                let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise map in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise sum `self + rhs` into a new matrix.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        self.zip(rhs, |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - rhs` into a new matrix.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        self.zip(rhs, |a, b| a - b)
+    }
+
+    /// Element-wise product (Hadamard) into a new matrix.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        self.zip(rhs, |a, b| a * b)
+    }
+
+    /// Element-wise combine with another matrix of the same shape.
+    pub fn zip(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "zip: shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += alpha * rhs` in place.
+    pub fn axpy(&mut self, alpha: f64, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scale all elements in place.
+    pub fn scale_inplace(&mut self, alpha: f64) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Scale into a new matrix.
+    pub fn scale(&self, alpha: f64) -> Matrix {
+        self.map(|x| x * alpha)
+    }
+
+    /// Add a 1 x cols row vector to every row (broadcast), in place.
+    pub fn add_row_broadcast(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "add_row_broadcast: width mismatch");
+        for r in 0..self.rows {
+            for (x, &b) in self.row_mut(r).iter_mut().zip(row) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Sum of each column as a `Vec` of length `cols`.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for row in self.rows_iter() {
+            for (s, &x) in sums.iter_mut().zip(row) {
+                *s += x;
+            }
+        }
+        sums
+    }
+
+    /// Mean of each column as a `Vec` of length `cols`.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut sums = self.col_sums();
+        if self.rows > 0 {
+            let inv = 1.0 / self.rows as f64;
+            for s in &mut sums {
+                *s *= inv;
+            }
+        }
+        sums
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// True if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Set all elements to zero, reusing the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for (i, row) in self.rows_iter().take(max_rows).enumerate() {
+            write!(f, "  [{i}] ")?;
+            for v in row.iter().take(12) {
+                write!(f, "{v:>10.4} ")?;
+            }
+            if self.cols > 12 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ... ({} more rows)", self.rows - max_rows)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        let i = Matrix::identity(4);
+        assert!(approx_eq(&m.matmul(&i), &m, 1e-12));
+        assert!(approx_eq(&i.matmul(&m), &m, 1e-12));
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 7 + c * 3) as f64);
+        assert!(approx_eq(&m.transpose().transpose(), &m, 0.0));
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r + c) as f64 * 0.5);
+        let b = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f64);
+        assert!(approx_eq(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-12));
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r + 2 * c) as f64 * 0.25);
+        let b = Matrix::from_fn(5, 4, |r, c| (r * 3 + c) as f64);
+        assert!(approx_eq(&a.matmul_t(&b), &a.matmul(&b.transpose()), 1e-12));
+    }
+
+    #[test]
+    fn broadcast_add_row() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_row_broadcast(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn col_sums_and_means() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.col_sums(), vec![4.0, 6.0]);
+        assert_eq!(m.col_means(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Matrix::full(2, 2, 1.0);
+        let b = Matrix::full(2, 2, 3.0);
+        a.axpy(2.0, &b);
+        assert!(a.as_slice().iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_and_zip() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(m.is_finite());
+        m[(1, 1)] = f64::NAN;
+        assert!(!m.is_finite());
+    }
+}

@@ -1,0 +1,299 @@
+//! Multi-layer perceptron composed of [`Linear`] layers and activations.
+
+use super::activation::Activation;
+use super::linear::{Linear, LinearCache};
+use crate::matrix::Matrix;
+use crate::optim::{Adam, AdamConfig, ParamId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network: alternating affine layers and activations.
+///
+/// The activation after the final layer is configurable (use
+/// [`Activation::Identity`] for raw outputs; the TASQ PCC heads apply
+/// softplus transforms *outside* the MLP so the loss can see the raw
+/// pre-activations).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+}
+
+/// Forward cache for one batch: per-layer input caches and pre-activations.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    layer_caches: Vec<LinearCache>,
+    pre_activations: Vec<Matrix>,
+}
+
+/// Per-layer gradients plus the gradient w.r.t. the network input.
+#[derive(Debug, Clone)]
+pub struct MlpGrads {
+    /// `(dW, db)` per layer, front to back.
+    pub layers: Vec<(Matrix, Matrix)>,
+    /// dLoss/dInput for the whole batch.
+    pub input: Matrix,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer sizes, e.g. `[51, 32, 16, 2]`.
+    ///
+    /// Hidden layers use He initialization when the hidden activation is
+    /// ReLU and Xavier otherwise.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        sizes: &[usize],
+        hidden_activation: Activation,
+        output_activation: Activation,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "Mlp::new: need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .map(|w| match hidden_activation {
+                Activation::Relu => Linear::he_init(rng, w[0], w[1]),
+                _ => Linear::xavier_init(rng, w[0], w[1]),
+            })
+            .collect();
+        Self { layers, hidden_activation, output_activation }
+    }
+
+    /// Number of affine layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map_or(0, Linear::in_dim)
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map_or(0, Linear::out_dim)
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Immutable access to the layers.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (needed by composite models — e.g. the
+    /// GNN — that own an `Mlp` head and drive a shared optimizer).
+    pub fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+
+    /// Forward pass for a batch `x: batch x in_dim`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let pre = layer.forward(&h);
+            let act = if i == last { self.output_activation } else { self.hidden_activation };
+            h = act.apply(&pre);
+        }
+        h
+    }
+
+    /// Forward pass keeping the caches needed by [`Mlp::backward`].
+    pub fn forward_cached(&self, x: &Matrix) -> (Matrix, MlpCache) {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        let mut layer_caches = Vec::with_capacity(self.layers.len());
+        let mut pre_activations = Vec::with_capacity(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (pre, cache) = layer.forward_cached(&h);
+            layer_caches.push(cache);
+            let act = if i == last { self.output_activation } else { self.hidden_activation };
+            h = act.apply(&pre);
+            pre_activations.push(pre);
+        }
+        (h, MlpCache { layer_caches, pre_activations })
+    }
+
+    /// Backward pass given the upstream gradient w.r.t. the network output.
+    pub fn backward(&self, cache: &MlpCache, d_output: &Matrix) -> MlpGrads {
+        let last = self.layers.len() - 1;
+        let mut grads: Vec<(Matrix, Matrix)> = Vec::with_capacity(self.layers.len());
+        let mut d = d_output.clone();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let act = if i == last { self.output_activation } else { self.hidden_activation };
+            let d_pre = d.hadamard(&act.derivative(&cache.pre_activations[i]));
+            let lg = layer.backward(&cache.layer_caches[i], &d_pre);
+            grads.push((lg.weight, lg.bias));
+            d = lg.input;
+        }
+        grads.reverse();
+        MlpGrads { layers: grads, input: d }
+    }
+
+    /// Register all parameters with an Adam optimizer; returns the ids in
+    /// layer order as `(weight_id, bias_id)` pairs.
+    pub fn register_params(&self, adam: &mut Adam) -> Vec<(ParamId, ParamId)> {
+        self.layers
+            .iter()
+            .map(|l| {
+                let w = adam.register(l.weight.rows(), l.weight.cols());
+                let b = adam.register(l.bias.rows(), l.bias.cols());
+                (w, b)
+            })
+            .collect()
+    }
+
+    /// Apply one optimizer step with the given per-layer gradients.
+    pub fn apply_grads(&mut self, adam: &mut Adam, ids: &[(ParamId, ParamId)], grads: MlpGrads) {
+        assert_eq!(ids.len(), self.layers.len());
+        assert_eq!(grads.layers.len(), self.layers.len());
+        let mut pairs: Vec<(ParamId, &mut Matrix, Matrix)> = Vec::new();
+        for (layer, (&(wid, bid), (gw, gb))) in
+            self.layers.iter_mut().zip(ids.iter().zip(grads.layers))
+        {
+            pairs.push((wid, &mut layer.weight, gw));
+            pairs.push((bid, &mut layer.bias, gb));
+        }
+        adam.step(&mut pairs);
+    }
+
+    /// Convenience: default Adam optimizer wired to this network.
+    pub fn make_optimizer(&self, config: AdamConfig) -> (Adam, Vec<(ParamId, ParamId)>) {
+        let mut adam = Adam::new(config);
+        let ids = self.register_params(&mut adam);
+        (adam, ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&mut rng, &[5, 8, 2], Activation::Relu, Activation::Identity);
+        assert_eq!(mlp.in_dim(), 5);
+        assert_eq!(mlp.out_dim(), 2);
+        // (5*8 + 8) + (8*2 + 2) = 48 + 18 = 66
+        assert_eq!(mlp.param_count(), 66);
+        let x = Matrix::zeros(3, 5);
+        assert_eq!(mlp.forward(&x).shape(), (3, 2));
+    }
+
+    /// The paper's NN has 2,216 parameters (Table 7); our default TASQ NN
+    /// topology must be in the same ballpark (we verify the arithmetic
+    /// rather than the exact paper value since the feature count differs).
+    #[test]
+    fn paper_scale_topology() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&mut rng, &[51, 32, 16, 2], Activation::Relu, Activation::Identity);
+        assert_eq!(mlp.param_count(), 51 * 32 + 32 + 32 * 16 + 16 + 16 * 2 + 2);
+    }
+
+    /// End-to-end gradient check through two hidden layers.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut mlp = Mlp::new(&mut rng, &[3, 4, 2], Activation::Tanh, Activation::Identity);
+        let x = Matrix::from_fn(2, 3, |_, _| rng.gen_range(-1.0..1.0));
+
+        let loss =
+            |mlp: &Mlp, x: &Matrix| -> f64 { mlp.forward(x).as_slice().iter().map(|v| v * v).sum() };
+
+        let (y, cache) = mlp.forward_cached(&x);
+        let grads = mlp.backward(&cache, &y.scale(2.0));
+
+        let h = 1e-6;
+        for li in 0..mlp.layers.len() {
+            for i in 0..mlp.layers[li].weight.len() {
+                let orig = mlp.layers[li].weight.as_slice()[i];
+                mlp.layers[li].weight.as_mut_slice()[i] = orig + h;
+                let up = loss(&mlp, &x);
+                mlp.layers[li].weight.as_mut_slice()[i] = orig - h;
+                let down = loss(&mlp, &x);
+                mlp.layers[li].weight.as_mut_slice()[i] = orig;
+                let numeric = (up - down) / (2.0 * h);
+                let analytic = grads.layers[li].0.as_slice()[i];
+                assert!(
+                    (numeric - analytic).abs() < 1e-4,
+                    "layer {li} weight[{i}]: {numeric} vs {analytic}"
+                );
+            }
+            for i in 0..mlp.layers[li].bias.len() {
+                let orig = mlp.layers[li].bias.as_slice()[i];
+                mlp.layers[li].bias.as_mut_slice()[i] = orig + h;
+                let up = loss(&mlp, &x);
+                mlp.layers[li].bias.as_mut_slice()[i] = orig - h;
+                let down = loss(&mlp, &x);
+                mlp.layers[li].bias.as_mut_slice()[i] = orig;
+                let numeric = (up - down) / (2.0 * h);
+                let analytic = grads.layers[li].1.as_slice()[i];
+                assert!((numeric - analytic).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Train on a simple synthetic regression problem; loss must drop
+    /// dramatically.
+    #[test]
+    fn learns_simple_function() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut mlp = Mlp::new(&mut rng, &[2, 16, 1], Activation::Relu, Activation::Identity);
+        let (mut adam, ids) = mlp.make_optimizer(AdamConfig { learning_rate: 0.01, ..Default::default() });
+
+        // Target: y = x0 + 2*x1
+        let x = Matrix::from_fn(64, 2, |_, _| rng.gen_range(-1.0..1.0));
+        let target = Matrix::from_fn(64, 1, |r, _| x[(r, 0)] + 2.0 * x[(r, 1)]);
+
+        let mse = |mlp: &Mlp| {
+            let y = mlp.forward(&x);
+            y.sub(&target).as_slice().iter().map(|e| e * e).sum::<f64>() / 64.0
+        };
+        let initial = mse(&mlp);
+        for _ in 0..500 {
+            let (y, cache) = mlp.forward_cached(&x);
+            let d = y.sub(&target).scale(2.0 / 64.0);
+            let grads = mlp.backward(&cache, &d);
+            mlp.apply_grads(&mut adam, &ids, grads);
+        }
+        let final_loss = mse(&mlp);
+        assert!(
+            final_loss < initial * 0.01,
+            "loss should drop 100x: {initial} -> {final_loss}"
+        );
+    }
+
+    #[test]
+    fn input_gradient_flows() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mlp = Mlp::new(&mut rng, &[3, 5, 2], Activation::Relu, Activation::Identity);
+        let x = Matrix::from_fn(1, 3, |_, _| rng.gen_range(-1.0..1.0));
+        let (y, cache) = mlp.forward_cached(&x);
+        let grads = mlp.backward(&cache, &y.scale(2.0));
+        assert_eq!(grads.input.shape(), (1, 3));
+
+        let h = 1e-6;
+        let loss =
+            |x: &Matrix| -> f64 { mlp.forward(x).as_slice().iter().map(|v| v * v).sum() };
+        let mut xp = x.clone();
+        for i in 0..xp.len() {
+            let orig = xp.as_slice()[i];
+            xp.as_mut_slice()[i] = orig + h;
+            let up = loss(&xp);
+            xp.as_mut_slice()[i] = orig - h;
+            let down = loss(&xp);
+            xp.as_mut_slice()[i] = orig;
+            let numeric = (up - down) / (2.0 * h);
+            assert!((numeric - grads.input.as_slice()[i]).abs() < 1e-4);
+        }
+    }
+}

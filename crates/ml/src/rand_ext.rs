@@ -1,0 +1,222 @@
+//! Distribution sampling built on top of `rand`.
+//!
+//! The workspace's sanctioned dependency set includes `rand` but not
+//! `rand_distr`, so the handful of distributions the workload generator and
+//! model initializers need are implemented here: standard normal via the
+//! Marsaglia polar method, lognormal, bounded Pareto (for right-skewed job
+//! populations), and truncated variants.
+
+use rand::Rng;
+
+/// Sample a standard normal `N(0, 1)` using the Marsaglia polar method.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Sample `N(mean, std_dev^2)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Sample a lognormal with the given parameters of the *underlying* normal.
+///
+/// If `X ~ LogNormal(mu, sigma)` then `ln X ~ N(mu, sigma^2)`; the median of
+/// `X` is `exp(mu)`.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Sample a Pareto distribution with scale `x_min > 0` and shape `alpha > 0`.
+///
+/// Heavy right tail; used for job-size populations (the paper reports job
+/// run times from 33 s to 21 h and token peaks from 1 to 6,287 — strongly
+/// right-skewed).
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    debug_assert!(x_min > 0.0 && alpha > 0.0);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    x_min / u.powf(1.0 / alpha)
+}
+
+/// Sample a lognormal, rejecting values outside `[lo, hi]`.
+///
+/// Falls back to clamping after 64 rejections so pathological parameter
+/// choices cannot loop forever.
+pub fn lognormal_clamped<R: Rng + ?Sized>(
+    rng: &mut R,
+    mu: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    debug_assert!(lo <= hi);
+    for _ in 0..64 {
+        let x = lognormal(rng, mu, sigma);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    lognormal(rng, mu, sigma).clamp(lo, hi)
+}
+
+/// Sample an exponential with the given rate `lambda > 0`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    debug_assert!(lambda > 0.0);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / lambda
+}
+
+/// Weighted index sampling: returns `i` with probability `weights[i] / sum`.
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        !weights.is_empty() && total > 0.0,
+        "weighted_index: weights must be non-empty with positive sum"
+    );
+    let mut target = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+/// Fisher–Yates shuffle of a slice.
+pub fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, xs: &mut [T]) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+/// Sample `k` distinct indices from `0..n` (reservoir sampling), in
+/// arbitrary order. Returns all of `0..n` if `k >= n`.
+pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    let mut reservoir: Vec<usize> = (0..k).collect();
+    for i in k..n {
+        let j = rng.gen_range(0..=i);
+        if j < k {
+            reservoir[j] = i;
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut r = rng();
+        let n = 20_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| lognormal(&mut r, 1.5, 0.8)).collect();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let median = xs[n / 2];
+        let expected = 1.5f64.exp();
+        assert!((median / expected - 1.0).abs() < 0.05, "median {median} vs {expected}");
+    }
+
+    #[test]
+    fn pareto_respects_min_and_skews_right() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..10_000).map(|_| pareto(&mut r, 2.0, 1.5)).collect();
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(mean > median, "right skew: mean {mean} should exceed median {median}");
+    }
+
+    #[test]
+    fn lognormal_clamped_stays_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = lognormal_clamped(&mut r, 0.0, 3.0, 0.5, 10.0);
+            assert!((0.5..=10.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 0.25)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_index_distribution() {
+        let mut r = rng();
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_index(&mut r, &weights)] += 1;
+        }
+        let total = 30_000.0;
+        assert!((counts[0] as f64 / total - 0.1).abs() < 0.02);
+        assert!((counts[1] as f64 / total - 0.3).abs() < 0.02);
+        assert!((counts[2] as f64 / total - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut r = rng();
+        let idx = sample_indices(&mut r, 100, 10);
+        assert_eq!(idx.len(), 10);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(sorted.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_k_ge_n_returns_all() {
+        let mut r = rng();
+        let idx = sample_indices(&mut r, 5, 10);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = rng();
+        let mut xs: Vec<u32> = (0..50).collect();
+        shuffle(&mut r, &mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

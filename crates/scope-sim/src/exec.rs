@@ -1,0 +1,412 @@
+//! Event-driven cluster executor.
+//!
+//! Schedules a [`StageGraph`]'s tasks onto a fixed number of token slots
+//! and records the resulting resource skyline. This is the workspace's
+//! substitute for running jobs on the Cosmos cluster: re-executing the
+//! same stage graph at different allocations yields the ground-truth
+//! run-time-versus-tokens relationship (work-bound at small allocations,
+//! critical-path-bound at large ones — the power-law-like decay the paper
+//! models).
+
+use crate::skyline::Skyline;
+use crate::stage::StageGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use tasq_ml::rand_ext;
+
+/// Stochastic execution-environment effects (disabled by default: the
+/// paper's AREPAS explicitly assumes deterministic skylines, but the
+/// flighting-validation experiments need controlled noise).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Lognormal sigma multiplying each task's duration (0 = none).
+    pub duration_jitter_sigma: f64,
+    /// Probability a task fails once and re-runs (doubling its effective
+    /// duration).
+    pub task_retry_probability: f64,
+    /// Upper bound of a uniform random startup delay before the job's
+    /// first stage begins, in seconds (queueing at the scheduler).
+    pub max_queueing_delay_secs: f64,
+}
+
+impl NoiseModel {
+    /// No noise at all: fully deterministic execution.
+    pub fn none() -> Self {
+        Self {
+            duration_jitter_sigma: 0.0,
+            task_retry_probability: 0.0,
+            max_queueing_delay_secs: 0.0,
+        }
+    }
+
+    /// Mild production-like noise (a few percent of duration jitter,
+    /// occasional retries).
+    pub fn mild() -> Self {
+        Self {
+            duration_jitter_sigma: 0.05,
+            task_retry_probability: 0.01,
+            max_queueing_delay_secs: 5.0,
+        }
+    }
+
+    /// Heavier shared-production-cluster noise: noticeable duration
+    /// jitter, more frequent retries, and real queueing delays. Used for
+    /// the area-conservation validation experiments, where flights of the
+    /// same job are expected to disagree on token-seconds by tens of
+    /// percent.
+    pub fn production() -> Self {
+        Self {
+            duration_jitter_sigma: 0.2,
+            task_retry_probability: 0.04,
+            max_queueing_delay_secs: 15.0,
+        }
+    }
+
+    /// Whether every knob is zero.
+    pub fn is_deterministic(&self) -> bool {
+        self.duration_jitter_sigma == 0.0
+            && self.task_retry_probability == 0.0
+            && self.max_queueing_delay_secs == 0.0
+    }
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionConfig {
+    /// Noise model (use [`NoiseModel::none`] for deterministic runs).
+    pub noise: NoiseModel,
+    /// Seed for the noise RNG (ignored when the model is deterministic).
+    pub noise_seed: u64,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        Self { noise: NoiseModel::none(), noise_seed: 0 }
+    }
+}
+
+/// Result of one execution (one "flight").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionResult {
+    /// Per-second token usage.
+    pub skyline: Skyline,
+    /// Exact (fractional) makespan in seconds.
+    pub runtime_secs: f64,
+    /// Total token-seconds consumed (= skyline area).
+    pub total_token_seconds: f64,
+    /// The allocation the job ran with.
+    pub allocation: u32,
+}
+
+/// Executes a stage graph at a given token allocation.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    graph: StageGraph,
+}
+
+impl Executor {
+    /// Wrap a stage graph for execution.
+    pub fn new(graph: StageGraph) -> Self {
+        Self { graph }
+    }
+
+    /// The underlying stage graph.
+    pub fn graph(&self) -> &StageGraph {
+        &self.graph
+    }
+
+    /// Run the job with `allocation` tokens.
+    ///
+    /// Scheduling model: a stage becomes ready when all dependency stages
+    /// have completed; ready tasks enter a FIFO queue and are placed onto
+    /// free token slots immediately; each task occupies exactly one token
+    /// for its duration.
+    ///
+    /// # Panics
+    /// Panics if `allocation == 0`.
+    pub fn run(&self, allocation: u32, config: &ExecutionConfig) -> ExecutionResult {
+        assert!(allocation > 0, "Executor::run: allocation must be positive");
+        let mut rng = StdRng::seed_from_u64(config.noise_seed);
+        let noise = &config.noise;
+
+        let num_stages = self.graph.num_stages();
+        let mut pending_deps: Vec<usize> = (0..num_stages).map(|s| self.graph.deps[s].len()).collect();
+        let mut remaining_tasks: Vec<usize> =
+            (0..num_stages).map(|s| self.graph.stages[s].width()).collect();
+        // Dependents adjacency for completion propagation.
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); num_stages];
+        for s in 0..num_stages {
+            for &d in &self.graph.deps[s] {
+                dependents[d].push(s);
+            }
+        }
+
+        let start_delay = if noise.max_queueing_delay_secs > 0.0 {
+            rng.gen_range(0.0..noise.max_queueing_delay_secs)
+        } else {
+            0.0
+        };
+
+        let mut ready: VecDeque<(usize, f64)> = VecDeque::new(); // (stage, duration)
+        let enqueue_stage = |ready: &mut VecDeque<(usize, f64)>,
+                                 rng: &mut StdRng,
+                                 stage_idx: usize| {
+            for &base in &self.graph.stages[stage_idx].task_durations {
+                let mut duration = base;
+                if noise.duration_jitter_sigma > 0.0 {
+                    duration *= rand_ext::lognormal(rng, 0.0, noise.duration_jitter_sigma);
+                }
+                if noise.task_retry_probability > 0.0
+                    && rng.gen_bool(noise.task_retry_probability.clamp(0.0, 1.0))
+                {
+                    duration *= 2.0;
+                }
+                ready.push_back((stage_idx, duration));
+            }
+        };
+
+        for s in 0..num_stages {
+            if pending_deps[s] == 0 {
+                enqueue_stage(&mut ready, &mut rng, s);
+                if remaining_tasks[s] == 0 {
+                    // Degenerate zero-width stage: complete instantly.
+                    for &dep in &dependents[s] {
+                        pending_deps[dep] -= 1;
+                    }
+                }
+            }
+        }
+
+        // Min-heap of running tasks keyed by finish time.
+        #[derive(PartialEq)]
+        struct Running {
+            finish: f64,
+            stage: usize,
+        }
+        impl Eq for Running {}
+        impl PartialOrd for Running {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Running {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.finish.total_cmp(&other.finish).then(self.stage.cmp(&other.stage))
+            }
+        }
+
+        let mut running: BinaryHeap<Reverse<Running>> = BinaryHeap::new();
+        let mut free = allocation as usize;
+        let mut now = start_delay;
+        // Busy intervals for skyline construction.
+        let mut intervals: Vec<(f64, f64)> = Vec::new();
+
+        loop {
+            // Fill free slots from the ready queue.
+            while free > 0 {
+                let Some((stage, duration)) = ready.pop_front() else { break };
+                free -= 1;
+                let finish = now + duration;
+                intervals.push((now, finish));
+                running.push(Reverse(Running { finish, stage }));
+            }
+            // Advance to the next completion.
+            let Some(Reverse(done)) = running.pop() else { break };
+            now = done.finish;
+            free += 1;
+            remaining_tasks[done.stage] -= 1;
+            // Drain every task finishing at the same instant.
+            while let Some(Reverse(peek)) = running.peek() {
+                if peek.finish > now {
+                    break;
+                }
+                let Reverse(done2) = running.pop().expect("peeked");
+                free += 1;
+                remaining_tasks[done2.stage] -= 1;
+            }
+            // Propagate stage completions.
+            for s in 0..num_stages {
+                if remaining_tasks[s] == 0 {
+                    remaining_tasks[s] = usize::MAX; // mark propagated
+                    for &dep in &dependents[s] {
+                        pending_deps[dep] -= 1;
+                        if pending_deps[dep] == 0 {
+                            enqueue_stage(&mut ready, &mut rng, dep);
+                        }
+                    }
+                }
+            }
+        }
+
+        let makespan = intervals.iter().map(|&(_, e)| e).fold(now, f64::max);
+        let skyline = build_skyline(&intervals, makespan);
+        let total = skyline.area();
+        ExecutionResult {
+            skyline,
+            runtime_secs: makespan,
+            total_token_seconds: total,
+            allocation,
+        }
+    }
+
+    /// Run the job at several allocations (deterministically) and return
+    /// `(allocation, runtime_secs)` pairs — a ground-truth PCC sample.
+    pub fn performance_curve(&self, allocations: &[u32]) -> Vec<(u32, f64)> {
+        let config = ExecutionConfig::default();
+        allocations.iter().map(|&a| (a, self.run(a, &config).runtime_secs)).collect()
+    }
+}
+
+/// Convert busy intervals into a per-second skyline. Each interval
+/// contributes its exact overlap with each one-second bucket, so the
+/// skyline's area equals total busy time.
+fn build_skyline(intervals: &[(f64, f64)], makespan: f64) -> Skyline {
+    let len = makespan.ceil().max(0.0) as usize;
+    let mut samples = vec![0.0; len];
+    for &(start, end) in intervals {
+        let first = start.floor() as usize;
+        let last = (end.ceil() as usize).min(len);
+        for (sec, sample) in samples.iter_mut().enumerate().take(last).skip(first) {
+            let lo = sec as f64;
+            let hi = lo + 1.0;
+            let overlap = (end.min(hi) - start.max(lo)).max(0.0);
+            *sample += overlap;
+        }
+    }
+    Skyline::new(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::PhysicalOperator as Op;
+    use crate::plan::{JobPlan, OperatorNode};
+
+    fn node(op: Op, partitions: u32, cost: f64) -> OperatorNode {
+        let mut n = OperatorNode::with_op(op);
+        n.num_partitions = partitions;
+        n.est_exclusive_cost = cost;
+        n
+    }
+
+    /// A job with one wide scan stage and one narrow agg stage.
+    fn wide_then_narrow() -> Executor {
+        let plan = JobPlan::new(
+            vec![
+                node(Op::TableScan, 16, 160.0),
+                node(Op::Exchange, 16, 16.0),
+                node(Op::HashAggregate, 2, 20.0),
+            ],
+            vec![(0, 1), (1, 2)],
+        );
+        Executor::new(StageGraph::from_plan(&plan, 0))
+    }
+
+    #[test]
+    fn runtime_decreases_with_more_tokens() {
+        let exec = wide_then_narrow();
+        let curve = exec.performance_curve(&[1, 2, 4, 8, 16, 32]);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-9,
+                "runtime must not increase with tokens: {curve:?}"
+            );
+        }
+        // And it should decrease substantially from 1 to 16 tokens.
+        assert!(curve[0].1 > curve[4].1 * 3.0, "{curve:?}");
+    }
+
+    #[test]
+    fn runtime_saturates_beyond_max_width() {
+        let exec = wide_then_narrow();
+        let curve = exec.performance_curve(&[16, 64, 256]);
+        assert!((curve[0].1 - curve[1].1).abs() < 1e-9);
+        assert!((curve[1].1 - curve[2].1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skyline_never_exceeds_allocation() {
+        let exec = wide_then_narrow();
+        for alloc in [1u32, 3, 7, 16] {
+            let result = exec.run(alloc, &ExecutionConfig::default());
+            assert!(
+                result.skyline.peak() <= alloc as f64 + 1e-9,
+                "alloc {alloc}: peak {}",
+                result.skyline.peak()
+            );
+        }
+    }
+
+    #[test]
+    fn total_work_is_allocation_invariant() {
+        let exec = wide_then_narrow();
+        let w4 = exec.run(4, &ExecutionConfig::default()).total_token_seconds;
+        let w16 = exec.run(16, &ExecutionConfig::default()).total_token_seconds;
+        assert!(
+            (w4 - w16).abs() < 1e-6,
+            "token-seconds must be preserved: {w4} vs {w16}"
+        );
+    }
+
+    #[test]
+    fn skyline_area_equals_reported_work() {
+        let exec = wide_then_narrow();
+        let r = exec.run(8, &ExecutionConfig::default());
+        assert!((r.skyline.area() - r.total_token_seconds).abs() < 1e-9);
+        // And area equals the stage graph's total task time (cost-derived
+        // work plus per-task startup, already folded into the durations).
+        let expected = exec.graph().total_work();
+        assert!(
+            (r.total_token_seconds - expected).abs() < 1e-6,
+            "{} vs {expected}",
+            r.total_token_seconds
+        );
+    }
+
+    #[test]
+    fn deterministic_without_noise() {
+        let exec = wide_then_narrow();
+        let r1 = exec.run(8, &ExecutionConfig::default());
+        let r2 = exec.run(8, &ExecutionConfig::default());
+        assert_eq!(r1.skyline, r2.skyline);
+        assert_eq!(r1.runtime_secs, r2.runtime_secs);
+    }
+
+    #[test]
+    fn noise_changes_but_seeded_noise_reproduces() {
+        let exec = wide_then_narrow();
+        let noisy = ExecutionConfig { noise: NoiseModel::mild(), noise_seed: 1 };
+        let r1 = exec.run(8, &noisy);
+        let r2 = exec.run(8, &noisy);
+        assert_eq!(r1.runtime_secs, r2.runtime_secs, "same seed, same result");
+        let other = ExecutionConfig { noise: NoiseModel::mild(), noise_seed: 2 };
+        let r3 = exec.run(8, &other);
+        assert_ne!(r1.runtime_secs, r3.runtime_secs, "different seed should differ");
+    }
+
+    #[test]
+    fn stage_dependencies_serialize_execution() {
+        // Narrow stage depends on wide stage: with plenty of tokens, the
+        // makespan is at least the sum of the two stages' longest tasks.
+        let exec = wide_then_narrow();
+        let r = exec.run(100, &ExecutionConfig::default());
+        let cp = exec.graph().critical_path_secs();
+        assert!(
+            (r.runtime_secs - cp).abs() < 1e-6,
+            "unlimited tokens should hit the critical path: {} vs {cp}",
+            r.runtime_secs
+        );
+    }
+
+    #[test]
+    fn single_operator_plan_runs() {
+        let plan = JobPlan::new(vec![node(Op::TableScan, 1, 5.0)], vec![]);
+        let exec = Executor::new(StageGraph::from_plan(&plan, 0));
+        let r = exec.run(1, &ExecutionConfig::default());
+        assert!((r.runtime_secs - 6.0).abs() < 1e-9); // 5s work + 1s startup
+        assert_eq!(r.skyline.runtime_secs(), 6);
+    }
+}

@@ -1,0 +1,273 @@
+//! The flighting harness: re-execute jobs at multiple token counts.
+//!
+//! Mirrors the paper's Section 5.1 methodology: each selected job is re-run
+//! at 100%, 80%, 60% and 20% of its reference token count; each unique
+//! flight is run multiple times for redundancy; anomalous jobs (isolated
+//! flights, runs violating run-time monotonicity beyond tolerance) are
+//! filtered out.
+
+use crate::exec::{ExecutionConfig, ExecutionResult, NoiseModel};
+use crate::generator::Job;
+use serde::{Deserialize, Serialize};
+
+/// The paper's standard flighting fractions of the reference token count.
+pub const STANDARD_FRACTIONS: [f64; 4] = [1.0, 0.8, 0.6, 0.2];
+
+/// One flight: a single run of a job at a specific allocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Flight {
+    /// The flighted job's id.
+    pub job_id: u64,
+    /// Tokens allocated for this flight.
+    pub allocation: u32,
+    /// Repetition index (the paper runs each unique flight thrice).
+    pub repetition: u32,
+    /// Measured run time in seconds.
+    pub runtime_secs: f64,
+    /// Area under the skyline (token-seconds).
+    pub token_seconds: f64,
+    /// Peak token usage.
+    pub peak_tokens: f64,
+}
+
+/// All flights of one job, with its full-allocation skylines retained for
+/// AREPAS validation.
+#[derive(Debug, Clone)]
+pub struct FlightedJob {
+    /// The job that was flighted.
+    pub job: Job,
+    /// Reference (100%) allocation used to derive the fractions.
+    pub reference_tokens: u32,
+    /// All flight records, grouped by allocation then repetition.
+    pub flights: Vec<Flight>,
+    /// One full execution result per unique allocation (first repetition),
+    /// including the skyline.
+    pub executions: Vec<ExecutionResult>,
+}
+
+impl FlightedJob {
+    /// Mean run time per unique allocation, sorted by descending
+    /// allocation: `(allocation, mean_runtime)`.
+    pub fn mean_runtimes(&self) -> Vec<(u32, f64)> {
+        let mut allocs: Vec<u32> = self.flights.iter().map(|f| f.allocation).collect();
+        allocs.sort_unstable();
+        allocs.dedup();
+        allocs.reverse();
+        allocs
+            .into_iter()
+            .map(|a| {
+                let runs: Vec<f64> = self
+                    .flights
+                    .iter()
+                    .filter(|f| f.allocation == a)
+                    .map(|f| f.runtime_secs)
+                    .collect();
+                (a, runs.iter().sum::<f64>() / runs.len() as f64)
+            })
+            .collect()
+    }
+
+    /// Whether run time monotonically non-increases with tokens, within a
+    /// relative tolerance (the paper uses 10% to absorb environmental
+    /// noise). Checked over per-allocation mean run times.
+    pub fn is_monotonic(&self, tolerance: f64) -> bool {
+        let curve = self.mean_runtimes(); // descending allocation
+        // Descending allocation => run times should be non-decreasing.
+        curve.windows(2).all(|w| w[1].1 >= w[0].1 * (1.0 - tolerance))
+    }
+
+    /// Worst slowdown caused by *adding* resources, relative to the
+    /// minimum run time (the paper reports an average 14% for violators).
+    pub fn monotonicity_violation_slowdown(&self) -> f64 {
+        let curve = self.mean_runtimes();
+        let min_rt = curve.iter().map(|c| c.1).fold(f64::INFINITY, f64::min);
+        let mut worst: f64 = 0.0;
+        for w in curve.windows(2) {
+            // w[0] has more tokens than w[1]; a violation is w[0] slower.
+            if w[0].1 > w[1].1 {
+                worst = worst.max(w[0].1 / min_rt - 1.0);
+            }
+        }
+        worst
+    }
+}
+
+/// Flighting configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlightConfig {
+    /// Fractions of the reference allocation to flight at.
+    pub fractions: Vec<f64>,
+    /// Repetitions per unique flight.
+    pub repetitions: u32,
+    /// Execution noise (the paper's flights run on a shared production
+    /// cluster; deterministic noise-free flights are available for AREPAS
+    /// unit validation).
+    pub noise: NoiseModel,
+    /// Base seed; each (job, allocation, repetition) derives its own.
+    pub seed: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        Self {
+            fractions: STANDARD_FRACTIONS.to_vec(),
+            repetitions: 3,
+            noise: NoiseModel::none(),
+            seed: 0,
+        }
+    }
+}
+
+/// Flight one job at every configured fraction of `reference_tokens`.
+pub fn flight_job(job: &Job, reference_tokens: u32, config: &FlightConfig) -> FlightedJob {
+    assert!(reference_tokens > 0, "flight_job: reference tokens must be positive");
+    let executor = job.executor();
+    let mut allocations: Vec<u32> = config
+        .fractions
+        .iter()
+        .map(|f| ((reference_tokens as f64 * f).round() as u32).max(1))
+        .collect();
+    allocations.dedup();
+
+    let mut flights = Vec::new();
+    let mut executions = Vec::new();
+    for &alloc in &allocations {
+        for rep in 0..config.repetitions.max(1) {
+            let exec_config = ExecutionConfig {
+                noise: config.noise.clone(),
+                noise_seed: config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(job.id)
+                    .wrapping_mul(31)
+                    .wrapping_add(alloc as u64)
+                    .wrapping_mul(17)
+                    .wrapping_add(rep as u64),
+            };
+            let result = executor.run(alloc, &exec_config);
+            flights.push(Flight {
+                job_id: job.id,
+                allocation: alloc,
+                repetition: rep,
+                runtime_secs: result.runtime_secs,
+                token_seconds: result.total_token_seconds,
+                peak_tokens: result.skyline.peak(),
+            });
+            if rep == 0 {
+                executions.push(result);
+            }
+        }
+    }
+    FlightedJob { job: job.clone(), reference_tokens, flights, executions }
+}
+
+/// Filters from Section 5.1: keep only non-anomalous flighted jobs.
+///
+/// A job passes when it (1) has at least two successful unique flights,
+/// (2) never used more tokens than allocated, and (3) is run-time-monotonic
+/// within `tolerance`.
+pub fn filter_non_anomalous(jobs: Vec<FlightedJob>, tolerance: f64) -> Vec<FlightedJob> {
+    jobs.into_iter()
+        .filter(|fj| {
+            let mut allocs: Vec<u32> = fj.flights.iter().map(|f| f.allocation).collect();
+            allocs.sort_unstable();
+            allocs.dedup();
+            let enough_flights = allocs.len() >= 2;
+            let within_allocation = fj
+                .flights
+                .iter()
+                .all(|f| f.peak_tokens <= f.allocation as f64 + 1e-9);
+            enough_flights && within_allocation && fj.is_monotonic(tolerance)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{WorkloadConfig, WorkloadGenerator};
+
+    fn one_job() -> Job {
+        WorkloadGenerator::new(WorkloadConfig { num_jobs: 1, seed: 21, ..Default::default() })
+            .generate()
+            .remove(0)
+    }
+
+    #[test]
+    fn flights_every_fraction_with_reps() {
+        let job = one_job();
+        let config = FlightConfig::default();
+        let fj = flight_job(&job, 100, &config);
+        // 4 fractions x 3 reps
+        assert_eq!(fj.flights.len(), 12);
+        assert_eq!(fj.executions.len(), 4);
+        let allocs: Vec<u32> = fj.executions.iter().map(|e| e.allocation).collect();
+        assert_eq!(allocs, vec![100, 80, 60, 20]);
+    }
+
+    #[test]
+    fn deterministic_flights_are_monotonic() {
+        let job = one_job();
+        let fj = flight_job(&job, job.requested_tokens.max(4), &FlightConfig::default());
+        assert!(fj.is_monotonic(0.0), "{:?}", fj.mean_runtimes());
+        assert_eq!(fj.monotonicity_violation_slowdown(), 0.0);
+    }
+
+    #[test]
+    fn mean_runtimes_sorted_descending_allocation() {
+        let job = one_job();
+        let fj = flight_job(&job, 50, &FlightConfig::default());
+        let curve = fj.mean_runtimes();
+        for w in curve.windows(2) {
+            assert!(w[0].0 > w[1].0);
+        }
+    }
+
+    #[test]
+    fn noise_free_reps_are_identical() {
+        let job = one_job();
+        let fj = flight_job(&job, 40, &FlightConfig::default());
+        for alloc in [40u32, 32, 24, 8] {
+            let times: Vec<f64> = fj
+                .flights
+                .iter()
+                .filter(|f| f.allocation == alloc)
+                .map(|f| f.runtime_secs)
+                .collect();
+            assert!(times.windows(2).all(|w| w[0] == w[1]), "{alloc}: {times:?}");
+        }
+    }
+
+    #[test]
+    fn filter_keeps_clean_jobs() {
+        let jobs: Vec<Job> =
+            WorkloadGenerator::new(WorkloadConfig { num_jobs: 5, seed: 33, ..Default::default() })
+                .generate();
+        let flighted: Vec<FlightedJob> = jobs
+            .iter()
+            .map(|j| flight_job(j, j.requested_tokens.max(5), &FlightConfig::default()))
+            .collect();
+        let kept = filter_non_anomalous(flighted, 0.1);
+        assert_eq!(kept.len(), 5, "deterministic flights should all pass");
+    }
+
+    #[test]
+    fn filter_drops_single_flight_jobs() {
+        let job = one_job();
+        let config = FlightConfig { fractions: vec![1.0], ..Default::default() };
+        let fj = flight_job(&job, 30, &config);
+        let kept = filter_non_anomalous(vec![fj], 0.1);
+        assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn noisy_flights_reproduce_with_same_seed() {
+        let job = one_job();
+        let config = FlightConfig { noise: NoiseModel::mild(), seed: 5, ..Default::default() };
+        let a = flight_job(&job, 60, &config);
+        let b = flight_job(&job, 60, &config);
+        for (x, y) in a.flights.iter().zip(&b.flights) {
+            assert_eq!(x.runtime_secs, y.runtime_secs);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Fluent construction of operator DAGs for the archetype generators.
+
+use crate::operators::{PartitioningMethod, PhysicalOperator};
+use crate::plan::{JobPlan, OperatorNode};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Incrementally builds a [`JobPlan`], deriving per-node feature values
+/// from cardinalities and operator cost factors.
+#[derive(Debug, Default)]
+pub struct PlanBuilder {
+    nodes: Vec<OperatorNode>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl PlanBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node with explicit attributes; returns its index.
+    ///
+    /// `rows_in` is the number of input rows this operator processes (used
+    /// with the operator's per-row cost factor to derive its exclusive
+    /// cost); `rows_out` its output cardinality.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add(
+        &mut self,
+        op: PhysicalOperator,
+        partitioning: PartitioningMethod,
+        partitions: u32,
+        rows_in: f64,
+        rows_out: f64,
+        row_length: f64,
+        inputs: &[usize],
+    ) -> usize {
+        let idx = self.nodes.len();
+        let mut node = OperatorNode::with_op(op);
+        node.partitioning = partitioning;
+        node.num_partitions = partitions.max(1);
+        node.est_output_cardinality = rows_out.max(1.0);
+        node.avg_row_length = row_length.max(1.0);
+        // Exclusive cost: per-row cost over the rows this operator touches,
+        // scaled down so "cost units" are roughly token-seconds of work.
+        node.est_exclusive_cost = (rows_in.max(rows_out) * op.cost_per_row() / 10_000.0).max(0.1);
+        node.num_partitioning_columns = match partitioning {
+            PartitioningMethod::Hash => 2,
+            PartitioningMethod::Range => 1,
+            _ => 0,
+        };
+        node.num_sort_columns = match op {
+            PhysicalOperator::Sort | PhysicalOperator::TopSort | PhysicalOperator::MergeSorted => 2,
+            PhysicalOperator::StreamAggregate | PhysicalOperator::WindowAggregate => 1,
+            _ => 0,
+        };
+        self.nodes.push(node);
+        for &input in inputs {
+            self.edges.push((input, idx));
+        }
+        idx
+    }
+
+    /// Convenience: a leaf scan of `rows` rows across `partitions`.
+    pub fn scan(
+        &mut self,
+        op: PhysicalOperator,
+        partitions: u32,
+        rows: f64,
+        row_length: f64,
+    ) -> usize {
+        self.add(op, PartitioningMethod::RoundRobin, partitions, rows, rows, row_length, &[])
+    }
+
+    /// Convenience: an exchange (shuffle) after `input`, repartitioning to
+    /// `partitions` with the given method.
+    pub fn exchange(
+        &mut self,
+        input: usize,
+        method: PartitioningMethod,
+        partitions: u32,
+    ) -> usize {
+        let rows = self.nodes[input].est_output_cardinality;
+        let len = self.nodes[input].avg_row_length;
+        let op = if method == PartitioningMethod::Broadcast {
+            PhysicalOperator::BroadcastExchange
+        } else {
+            PhysicalOperator::Exchange
+        };
+        self.add(op, method, partitions, rows, rows, len, &[input])
+    }
+
+    /// Output cardinality of an existing node.
+    pub fn rows_of(&self, idx: usize) -> f64 {
+        self.nodes[idx].est_output_cardinality
+    }
+
+    /// Finish: validate, roll up costs/cardinalities, return the plan.
+    pub fn build(self) -> JobPlan {
+        let mut plan = JobPlan::new(self.nodes, self.edges);
+        plan.recompute_rollups();
+        plan
+    }
+}
+
+/// Jitter helper: multiply `x` by a uniform factor in `[1-spread, 1+spread]`.
+pub fn jitter(rng: &mut StdRng, x: f64, spread: f64) -> f64 {
+    x * rng.gen_range(1.0 - spread..1.0 + spread)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::PhysicalOperator as Op;
+
+    #[test]
+    fn builds_consistent_plan() {
+        let mut b = PlanBuilder::new();
+        let scan = b.scan(Op::TableScan, 8, 1e6, 120.0);
+        let filter = b.add(
+            Op::Filter,
+            PartitioningMethod::RoundRobin,
+            8,
+            1e6,
+            2e5,
+            120.0,
+            &[scan],
+        );
+        let ex = b.exchange(filter, PartitioningMethod::Hash, 4);
+        let agg = b.add(Op::HashAggregate, PartitioningMethod::Hash, 4, 2e5, 1e3, 64.0, &[ex]);
+        let plan = b.build();
+        assert_eq!(plan.num_operators(), 4);
+        assert_eq!(plan.leaves(), vec![scan]);
+        assert_eq!(plan.roots(), vec![agg]);
+        // Rollups happened.
+        assert!(plan.operators[agg].est_subtree_cost > plan.operators[scan].est_subtree_cost);
+        assert!(plan.operators[agg].est_leaf_input_cardinality >= 1e6);
+    }
+
+    #[test]
+    fn exchange_inherits_cardinality() {
+        let mut b = PlanBuilder::new();
+        let scan = b.scan(Op::Extract, 4, 5e5, 200.0);
+        let ex = b.exchange(scan, PartitioningMethod::Hash, 16);
+        assert_eq!(b.rows_of(ex), 5e5);
+        let plan = b.build();
+        assert_eq!(plan.operators[ex].op, Op::Exchange);
+        assert_eq!(plan.operators[ex].num_partitions, 16);
+    }
+
+    #[test]
+    fn broadcast_uses_broadcast_exchange() {
+        let mut b = PlanBuilder::new();
+        let scan = b.scan(Op::TableScan, 2, 1e4, 50.0);
+        let ex = b.exchange(scan, PartitioningMethod::Broadcast, 8);
+        let plan = b.build();
+        assert_eq!(plan.operators[ex].op, Op::BroadcastExchange);
+    }
+
+    #[test]
+    fn costs_positive_and_scaled() {
+        let mut b = PlanBuilder::new();
+        let s = b.scan(Op::TableScan, 1, 100.0, 10.0);
+        let plan = b.build();
+        assert!(plan.operators[s].est_exclusive_cost >= 0.1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: train a PCC model on a synthetic SCOPE workload and pick
+//! optimal token allocations for new jobs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use scope_sim::{WorkloadConfig, WorkloadGenerator};
+use tasq::models::{NnTrainConfig, XgbTrainConfig};
+use tasq::pipeline::{
+    AllocationDecision, JobRepository, ModelChoice, ModelStore, PipelineConfig, ScoringConfig,
+    ScoringService, TasqPipeline,
+};
+
+fn main() {
+    // 1. A "historical workload": 300 jobs that already ran on the cluster.
+    println!("generating historical workload...");
+    let history = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 300,
+        seed: 42,
+        ..Default::default()
+    })
+    .generate();
+    let repository = JobRepository::new();
+    repository.ingest(history);
+
+    // 2. Train the TASQ pipeline: execute each job once, augment with
+    //    AREPAS, featurize, train, and register model artifacts.
+    println!("training TASQ pipeline on {} jobs...", repository.len());
+    let store = ModelStore::new();
+    let pipeline = TasqPipeline::new(PipelineConfig {
+        nn: NnTrainConfig { epochs: 120, ..Default::default() },
+        xgb: XgbTrainConfig { num_rounds: 120, ..Default::default() },
+        ..Default::default()
+    });
+    let dataset = pipeline.train(&repository, &store);
+    println!("prepared {} training examples\n", dataset.len());
+
+    // 3. Deploy the NN-based scoring service and score incoming jobs.
+    let service = ScoringService::deploy(&store, ModelChoice::Nn, ScoringConfig::default())
+        .expect("artifacts registered");
+    let incoming = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 10,
+        seed: 777,
+        ..Default::default()
+    })
+    .generate();
+
+    println!(
+        "{:<6} {:>10} {:>14} {:>16} {:>10}",
+        "job", "requested", "pred. runtime", "optimal tokens", "saving"
+    );
+    for job in &incoming {
+        let response = service.score(job);
+        let AllocationDecision::Automatic { tokens } = response.decision else {
+            unreachable!("automatic mode configured")
+        };
+        let saving = 1.0 - tokens as f64 / job.requested_tokens as f64;
+        println!(
+            "{:<6} {:>10} {:>13.0}s {:>16} {:>9.0}%",
+            job.id,
+            job.requested_tokens,
+            response.predicted_runtime_at_request,
+            tokens,
+            saving * 100.0
+        );
+    }
+    println!("\nDone: each incoming job was scored at compile time — no execution needed.");
+}

@@ -1,0 +1,10 @@
+//! Workspace facade re-exporting the TASQ crates.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! can exercise the full public API of the workspace from one place.
+
+#![warn(missing_docs)]
+pub use arepas;
+pub use scope_sim;
+pub use tasq;
+pub use tasq_ml;

@@ -1,0 +1,227 @@
+//! Cross-crate integration tests for the extension subsystems: cluster
+//! scheduling, adaptive release, the AutoToken baseline, SLO allocation,
+//! platform families, and the baseline simulators.
+
+use scope_sim::adaptive::adaptive_release_series;
+use scope_sim::amdahl::AmdahlModel;
+use scope_sim::cluster::{poisson_arrivals, Cluster};
+use scope_sim::jockey::JockeyModel;
+use scope_sim::{ExecutionConfig, StageGraph, WorkloadConfig, WorkloadGenerator};
+use tasq::augment::AugmentConfig;
+use tasq::baselines::AutoToken;
+use tasq::dataset::Dataset;
+use tasq::models::{NnPcc, NnTrainConfig};
+use tasq::platforms::{compare_families, ScaledInversePcc};
+use tasq::slo::{allocate_for_slo_with_pcc, calibration_factor, SloDecision};
+
+fn workload(n: usize, seed: u64) -> Vec<scope_sim::Job> {
+    WorkloadGenerator::new(WorkloadConfig { num_jobs: n, seed, ..Default::default() }).generate()
+}
+
+/// TASQ grants must not increase cluster queueing waits versus default
+/// requests, end to end: generator → dataset → NN → grants → cluster.
+#[test]
+fn tasq_grants_do_not_worsen_cluster_waits() {
+    let jobs = workload(40, 201);
+    let dataset = Dataset::build(&jobs, &AugmentConfig::default());
+    let nn = NnPcc::train(&dataset, &NnTrainConfig { epochs: 25, ..Default::default() });
+
+    let max_request = jobs.iter().map(|j| j.requested_tokens).max().unwrap();
+    let cluster = Cluster::new((max_request * 2).max(100));
+    let default_submissions = poisson_arrivals(&jobs, 5.0, |j| j.requested_tokens, 3);
+    let optimal: std::collections::HashMap<u64, u32> = jobs
+        .iter()
+        .zip(&dataset.examples)
+        .map(|(job, example)| {
+            (
+                job.id,
+                nn.predict_pcc(&example.features)
+                    .optimal_tokens(0.01, 1, job.requested_tokens),
+            )
+        })
+        .collect();
+    let tasq_submissions = poisson_arrivals(&jobs, 5.0, |j| optimal[&j.id], 3);
+
+    let default_report = cluster.simulate(&default_submissions);
+    let tasq_report = cluster.simulate(&tasq_submissions);
+    assert!(
+        tasq_report.mean_wait_secs() <= default_report.mean_wait_secs() + 1e-9,
+        "tasq {} vs default {}",
+        tasq_report.mean_wait_secs(),
+        default_report.mean_wait_secs()
+    );
+}
+
+/// Adaptive release on top of any grant keeps the execution identical and
+/// never grants below usage — for every job in a varied workload.
+#[test]
+fn adaptive_release_invariants_over_workload() {
+    let config = ExecutionConfig::default();
+    for job in workload(15, 203) {
+        let executor = job.executor();
+        let alloc = job.requested_tokens.max(2);
+        let plain = executor.run(alloc, &config);
+        let (released, grants) = adaptive_release_series(&executor, alloc, &config);
+        assert_eq!(plain.skyline, released.skyline, "job {}", job.id);
+        for (grant, used) in grants.levels.iter().zip(released.skyline.samples()) {
+            assert!(grant + 1e-9 >= *used, "job {}: grant below usage", job.id);
+        }
+        assert!(grants.total() <= alloc as f64 * plain.skyline.runtime_secs() as f64 + 1e-9);
+    }
+}
+
+/// AutoToken's signature grouping is consistent with the generator's
+/// recurring templates: recurring instances hash together.
+#[test]
+fn autotoken_signatures_align_with_templates() {
+    use tasq::baselines::JobSignature;
+    let jobs = workload(200, 205);
+    let mut by_template: std::collections::HashMap<u64, Vec<&scope_sim::Job>> =
+        std::collections::HashMap::new();
+    for job in &jobs {
+        if let Some(t) = job.meta.recurring_template {
+            by_template.entry(t).or_default().push(job);
+        }
+    }
+    for (template, members) in by_template {
+        if members.len() < 2 {
+            continue;
+        }
+        let first = JobSignature::of(&members[0].plan);
+        for member in &members[1..] {
+            assert_eq!(
+                JobSignature::of(&member.plan),
+                first,
+                "template {template}: instances must share a signature"
+            );
+        }
+    }
+}
+
+/// The AutoToken model trained on one day transfers to the next day's
+/// recurring jobs (same templates) but not to most fresh ad-hoc jobs.
+#[test]
+fn autotoken_transfers_to_recurring_only() {
+    let mut all = workload(260, 207);
+    let day2 = all.split_off(200);
+    let day1 = all;
+    let day1_dataset = Dataset::build(&day1, &AugmentConfig::default());
+    // min_group_size 1: any signature with history counts as recurring.
+    let model = AutoToken::train(&day1_dataset, &day1, 1);
+    let recurring: Vec<scope_sim::Job> =
+        day2.iter().filter(|j| j.meta.recurring_template.is_some()).cloned().collect();
+    let adhoc: Vec<scope_sim::Job> =
+        day2.iter().filter(|j| j.meta.recurring_template.is_none()).cloned().collect();
+    let recurring_coverage = model.coverage(&recurring);
+    let adhoc_coverage = model.coverage(&adhoc);
+    assert!(
+        recurring_coverage > adhoc_coverage,
+        "recurring {recurring_coverage} vs adhoc {adhoc_coverage}"
+    );
+    assert!(recurring_coverage > 0.5, "recurring jobs share day-1 templates");
+}
+
+/// Conformal calibration: a factor from one sample transfers coverage to
+/// a disjoint sample from the same population (approximately).
+#[test]
+fn calibration_transfers_across_samples() {
+    let jobs = workload(120, 209);
+    let dataset = Dataset::build(&jobs, &AugmentConfig::default());
+    let nn = NnPcc::train(&dataset, &NnTrainConfig { epochs: 40, ..Default::default() });
+    let (calibration, holdout) = dataset.split(2, 0);
+    let ratios = |ds: &Dataset| -> (Vec<f64>, Vec<f64>) {
+        let predicted: Vec<f64> = ds
+            .examples
+            .iter()
+            .map(|e| nn.predict_pcc(&e.features).predict(e.observed_tokens))
+            .collect();
+        let actual: Vec<f64> = ds.examples.iter().map(|e| e.observed_runtime).collect();
+        (predicted, actual)
+    };
+    let (cal_pred, cal_actual) = ratios(&calibration);
+    let factor = calibration_factor(&cal_pred, &cal_actual, 0.9);
+    let (hold_pred, hold_actual) = ratios(&holdout);
+    let covered = hold_pred
+        .iter()
+        .zip(&hold_actual)
+        .filter(|(p, a)| **a <= **p * factor)
+        .count() as f64
+        / hold_pred.len() as f64;
+    assert!(covered >= 0.75, "P90 factor should cover >=75% of holdout, got {covered}");
+}
+
+/// Closed-form deadline allocation is consistent with prediction.
+#[test]
+fn slo_decision_consistency() {
+    let pcc = tasq::pcc::PowerLawPcc::new(-0.7, 3000.0);
+    for deadline in [100.0, 500.0, 2500.0] {
+        match allocate_for_slo_with_pcc(&pcc, 1.2, deadline, 1, 6287) {
+            SloDecision::Feasible { tokens, predicted_runtime } => {
+                assert!(predicted_runtime <= deadline + 1e-9);
+                assert!((predicted_runtime - 1.2 * pcc.predict(tokens)).abs() < 1e-9);
+            }
+            SloDecision::Infeasible { best_runtime } => {
+                assert!(best_runtime > deadline);
+            }
+        }
+    }
+}
+
+/// The baseline simulators agree with the executor in their own regimes:
+/// Jockey is exact without drift; Amdahl converges at high allocations.
+#[test]
+fn baseline_simulators_sanity() {
+    let job = workload(5, 211).remove(0);
+    let graph = StageGraph::from_plan(&job.plan, job.seed);
+    let executor = job.executor();
+    let config = ExecutionConfig::default();
+
+    let jockey = JockeyModel::from_prior_run(graph.clone());
+    let actual = executor.run(16, &config).runtime_secs;
+    assert!((jockey.predict_runtime(16) - actual).abs() < 1e-9);
+
+    let amdahl = AmdahlModel::from_stage_graph(&graph);
+    let huge_actual = executor.run(6000, &config).runtime_secs;
+    let huge_predicted = amdahl.predict_runtime(6000);
+    // At saturation both approach the critical path; Amdahl's serial part
+    // is the per-stage longest task, so it can undershoot but not by much.
+    assert!(
+        (huge_predicted / huge_actual) > 0.4 && (huge_predicted / huge_actual) < 1.5,
+        "{huge_predicted} vs {huge_actual}"
+    );
+}
+
+/// Curve-family selection: executor-generated curves are fit well by at
+/// least one of the two families everywhere.
+#[test]
+fn some_family_fits_every_job() {
+    for job in workload(10, 213) {
+        let allocations: Vec<u32> = [0.2, 0.4, 0.7, 1.0]
+            .iter()
+            .map(|f| ((job.requested_tokens as f64 * f).round() as u32).max(1))
+            .collect();
+        let curve: Vec<(f64, f64)> = job
+            .executor()
+            .performance_curve(&allocations)
+            .into_iter()
+            .map(|(t, r)| (t as f64, r))
+            .collect();
+        let Some((_, power_err, inverse_err)) = compare_families(&curve) else {
+            continue; // degenerate tiny job
+        };
+        let best = power_err.min(inverse_err);
+        // Sum of squared log-residuals over ≤4 points: "fits well" means
+        // average residual under ~35% in log space.
+        assert!(best < 4.0 * 0.35f64.powi(2) * 4.0, "job {}: {best}", job.id);
+    }
+}
+
+/// The scaled-inverse family round-trips through the codec like
+/// everything else in the workspace.
+#[test]
+fn platform_pcc_serializes() {
+    let pcc = ScaledInversePcc::new(12.0, 3400.0);
+    let bytes = tasq::codec::to_bytes(&pcc).unwrap();
+    let back: ScaledInversePcc = tasq::codec::from_bytes(&bytes).unwrap();
+    assert_eq!(pcc, back);
+}

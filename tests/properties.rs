@@ -1,0 +1,198 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+use tasq::pcc::{ParamScaler, PowerLawPcc};
+
+/// Strategy: a plausible skyline (1–120 seconds, 0–200 tokens/sec).
+fn skyline_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..200.0, 1..120)
+}
+
+proptest! {
+    /// AREPAS preserves the area under the skyline exactly, for any
+    /// skyline and any positive allocation.
+    #[test]
+    fn arepas_preserves_area(skyline in skyline_strategy(), alloc in 0.5f64..300.0) {
+        let sim = arepas::simulate(&skyline, alloc);
+        let original: f64 = skyline.iter().sum();
+        prop_assert!((sim.area() - original).abs() < 1e-6 * original.max(1.0),
+            "area {} vs {}", sim.area(), original);
+    }
+
+    /// The simulated skyline never exceeds the allocation.
+    #[test]
+    fn arepas_respects_allocation(skyline in skyline_strategy(), alloc in 0.5f64..300.0) {
+        let sim = arepas::simulate(&skyline, alloc);
+        prop_assert!(sim.peak() <= alloc + 1e-9);
+    }
+
+    /// Simulated run time is monotone non-decreasing as the allocation
+    /// shrinks.
+    #[test]
+    fn arepas_runtime_monotone(skyline in skyline_strategy(),
+                               lo in 1.0f64..50.0, delta in 0.1f64..100.0) {
+        let hi = lo + delta;
+        let rt_hi = arepas::simulate_runtime(&skyline, hi);
+        let rt_lo = arepas::simulate_runtime(&skyline, lo);
+        prop_assert!(rt_lo >= rt_hi, "lower allocation ran faster: {rt_lo} < {rt_hi}");
+    }
+
+    /// Sections partition the skyline: total duration and area match.
+    #[test]
+    fn sections_partition(skyline in skyline_strategy(), threshold in 0.5f64..250.0) {
+        let sections = arepas::split_sections(&skyline, threshold);
+        let total_len: usize = sections.iter().map(|s| s.duration()).sum();
+        let total_area: f64 = sections.iter().map(|s| s.area()).sum();
+        prop_assert_eq!(total_len, skyline.len());
+        prop_assert!((total_area - skyline.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    /// Fitting a noiseless power law recovers its parameters.
+    #[test]
+    fn pcc_fit_roundtrip(a in -1.5f64..-0.01, b in 10.0f64..100_000.0) {
+        let truth = PowerLawPcc::new(a, b);
+        let points: Vec<(f64, f64)> = [2u32, 5, 13, 40, 90, 250]
+            .iter()
+            .map(|&t| (t as f64, truth.predict(t)))
+            .collect();
+        let fit = PowerLawPcc::fit(&points).unwrap();
+        prop_assert!((fit.a - a).abs() < 1e-6, "a {} vs {a}", fit.a);
+        prop_assert!((fit.b / b - 1.0).abs() < 1e-6, "b {} vs {b}", fit.b);
+    }
+
+    /// The optimal-token closed form satisfies the marginal condition.
+    #[test]
+    fn optimal_tokens_marginal_condition(a in -1.2f64..-0.05, b in 100.0f64..10_000.0,
+                                         improvement in 0.001f64..0.1) {
+        let pcc = PowerLawPcc::new(a, b);
+        let optimal = pcc.optimal_tokens(improvement, 1, 100_000);
+        let marginal = |t: u32| 1.0 - pcc.predict(t + 1) / pcc.predict(t);
+        if optimal > 1 && optimal < 100_000 {
+            prop_assert!(marginal(optimal) >= improvement - 1e-9);
+            prop_assert!(marginal(optimal + 1) < improvement + 1e-9);
+        }
+    }
+
+    /// Parameter scaling round-trips and always reconstructs a monotone
+    /// curve.
+    #[test]
+    fn param_scaler_roundtrip(a in -2.0f64..0.0, log_b in 0.1f64..12.0) {
+        let pcc = PowerLawPcc::new(a, log_b.exp());
+        let scaler = ParamScaler::fit(&[pcc, PowerLawPcc::new(-0.5, 500.0)]);
+        let (t1, t2) = scaler.to_targets(&pcc);
+        let back = scaler.from_targets(t1, t2);
+        prop_assert!(back.is_non_increasing());
+        prop_assert!((back.a - pcc.a).abs() < 1e-9);
+        prop_assert!((back.b.ln() - pcc.b.ln()).abs() < 1e-9);
+    }
+
+    /// The binary codec round-trips arbitrary nested payloads.
+    #[test]
+    fn codec_roundtrip(id in any::<u64>(),
+                       name in "[a-z]{0,12}",
+                       values in proptest::collection::vec(any::<f64>(), 0..50),
+                       pairs in proptest::collection::vec((any::<u32>(), -1e9f64..1e9), 0..20),
+                       flag in any::<bool>()) {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Payload {
+            id: u64,
+            name: String,
+            values: Vec<f64>,
+            pairs: Vec<(u32, f64)>,
+            flag: bool,
+            nested: Option<Vec<String>>,
+        }
+        let payload = Payload {
+            id,
+            name: name.clone(),
+            values,
+            pairs,
+            flag,
+            nested: flag.then(|| vec![name]),
+        };
+        let bytes = tasq::codec::to_bytes(&payload).unwrap();
+        let back: Payload = tasq::codec::from_bytes(&bytes).unwrap();
+        // NaN-safe comparison via bit patterns.
+        prop_assert_eq!(back.id, payload.id);
+        prop_assert_eq!(&back.name, &payload.name);
+        prop_assert_eq!(back.values.len(), payload.values.len());
+        for (x, y) in back.values.iter().zip(&payload.values) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        prop_assert_eq!(back.pairs.len(), payload.pairs.len());
+        prop_assert_eq!(back.flag, payload.flag);
+        prop_assert_eq!(back.nested, payload.nested);
+    }
+
+    /// Smoothing splines with lambda = 0 interpolate their inputs.
+    #[test]
+    fn spline_interpolates_at_zero_lambda(
+        ys in proptest::collection::vec(-100.0f64..100.0, 3..15)
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let spline = tasq_ml::spline::SmoothingSpline::fit(&xs, &ys, 0.0).unwrap();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            prop_assert!((spline.evaluate(x) - y).abs() < 1e-6,
+                "at {x}: {} vs {y}", spline.evaluate(x));
+        }
+    }
+
+    /// KS statistic is within [0, 1], zero for identical samples, and
+    /// symmetric.
+    #[test]
+    fn ks_statistic_properties(
+        a in proptest::collection::vec(-1000.0f64..1000.0, 1..80),
+        b in proptest::collection::vec(-1000.0f64..1000.0, 1..80)
+    ) {
+        let ab = tasq_ml::stats::ks_two_sample(&a, &b);
+        let ba = tasq_ml::stats::ks_two_sample(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&ab.statistic));
+        prop_assert!((ab.statistic - ba.statistic).abs() < 1e-12);
+        let aa = tasq_ml::stats::ks_two_sample(&a, &a);
+        prop_assert!(aa.statistic < 1e-12);
+    }
+}
+
+/// Executor invariants over randomized small plans. Kept outside the
+/// proptest macro (generation needs a seeded workload generator).
+#[test]
+fn executor_invariants_over_random_jobs() {
+    use scope_sim::{ExecutionConfig, WorkloadConfig, WorkloadGenerator};
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 30,
+        seed: 0xDECAF,
+        ..Default::default()
+    })
+    .generate();
+    let config = ExecutionConfig::default();
+    for job in &jobs {
+        let executor = job.executor();
+        let mut last_runtime = 0.0f64;
+        let mut prev_area: Option<f64> = None;
+        // Descending allocations: runtime must be non-decreasing.
+        for divisor in [1u32, 2, 4, 8] {
+            let alloc = (job.requested_tokens / divisor).max(1);
+            let result = executor.run(alloc, &config);
+            // Peak never exceeds allocation.
+            assert!(result.skyline.peak() <= alloc as f64 + 1e-9);
+            // Work is allocation-invariant.
+            if let Some(area) = prev_area {
+                assert!(
+                    (result.total_token_seconds - area).abs() < 1e-6,
+                    "job {}: area changed {area} -> {}",
+                    job.id,
+                    result.total_token_seconds
+                );
+            }
+            prev_area = Some(result.total_token_seconds);
+            // Fewer tokens must not run faster.
+            assert!(
+                result.runtime_secs >= last_runtime - 1e-9,
+                "job {}: runtime decreased when tokens shrank ({last_runtime} -> {})",
+                job.id,
+                result.runtime_secs
+            );
+            last_runtime = last_runtime.max(result.runtime_secs);
+        }
+    }
+}
