@@ -43,6 +43,7 @@ fn bench_baseline_predictions(c: &mut Criterion) {
     let skyline = job
         .executor()
         .run(job.requested_tokens, &ExecutionConfig::default())
+        .expect("fault-free execution cannot fail")
         .skyline;
     let amdahl = AmdahlModel::from_stage_graph(&graph);
     let jockey = JockeyModel::from_prior_run(graph);

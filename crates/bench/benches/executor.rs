@@ -3,7 +3,7 @@
 //! substrate behind Figures 1, 3 and 8).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use scope_sim::{ExecutionConfig, StageGraph, WorkloadConfig, WorkloadGenerator};
+use scope_sim::{ExecutionConfig, FaultPlan, StageGraph, WorkloadConfig, WorkloadGenerator};
 use std::hint::black_box;
 
 fn bench_workload_generation(c: &mut Criterion) {
@@ -58,6 +58,40 @@ fn bench_execution(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fault-layer cost: the same job under each fault preset, plus the
+/// empty-plan case. The `none` entry is the overhead guard — with an
+/// empty plan the injector draws no randomness, so its timing should sit
+/// within ~5% of what the pre-fault-layer executor measured; compare the
+/// `none` and preset medians to see what fault handling itself costs.
+fn bench_execution_with_faults(c: &mut Criterion) {
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs: 200,
+        seed: 3,
+        ..Default::default()
+    })
+    .generate();
+    let job = jobs
+        .iter()
+        .find(|j| (50..=150).contains(&j.requested_tokens))
+        .unwrap_or(&jobs[0]);
+    let executor = job.executor();
+    let alloc = job.requested_tokens;
+
+    let mut group = c.benchmark_group("executor/run_faults");
+    for (label, plan) in [
+        ("none", FaultPlan::none()),
+        ("mild", FaultPlan::mild()),
+        ("production", FaultPlan::production()),
+        ("adversarial", FaultPlan::adversarial()),
+    ] {
+        let config = ExecutionConfig { faults: plan, noise_seed: 9, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| executor.run(black_box(alloc), config));
+        });
+    }
+    group.finish();
+}
+
 fn bench_performance_curve(c: &mut Criterion) {
     let jobs = WorkloadGenerator::new(WorkloadConfig {
         num_jobs: 20,
@@ -74,6 +108,6 @@ fn bench_performance_curve(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_workload_generation, bench_stage_extraction, bench_execution, bench_performance_curve
+    targets = bench_workload_generation, bench_stage_extraction, bench_execution, bench_execution_with_faults, bench_performance_curve
 }
 criterion_main!(benches);

@@ -15,7 +15,10 @@ fn observed_skylines(n: usize) -> Vec<(Skyline, u32)> {
     jobs.iter()
         .map(|j| {
             (
-                j.executor().run(j.requested_tokens, &config).skyline,
+                j.executor()
+                    .run(j.requested_tokens, &config)
+                    .expect("fault-free execution cannot fail")
+                    .skyline,
                 j.requested_tokens,
             )
         })

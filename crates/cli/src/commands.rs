@@ -1,8 +1,9 @@
-//! The four subcommands.
+//! The five subcommands.
 
 use crate::options::Options;
 use crate::CliError;
-use scope_sim::{Job, WorkloadConfig, WorkloadGenerator};
+use scope_sim::flight::{filter_non_anomalous, flight_job, FlightConfig};
+use scope_sim::{FaultPlan, Job, NoiseModel, WorkloadConfig, WorkloadGenerator};
 use std::fmt::Write as _;
 use tasq::codec;
 use tasq::models::{NnTrainConfig, XgbTrainConfig};
@@ -82,13 +83,11 @@ pub fn train(args: &[String]) -> Result<String, CliError> {
         xgb: XgbTrainConfig { num_rounds: xgb_rounds, ..Default::default() },
         ..Default::default()
     });
-    let dataset = pipeline.train(&repo, &memory_store);
+    let dataset = pipeline.train(&repo, &memory_store)?;
 
     let disk = DiskModelStore::open(model_dir)?;
-    let nn: tasq::models::NnPcc =
-        memory_store.load_latest(NN_MODEL_NAME).expect("pipeline registered the NN");
-    let xgb: tasq::models::XgbRuntime =
-        memory_store.load_latest(XGB_MODEL_NAME).expect("pipeline registered XGBoost");
+    let nn: tasq::models::NnPcc = memory_store.load_latest(NN_MODEL_NAME)?;
+    let xgb: tasq::models::XgbRuntime = memory_store.load_latest(XGB_MODEL_NAME)?;
     let nn_version = disk.register(NN_MODEL_NAME, &nn)?;
     let xgb_version = disk.register(XGB_MODEL_NAME, &xgb)?;
     Ok(format!(
@@ -119,13 +118,13 @@ pub fn score(args: &[String]) -> Result<String, CliError> {
         ModelChoice::Nn => {
             let nn: tasq::models::NnPcc = disk
                 .load_latest(NN_MODEL_NAME)
-                .ok_or_else(|| CliError::Usage("no NN artifact in model dir".into()))?;
+                .map_err(|e| CliError::Usage(format!("no NN artifact in model dir: {e}")))?;
             store.register(NN_MODEL_NAME, &nn)?;
         }
         ModelChoice::XgboostSs | ModelChoice::XgboostPl => {
             let xgb: tasq::models::XgbRuntime = disk
                 .load_latest(XGB_MODEL_NAME)
-                .ok_or_else(|| CliError::Usage("no XGBoost artifact in model dir".into()))?;
+                .map_err(|e| CliError::Usage(format!("no XGBoost artifact in model dir: {e}")))?;
             store.register(XGB_MODEL_NAME, &xgb)?;
         }
     }
@@ -134,13 +133,13 @@ pub fn score(args: &[String]) -> Result<String, CliError> {
         choice,
         ScoringConfig { min_improvement, ..Default::default() },
     )
-    .expect("artifact registered above");
+    .map_err(|e| CliError::Usage(e.to_string()))?;
 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<8} {:>10} {:>15} {:>16} {:>9}",
-        "job", "requested", "pred. runtime", "optimal tokens", "saving"
+        "{:<8} {:>10} {:>15} {:>16} {:>9} {:>9}",
+        "job", "requested", "pred. runtime", "optimal tokens", "saving", "tier"
     );
     let mut total_requested = 0.0;
     let mut total_optimal = 0.0;
@@ -153,12 +152,13 @@ pub fn score(args: &[String]) -> Result<String, CliError> {
         total_optimal += tokens as f64;
         let _ = writeln!(
             out,
-            "{:<8} {:>10} {:>14.0}s {:>16} {:>8.0}%",
+            "{:<8} {:>10} {:>14.0}s {:>16} {:>8.0}% {:>9}",
             job.id,
             job.requested_tokens,
             response.predicted_runtime_at_request,
             tokens,
-            100.0 * (1.0 - tokens as f64 / job.requested_tokens as f64)
+            100.0 * (1.0 - tokens as f64 / job.requested_tokens as f64),
+            format!("{:?}", response.served_tier).to_lowercase(),
         );
     }
     let _ = writeln!(
@@ -166,6 +166,74 @@ pub fn score(args: &[String]) -> Result<String, CliError> {
         "\ntotal: {total_requested:.0} requested -> {total_optimal:.0} optimal ({:.0}% saved)",
         100.0 * (1.0 - total_optimal / total_requested.max(1.0))
     );
+    Ok(out)
+}
+
+/// `tasq flight --workload <file> [--faults none|mild|production|adversarial]
+///  [--sample N] [--seed N]`
+///
+/// Re-executes a sample of the workload at 100/80/60/20% of each job's
+/// request under the chosen fault-injection preset, then reports recovery
+/// statistics and how many jobs survive the anomaly filters.
+pub fn flight(args: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(args, &["workload", "faults", "sample", "seed"])?;
+    let jobs = read_workload(opts.required("workload")?)?;
+    let preset = opts.get("faults").unwrap_or("none");
+    let faults = FaultPlan::from_name(preset).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown --faults `{preset}` (expected one of {})",
+            FaultPlan::PRESET_NAMES.join("|")
+        ))
+    })?;
+    let sample = opts.number::<usize>("sample", 10)?;
+    let seed = opts.number::<u64>("seed", 0)?;
+
+    let config = FlightConfig { noise: NoiseModel::mild(), faults, seed, ..Default::default() };
+    let mut flighted = Vec::new();
+    let mut dropped = 0usize;
+    for job in jobs.iter().take(sample) {
+        match flight_job(job, job.requested_tokens, &config) {
+            Ok(fj) => flighted.push(fj),
+            Err(_) => dropped += 1,
+        }
+    }
+
+    let mut crashes = 0u32;
+    let mut retries = 0u32;
+    let mut preemptions = 0u32;
+    let mut stragglers = 0u32;
+    let mut spec_wins = 0u32;
+    let mut waste = 0.0f64;
+    let mut executions = 0usize;
+    for fj in &flighted {
+        for e in &fj.executions {
+            crashes += e.faults.task_crashes;
+            retries += e.faults.task_retries;
+            preemptions += e.faults.preemptions;
+            stragglers += e.faults.straggler_tasks;
+            spec_wins += e.faults.speculative_wins;
+            waste += e.faults.wasted_token_seconds;
+            executions += 1;
+        }
+    }
+    let flown = flighted.len();
+    let clean = filter_non_anomalous(flighted, 0.10);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "fault preset: {preset}");
+    let _ = writeln!(
+        out,
+        "flighted {flown}/{} sampled jobs ({executions} executions), {dropped} dropped \
+         after retry exhaustion",
+        sample.min(jobs.len())
+    );
+    let _ = writeln!(
+        out,
+        "faults injected: {crashes} crashes, {retries} retries, {preemptions} preemptions, \
+         {stragglers} stragglers, {spec_wins} speculative wins"
+    );
+    let _ = writeln!(out, "wasted token-seconds: {waste:.0}");
+    let _ = writeln!(out, "{}/{flown} jobs pass the anomaly filters", clean.len());
     Ok(out)
 }
 
@@ -260,6 +328,50 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("unknown --model"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_reports_fault_statistics() {
+        let dir = temp_dir("flight");
+        let workload = dir.join("w.bin");
+        let workload_str = workload.to_str().unwrap().to_string();
+        generate(&strings(&["--out", &workload_str, "--jobs", "12", "--seed", "5"])).unwrap();
+
+        // Fault-free flighting: no disturbances at all.
+        let out = flight(&strings(&["--workload", &workload_str, "--sample", "4"])).unwrap();
+        assert!(out.contains("fault preset: none"));
+        assert!(out.contains("0 crashes, 0 retries"));
+        assert!(out.contains("0 dropped"));
+
+        // A production preset reports the injected faults.
+        let out = flight(&strings(&[
+            "--workload",
+            &workload_str,
+            "--sample",
+            "4",
+            "--faults",
+            "production",
+        ]))
+        .unwrap();
+        assert!(out.contains("fault preset: production"));
+        assert!(out.contains("pass the anomaly filters"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_rejects_unknown_preset() {
+        let dir = temp_dir("badpreset");
+        let workload = dir.join("w.bin");
+        generate(&strings(&["--out", workload.to_str().unwrap(), "--jobs", "3"])).unwrap();
+        let err = flight(&strings(&[
+            "--workload",
+            workload.to_str().unwrap(),
+            "--faults",
+            "catastrophic",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown --faults"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,6 +1,6 @@
 //! Library backing the `tasq` command-line binary.
 //!
-//! Four subcommands drive the pipeline from files on disk, with workloads
+//! Five subcommands drive the pipeline from files on disk, with workloads
 //! and model artifacts serialized through the workspace's binary codec:
 //!
 //! * `generate` — synthesize a workload and write it to a file.
@@ -9,6 +9,8 @@
 //!   XGBoost models, and register them in a directory-backed model store.
 //! * `score`    — load the latest artifacts and score a workload file,
 //!   printing per-job allocation decisions.
+//! * `flight`   — re-execute a sample of jobs under a fault-injection
+//!   preset and report recovery statistics and anomaly filtering.
 //!
 //! Commands return their output as a `String` so they are directly
 //! testable; `main` just prints.
@@ -20,7 +22,7 @@ pub mod options;
 
 use std::fmt;
 
-/// CLI error: bad usage or an underlying I/O / codec failure.
+/// CLI error: bad usage or an underlying I/O / codec / pipeline failure.
 #[derive(Debug)]
 pub enum CliError {
     /// Invalid flags or arguments; the string is a usage message.
@@ -29,6 +31,10 @@ pub enum CliError {
     Io(std::io::Error),
     /// Artifact encoding/decoding failure.
     Codec(tasq::codec::CodecError),
+    /// Model-store failure.
+    Store(tasq::pipeline::StoreError),
+    /// Training-pipeline failure.
+    Pipeline(tasq::pipeline::PipelineError),
 }
 
 impl fmt::Display for CliError {
@@ -37,6 +43,8 @@ impl fmt::Display for CliError {
             CliError::Usage(message) => write!(f, "usage error: {message}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Codec(e) => write!(f, "codec error: {e}"),
+            CliError::Store(e) => write!(f, "model store error: {e}"),
+            CliError::Pipeline(e) => write!(f, "pipeline error: {e}"),
         }
     }
 }
@@ -55,6 +63,18 @@ impl From<tasq::codec::CodecError> for CliError {
     }
 }
 
+impl From<tasq::pipeline::StoreError> for CliError {
+    fn from(e: tasq::pipeline::StoreError) -> Self {
+        CliError::Store(e)
+    }
+}
+
+impl From<tasq::pipeline::PipelineError> for CliError {
+    fn from(e: tasq::pipeline::PipelineError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+
 /// Top-level dispatch: run a command line (without the program name).
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some((command, rest)) = args.split_first() else {
@@ -65,6 +85,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "inspect" => commands::inspect(rest),
         "train" => commands::train(rest),
         "score" => commands::score(rest),
+        "flight" => commands::flight(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
     }
@@ -80,5 +101,7 @@ USAGE:
     tasq-cli train    --workload <file> --model-dir <dir> [--nn-epochs N] [--xgb-rounds N]
     tasq-cli score    --workload <file> --model-dir <dir> [--model nn|xgb-ss|xgb-pl]
                       [--min-improvement FRAC]
+    tasq-cli flight   --workload <file> [--faults none|mild|production|adversarial]
+                      [--sample N] [--seed N]
     tasq-cli help
 ";

@@ -80,7 +80,7 @@ impl Dataset {
         let stage_graph = StageGraph::from_plan(&job.plan, job.seed);
         let num_stages = stage_graph.num_stages();
         let executor = scope_sim::Executor::new(stage_graph);
-        let result = executor.run(job.requested_tokens, &ExecutionConfig::default());
+        let result = executor.run(job.requested_tokens, &ExecutionConfig::default()).ok()?;
         let observed_runtime = result.runtime_secs.max(1.0);
 
         let pcc_points =
@@ -243,7 +243,10 @@ mod tests {
         let jobs = jobs(3);
         let ds = Dataset::build(&jobs, &AugmentConfig::default());
         for (job, example) in jobs.iter().zip(&ds.examples) {
-            let r = job.executor().run(job.requested_tokens, &ExecutionConfig::default());
+            let r = job
+                .executor()
+                .run(job.requested_tokens, &ExecutionConfig::default())
+                .expect("runs");
             assert!((r.runtime_secs.max(1.0) - example.observed_runtime).abs() < 1e-9);
         }
     }

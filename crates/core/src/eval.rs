@@ -262,7 +262,7 @@ mod tests {
                 .generate();
         let flighted: Vec<_> = jobs
             .iter()
-            .map(|j| flight_job(j, j.requested_tokens.max(5), &FlightConfig::default()))
+            .map(|j| flight_job(j, j.requested_tokens.max(5), &FlightConfig::default()).expect("flights"))
             .collect();
         let report = monotonicity_report(&flighted, 0.1);
         assert_eq!(report.total_jobs, 6);

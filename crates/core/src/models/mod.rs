@@ -51,10 +51,12 @@ pub enum PredictedPcc {
 }
 
 impl PredictedPcc {
-    /// Predicted run time at a token count (clamped to be positive).
+    /// Predicted run time at a token count, floored at one second — no
+    /// SCOPE job completes faster, and undertrained models must not
+    /// serve sub-second estimates.
     pub fn predict(&self, tokens: u32) -> f64 {
         match self {
-            PredictedPcc::PowerLaw(pcc) => pcc.predict(tokens),
+            PredictedPcc::PowerLaw(pcc) => pcc.predict(tokens).max(1.0),
             PredictedPcc::Curve { spline, .. } => spline.evaluate(tokens as f64).max(1.0),
         }
     }

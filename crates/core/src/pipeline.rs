@@ -12,6 +12,14 @@
 //!                          └─ AllocationDecision (auto token count, or
 //!                             the PCC for the user to decide)
 //! ```
+//!
+//! Failures are typed ([`StoreError`], [`PipelineError`], [`DeployError`])
+//! and the scoring service degrades gracefully instead of panicking: when
+//! the primary model artifact is missing or corrupt, or its prediction is
+//! non-monotone or non-finite, scoring falls through a tier chain —
+//! primary → fallback trained model → analytic Amdahl baseline built from
+//! the submitted plan alone. [`ScoreResponse::served_tier`] records which
+//! tier actually answered.
 
 use crate::augment::AugmentConfig;
 use crate::dataset::Dataset;
@@ -21,11 +29,123 @@ use crate::models::{
     XgboostPl, XgboostSs,
 };
 use crate::codec;
+use crate::pcc::PowerLawPcc;
 use parking_lot::RwLock;
-use scope_sim::{Job, StageGraph};
+use scope_sim::{AmdahlModel, Job, StageGraph};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Error loading or storing a model artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// No artifact has ever been registered under this name.
+    MissingModel {
+        /// Requested model name.
+        name: String,
+    },
+    /// The model name exists but the requested version does not.
+    MissingVersion {
+        /// Requested model name.
+        name: String,
+        /// Requested version.
+        version: u32,
+    },
+    /// The stored bytes exist but failed to decode as the requested type.
+    Corrupt {
+        /// Model name.
+        name: String,
+        /// Version whose bytes failed to decode.
+        version: u32,
+        /// The underlying codec failure.
+        cause: codec::CodecError,
+    },
+    /// Filesystem failure (disk-backed stores only).
+    Io {
+        /// Model name being accessed.
+        name: String,
+        /// The I/O error, stringified to keep the error cloneable.
+        message: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::MissingModel { name } => write!(f, "no artifact registered as `{name}`"),
+            StoreError::MissingVersion { name, version } => {
+                write!(f, "artifact `{name}` has no version {version}")
+            }
+            StoreError::Corrupt { name, version, cause } => {
+                write!(f, "artifact `{name}` v{version} failed to decode: {cause}")
+            }
+            StoreError::Io { name, message } => {
+                write!(f, "i/o failure accessing artifact `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Error from the training pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The job repository holds no jobs to train on.
+    EmptyRepository,
+    /// Every job in the repository was degenerate — not a single training
+    /// example could be prepared.
+    NoTrainableJobs,
+    /// Serializing a trained artifact for the store failed.
+    Codec(codec::CodecError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::EmptyRepository => write!(f, "cannot train on an empty repository"),
+            PipelineError::NoTrainableJobs => {
+                write!(f, "no trainable examples: every job was degenerate")
+            }
+            PipelineError::Codec(e) => write!(f, "artifact serialization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<codec::CodecError> for PipelineError {
+    fn from(e: codec::CodecError) -> Self {
+        PipelineError::Codec(e)
+    }
+}
+
+/// Error deploying a scoring service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The artifact backing the requested primary model could not be
+    /// loaded. Use [`ScoringService::deploy_degraded`] to serve from the
+    /// remaining tiers instead of failing.
+    PrimaryUnavailable {
+        /// The requested model family.
+        choice: ModelChoice,
+        /// Why its artifact could not be loaded.
+        cause: StoreError,
+    },
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::PrimaryUnavailable { choice, cause } => {
+                write!(f, "primary model {choice:?} unavailable: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
 
 /// In-memory repository of historical jobs (the Cosmos job repository).
 #[derive(Debug, Default)]
@@ -93,17 +213,37 @@ impl ModelStore {
     }
 
     /// Load the latest version of a model.
-    pub fn load_latest<T: DeserializeOwned>(&self, name: &str) -> Option<T> {
+    pub fn load_latest<T: DeserializeOwned>(&self, name: &str) -> Result<T, StoreError> {
         let store = self.artifacts.read();
-        let artifact = store.get(name)?.last()?;
-        codec::from_bytes(&artifact.bytes).ok()
+        let artifact = store
+            .get(name)
+            .and_then(|v| v.last())
+            .ok_or_else(|| StoreError::MissingModel { name: name.to_string() })?;
+        codec::from_bytes(&artifact.bytes).map_err(|cause| StoreError::Corrupt {
+            name: name.to_string(),
+            version: artifact.version,
+            cause,
+        })
     }
 
     /// Load a specific version.
-    pub fn load_version<T: DeserializeOwned>(&self, name: &str, version: u32) -> Option<T> {
+    pub fn load_version<T: DeserializeOwned>(
+        &self,
+        name: &str,
+        version: u32,
+    ) -> Result<T, StoreError> {
         let store = self.artifacts.read();
-        let artifact = store.get(name)?.iter().find(|a| a.version == version)?;
-        codec::from_bytes(&artifact.bytes).ok()
+        let versions =
+            store.get(name).ok_or_else(|| StoreError::MissingModel { name: name.to_string() })?;
+        let artifact = versions
+            .iter()
+            .find(|a| a.version == version)
+            .ok_or_else(|| StoreError::MissingVersion { name: name.to_string(), version })?;
+        codec::from_bytes(&artifact.bytes).map_err(|cause| StoreError::Corrupt {
+            name: name.to_string(),
+            version,
+            cause,
+        })
     }
 
     /// Registered versions of a model name.
@@ -168,16 +308,28 @@ impl DiskModelStore {
         &self,
         name: &str,
         version: u32,
-    ) -> std::io::Result<T> {
-        let bytes = std::fs::read(self.artifact_path(name, version))?;
-        codec::from_bytes(&bytes)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    ) -> Result<T, StoreError> {
+        let bytes = std::fs::read(self.artifact_path(name, version)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::MissingVersion { name: name.to_string(), version }
+            } else {
+                StoreError::Io { name: name.to_string(), message: e.to_string() }
+            }
+        })?;
+        codec::from_bytes(&bytes).map_err(|cause| StoreError::Corrupt {
+            name: name.to_string(),
+            version,
+            cause,
+        })
     }
 
-    /// Load the latest version, or `None` when the model is unregistered.
-    pub fn load_latest<T: DeserializeOwned>(&self, name: &str) -> Option<T> {
-        let version = *self.versions(name).last()?;
-        self.load_version(name, version).ok()
+    /// Load the latest version.
+    pub fn load_latest<T: DeserializeOwned>(&self, name: &str) -> Result<T, StoreError> {
+        let version = *self
+            .versions(name)
+            .last()
+            .ok_or_else(|| StoreError::MissingModel { name: name.to_string() })?;
+        self.load_version(name, version)
     }
 }
 
@@ -235,19 +387,27 @@ impl TasqPipeline {
 
     /// Train on the repository's jobs and register artifacts in the store.
     ///
-    /// Returns the prepared dataset (useful for evaluation).
-    ///
-    /// # Panics
-    /// Panics if the repository is empty.
-    pub fn train(&self, repository: &JobRepository, store: &ModelStore) -> Dataset {
+    /// Returns the prepared dataset (useful for evaluation), or a typed
+    /// error when the repository is empty, no job yields a trainable
+    /// example, or an artifact cannot be serialized.
+    pub fn train(
+        &self,
+        repository: &JobRepository,
+        store: &ModelStore,
+    ) -> Result<Dataset, PipelineError> {
         let jobs = repository.all_jobs();
-        assert!(!jobs.is_empty(), "TasqPipeline::train: empty repository");
+        if jobs.is_empty() {
+            return Err(PipelineError::EmptyRepository);
+        }
         let dataset = Dataset::build(&jobs, &self.config.augment);
+        if dataset.is_empty() {
+            return Err(PipelineError::NoTrainableJobs);
+        }
         let xgb = XgbRuntime::train(&dataset, &self.config.xgb);
-        store.register(XGB_MODEL_NAME, &xgb).expect("serialize XGBoost artifact");
+        store.register(XGB_MODEL_NAME, &xgb)?;
         let nn = NnPcc::train(&dataset, &self.config.nn);
-        store.register(NN_MODEL_NAME, &nn).expect("serialize NN artifact");
-        dataset
+        store.register(NN_MODEL_NAME, &nn)?;
+        Ok(dataset)
     }
 }
 
@@ -266,6 +426,20 @@ pub enum AllocationDecision {
     },
 }
 
+/// Which tier of the scoring service's degradation chain actually served
+/// a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServedTier {
+    /// The configured primary model.
+    Primary,
+    /// The secondary trained model from the other family (served because
+    /// the primary was unavailable or produced an unusable prediction).
+    Fallback,
+    /// The analytic Amdahl baseline derived from the submitted plan alone
+    /// — always available, needs no trained artifact.
+    Analytic,
+}
+
 /// Scoring response for one submitted job.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScoreResponse {
@@ -277,6 +451,8 @@ pub struct ScoreResponse {
     pub optimal_tokens: u32,
     /// The decision handed to the scheduler/user.
     pub decision: AllocationDecision,
+    /// Which degradation tier produced the prediction.
+    pub served_tier: ServedTier,
 }
 
 /// Scoring-service configuration.
@@ -310,19 +486,67 @@ impl Default for ScoringConfig {
     }
 }
 
-/// The deployed scoring service: loads a model artifact from the store and
+/// Relative tolerance for the serve-time monotonicity check: point-wise
+/// curves (XGBoost SS) may wiggle slightly without being degraded away,
+/// but a curve that *rises* by more than this fraction anywhere violates
+/// the PCC contract and falls through to the next tier.
+const MONOTONE_TOLERANCE: f64 = 0.05;
+
+/// The deployed scoring service: loads model artifacts from the store and
 /// scores incoming jobs from their compile-time plans alone.
+///
+/// Serving degrades gracefully through a tier chain: the primary model,
+/// then (when available) a fallback trained model from the other family,
+/// then an analytic Amdahl baseline computed from the submitted plan
+/// itself. A prediction is rejected — falling through to the next tier —
+/// when it is non-finite or violates PCC monotonicity beyond
+/// [`MONOTONE_TOLERANCE`]. [`ScoringService::score`] therefore never
+/// panics and always produces a response.
 pub struct ScoringService {
-    model: Box<dyn PccPredictor + Send + Sync>,
+    tiers: Vec<(ServedTier, Box<dyn PccPredictor + Send + Sync>)>,
     config: ScoringConfig,
 }
 
 impl ScoringService {
     /// Deploy from a model store.
     ///
-    /// Returns `None` if the requested artifact is missing.
-    pub fn deploy(store: &ModelStore, choice: ModelChoice, config: ScoringConfig) -> Option<Self> {
-        let model: Box<dyn PccPredictor + Send + Sync> = match choice {
+    /// Fails with a typed error when the artifact backing the requested
+    /// primary model cannot be loaded; the fallback tier is best-effort.
+    pub fn deploy(
+        store: &ModelStore,
+        choice: ModelChoice,
+        config: ScoringConfig,
+    ) -> Result<Self, DeployError> {
+        let primary = Self::load_model(store, choice)
+            .map_err(|cause| DeployError::PrimaryUnavailable { choice, cause })?;
+        let mut tiers = vec![(ServedTier::Primary, primary)];
+        if let Ok(fallback) = Self::load_model(store, Self::fallback_choice(choice)) {
+            tiers.push((ServedTier::Fallback, fallback));
+        }
+        Ok(Self { tiers, config })
+    }
+
+    /// Deploy without failing: load whichever of the primary and fallback
+    /// artifacts are present (possibly neither) and rely on the analytic
+    /// tier for anything that cannot be served by a trained model. This is
+    /// the degraded-operation entry point — a scoring endpoint stays up
+    /// even with an empty or corrupt model store.
+    pub fn deploy_degraded(store: &ModelStore, choice: ModelChoice, config: ScoringConfig) -> Self {
+        let mut tiers = Vec::new();
+        if let Ok(primary) = Self::load_model(store, choice) {
+            tiers.push((ServedTier::Primary, primary));
+        }
+        if let Ok(fallback) = Self::load_model(store, Self::fallback_choice(choice)) {
+            tiers.push((ServedTier::Fallback, fallback));
+        }
+        Self { tiers, config }
+    }
+
+    fn load_model(
+        store: &ModelStore,
+        choice: ModelChoice,
+    ) -> Result<Box<dyn PccPredictor + Send + Sync>, StoreError> {
+        Ok(match choice {
             ModelChoice::Nn => Box::new(store.load_latest::<NnPcc>(NN_MODEL_NAME)?),
             ModelChoice::XgboostSs => {
                 Box::new(XgboostSs::new(store.load_latest::<XgbRuntime>(XGB_MODEL_NAME)?))
@@ -330,27 +554,42 @@ impl ScoringService {
             ModelChoice::XgboostPl => {
                 Box::new(XgboostPl::new(store.load_latest::<XgbRuntime>(XGB_MODEL_NAME)?))
             }
-        };
-        Some(Self { model, config })
+        })
     }
 
-    /// Score a submitted job from its compile-time plan.
+    /// The trained model that backs the fallback tier: the other family,
+    /// preferring parametric (power-law) predictors whose monotonicity is
+    /// guaranteed by construction.
+    fn fallback_choice(choice: ModelChoice) -> ModelChoice {
+        match choice {
+            ModelChoice::Nn => ModelChoice::XgboostPl,
+            ModelChoice::XgboostSs | ModelChoice::XgboostPl => ModelChoice::Nn,
+        }
+    }
+
+    /// Score a submitted job from its compile-time plan. Never panics:
+    /// predictions that fail validation fall through the tier chain, and
+    /// the analytic Amdahl tier always produces a usable curve.
     pub fn score(&self, job: &Job) -> ScoreResponse {
-        let num_stages = StageGraph::from_plan(&job.plan, job.seed).num_stages();
+        let stage_graph = StageGraph::from_plan(&job.plan, job.seed);
+        let num_stages = stage_graph.num_stages();
         let features = featurize_job(&job.plan, num_stages);
         let op_features = featurize_operators(&job.plan);
+        let reference_tokens = job.requested_tokens.max(1);
         let input = ScoringInput {
             features: &features,
             op_features: &op_features,
-            reference_tokens: job.requested_tokens,
+            reference_tokens,
         };
-        let predicted = self.model.predict(&input);
+        let (served_tier, predicted) = self.predict_degrading(&input, &stage_graph);
+        let min_tokens = self.config.min_tokens.max(1);
+        let max_tokens = self.config.max_tokens.max(min_tokens);
         let ceiling = if self.config.cap_at_request {
-            self.config.max_tokens.min(job.requested_tokens).max(self.config.min_tokens)
+            max_tokens.min(reference_tokens).max(min_tokens)
         } else {
-            self.config.max_tokens
+            max_tokens
         };
-        let optimal_tokens = self.optimal_tokens(&predicted, ceiling);
+        let optimal_tokens = self.optimal_tokens(&predicted, min_tokens, ceiling);
         let decision = if self.config.automatic {
             AllocationDecision::Automatic { tokens: optimal_tokens }
         } else {
@@ -358,25 +597,67 @@ impl ScoringService {
         };
         ScoreResponse {
             job_id: job.id,
-            predicted_runtime_at_request: predicted.predict(job.requested_tokens),
+            predicted_runtime_at_request: predicted.predict(reference_tokens),
             optimal_tokens,
             decision,
+            served_tier,
         }
     }
 
-    fn optimal_tokens(&self, predicted: &PredictedPcc, max_tokens: u32) -> u32 {
+    /// Walk the tier chain until a prediction passes validation; the
+    /// analytic tier is the unconditional last resort.
+    fn predict_degrading(
+        &self,
+        input: &ScoringInput<'_>,
+        stage_graph: &StageGraph,
+    ) -> (ServedTier, PredictedPcc) {
+        for (tier, model) in &self.tiers {
+            let predicted = model.predict(input);
+            if Self::usable(&predicted, input.reference_tokens) {
+                return (*tier, predicted);
+            }
+        }
+        (ServedTier::Analytic, Self::analytic_pcc(stage_graph))
+    }
+
+    /// Serve-time validation: finite at the reference allocation and
+    /// monotone non-increasing within tolerance.
+    fn usable(predicted: &PredictedPcc, reference_tokens: u32) -> bool {
+        predicted.predict(reference_tokens.max(1)).is_finite()
+            && predicted.is_non_increasing(MONOTONE_TOLERANCE)
+    }
+
+    /// The analytic tier: extract per-stage serial/parallel splits from
+    /// the submitted plan's stage graph (Amdahl's law, `T = S + P/N` per
+    /// stage) and fit a power law through log-spaced samples. Requires no
+    /// trained artifact, so it can never be missing.
+    fn analytic_pcc(stage_graph: &StageGraph) -> PredictedPcc {
+        let model = AmdahlModel::from_stage_graph(stage_graph);
+        let mut points = Vec::new();
+        let mut tokens = 1u32;
+        while tokens <= 4096 {
+            points.push((tokens as f64, model.predict_runtime(tokens)));
+            tokens *= 2;
+        }
+        // A zero-work plan yields all-zero run times, which no power law
+        // fits; serve a flat one-second floor rather than failing.
+        let pcc = PowerLawPcc::fit(&points).unwrap_or(PowerLawPcc { a: 0.0, b: 1.0 });
+        PredictedPcc::PowerLaw(pcc)
+    }
+
+    fn optimal_tokens(&self, predicted: &PredictedPcc, min_tokens: u32, max_tokens: u32) -> u32 {
         match predicted.power_law() {
             Some(pcc) => pcc.optimal_tokens(
                 self.config.min_improvement,
-                self.config.min_tokens,
+                min_tokens,
                 max_tokens,
             ),
             None => {
                 // Point-wise curve: scan for the last token count whose
                 // marginal improvement clears the threshold.
-                let mut best = self.config.min_tokens;
-                let mut prev = predicted.predict(self.config.min_tokens);
-                let mut t = self.config.min_tokens;
+                let mut best = min_tokens;
+                let mut prev = predicted.predict(min_tokens);
+                let mut t = min_tokens;
                 while t < max_tokens {
                     let next_t = (t + (t / 10).max(1)).min(max_tokens);
                     let next = predicted.predict(next_t);
@@ -428,7 +709,7 @@ mod tests {
         repo.ingest(jobs(25, 81));
         let store = ModelStore::new();
         let pipeline = TasqPipeline::new(quick_config());
-        let dataset = pipeline.train(&repo, &store);
+        let dataset = pipeline.train(&repo, &store).expect("trains");
         assert_eq!(dataset.len(), 25);
         assert_eq!(store.versions(NN_MODEL_NAME), vec![1]);
         assert_eq!(store.versions(XGB_MODEL_NAME), vec![1]);
@@ -441,6 +722,8 @@ mod tests {
             assert!(response.predicted_runtime_at_request >= 1.0);
             assert!((1..=6287).contains(&response.optimal_tokens));
             assert!(matches!(response.decision, AllocationDecision::Automatic { .. }));
+            // The NN is monotone by construction, so the primary serves.
+            assert_eq!(response.served_tier, ServedTier::Primary);
         }
     }
 
@@ -449,7 +732,7 @@ mod tests {
         let repo = JobRepository::new();
         repo.ingest(jobs(15, 83));
         let store = ModelStore::new();
-        TasqPipeline::new(quick_config()).train(&repo, &store);
+        TasqPipeline::new(quick_config()).train(&repo, &store).expect("trains");
         let service = ScoringService::deploy(
             &store,
             ModelChoice::XgboostSs,
@@ -472,10 +755,16 @@ mod tests {
         let v1 = store.register("m", &42u64).unwrap();
         let v2 = store.register("m", &43u64).unwrap();
         assert_eq!((v1, v2), (1, 2));
-        assert_eq!(store.load_latest::<u64>("m"), Some(43));
-        assert_eq!(store.load_version::<u64>("m", 1), Some(42));
-        assert_eq!(store.load_version::<u64>("m", 9), None);
-        assert!(store.load_latest::<u64>("missing").is_none());
+        assert_eq!(store.load_latest::<u64>("m"), Ok(43));
+        assert_eq!(store.load_version::<u64>("m", 1), Ok(42));
+        assert_eq!(
+            store.load_version::<u64>("m", 9),
+            Err(StoreError::MissingVersion { name: "m".into(), version: 9 })
+        );
+        assert_eq!(
+            store.load_latest::<u64>("missing"),
+            Err(StoreError::MissingModel { name: "missing".into() })
+        );
     }
 
     #[test]
@@ -484,7 +773,7 @@ mod tests {
         repo.ingest(jobs(12, 85));
         let store = ModelStore::new();
         let pipeline = TasqPipeline::new(quick_config());
-        let dataset = pipeline.train(&repo, &store);
+        let dataset = pipeline.train(&repo, &store).expect("trains");
         let loaded: NnPcc = store.load_latest(NN_MODEL_NAME).unwrap();
         // Loaded model must predict identically to a fresh in-memory one.
         let fresh = NnPcc::train(&dataset, &quick_config().nn);
@@ -513,9 +802,16 @@ mod tests {
         assert_eq!(store.register("m", &41u64).unwrap(), 1);
         assert_eq!(store.register("m", &42u64).unwrap(), 2);
         assert_eq!(store.versions("m"), vec![1, 2]);
-        assert_eq!(store.load_latest::<u64>("m"), Some(42));
+        assert_eq!(store.load_latest::<u64>("m"), Ok(42));
         assert_eq!(store.load_version::<u64>("m", 1).unwrap(), 41);
-        assert!(store.load_latest::<u64>("missing").is_none());
+        assert_eq!(
+            store.load_latest::<u64>("missing"),
+            Err(StoreError::MissingModel { name: "missing".into() })
+        );
+        assert!(matches!(
+            store.load_version::<u64>("m", 9),
+            Err(StoreError::MissingVersion { version: 9, .. })
+        ));
         // A trained NN survives the disk round trip.
         let jobs = jobs(8, 95);
         let dataset = Dataset::build(&jobs, &AugmentConfig::default());
@@ -529,9 +825,87 @@ mod tests {
     }
 
     #[test]
-    fn deploy_missing_artifact_returns_none() {
+    fn deploy_missing_artifact_is_a_typed_error() {
         let store = ModelStore::new();
-        assert!(ScoringService::deploy(&store, ModelChoice::Nn, ScoringConfig::default())
-            .is_none());
+        let err = ScoringService::deploy(&store, ModelChoice::Nn, ScoringConfig::default())
+            .err()
+            .expect("empty store cannot back a strict deployment");
+        assert_eq!(
+            err,
+            DeployError::PrimaryUnavailable {
+                choice: ModelChoice::Nn,
+                cause: StoreError::MissingModel { name: NN_MODEL_NAME.into() },
+            }
+        );
+        assert!(err.to_string().contains("unavailable"));
+    }
+
+    #[test]
+    fn train_on_empty_repository_is_a_typed_error() {
+        let repo = JobRepository::new();
+        let store = ModelStore::new();
+        let err = TasqPipeline::new(quick_config()).train(&repo, &store).unwrap_err();
+        assert_eq!(err, PipelineError::EmptyRepository);
+    }
+
+    #[test]
+    fn degraded_deploy_from_empty_store_serves_the_analytic_tier() {
+        // No artifacts at all: the endpoint still answers every request,
+        // served from the plan-derived Amdahl baseline.
+        let store = ModelStore::new();
+        let service =
+            ScoringService::deploy_degraded(&store, ModelChoice::Nn, ScoringConfig::default());
+        for job in jobs(6, 103) {
+            let response = service.score(&job);
+            assert_eq!(response.served_tier, ServedTier::Analytic);
+            assert!(response.predicted_runtime_at_request.is_finite());
+            assert!(response.predicted_runtime_at_request >= 1.0);
+            assert!((1..=6287).contains(&response.optimal_tokens));
+        }
+    }
+
+    #[test]
+    fn corrupt_primary_artifact_degrades_to_the_fallback_tier() {
+        let repo = JobRepository::new();
+        repo.ingest(jobs(15, 89));
+        let store = ModelStore::new();
+        TasqPipeline::new(quick_config()).train(&repo, &store).expect("trains");
+        // Clobber XGBoost with bytes that cannot decode as an XgbRuntime:
+        // the latest primary artifact is now corrupt.
+        store.register(XGB_MODEL_NAME, &0xDEAD_BEEFu64).unwrap();
+        assert!(matches!(
+            ScoringService::deploy(&store, ModelChoice::XgboostPl, ScoringConfig::default()),
+            Err(DeployError::PrimaryUnavailable { cause: StoreError::Corrupt { .. }, .. })
+        ));
+        // Degraded deployment keeps serving from the NN fallback, whose
+        // predictions are monotone by construction.
+        let service = ScoringService::deploy_degraded(
+            &store,
+            ModelChoice::XgboostPl,
+            ScoringConfig::default(),
+        );
+        for job in jobs(4, 107) {
+            let response = service.score(&job);
+            assert_eq!(response.served_tier, ServedTier::Fallback);
+            assert!(response.predicted_runtime_at_request >= 1.0);
+        }
+    }
+
+    #[test]
+    fn score_never_panics_on_degenerate_requests() {
+        // Zero requested tokens and extreme config bounds must still
+        // produce a response through the analytic tier.
+        let store = ModelStore::new();
+        let service = ScoringService::deploy_degraded(
+            &store,
+            ModelChoice::XgboostSs,
+            ScoringConfig { min_tokens: 0, max_tokens: 1, ..Default::default() },
+        );
+        let mut job = jobs(1, 109).remove(0);
+        job.requested_tokens = 0;
+        let response = service.score(&job);
+        assert_eq!(response.served_tier, ServedTier::Analytic);
+        assert_eq!(response.optimal_tokens, 1);
+        assert!(response.predicted_runtime_at_request.is_finite());
     }
 }

@@ -141,7 +141,7 @@ pub fn flight_selected_with(
                 .iter()
                 .find(|j| j.id == example.job_id)
                 .expect("selected job exists");
-            flight_job(job, job.requested_tokens, &flight_config)
+            flight_job(job, job.requested_tokens, &flight_config).expect("fault-free flighting cannot fail")
         })
         .collect();
     filter_non_anomalous(flighted, 0.10)

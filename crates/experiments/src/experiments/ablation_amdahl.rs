@@ -36,7 +36,7 @@ pub fn run(args: &Args) -> String {
 
     for (idx, job) in jobs.iter().enumerate() {
         let executor = job.executor();
-        let ground = executor.run(job.requested_tokens, &config);
+        let ground = executor.run(job.requested_tokens, &config).expect("fault-free execution cannot fail");
         let amdahl = AmdahlModel::from_stage_graph(&StageGraph::from_plan(&job.plan, job.seed));
         let jockey = job.meta.recurring_template.and_then(|template| {
             let prior = prior_by_template.get(&template).map(|&i| &jobs[i]);
@@ -51,7 +51,7 @@ pub fn run(args: &Args) -> String {
             if alloc == job.requested_tokens {
                 continue;
             }
-            let truth = executor.run(alloc, &config).runtime_secs.max(1.0);
+            let truth = executor.run(alloc, &config).expect("fault-free execution cannot fail").runtime_secs.max(1.0);
             arepas_pred.push(simulate_runtime(ground.skyline.samples(), alloc as f64) as f64);
             amdahl_pred.push(amdahl.predict_runtime(alloc));
             actual.push(truth);

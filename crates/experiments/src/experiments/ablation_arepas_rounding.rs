@@ -31,7 +31,7 @@ pub fn run(args: &Args) -> String {
     let mut area_leaks = Vec::new();
     for job in &jobs {
         let executor = job.executor();
-        let ground = executor.run(job.requested_tokens, &config);
+        let ground = executor.run(job.requested_tokens, &config).expect("fault-free execution cannot fail");
         let original_area = ground.skyline.area();
         for fraction in [0.5, 0.2] {
             let alloc = ((job.requested_tokens as f64 * fraction).round()).max(1.0);
@@ -43,7 +43,7 @@ pub fn run(args: &Args) -> String {
             if original_area > 0.0 {
                 area_leaks.push(1.0 - truncated.area() / original_area);
             }
-            let truth = executor.run(alloc as u32, &config).runtime_secs.max(1.0);
+            let truth = executor.run(alloc as u32, &config).expect("fault-free execution cannot fail").runtime_secs.max(1.0);
             exact_pred.push(exact.runtime_secs() as f64);
             truncated_pred.push(truncated.runtime_secs() as f64);
             actual.push(truth);

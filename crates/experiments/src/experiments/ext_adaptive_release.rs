@@ -42,7 +42,7 @@ pub fn run(args: &Args) -> String {
     for (job, example) in &jobs {
         let executor = job.executor();
         // Default: constant grant at the request.
-        let at_request = executor.run(job.requested_tokens, &config);
+        let at_request = executor.run(job.requested_tokens, &config).expect("fault-free execution cannot fail");
         default_policy.granted +=
             job.requested_tokens as f64 * at_request.skyline.runtime_secs() as f64;
         default_policy.idle += at_request.skyline.over_allocation(job.requested_tokens as f64);
@@ -51,7 +51,7 @@ pub fn run(args: &Args) -> String {
 
         // Adaptive release from the request.
         let (result, grants) =
-            adaptive_release_series(&executor, job.requested_tokens, &config);
+            adaptive_release_series(&executor, job.requested_tokens, &config).expect("fault-free execution cannot fail");
         adaptive.granted += grants.total();
         adaptive.idle += grants.idle_against(&result);
         adaptive.runtime += result.runtime_secs;
@@ -61,14 +61,15 @@ pub fn run(args: &Args) -> String {
         let optimal = nn
             .predict_pcc(&example.features)
             .optimal_tokens(0.01, 1, job.requested_tokens);
-        let at_optimal = executor.run(optimal, &config);
+        let at_optimal = executor.run(optimal, &config).expect("fault-free execution cannot fail");
         tasq_static.granted += optimal as f64 * at_optimal.skyline.runtime_secs() as f64;
         tasq_static.idle += at_optimal.skyline.over_allocation(optimal as f64);
         tasq_static.runtime += at_optimal.runtime_secs;
         tasq_static.admission += optimal as f64;
 
         // TASQ grant + adaptive release on top.
-        let (result, grants) = adaptive_release_series(&executor, optimal, &config);
+        let (result, grants) =
+            adaptive_release_series(&executor, optimal, &config).expect("fault-free execution cannot fail");
         tasq_adaptive.granted += grants.total();
         tasq_adaptive.idle += grants.idle_against(&result);
         tasq_adaptive.runtime += result.runtime_secs;

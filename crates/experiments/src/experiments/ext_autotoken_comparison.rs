@@ -32,13 +32,14 @@ pub fn run(args: &Args) -> String {
         let default_runtime = job
             .executor()
             .run(job.requested_tokens, &config)
+            .expect("fault-free execution cannot fail")
             .runtime_secs;
 
         // TASQ covers every job.
         let tasq_tokens = nn
             .predict_pcc(&example.features)
             .optimal_tokens(0.01, 1, job.requested_tokens);
-        let tasq_runtime = job.executor().run(tasq_tokens, &config).runtime_secs;
+        let tasq_runtime = job.executor().run(tasq_tokens, &config).expect("fault-free execution cannot fail").runtime_secs;
         stats.tasq.add(job.requested_tokens, tasq_tokens, default_runtime, tasq_runtime);
 
         // AutoToken covers only seen signatures.
@@ -46,7 +47,7 @@ pub fn run(args: &Args) -> String {
             covered += 1;
             let autotoken_tokens = peak.min(job.requested_tokens).max(1);
             let autotoken_runtime =
-                job.executor().run(autotoken_tokens, &config).runtime_secs;
+                job.executor().run(autotoken_tokens, &config).expect("fault-free execution cannot fail").runtime_secs;
             stats.autotoken.add(
                 job.requested_tokens,
                 autotoken_tokens,

@@ -38,6 +38,7 @@ pub fn run(args: &Args) -> String {
             let curve: Vec<(f64, f64)> = job
                 .executor()
                 .performance_curve(&allocations)
+                .expect("fault-free execution cannot fail")
                 .into_iter()
                 .map(|(t, r)| (t as f64, r))
                 .collect();

@@ -60,7 +60,8 @@ pub fn run(args: &Args) -> String {
             .find(|j| j.id == example.job_id)
             .expect("selected train job");
         let pcc = nn.predict_pcc(&example.features);
-        let flighted = scope_sim::flight::flight_job(job, job.requested_tokens, &flight_config);
+        let flighted =
+            scope_sim::flight::flight_job(job, job.requested_tokens, &flight_config).expect("fault-free flighting cannot fail");
         for flight in &flighted.flights {
             predicted.push(pcc.predict(flight.allocation));
             actual.push(flight.runtime_secs.max(1.0));
@@ -115,7 +116,7 @@ pub fn run(args: &Args) -> String {
                 SloDecision::Feasible { tokens, .. } => {
                     allocated += 1;
                     token_fraction += tokens as f64 / job.requested_tokens as f64;
-                    if job.executor().run(tokens, &config).runtime_secs <= deadline {
+                    if job.executor().run(tokens, &config).expect("fault-free execution cannot fail").runtime_secs <= deadline {
                         met += 1;
                     }
                 }

@@ -28,7 +28,7 @@ pub fn run(args: &Args) -> String {
     let mut runtimes = Vec::with_capacity(jobs.len());
     let mut peaks = Vec::with_capacity(jobs.len());
     for job in &jobs {
-        let result = job.executor().run(job.requested_tokens, &config);
+        let result = job.executor().run(job.requested_tokens, &config).expect("fault-free execution cannot fail");
         runtimes.push(result.runtime_secs);
         peaks.push(result.skyline.peak());
     }

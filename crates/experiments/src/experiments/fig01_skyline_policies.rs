@@ -26,6 +26,7 @@ pub fn run(args: &Args) -> String {
             let peakiness = |j: &scope_sim::Job| {
                 j.executor()
                     .run(j.requested_tokens, &ExecutionConfig::default())
+                    .expect("fault-free execution cannot fail")
                     .skyline
                     .peakiness()
             };
@@ -33,7 +34,8 @@ pub fn run(args: &Args) -> String {
         })
         .expect("workload has a sizable job");
 
-    let result = job.executor().run(job.requested_tokens, &ExecutionConfig::default());
+    let result =
+        job.executor().run(job.requested_tokens, &ExecutionConfig::default()).expect("fault-free execution cannot fail");
     let skyline = &result.skyline;
 
     report.kv("job id", job.id);

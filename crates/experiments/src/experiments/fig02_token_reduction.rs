@@ -24,7 +24,7 @@ pub fn run(args: &Args) -> String {
     let observed: Vec<(Skyline, u32)> = jobs
         .iter()
         .map(|j| {
-            let r = j.executor().run(j.requested_tokens, &ExecutionConfig::default());
+            let r = j.executor().run(j.requested_tokens, &ExecutionConfig::default()).expect("fault-free execution cannot fail");
             (r.skyline, j.requested_tokens)
         })
         .collect();

@@ -29,7 +29,7 @@ pub fn run(args: &Args) -> String {
             .copied()
             .filter(|&a| a <= job.requested_tokens.max(200) * 2)
             .collect();
-    let curve = job.executor().performance_curve(&allocations);
+    let curve = job.executor().performance_curve(&allocations).expect("fault-free execution cannot fail");
 
     report.kv("job id", job.id);
     report.kv("archetype", format!("{:?}", job.meta.archetype));

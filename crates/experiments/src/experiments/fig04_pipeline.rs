@@ -35,7 +35,7 @@ pub fn run(args: &Args) -> String {
         nn: NnTrainConfig { epochs: args.nn_epochs.min(60), ..Default::default() },
         ..Default::default()
     });
-    let dataset = pipeline.train(&repo, &store);
+    let dataset = pipeline.train(&repo, &store).expect("non-empty repository trains");
     report.kv("pipeline: training examples prepared", dataset.len());
     report.kv(
         "model store: registered artifacts",
@@ -47,8 +47,8 @@ pub fn run(args: &Args) -> String {
     );
 
     // 3. The scoring service deploys the NN and scores incoming jobs.
-    let service =
-        ScoringService::deploy(&store, ModelChoice::Nn, ScoringConfig::default()).unwrap();
+    let service = ScoringService::deploy(&store, ModelChoice::Nn, ScoringConfig::default())
+        .expect("artifacts registered above");
     let incoming = WorkloadGenerator::new(WorkloadConfig {
         num_jobs: 8,
         seed: args.seed.wrapping_add(7),

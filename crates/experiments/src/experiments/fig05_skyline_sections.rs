@@ -22,6 +22,7 @@ pub fn run(args: &Args) -> String {
     let peakiness_of = |j: &scope_sim::Job| {
         j.executor()
             .run(j.requested_tokens, &ExecutionConfig::default())
+            .expect("fault-free execution cannot fail")
             .skyline
             .peakiness()
     };
@@ -37,7 +38,8 @@ pub fn run(args: &Args) -> String {
         .expect("a DataCopy job exists");
 
     for (label, job) in [("(a) Peaky skyline", peaky), ("(b) Flatter skyline", flat)] {
-        let result = job.executor().run(job.requested_tokens, &ExecutionConfig::default());
+        let result =
+            job.executor().run(job.requested_tokens, &ExecutionConfig::default()).expect("fault-free execution cannot fail");
         let skyline = &result.skyline;
         let (minimum, low, high) = skyline.utilization_breakdown(job.requested_tokens as f64);
         report.subheader(label);

@@ -28,7 +28,10 @@ pub fn run(args: &Args) -> String {
         .expect("a LogMining job");
 
     for (label, job) in [("Flatter job (left)", flat), ("Peaky job (right)", peaky)] {
-        let ground = job.executor().run(job.requested_tokens, &ExecutionConfig::default());
+        let ground = job
+            .executor()
+            .run(job.requested_tokens, &ExecutionConfig::default())
+            .expect("fault-free execution cannot fail");
         let base_rt = ground.skyline.runtime_secs() as f64;
         report.subheader(label);
         report.kv("archetype", format!("{:?}", job.meta.archetype));
@@ -57,7 +60,10 @@ pub fn run(args: &Args) -> String {
     let mean_slowdown_at_half = |arch: Archetype| -> f64 {
         let mut slowdowns = Vec::new();
         for job in jobs.iter().filter(|j| j.meta.archetype == arch).take(15) {
-            let ground = job.executor().run(job.requested_tokens, &ExecutionConfig::default());
+            let ground = job
+                .executor()
+                .run(job.requested_tokens, &ExecutionConfig::default())
+                .expect("fault-free execution cannot fail");
             let half = (job.requested_tokens as f64 / 2.0).max(1.0);
             let sim = simulate(ground.skyline.samples(), half);
             slowdowns

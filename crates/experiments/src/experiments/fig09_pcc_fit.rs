@@ -24,7 +24,7 @@ pub fn run(args: &Args) -> String {
         .max_by_key(|j| j.requested_tokens)
         .expect("a sizable job");
 
-    let ground = job.executor().run(job.requested_tokens, &ExecutionConfig::default());
+    let ground = job.executor().run(job.requested_tokens, &ExecutionConfig::default()).expect("fault-free execution cannot fail");
 
     // Simulated target curve over a dense token grid.
     let mut points: Vec<(f64, f64)> = Vec::new();

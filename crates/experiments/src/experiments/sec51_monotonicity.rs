@@ -47,6 +47,7 @@ pub fn run(args: &Args) -> String {
                 job.requested_tokens,
                 &FlightConfig { noise: noise.clone(), seed: args.seed, ..Default::default() },
             )
+            .expect("fault-free flighting cannot fail")
         })
         .collect();
 

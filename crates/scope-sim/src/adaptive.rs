@@ -16,6 +16,7 @@
 //! the resulting non-increasing grant series.
 
 use crate::exec::{ExecutionConfig, ExecutionResult, Executor};
+use crate::faults::SimError;
 use serde::{Deserialize, Serialize};
 
 /// The grant level over time under a release policy, at one-second
@@ -57,13 +58,14 @@ impl GrantSeries {
 /// (held tokens can only be released, never re-acquired, so the series is
 /// non-increasing).
 ///
-/// Returns the execution result together with the grant series.
+/// Returns the execution result together with the grant series, or the
+/// execution's error (invalid allocation, fault-retry exhaustion).
 pub fn adaptive_release_series(
     executor: &Executor,
     allocation: u32,
     config: &ExecutionConfig,
-) -> (ExecutionResult, GrantSeries) {
-    let result = executor.run(allocation, config);
+) -> Result<(ExecutionResult, GrantSeries), SimError> {
+    let result = executor.run(allocation, config)?;
 
     // At second `t` the job can still need as many tokens as it ever uses
     // from `t` onward — the suffix peak of the skyline. This is exactly
@@ -78,7 +80,7 @@ pub fn adaptive_release_series(
         suffix_peak = suffix_peak.max(usage);
         levels[i] = suffix_peak.ceil().min(allocation as f64);
     }
-    (result, GrantSeries { levels })
+    Ok((result, GrantSeries { levels }))
 }
 
 #[cfg(test)]
@@ -98,6 +100,7 @@ mod tests {
             let peakiness = |j: &crate::generator::Job| {
                 j.executor()
                     .run(j.requested_tokens, &ExecutionConfig::default())
+                    .expect("fault-free execution cannot fail")
                     .skyline
                     .peakiness()
             };
@@ -111,7 +114,8 @@ mod tests {
     fn grants_are_non_increasing_and_cover_usage() {
         let exec = executor();
         let alloc = 100;
-        let (result, grants) = adaptive_release_series(&exec, alloc, &ExecutionConfig::default());
+        let (result, grants) =
+            adaptive_release_series(&exec, alloc, &ExecutionConfig::default()).expect("runs");
         assert_eq!(grants.levels.len(), result.skyline.runtime_secs());
         for w in grants.levels.windows(2) {
             assert!(w[1] <= w[0] + 1e-9, "grants must only shrink");
@@ -126,7 +130,8 @@ mod tests {
     fn adaptive_wastes_less_than_constant_grant() {
         let exec = executor();
         let alloc = 100;
-        let (result, grants) = adaptive_release_series(&exec, alloc, &ExecutionConfig::default());
+        let (result, grants) =
+            adaptive_release_series(&exec, alloc, &ExecutionConfig::default()).expect("runs");
         let constant_idle = result.skyline.over_allocation(alloc as f64);
         let adaptive_idle = grants.idle_against(&result);
         assert!(
@@ -141,8 +146,9 @@ mod tests {
         // so the execution (and its skyline) is byte-identical to a plain
         // run at the same allocation.
         let exec = executor();
-        let plain = exec.run(64, &ExecutionConfig::default());
-        let (adaptive, _) = adaptive_release_series(&exec, 64, &ExecutionConfig::default());
+        let plain = exec.run(64, &ExecutionConfig::default()).expect("runs");
+        let (adaptive, _) =
+            adaptive_release_series(&exec, 64, &ExecutionConfig::default()).expect("runs");
         assert_eq!(plain.skyline, adaptive.skyline);
         assert_eq!(plain.runtime_secs, adaptive.runtime_secs);
     }

@@ -124,7 +124,8 @@ mod tests {
         let model = AmdahlModel::from_stage_graph(&g);
         let exec = Executor::new(g);
         for tokens in [2u32, 4, 8] {
-            let real = exec.run(tokens, &ExecutionConfig::default()).runtime_secs;
+            let real =
+                exec.run(tokens, &ExecutionConfig::default()).expect("runs").runtime_secs;
             let predicted = model.predict_runtime(tokens);
             let ratio = predicted / real;
             assert!(

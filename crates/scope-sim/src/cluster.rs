@@ -227,7 +227,10 @@ impl Cluster {
                 &submission.job.plan,
                 submission.job.seed,
             ));
-            let run_secs = executor.run(grant, &exec_config).runtime_secs;
+            let run_secs = executor
+                .run(grant, &exec_config)
+                .expect("fault-free execution at a positive grant cannot fail")
+                .runtime_secs;
             let finish = start + run_secs;
             running.push(Reverse(Completion(finish, grant)));
             outcomes.push(JobOutcome {

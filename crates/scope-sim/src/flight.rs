@@ -3,10 +3,17 @@
 //! Mirrors the paper's Section 5.1 methodology: each selected job is re-run
 //! at 100%, 80%, 60% and 20% of its reference token count; each unique
 //! flight is run multiple times for redundancy; anomalous jobs (isolated
-//! flights, runs violating run-time monotonicity beyond tolerance) are
-//! filtered out.
+//! flights, runs violating run-time monotonicity beyond tolerance, runs
+//! dominated by fault churn) are filtered out.
+//!
+//! When a fault plan is active, a flight whose execution dies with a
+//! [`SimError`] is retried up to [`FlightConfig::max_flight_retries`]
+//! times with a perturbed seed (a re-submission on the shared cluster);
+//! a job whose flight still fails after the retry budget is dropped —
+//! [`flight_job`] returns the final error.
 
-use crate::exec::{ExecutionConfig, ExecutionResult, NoiseModel};
+use crate::exec::{ExecutionConfig, ExecutionResult, Executor, NoiseModel};
+use crate::faults::{FaultPlan, RecoveryPolicy, SimError};
 use crate::generator::Job;
 use serde::{Deserialize, Serialize};
 
@@ -105,6 +112,13 @@ pub struct FlightConfig {
     pub noise: NoiseModel,
     /// Base seed; each (job, allocation, repetition) derives its own.
     pub seed: u64,
+    /// Fault plan applied to each flight ([`FaultPlan::none`] disables).
+    pub faults: FaultPlan,
+    /// In-flight recovery behaviour (retries, backoff, speculation).
+    pub recovery: RecoveryPolicy,
+    /// How many times a flight that fails with a [`SimError`] is
+    /// re-submitted (with a perturbed seed) before the job is dropped.
+    pub max_flight_retries: u32,
 }
 
 impl Default for FlightConfig {
@@ -114,13 +128,50 @@ impl Default for FlightConfig {
             repetitions: 3,
             noise: NoiseModel::none(),
             seed: 0,
+            faults: FaultPlan::none(),
+            recovery: RecoveryPolicy::default(),
+            max_flight_retries: 2,
+        }
+    }
+}
+
+/// Run one flight, re-submitting with a perturbed seed on failure.
+fn run_with_retries(
+    executor: &Executor,
+    alloc: u32,
+    base_seed: u64,
+    config: &FlightConfig,
+) -> Result<ExecutionResult, SimError> {
+    let mut attempt: u64 = 0;
+    loop {
+        let exec_config = ExecutionConfig {
+            noise: config.noise.clone(),
+            noise_seed: base_seed.wrapping_add(attempt.wrapping_mul(0x5851_F42D_4C95_7F2D)),
+            faults: config.faults.clone(),
+            recovery: config.recovery.clone(),
+        };
+        match executor.run(alloc, &exec_config) {
+            Ok(result) => return Ok(result),
+            Err(_) if attempt < config.max_flight_retries as u64 => attempt += 1,
+            Err(err) => return Err(err),
         }
     }
 }
 
 /// Flight one job at every configured fraction of `reference_tokens`.
-pub fn flight_job(job: &Job, reference_tokens: u32, config: &FlightConfig) -> FlightedJob {
-    assert!(reference_tokens > 0, "flight_job: reference tokens must be positive");
+///
+/// Returns an error when `reference_tokens` is zero or when some flight
+/// keeps failing after [`FlightConfig::max_flight_retries`]
+/// re-submissions — the caller should drop the job from the dataset, as
+/// the paper drops jobs with failed flights.
+pub fn flight_job(
+    job: &Job,
+    reference_tokens: u32,
+    config: &FlightConfig,
+) -> Result<FlightedJob, SimError> {
+    if reference_tokens == 0 {
+        return Err(SimError::InvalidAllocation { allocation: 0 });
+    }
     let executor = job.executor();
     let mut allocations: Vec<u32> = config
         .fractions
@@ -133,18 +184,15 @@ pub fn flight_job(job: &Job, reference_tokens: u32, config: &FlightConfig) -> Fl
     let mut executions = Vec::new();
     for &alloc in &allocations {
         for rep in 0..config.repetitions.max(1) {
-            let exec_config = ExecutionConfig {
-                noise: config.noise.clone(),
-                noise_seed: config
-                    .seed
-                    .wrapping_mul(0x9E37_79B9)
-                    .wrapping_add(job.id)
-                    .wrapping_mul(31)
-                    .wrapping_add(alloc as u64)
-                    .wrapping_mul(17)
-                    .wrapping_add(rep as u64),
-            };
-            let result = executor.run(alloc, &exec_config);
+            let base_seed = config
+                .seed
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(job.id)
+                .wrapping_mul(31)
+                .wrapping_add(alloc as u64)
+                .wrapping_mul(17)
+                .wrapping_add(rep as u64);
+            let result = run_with_retries(&executor, alloc, base_seed, config)?;
             flights.push(Flight {
                 job_id: job.id,
                 allocation: alloc,
@@ -158,14 +206,22 @@ pub fn flight_job(job: &Job, reference_tokens: u32, config: &FlightConfig) -> Fl
             }
         }
     }
-    FlightedJob { job: job.clone(), reference_tokens, flights, executions }
+    Ok(FlightedJob { job: job.clone(), reference_tokens, flights, executions })
 }
+
+/// Fraction of a run's token-seconds that may be fault churn (crashed
+/// attempts, lost speculation races) before the measurement is treated
+/// as anomalous.
+const MAX_WASTE_FRACTION: f64 = 0.25;
 
 /// Filters from Section 5.1: keep only non-anomalous flighted jobs.
 ///
 /// A job passes when it (1) has at least two successful unique flights,
-/// (2) never used more tokens than allocated, and (3) is run-time-monotonic
-/// within `tolerance`.
+/// (2) never used more tokens than allocated, (3) is run-time-monotonic
+/// within `tolerance`, and (4) no retained execution lost more than
+/// [`MAX_WASTE_FRACTION`] of its token-seconds to fault churn (a run
+/// dominated by crashes and re-runs measures the cluster's bad day, not
+/// the job's PCC).
 pub fn filter_non_anomalous(jobs: Vec<FlightedJob>, tolerance: f64) -> Vec<FlightedJob> {
     jobs.into_iter()
         .filter(|fj| {
@@ -177,7 +233,10 @@ pub fn filter_non_anomalous(jobs: Vec<FlightedJob>, tolerance: f64) -> Vec<Fligh
                 .flights
                 .iter()
                 .all(|f| f.peak_tokens <= f.allocation as f64 + 1e-9);
-            enough_flights && within_allocation && fj.is_monotonic(tolerance)
+            let low_churn = fj.executions.iter().all(|e| {
+                e.faults.wasted_token_seconds <= e.total_token_seconds * MAX_WASTE_FRACTION
+            });
+            enough_flights && within_allocation && low_churn && fj.is_monotonic(tolerance)
         })
         .collect()
 }
@@ -193,11 +252,15 @@ mod tests {
             .remove(0)
     }
 
+    fn flight_ok(job: &Job, tokens: u32, config: &FlightConfig) -> FlightedJob {
+        flight_job(job, tokens, config).expect("flighting should succeed")
+    }
+
     #[test]
     fn flights_every_fraction_with_reps() {
         let job = one_job();
         let config = FlightConfig::default();
-        let fj = flight_job(&job, 100, &config);
+        let fj = flight_ok(&job, 100, &config);
         // 4 fractions x 3 reps
         assert_eq!(fj.flights.len(), 12);
         assert_eq!(fj.executions.len(), 4);
@@ -208,7 +271,7 @@ mod tests {
     #[test]
     fn deterministic_flights_are_monotonic() {
         let job = one_job();
-        let fj = flight_job(&job, job.requested_tokens.max(4), &FlightConfig::default());
+        let fj = flight_ok(&job, job.requested_tokens.max(4), &FlightConfig::default());
         assert!(fj.is_monotonic(0.0), "{:?}", fj.mean_runtimes());
         assert_eq!(fj.monotonicity_violation_slowdown(), 0.0);
     }
@@ -216,7 +279,7 @@ mod tests {
     #[test]
     fn mean_runtimes_sorted_descending_allocation() {
         let job = one_job();
-        let fj = flight_job(&job, 50, &FlightConfig::default());
+        let fj = flight_ok(&job, 50, &FlightConfig::default());
         let curve = fj.mean_runtimes();
         for w in curve.windows(2) {
             assert!(w[0].0 > w[1].0);
@@ -226,7 +289,7 @@ mod tests {
     #[test]
     fn noise_free_reps_are_identical() {
         let job = one_job();
-        let fj = flight_job(&job, 40, &FlightConfig::default());
+        let fj = flight_ok(&job, 40, &FlightConfig::default());
         for alloc in [40u32, 32, 24, 8] {
             let times: Vec<f64> = fj
                 .flights
@@ -245,7 +308,7 @@ mod tests {
                 .generate();
         let flighted: Vec<FlightedJob> = jobs
             .iter()
-            .map(|j| flight_job(j, j.requested_tokens.max(5), &FlightConfig::default()))
+            .map(|j| flight_ok(j, j.requested_tokens.max(5), &FlightConfig::default()))
             .collect();
         let kept = filter_non_anomalous(flighted, 0.1);
         assert_eq!(kept.len(), 5, "deterministic flights should all pass");
@@ -255,7 +318,7 @@ mod tests {
     fn filter_drops_single_flight_jobs() {
         let job = one_job();
         let config = FlightConfig { fractions: vec![1.0], ..Default::default() };
-        let fj = flight_job(&job, 30, &config);
+        let fj = flight_ok(&job, 30, &config);
         let kept = filter_non_anomalous(vec![fj], 0.1);
         assert!(kept.is_empty());
     }
@@ -264,8 +327,8 @@ mod tests {
     fn noisy_flights_reproduce_with_same_seed() {
         let job = one_job();
         let config = FlightConfig { noise: NoiseModel::mild(), seed: 5, ..Default::default() };
-        let a = flight_job(&job, 60, &config);
-        let b = flight_job(&job, 60, &config);
+        let a = flight_ok(&job, 60, &config);
+        let b = flight_ok(&job, 60, &config);
         for (x, y) in a.flights.iter().zip(&b.flights) {
             assert_eq!(x.runtime_secs, y.runtime_secs);
         }

@@ -319,7 +319,7 @@ mod tests {
         let peakiness = |a: Archetype| -> f64 {
             let plan = a.build_plan(11, 1.0, 64);
             let exec = Executor::new(StageGraph::from_plan(&plan, 11));
-            exec.run(64, &config).skyline.peakiness()
+            exec.run(64, &config).expect("runs").skyline.peakiness()
         };
         let flat = peakiness(Archetype::DataCopy);
         let peaky = peakiness(Archetype::LogMining);

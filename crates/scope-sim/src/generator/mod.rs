@@ -146,7 +146,7 @@ impl WorkloadGenerator {
                 };
                 // Requested tokens drift mildly for recurring instances.
                 let requested_tokens = ((base_tokens as f64)
-                    * rng.gen_range(0.9..1.15)
+                    * rng.gen_range(0.9f64..1.15)
                     * size_factor.sqrt().clamp(0.5, 3.0))
                 .round()
                 .clamp(1.0, 6287.0) as u32;
@@ -255,7 +255,9 @@ mod tests {
         let jobs = small_workload(10, 17);
         for job in &jobs {
             let exec = job.executor();
-            let result = exec.run(job.requested_tokens, &crate::exec::ExecutionConfig::default());
+            let result = exec
+                .run(job.requested_tokens, &crate::exec::ExecutionConfig::default())
+                .expect("runs");
             assert!(result.runtime_secs > 0.0);
             assert!(result.skyline.peak() <= job.requested_tokens as f64 + 1e-9);
         }

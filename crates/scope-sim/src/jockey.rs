@@ -41,8 +41,12 @@ impl JockeyModel {
     /// per-stage tasks at the candidate allocation (Jockey's offline
     /// `C(progress, allocation)` simulation collapsed to the start of the
     /// job, which is the compile-time prediction TASQ compares against).
+    /// An invalid candidate (zero tokens) predicts an infinite run time.
     pub fn predict_runtime(&self, tokens: u32) -> f64 {
-        Executor::new(self.prior.clone()).run(tokens, &ExecutionConfig::default()).runtime_secs
+        match Executor::new(self.prior.clone()).run(tokens, &ExecutionConfig::default()) {
+            Ok(result) => result.runtime_secs,
+            Err(_) => f64::INFINITY,
+        }
     }
 
     /// Number of stage-level statistics the model stores (per-task
@@ -72,7 +76,8 @@ mod tests {
         let model = JockeyModel::from_prior_job(&job);
         let executor = job.executor();
         for tokens in [4u32, 16, 64] {
-            let actual = executor.run(tokens, &ExecutionConfig::default()).runtime_secs;
+            let actual =
+                executor.run(tokens, &ExecutionConfig::default()).expect("runs").runtime_secs;
             let predicted = model.predict_runtime(tokens);
             assert!((predicted - actual).abs() < 1e-9, "tokens {tokens}");
         }
@@ -88,7 +93,8 @@ mod tests {
         let small = StageGraph::from_plan(&small_plan, 1);
         let large = StageGraph::from_plan(&large_plan, 1);
         let model = JockeyModel::from_prior_run(small);
-        let actual = Executor::new(large).run(32, &ExecutionConfig::default()).runtime_secs;
+        let actual =
+            Executor::new(large).run(32, &ExecutionConfig::default()).expect("runs").runtime_secs;
         let predicted = model.predict_runtime(32);
         assert!(
             predicted < actual * 0.5,

@@ -26,9 +26,13 @@
 //! * [`flight`] — the flighting harness: re-run a job at several token
 //!   counts, optionally with seeded execution noise and repeated runs, as
 //!   the paper does in Section 5.1.
+//! * [`faults`] — seeded fault injection (task crashes, stragglers,
+//!   token-lease preemption, queueing bursts) and the recovery policy
+//!   (bounded retries with exponential backoff, speculative
+//!   re-execution) layered onto the executor.
 //!
-//! Everything is deterministic given seeds unless a noise model is
-//! explicitly enabled.
+//! Everything is deterministic given seeds unless a noise model or fault
+//! plan is explicitly enabled.
 
 #![warn(missing_docs)]
 
@@ -36,6 +40,7 @@ pub mod adaptive;
 pub mod amdahl;
 pub mod cluster;
 pub mod exec;
+pub mod faults;
 pub mod flight;
 pub mod generator;
 pub mod jockey;
@@ -44,7 +49,9 @@ pub mod plan;
 pub mod skyline;
 pub mod stage;
 
+pub use amdahl::AmdahlModel;
 pub use exec::{ExecutionConfig, ExecutionResult, Executor, NoiseModel};
+pub use faults::{FaultInjector, FaultPlan, FaultReport, RecoveryPolicy, SimError};
 pub use generator::{Archetype, Job, JobMeta, WorkloadConfig, WorkloadGenerator};
 pub use operators::{PartitioningMethod, PhysicalOperator};
 pub use plan::{JobPlan, OperatorNode};

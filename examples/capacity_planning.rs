@@ -52,8 +52,8 @@ fn main() {
         let optimal = pcc.optimal_tokens(0.005, 1, job.requested_tokens);
 
         let executor = job.executor();
-        let at_default = executor.run(job.requested_tokens, &config);
-        let at_optimal = executor.run(optimal, &config);
+        let at_default = executor.run(job.requested_tokens, &config).expect("fault-free execution cannot fail");
+        let at_optimal = executor.run(optimal, &config).expect("fault-free execution cannot fail");
 
         default_tokens += job.requested_tokens as f64;
         optimal_tokens += optimal as f64;

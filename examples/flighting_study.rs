@@ -49,6 +49,7 @@ fn main() {
                 .find(|j| j.id == dataset.examples[i].job_id)
                 .expect("selected job");
             flight_job(job, job.requested_tokens, &flight_config)
+                .expect("fault-free flighting cannot fail")
         })
         .collect();
     let total_flights: usize = flighted.iter().map(|f| f.flights.len()).sum();

@@ -33,7 +33,7 @@ fn main() {
         xgb: XgbTrainConfig { num_rounds: 120, ..Default::default() },
         ..Default::default()
     });
-    let dataset = pipeline.train(&repository, &store);
+    let dataset = pipeline.train(&repository, &store).expect("non-empty repository trains");
     println!("prepared {} training examples\n", dataset.len());
 
     // 3. Deploy the NN-based scoring service and score incoming jobs.

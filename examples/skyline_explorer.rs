@@ -24,7 +24,10 @@ fn main() {
         else {
             continue;
         };
-        let result = job.executor().run(job.requested_tokens, &ExecutionConfig::default());
+        let result = job
+            .executor()
+            .run(job.requested_tokens, &ExecutionConfig::default())
+            .expect("fault-free execution cannot fail");
         let skyline = &result.skyline;
         println!("\n==============================================================");
         println!(

@@ -40,7 +40,9 @@ fn main() {
     let mut actual = Vec::new();
     for (job, example) in history.iter().zip(&train.examples).take(12) {
         let pcc = model.predict_pcc(&example.features);
-        for flight in flight_job(job, job.requested_tokens, &flight_config).flights {
+        for flight in
+            flight_job(job, job.requested_tokens, &flight_config).expect("flights").flights
+        {
             predicted.push(pcc.predict(flight.allocation));
             actual.push(flight.runtime_secs.max(1.0));
         }
@@ -66,7 +68,7 @@ fn main() {
         {
             SloDecision::Feasible { tokens, .. } => {
                 attempted += 1;
-                let runtime = job.executor().run(tokens, &config).runtime_secs;
+                let runtime = job.executor().run(tokens, &config).expect("fault-free execution cannot fail").runtime_secs;
                 let ok = runtime <= deadline;
                 met += ok as usize;
                 println!(

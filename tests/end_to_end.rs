@@ -30,7 +30,7 @@ fn full_pipeline_train_persist_score() {
         xgb: XgbTrainConfig { num_rounds: 25, ..Default::default() },
         ..Default::default()
     });
-    let dataset = pipeline.train(&repo, &store);
+    let dataset = pipeline.train(&repo, &store).expect("trains");
     assert_eq!(dataset.len(), 40);
 
     // Every model choice deploys and scores sanely.
@@ -101,13 +101,13 @@ fn arepas_agrees_with_executor_reexecution() {
     let mut errors = Vec::new();
     for job in &jobs {
         let executor = job.executor();
-        let ground = executor.run(job.requested_tokens, &config);
+        let ground = executor.run(job.requested_tokens, &config).expect("runs");
         for fraction in [0.6, 0.3] {
             let alloc = ((job.requested_tokens as f64 * fraction).round()).max(1.0) as u32;
             if alloc == job.requested_tokens {
                 continue;
             }
-            let actual = executor.run(alloc, &config).runtime_secs.max(1.0);
+            let actual = executor.run(alloc, &config).expect("runs").runtime_secs.max(1.0);
             let simulated =
                 arepas::simulate_runtime(ground.skyline.samples(), alloc as f64) as f64;
             errors.push((simulated - actual).abs() / actual);
@@ -123,7 +123,7 @@ fn flighting_end_to_end_with_noise() {
     let config = FlightConfig { noise: NoiseModel::mild(), seed: 7, ..Default::default() };
     let flighted: Vec<_> = jobs
         .iter()
-        .map(|j| flight_job(j, j.requested_tokens.max(5), &config))
+        .map(|j| flight_job(j, j.requested_tokens.max(5), &config).expect("flights"))
         .collect();
     assert_eq!(flighted.len(), 8);
     let clean = filter_non_anomalous(flighted, 0.10);
@@ -162,7 +162,8 @@ fn scoring_service_is_thread_safe() {
         xgb: XgbTrainConfig { num_rounds: 10, ..Default::default() },
         ..Default::default()
     })
-    .train(&repo, &store);
+    .train(&repo, &store)
+    .expect("trains");
     let service = std::sync::Arc::new(
         ScoringService::deploy(&store, ModelChoice::Nn, ScoringConfig::default()).unwrap(),
     );
@@ -195,9 +196,9 @@ fn retraining_creates_new_versions() {
         xgb: XgbTrainConfig { num_rounds: 8, ..Default::default() },
         ..Default::default()
     });
-    pipeline.train(&repo, &store);
+    pipeline.train(&repo, &store).expect("trains");
     repo.ingest(workload(10, 12));
-    pipeline.train(&repo, &store);
+    pipeline.train(&repo, &store).expect("trains");
     assert_eq!(store.versions(tasq::pipeline::NN_MODEL_NAME), vec![1, 2]);
     assert_eq!(store.versions(tasq::pipeline::XGB_MODEL_NAME), vec![1, 2]);
 }

@@ -60,8 +60,9 @@ fn adaptive_release_invariants_over_workload() {
     for job in workload(15, 203) {
         let executor = job.executor();
         let alloc = job.requested_tokens.max(2);
-        let plain = executor.run(alloc, &config);
-        let (released, grants) = adaptive_release_series(&executor, alloc, &config);
+        let plain = executor.run(alloc, &config).expect("runs");
+        let (released, grants) =
+            adaptive_release_series(&executor, alloc, &config).expect("runs");
         assert_eq!(plain.skyline, released.skyline, "job {}", job.id);
         for (grant, used) in grants.levels.iter().zip(released.skyline.samples()) {
             assert!(grant + 1e-9 >= *used, "job {}: grant below usage", job.id);
@@ -177,11 +178,11 @@ fn baseline_simulators_sanity() {
     let config = ExecutionConfig::default();
 
     let jockey = JockeyModel::from_prior_run(graph.clone());
-    let actual = executor.run(16, &config).runtime_secs;
+    let actual = executor.run(16, &config).expect("runs").runtime_secs;
     assert!((jockey.predict_runtime(16) - actual).abs() < 1e-9);
 
     let amdahl = AmdahlModel::from_stage_graph(&graph);
-    let huge_actual = executor.run(6000, &config).runtime_secs;
+    let huge_actual = executor.run(6000, &config).expect("runs").runtime_secs;
     let huge_predicted = amdahl.predict_runtime(6000);
     // At saturation both approach the critical path; Amdahl's serial part
     // is the per-stage longest task, so it can undershoot but not by much.
@@ -203,6 +204,7 @@ fn some_family_fits_every_job() {
         let curve: Vec<(f64, f64)> = job
             .executor()
             .performance_curve(&allocations)
+            .expect("fault-free execution cannot fail")
             .into_iter()
             .map(|(t, r)| (t as f64, r))
             .collect();

@@ -1,0 +1,214 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmarking
+//! harness exposing the criterion 0.5 surface the workspace's benches use
+//! (`Criterion`, `BenchmarkId`, groups, `criterion_group!`/
+//! `criterion_main!`). Each benchmark runs a short warmup, then
+//! `sample_size` timed samples of an adaptively chosen batch, reporting
+//! the median per-iteration time. No statistics beyond that — the point
+//! is comparable numbers from `cargo bench` without the crates.io
+//! dependency tree.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` for the batch size the harness chose.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Parameter-only id (criterion prefixes the group name on output).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level harness configuration + runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+fn format_time(nanos: f64) -> String {
+    if nanos < 1e3 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1e6 {
+        format!("{:.2} µs", nanos / 1e3)
+    } else if nanos < 1e9 {
+        format!("{:.2} ms", nanos / 1e6)
+    } else {
+        format!("{:.3} s", nanos / 1e9)
+    }
+}
+
+/// One measured benchmark: calibrate a batch size targeting ~5 ms per
+/// sample, run `samples` batches, report the median per-iteration time.
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut routine: F) {
+    // Calibration pass: one iteration, to size the batches.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    routine(&mut bencher);
+    let once = bencher.elapsed.as_nanos().max(1) as u64;
+    let target_ns = 5_000_000u64;
+    let iters = (target_ns / once).clamp(1, 10_000);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+        routine(&mut bencher);
+        per_iter.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let best = per_iter[0];
+    println!("bench: {id:<50} median {:>12}   best {:>12}", format_time(median), format_time(best));
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, routine);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Criterion's post-run hook (no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_benchmark(&full, self.criterion.sample_size, |b| routine(b, input));
+        self
+    }
+
+    /// Run one plain benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        routine: F,
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_benchmark(&full, self.criterion.sample_size, routine);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group the way criterion does. Both the flat form
+/// `criterion_group!(benches, f, g)` and the configured form
+/// `criterion_group!{name = benches; config = ...; targets = f, g}` are
+/// supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut criterion = Criterion::default().sample_size(3);
+        quick_target(&mut criterion);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("fit", 32).to_string(), "fit/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for `crossbeam`'s scoped threads, layered over
+//! `std::thread::scope` but keeping crossbeam 0.8's calling convention:
+//! `crossbeam::scope(|s| ...)` returns a `Result`, spawn closures receive
+//! the scope as an argument, and `join` reports per-thread panics.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+
+/// Spawn scope handed to the closure passed to [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread, returning its result or the panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. As in crossbeam, the closure receives the
+    /// scope itself (for nested spawns); most callers ignore it (`|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle {
+            inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+        }
+    }
+}
+
+/// Run `f` with a thread scope; all spawned threads are joined before
+/// returning. Returns `Err` only if the closure itself panicked through
+/// an unjoined thread — matching crossbeam, a caller that joins every
+/// handle sees `Ok`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join() {
+        let data = vec![1, 2, 3, 4];
+        let total: i32 = super::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<i32>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let result = super::scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline stand-in for `serde`: the core data-model traits
+//! (`Serialize`/`Serializer`, `Deserialize`/`Deserializer`, the access
+//! traits, and impls for the std types this workspace serializes). The
+//! trait surface mirrors serde 1.x closely enough that the workspace's
+//! hand-written binary codec (`crates/core/src/codec.rs`) and the
+//! `serde_derive` stand-in compile unchanged against it.
+
+pub mod ser;
+pub mod de;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Macros live in a separate namespace from the traits, so re-exporting
+// both under the same names matches real serde's facade.
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use crate::de::{self, IntoDeserializer, Visitor};
+    use crate::ser::Error as _;
+
+    #[derive(Debug)]
+    struct TestError(String);
+
+    impl std::fmt::Display for TestError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl crate::ser::Error for TestError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            TestError(msg.to_string())
+        }
+    }
+
+    impl de::Error for TestError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            TestError(msg.to_string())
+        }
+    }
+
+    #[test]
+    fn error_custom_formats() {
+        let err = TestError::custom(format_args!("bad {}", 7));
+        assert_eq!(err.0, "bad 7");
+    }
+
+    #[test]
+    fn u32_into_deserializer_visits_u32() {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = u32;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("u32")
+            }
+            fn visit_u32<E: de::Error>(self, v: u32) -> Result<u32, E> {
+                Ok(v)
+            }
+        }
+        let d: de::value::U32Deserializer<TestError> = 9u32.into_deserializer();
+        let got = crate::Deserializer::deserialize_u32(d, V).unwrap();
+        assert_eq!(got, 9);
+    }
+}

@@ -1,0 +1,457 @@
+//! Offline stand-in for `serde_derive`. Parses the item's token stream
+//! directly (no `syn`/`quote` — those aren't available offline) and
+//! emits `Serialize`/`Deserialize` impls matching real serde's data
+//! model: structs as `serialize_struct`/`deserialize_struct` visited as
+//! sequences, enums tagged by `u32` variant index, one-field tuple
+//! variants treated as newtype variants.
+//!
+//! Deliberate limits, sufficient for this workspace: no generic types,
+//! no `#[serde(...)]` attributes (accepted but ignored), no unions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+fn is_punct(token: &TokenTree, ch: char) -> bool {
+    matches!(token, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(token: &TokenTree, text: &str) -> bool {
+    matches!(token, TokenTree::Ident(id) if id.to_string() == text)
+}
+
+fn ident_text(token: &TokenTree) -> String {
+    match token {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive stub: expected identifier, found `{other}`"),
+    }
+}
+
+/// Advance past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 2; // '#' then the bracketed group
+        } else if i < tokens.len() && is_ident(&tokens[i], "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(group)) = tokens.get(i) {
+                if group.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+/// Advance past a type, stopping after the `,` that ends it (or at end
+/// of input). Groups are atomic tokens, so only `<`/`>` need balancing;
+/// `->` must not close an angle bracket.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            let ch = p.as_char();
+            match ch {
+                '<' => angle_depth += 1,
+                '>' if !prev_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => return i + 1,
+                _ => {}
+            }
+            prev_dash = ch == '-';
+        } else {
+            prev_dash = false;
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(ident_text(&tokens[i]));
+        i += 1; // field name
+        i += 1; // ':'
+        i = skip_type(&tokens, i);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_type(&tokens, i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_text(&tokens[i]);
+        i += 1;
+        let mut fields = Fields::Unit;
+        if let Some(TokenTree::Group(group)) = tokens.get(i) {
+            match group.delimiter() {
+                Delimiter::Parenthesis => {
+                    fields = Fields::Tuple(count_tuple_fields(group.stream()));
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    fields = Fields::Named(parse_named_fields(group.stream()));
+                    i += 1;
+                }
+                _ => {}
+            }
+        }
+        // Skip an explicit discriminant (`= expr`) up to the separator.
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        i += 1; // ','
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let keyword = ident_text(&tokens[i]);
+    i += 1;
+    let name = ident_text(&tokens[i]);
+    i += 1;
+    if tokens.get(i).is_some_and(|t| is_punct(t, '<')) {
+        panic!("serde derive stub: generic type `{name}` is not supported");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let kind = match tokens.get(i) {
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                    Kind::Struct(Fields::Named(parse_named_fields(group.stream())))
+                }
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                    Kind::Struct(Fields::Tuple(count_tuple_fields(group.stream())))
+                }
+                _ => Kind::Struct(Fields::Unit),
+            };
+            Input { name, kind }
+        }
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Input { name, kind: Kind::Enum(parse_variants(group.stream())) }
+            }
+            _ => panic!("serde derive stub: malformed enum `{name}`"),
+        },
+        other => panic!("serde derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen.
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let mut out = format!(
+                "let mut __state = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {}usize)?;\n",
+                fields.len()
+            );
+            for field in fields {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{field}\", &self.{field})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__state)\n");
+            out
+        }
+        Kind::Struct(Fields::Tuple(arity)) => {
+            let mut out = format!(
+                "let mut __state = ::serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {arity}usize)?;\n"
+            );
+            for idx in 0..*arity {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{idx})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeTupleStruct::end(__state)\n");
+            out
+        }
+        Kind::Struct(Fields::Unit) => {
+            format!("::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")\n")
+        }
+        Kind::Enum(variants) => {
+            let mut out = String::from("match self {\n");
+            for (idx, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    Fields::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|j| format!("__f{j}")).collect();
+                        out.push_str(&format!(
+                            "{name}::{vname}({}) => {{\nlet mut __sv = ::serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {arity}usize)?;\n",
+                            binders.join(", ")
+                        ));
+                        for binder in &binders {
+                            out.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __sv, {binder})?;\n"
+                            ));
+                        }
+                        out.push_str("::serde::ser::SerializeTupleVariant::end(__sv)\n}\n");
+                    }
+                    Fields::Named(fields) => {
+                        out.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __sv = ::serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        ));
+                        for field in fields {
+                            out.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __sv, \"{field}\", {field})?;\n"
+                            ));
+                        }
+                        out.push_str("::serde::ser::SerializeStructVariant::end(__sv)\n}\n");
+                    }
+                }
+            }
+            out.push_str("}\n");
+            out
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen.
+// ---------------------------------------------------------------------------
+
+/// `let <binding> = next element of __seq, or a missing-field error;`
+fn seq_element(binding: &str, missing: &str) -> String {
+    format!(
+        "let {binding} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+         ::core::option::Option::Some(__value) => __value,\n\
+         ::core::option::Option::None => return ::core::result::Result::Err(::serde::de::Error::missing_field(\"{missing}\")),\n\
+         }};\n"
+    )
+}
+
+/// A visitor struct (named `visitor_name`) whose `visit_seq` pulls the
+/// given bindings in order and finishes with `construct`.
+fn seq_visitor(visitor_name: &str, value_type: &str, expecting: &str, elements: &str, construct: &str) -> String {
+    format!(
+        "struct {visitor_name};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {visitor_name} {{\n\
+         type Value = {value_type};\n\
+         fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+         __f.write_str(\"{expecting}\")\n\
+         }}\n\
+         fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::core::result::Result<{value_type}, __A::Error> {{\n\
+         {elements}\
+         ::core::result::Result::Ok({construct})\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let elements: String =
+                fields.iter().map(|f| seq_element(f, f)).collect();
+            let construct = format!("{name} {{ {} }}", fields.join(", "));
+            let field_list: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+            format!(
+                "{}\
+                 ::serde::Deserializer::deserialize_struct(__deserializer, \"{name}\", &[{}], __FieldsVisitor)\n",
+                seq_visitor("__FieldsVisitor", name, &format!("struct {name}"), &elements, &construct),
+                field_list.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Tuple(arity)) => {
+            let elements: String = (0..*arity)
+                .map(|j| seq_element(&format!("__f{j}"), &j.to_string()))
+                .collect();
+            let binders: Vec<String> = (0..*arity).map(|j| format!("__f{j}")).collect();
+            let construct = format!("{name}({})", binders.join(", "));
+            format!(
+                "{}\
+                 ::serde::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {arity}usize, __FieldsVisitor)\n",
+                seq_visitor("__FieldsVisitor", name, &format!("tuple struct {name}"), &elements, &construct)
+            )
+        }
+        Kind::Struct(Fields::Unit) => format!(
+            "struct __UnitVisitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __UnitVisitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+             __f.write_str(\"unit struct {name}\")\n\
+             }}\n\
+             fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<{name}, __E> {{\n\
+             ::core::result::Result::Ok({name})\n\
+             }}\n\
+             }}\n\
+             ::serde::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __UnitVisitor)\n"
+        ),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{\n\
+                         ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         ::core::result::Result::Ok({name}::{vname})\n\
+                         }}\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{idx}u32 => ::core::result::Result::map(::serde::de::VariantAccess::newtype_variant(__variant), {name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(arity) => {
+                        let elements: String = (0..*arity)
+                            .map(|j| seq_element(&format!("__f{j}"), &j.to_string()))
+                            .collect();
+                        let binders: Vec<String> = (0..*arity).map(|j| format!("__f{j}")).collect();
+                        let construct = format!("{name}::{vname}({})", binders.join(", "));
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                             {}\
+                             ::serde::de::VariantAccess::tuple_variant(__variant, {arity}usize, __Variant{idx}Visitor)\n\
+                             }}\n",
+                            seq_visitor(
+                                &format!("__Variant{idx}Visitor"),
+                                name,
+                                &format!("tuple variant {name}::{vname}"),
+                                &elements,
+                                &construct
+                            )
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let elements: String =
+                            fields.iter().map(|f| seq_element(f, f)).collect();
+                        let construct =
+                            format!("{name}::{vname} {{ {} }}", fields.join(", "));
+                        let field_list: Vec<String> =
+                            fields.iter().map(|f| format!("\"{f}\"")).collect();
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                             {}\
+                             ::serde::de::VariantAccess::struct_variant(__variant, &[{}], __Variant{idx}Visitor)\n\
+                             }}\n",
+                            seq_visitor(
+                                &format!("__Variant{idx}Visitor"),
+                                name,
+                                &format!("struct variant {name}::{vname}"),
+                                &elements,
+                                &construct
+                            ),
+                            field_list.join(", ")
+                        ));
+                    }
+                }
+            }
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            format!(
+                "struct __EnumVisitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __EnumVisitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"enum {name}\")\n\
+                 }}\n\
+                 fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A) -> ::core::result::Result<{name}, __A::Error> {{\n\
+                 let (__index, __variant) = ::serde::de::EnumAccess::variant::<u32>(__data)?;\n\
+                 match __index {{\n\
+                 {arms}\
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(::core::format_args!(\"invalid variant index {{__other}} for enum {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n\
+                 ::serde::Deserializer::deserialize_enum(__deserializer, \"{name}\", &[{}], __EnumVisitor)\n",
+                variant_names.join(", ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde derive stub: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde derive stub: generated Deserialize impl failed to parse")
+}
