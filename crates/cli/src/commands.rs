@@ -1,16 +1,22 @@
-//! The five subcommands.
+//! The seven subcommands.
 
 use crate::options::Options;
 use crate::CliError;
 use scope_sim::flight::{filter_non_anomalous, flight_job, FlightConfig};
-use scope_sim::{FaultPlan, Job, NoiseModel, WorkloadConfig, WorkloadGenerator};
+use scope_sim::{
+    replay_traffic, FaultPlan, Job, NoiseModel, TrafficConfig, WorkloadConfig, WorkloadGenerator,
+};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 use tasq::codec;
 use tasq::models::{NnTrainConfig, XgbTrainConfig};
 use tasq::pipeline::{
     AllocationDecision, DiskModelStore, JobRepository, ModelChoice, ModelStore, PipelineConfig,
     ScoringConfig, ScoringService, TasqPipeline, NN_MODEL_NAME, XGB_MODEL_NAME,
 };
+use tasq_serve::cache::CacheConfig;
+use tasq_serve::{ModelRegistry, ScoringServer, ServeConfig, ServedVia, ServerStatsSnapshot};
 
 fn read_workload(path: &str) -> Result<Vec<Job>, CliError> {
     let bytes = std::fs::read(path)?;
@@ -104,12 +110,7 @@ pub fn score(args: &[String]) -> Result<String, CliError> {
         Options::parse(args, &["workload", "model-dir", "model", "min-improvement"])?;
     let jobs = read_workload(opts.required("workload")?)?;
     let disk = DiskModelStore::open(opts.required("model-dir")?)?;
-    let choice = match opts.get("model").unwrap_or("nn") {
-        "nn" => ModelChoice::Nn,
-        "xgb-ss" => ModelChoice::XgboostSs,
-        "xgb-pl" => ModelChoice::XgboostPl,
-        other => return Err(CliError::Usage(format!("unknown --model {other}"))),
-    };
+    let choice = parse_model_choice(opts.get("model").unwrap_or("nn"))?;
     let min_improvement = opts.number::<f64>("min-improvement", 0.01)?;
 
     // Rehydrate the in-memory store the scoring service expects.
@@ -235,6 +236,303 @@ pub fn flight(args: &[String]) -> Result<String, CliError> {
     let _ = writeln!(out, "wasted token-seconds: {waste:.0}");
     let _ = writeln!(out, "{}/{flown} jobs pass the anomaly filters", clean.len());
     Ok(out)
+}
+
+fn parse_model_choice(raw: &str) -> Result<ModelChoice, CliError> {
+    match raw {
+        "nn" => Ok(ModelChoice::Nn),
+        "xgb-ss" => Ok(ModelChoice::XgboostSs),
+        "xgb-pl" => Ok(ModelChoice::XgboostPl),
+        other => Err(CliError::Usage(format!("unknown --model {other}"))),
+    }
+}
+
+/// Build a serving registry either from on-disk artifacts or — when no
+/// model dir is given — by training quick in-memory models on the
+/// workload itself (good enough to exercise the serving stack).
+fn build_registry(
+    jobs: &[Job],
+    model_dir: Option<&str>,
+    choice: ModelChoice,
+) -> Result<ModelRegistry, CliError> {
+    let store = ModelStore::new();
+    match model_dir {
+        Some(dir) => {
+            let disk = DiskModelStore::open(dir)?;
+            match choice {
+                ModelChoice::Nn => {
+                    let nn: tasq::models::NnPcc = disk.load_latest(NN_MODEL_NAME).map_err(
+                        |e| CliError::Usage(format!("no NN artifact in model dir: {e}")),
+                    )?;
+                    store.register(NN_MODEL_NAME, &nn)?;
+                }
+                ModelChoice::XgboostSs | ModelChoice::XgboostPl => {
+                    let xgb: tasq::models::XgbRuntime = disk.load_latest(XGB_MODEL_NAME).map_err(
+                        |e| CliError::Usage(format!("no XGBoost artifact in model dir: {e}")),
+                    )?;
+                    store.register(XGB_MODEL_NAME, &xgb)?;
+                }
+            }
+        }
+        None => {
+            let repo = JobRepository::new();
+            repo.ingest(jobs.to_vec());
+            TasqPipeline::new(PipelineConfig {
+                nn: NnTrainConfig { epochs: 10, ..Default::default() },
+                xgb: XgbTrainConfig { num_rounds: 20, ..Default::default() },
+                ..Default::default()
+            })
+            .train(&repo, &store)?;
+        }
+    }
+    ModelRegistry::deploy(&store, choice, ScoringConfig::default())
+        .map_err(|e| CliError::Usage(e.to_string()))
+}
+
+/// Push a request stream through a server with a bounded in-flight window
+/// (and optional open-loop pacing at `qps`), returning the wall-clock time
+/// and per-path counts of `(cache, model, shed, rejected)`.
+fn drive(
+    server: &ScoringServer,
+    traffic: Vec<Job>,
+    qps: f64,
+) -> (Duration, (u64, u64, u64, u64)) {
+    let mut counts = (0u64, 0u64, 0u64, 0u64);
+    let mut settle = |served: Option<tasq_serve::ServedResponse>| {
+        if let Some(served) = served {
+            match served.via {
+                ServedVia::Cache => counts.0 += 1,
+                ServedVia::Model => counts.1 += 1,
+                ServedVia::Shed => counts.2 += 1,
+            }
+        }
+    };
+    let start = Instant::now();
+    let mut window: VecDeque<tasq_serve::Ticket> = VecDeque::new();
+    for (i, job) in traffic.into_iter().enumerate() {
+        if qps > 0.0 {
+            let due = start + Duration::from_secs_f64(i as f64 / qps);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        if window.len() >= 64 {
+            if let Some(ticket) = window.pop_front() {
+                settle(ticket.wait());
+            }
+        }
+        match server.submit(job) {
+            Ok(ticket) => window.push_back(ticket),
+            Err(_) => counts.3 += 1,
+        }
+    }
+    for ticket in window {
+        settle(ticket.wait());
+    }
+    (start.elapsed(), counts)
+}
+
+/// `tasq serve --workload <file> [--model-dir <dir>] [--model ...]
+///  [--workers N] [--max-batch N] [--max-delay-us N] [--cache on|off]
+///  [--requests N] [--repeat FRAC] [--seed N]`
+///
+/// One-shot embedding of the concurrent scoring server: replays the
+/// workload as recurring-job traffic through the full serving stack
+/// (signature cache, micro-batching worker pool, admission control) and
+/// reports where each request was answered.
+pub fn serve(args: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(
+        args,
+        &[
+            "workload", "model-dir", "model", "workers", "max-batch", "max-delay-us", "cache",
+            "requests", "repeat", "seed",
+        ],
+    )?;
+    let jobs = read_workload(opts.required("workload")?)?;
+    let choice = parse_model_choice(opts.get("model").unwrap_or("nn"))?;
+    let cache_enabled = match opts.get("cache").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(CliError::Usage(format!("--cache must be on|off, got {other}"))),
+    };
+    let config = ServeConfig {
+        workers: opts.number::<usize>("workers", 4)?,
+        max_batch: opts.number::<usize>("max-batch", 16)?,
+        max_delay: Duration::from_micros(opts.number::<u64>("max-delay-us", 500)?),
+        cache: CacheConfig { enabled: cache_enabled, ..Default::default() },
+        ..Default::default()
+    };
+    let requests = opts.number::<usize>("requests", jobs.len().max(1) * 4)?;
+    let repeat = opts.number::<f64>("repeat", 0.8)?;
+    let seed = opts.number::<u64>("seed", 0)?;
+
+    let registry = build_registry(&jobs, opts.get("model-dir"), choice)?;
+    let workers = config.workers;
+    let server = ScoringServer::start(std::sync::Arc::new(registry), config);
+    let traffic =
+        replay_traffic(&jobs, &TrafficConfig { requests, repeat_fraction: repeat, seed });
+    let (elapsed, (cache_hits, model, shed, rejected)) = drive(&server, traffic, 0.0);
+    let stats = server.shutdown();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served {} requests through {workers} workers in {:.1} ms ({:.0} req/s)",
+        stats.completed,
+        elapsed.as_secs_f64() * 1e3,
+        stats.completed as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    let _ = writeln!(
+        out,
+        "paths: {cache_hits} cache, {model} model, {shed} shed, {rejected} rejected"
+    );
+    let _ = writeln!(
+        out,
+        "latency us: p50 {}, p95 {}, p99 {} (mean {:.0})",
+        stats.latency.p50_us, stats.latency.p95_us, stats.latency.p99_us, stats.latency.mean_us
+    );
+    let _ = writeln!(
+        out,
+        "batches: {} (mean size {:.2}), peak queue depth {}",
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.peak_queue_depth
+    );
+    let _ = writeln!(
+        out,
+        "cache: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} resident",
+        stats.cache.hits,
+        stats.cache.misses,
+        100.0 * stats.cache.hit_rate(),
+        stats.cache.evictions,
+        stats.cache.entries
+    );
+    let _ = writeln!(out, "model generation: {}", stats.generation);
+    Ok(out)
+}
+
+fn phase_json(label: &str, elapsed: Duration, stats: &ServerStatsSnapshot) -> String {
+    format!(
+        "  \"{label}\": {{\n    \"elapsed_ms\": {:.3},\n    \"throughput_rps\": {:.1},\n    \
+         \"p50_us\": {},\n    \"p95_us\": {},\n    \"p99_us\": {},\n    \"mean_us\": {:.1},\n    \
+         \"mean_batch_size\": {:.2},\n    \"cache_hit_rate\": {:.4}\n  }}",
+        elapsed.as_secs_f64() * 1e3,
+        stats.completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        stats.latency.p50_us,
+        stats.latency.p95_us,
+        stats.latency.p99_us,
+        stats.latency.mean_us,
+        stats.mean_batch_size(),
+        stats.cache.hit_rate(),
+    )
+}
+
+/// `tasq loadgen --workload <file> [--model-dir <dir>] [--requests N]
+///  [--repeat FRAC] [--qps N] [--out <json>] [--seed N]`
+///
+/// The serving benchmark: replays recurring-job traffic through the
+/// server twice (signature cache off, then on), runs two overload bursts
+/// against deliberately tiny queues (one sized to reject, one to shed),
+/// and writes the whole report as JSON (default `BENCH_serve.json`).
+pub fn loadgen(args: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(
+        args,
+        &["workload", "model-dir", "requests", "repeat", "qps", "out", "seed"],
+    )?;
+    let jobs = read_workload(opts.required("workload")?)?;
+    let requests = opts.number::<usize>("requests", 2000)?;
+    let repeat = opts.number::<f64>("repeat", 0.8)?;
+    let qps = opts.number::<f64>("qps", 0.0)?;
+    let out_path = opts.get("out").unwrap_or("BENCH_serve.json").to_string();
+    let seed = opts.number::<u64>("seed", 0)?;
+    let model_dir = opts.get("model-dir");
+
+    let traffic =
+        replay_traffic(&jobs, &TrafficConfig { requests, repeat_fraction: repeat, seed });
+
+    // Cached-vs-uncached comparison: one worker so the uncached run
+    // reflects the true per-request inference cost.
+    let measure = |enabled: bool| -> Result<(Duration, ServerStatsSnapshot), CliError> {
+        let registry = build_registry(&jobs, model_dir, ModelChoice::Nn)?;
+        let server = ScoringServer::start(
+            std::sync::Arc::new(registry),
+            ServeConfig {
+                workers: 1,
+                cache: CacheConfig { enabled, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let (elapsed, _) = drive(&server, traffic.clone(), qps);
+        Ok((elapsed, server.shutdown()))
+    };
+    let (uncached_elapsed, uncached) = measure(false)?;
+    let (cached_elapsed, cached) = measure(true)?;
+    let speedup = uncached_elapsed.as_secs_f64() / cached_elapsed.as_secs_f64().max(1e-9);
+
+    // Overload bursts: fresh (0%-repeat) traffic into deliberately tiny
+    // queues. The first config has no shed band, so the burst must be
+    // rejected; the second sheds to the analytic tier below capacity.
+    let burst_traffic = replay_traffic(
+        &jobs,
+        &TrafficConfig { requests: 300, repeat_fraction: 0.0, seed: seed ^ 0xb0b0 },
+    );
+    let burst = |queue_capacity: usize,
+                 shed_watermark: usize|
+     -> Result<ServerStatsSnapshot, CliError> {
+        let registry = build_registry(&jobs, model_dir, ModelChoice::Nn)?;
+        let server = ScoringServer::start(
+            std::sync::Arc::new(registry),
+            ServeConfig {
+                workers: 1,
+                max_batch: 2,
+                max_delay: Duration::from_micros(100),
+                queue_capacity,
+                shed_watermark,
+                cache: CacheConfig { enabled: false, ..Default::default() },
+            },
+        );
+        let (_, _) = drive(&server, burst_traffic.clone(), 0.0);
+        Ok(server.shutdown())
+    };
+    let reject_burst = burst(8, 8)?;
+    let shed_burst = burst(1024, 4)?;
+
+    let json = format!(
+        "{{\n  \"requests\": {requests},\n  \"repeat_fraction\": {repeat},\n  \
+         \"qps_target\": {qps},\n{},\n{},\n  \"speedup\": {speedup:.2},\n  \
+         \"overload\": {{\n    \"reject_burst\": {{\"submitted\": {}, \"rejected\": {}, \
+         \"queue_capacity\": 8, \"peak_queue_depth\": {}}},\n    \
+         \"shed_burst\": {{\"submitted\": {}, \"shed\": {}, \"shed_watermark\": 4, \
+         \"peak_queue_depth\": {}}}\n  }}\n}}\n",
+        phase_json("uncached", uncached_elapsed, &uncached),
+        phase_json("cached", cached_elapsed, &cached),
+        reject_burst.submitted,
+        reject_burst.rejected,
+        reject_burst.peak_queue_depth,
+        shed_burst.submitted,
+        shed_burst.shed,
+        shed_burst.peak_queue_depth,
+    );
+    std::fs::write(&out_path, &json)?;
+
+    Ok(format!(
+        "loadgen: {requests} requests at {:.0}% repeat\n\
+         uncached: {:.1} ms ({:.0} req/s)\ncached:   {:.1} ms ({:.0} req/s, {:.0}% hit rate)\n\
+         speedup: {speedup:.2}x\n\
+         overload: {} rejected of {} (reject burst), {} shed of {} (shed burst)\n\
+         wrote {out_path}\n",
+        repeat * 100.0,
+        uncached_elapsed.as_secs_f64() * 1e3,
+        uncached.completed as f64 / uncached_elapsed.as_secs_f64().max(1e-9),
+        cached_elapsed.as_secs_f64() * 1e3,
+        cached.completed as f64 / cached_elapsed.as_secs_f64().max(1e-9),
+        100.0 * cached.cache.hit_rate(),
+        reject_burst.rejected,
+        reject_burst.submitted,
+        shed_burst.shed,
+        shed_burst.submitted,
+    ))
 }
 
 #[cfg(test)]
@@ -380,5 +678,89 @@ mod tests {
         assert!(crate::run(&strings(&["help"])).unwrap().contains("USAGE"));
         assert!(crate::run(&[]).is_err());
         assert!(crate::run(&strings(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn serve_reports_serving_paths() {
+        let dir = temp_dir("serve");
+        let workload = dir.join("w.bin");
+        let workload_str = workload.to_str().unwrap().to_string();
+        generate(&strings(&["--out", &workload_str, "--jobs", "15", "--seed", "9"])).unwrap();
+
+        let out = serve(&strings(&[
+            "--workload",
+            &workload_str,
+            "--workers",
+            "2",
+            "--requests",
+            "120",
+            "--repeat",
+            "0.8",
+        ]))
+        .unwrap();
+        assert!(out.contains("served 120 requests through 2 workers"), "{out}");
+        assert!(out.contains("cache,"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
+        assert!(out.contains("model generation: 1"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_with_cache_off_never_hits() {
+        let dir = temp_dir("servenc");
+        let workload = dir.join("w.bin");
+        let workload_str = workload.to_str().unwrap().to_string();
+        generate(&strings(&["--out", &workload_str, "--jobs", "10", "--seed", "11"])).unwrap();
+        let out = serve(&strings(&[
+            "--workload",
+            &workload_str,
+            "--cache",
+            "off",
+            "--requests",
+            "40",
+        ]))
+        .unwrap();
+        assert!(out.contains("paths: 0 cache"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loadgen_writes_a_bench_report() {
+        let dir = temp_dir("loadgen");
+        let workload = dir.join("w.bin");
+        let report = dir.join("BENCH_serve.json");
+        let workload_str = workload.to_str().unwrap().to_string();
+        generate(&strings(&["--out", &workload_str, "--jobs", "12", "--seed", "13"])).unwrap();
+
+        let out = loadgen(&strings(&[
+            "--workload",
+            &workload_str,
+            "--requests",
+            "300",
+            "--out",
+            report.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("speedup:"), "{out}");
+        assert!(out.contains("wrote"), "{out}");
+
+        let json = std::fs::read_to_string(&report).unwrap();
+        for key in [
+            "\"uncached\"",
+            "\"cached\"",
+            "\"throughput_rps\"",
+            "\"p99_us\"",
+            "\"speedup\"",
+            "\"reject_burst\"",
+            "\"shed_burst\"",
+            "\"cache_hit_rate\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The report is one well-formed JSON object (braces balance).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,6 +1,6 @@
 //! Library backing the `tasq` command-line binary.
 //!
-//! Five subcommands drive the pipeline from files on disk, with workloads
+//! Seven subcommands drive the pipeline from files on disk, with workloads
 //! and model artifacts serialized through the workspace's binary codec:
 //!
 //! * `generate` — synthesize a workload and write it to a file.
@@ -11,6 +11,10 @@
 //!   printing per-job allocation decisions.
 //! * `flight`   — re-execute a sample of jobs under a fault-injection
 //!   preset and report recovery statistics and anomaly filtering.
+//! * `serve`    — push a workload through the concurrent scoring server
+//!   (`tasq-serve`) and report per-path serving statistics.
+//! * `loadgen`  — drive recurring-job replay traffic through the server,
+//!   cached and uncached, plus overload bursts; write `BENCH_serve.json`.
 //!
 //! Commands return their output as a `String` so they are directly
 //! testable; `main` just prints.
@@ -86,6 +90,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "train" => commands::train(rest),
         "score" => commands::score(rest),
         "flight" => commands::flight(rest),
+        "serve" => commands::serve(rest),
+        "loadgen" => commands::loadgen(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
     }
@@ -103,5 +109,10 @@ USAGE:
                       [--min-improvement FRAC]
     tasq-cli flight   --workload <file> [--faults none|mild|production|adversarial]
                       [--sample N] [--seed N]
+    tasq-cli serve    --workload <file> [--model-dir <dir>] [--model nn|xgb-ss|xgb-pl]
+                      [--workers N] [--max-batch N] [--max-delay-us N] [--cache on|off]
+                      [--requests N] [--repeat FRAC] [--seed N]
+    tasq-cli loadgen  --workload <file> [--model-dir <dir>] [--requests N] [--repeat FRAC]
+                      [--qps N] [--out <json>] [--seed N]
     tasq-cli help
 ";

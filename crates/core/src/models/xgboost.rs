@@ -83,12 +83,18 @@ impl XgbRuntime {
         let lo = (reference * (1.0 - span)).max(1.0);
         let hi = (reference * (1.0 + span)).max(lo + 1.0);
         let mut points = Vec::with_capacity(steps);
+        // One scratch row reused across the grid — the score path must not
+        // clone the feature vector once per sampled token count.
+        let mut row = Vec::with_capacity(features.len() + 1);
+        row.extend_from_slice(features);
+        row.push(0.0);
         for i in 0..steps {
             let tokens = (lo + (hi - lo) * i as f64 / (steps - 1) as f64).round() as u32;
             if points.last().is_some_and(|&(t, _)| t == tokens) {
                 continue;
             }
-            points.push((tokens, self.predict_runtime(features, tokens)));
+            *row.last_mut().expect("row has a token slot") = tokens as f64;
+            points.push((tokens, self.booster.predict_row(&row).max(1.0)));
         }
         points
     }

@@ -542,6 +542,25 @@ impl ScoringService {
         Self { tiers, config }
     }
 
+    /// A service with no trained tiers at all: every request is answered
+    /// by the analytic Amdahl baseline. This is the cheap load-shedding
+    /// path a serving front end falls back to under pressure — it needs
+    /// no model store and performs no model inference.
+    pub fn analytic(config: ScoringConfig) -> Self {
+        Self { tiers: Vec::new(), config }
+    }
+
+    /// The scoring configuration this service was deployed with.
+    pub fn config(&self) -> &ScoringConfig {
+        &self.config
+    }
+
+    /// Number of trained tiers backing this service (0–2); the analytic
+    /// tier is implicit and always present.
+    pub fn trained_tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
     fn load_model(
         store: &ModelStore,
         choice: ModelChoice,
@@ -888,6 +907,86 @@ mod tests {
             let response = service.score(&job);
             assert_eq!(response.served_tier, ServedTier::Fallback);
             assert!(response.predicted_runtime_at_request >= 1.0);
+        }
+    }
+
+    #[test]
+    fn scoring_service_is_share_friendly() {
+        // The serving layer wraps the service in an `Arc` and scores from
+        // many worker threads at once; the whole tier chain must be
+        // `Send + Sync` and usable through a shared reference.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScoringService>();
+        assert_send_sync::<ModelStore>();
+        assert_send_sync::<JobRepository>();
+
+        let service = std::sync::Arc::new(ScoringService::analytic(ScoringConfig::default()));
+        let job = jobs(1, 111).remove(0);
+        let scored: Vec<ScoreResponse> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let service = std::sync::Arc::clone(&service);
+                    let job = job.clone();
+                    s.spawn(move || service.score(&job))
+                })
+                .map(|h| h.join().expect("scoring thread panicked"))
+                .collect()
+        });
+        assert!(scored.windows(2).all(|w| w[0].optimal_tokens == w[1].optimal_tokens));
+    }
+
+    #[test]
+    fn analytic_service_reports_config_and_tiers() {
+        let config = ScoringConfig { min_improvement: 0.02, ..Default::default() };
+        let service = ScoringService::analytic(config.clone());
+        assert_eq!(service.trained_tier_count(), 0);
+        assert_eq!(service.config().min_improvement, config.min_improvement);
+        let response = service.score(&jobs(1, 113).remove(0));
+        assert_eq!(response.served_tier, ServedTier::Analytic);
+    }
+
+    #[test]
+    fn score_response_roundtrips_through_codec() {
+        // Wire boundary: every response variant must survive the binary
+        // codec bit-for-bit so a remote scoring client sees exactly what
+        // the server produced.
+        for tier in [ServedTier::Primary, ServedTier::Fallback, ServedTier::Analytic] {
+            let automatic = ScoreResponse {
+                job_id: 42,
+                predicted_runtime_at_request: 187.5,
+                optimal_tokens: 96,
+                decision: AllocationDecision::Automatic { tokens: 96 },
+                served_tier: tier,
+            };
+            let bytes = codec::to_bytes(&automatic).unwrap();
+            let back: ScoreResponse = codec::from_bytes(&bytes).unwrap();
+            assert_eq!(back.job_id, automatic.job_id);
+            assert_eq!(back.predicted_runtime_at_request, automatic.predicted_runtime_at_request);
+            assert_eq!(back.optimal_tokens, automatic.optimal_tokens);
+            assert_eq!(back.served_tier, tier);
+            assert!(matches!(back.decision, AllocationDecision::Automatic { tokens: 96 }));
+        }
+        let curve = ScoreResponse {
+            job_id: 7,
+            predicted_runtime_at_request: 33.0,
+            optimal_tokens: 12,
+            decision: AllocationDecision::ShowCurve {
+                curve: vec![(1, 500.0), (10, 90.0), (100, 35.5)],
+            },
+            served_tier: ServedTier::Fallback,
+        };
+        let back: ScoreResponse = codec::from_bytes(&codec::to_bytes(&curve).unwrap()).unwrap();
+        match back.decision {
+            AllocationDecision::ShowCurve { curve } => {
+                assert_eq!(curve, vec![(1, 500.0), (10, 90.0), (100, 35.5)]);
+            }
+            other => panic!("expected curve, got {other:?}"),
+        }
+        // Standalone tier values round-trip too (they appear inside
+        // serving-stats payloads on their own).
+        for tier in [ServedTier::Primary, ServedTier::Fallback, ServedTier::Analytic] {
+            let back: ServedTier = codec::from_bytes(&codec::to_bytes(&tier).unwrap()).unwrap();
+            assert_eq!(back, tier);
         }
     }
 

@@ -52,7 +52,9 @@ pub mod stage;
 pub use amdahl::AmdahlModel;
 pub use exec::{ExecutionConfig, ExecutionResult, Executor, NoiseModel};
 pub use faults::{FaultInjector, FaultPlan, FaultReport, RecoveryPolicy, SimError};
-pub use generator::{Archetype, Job, JobMeta, WorkloadConfig, WorkloadGenerator};
+pub use generator::{
+    replay_traffic, Archetype, Job, JobMeta, TrafficConfig, WorkloadConfig, WorkloadGenerator,
+};
 pub use operators::{PartitioningMethod, PhysicalOperator};
 pub use plan::{JobPlan, OperatorNode};
 pub use skyline::Skyline;

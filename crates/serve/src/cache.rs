@@ -1,0 +1,293 @@
+//! Sharded LRU cache of scoring responses, keyed by plan signature.
+//!
+//! Recurring jobs dominate production serving traffic, so answering a
+//! resubmitted plan from cache — skipping stage extraction, featurization
+//! and model inference entirely — is the single highest-leverage serving
+//! optimization. The cache is sharded to keep lock contention off the hot
+//! path: a key selects a shard, and each shard is an exact LRU (hash map
+//! plus a recency index ordered by a per-shard monotone tick counter).
+//! Hit / miss / eviction / insertion counters are lock-free atomics.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tasq::pipeline::ScoreResponse;
+
+/// Cache sizing and switches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Master switch; a disabled cache misses every lookup and stores
+    /// nothing (the baseline configuration for benchmarking).
+    pub enabled: bool,
+    /// Total entry capacity across all shards.
+    pub capacity: usize,
+    /// Number of independent shards (clamped to at least 1).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self { enabled: true, capacity: 4096, shards: 8 }
+    }
+}
+
+/// Counter snapshot for monitoring and the bench report.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that fell through to the model path.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard {
+    /// key -> (recency tick, cached response).
+    entries: HashMap<u64, (u64, ScoreResponse)>,
+    /// recency tick -> key, oldest first.
+    recency: BTreeMap<u64, u64>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: u64) {
+        let old_tick = match self.entries.get(&key) {
+            Some(&(tick, _)) => tick,
+            None => return,
+        };
+        self.recency.remove(&old_tick);
+        self.tick += 1;
+        let now = self.tick;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.0 = now;
+        }
+        self.recency.insert(now, key);
+    }
+}
+
+/// The sharded signature-keyed response cache.
+pub struct SignatureCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    enabled: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl SignatureCache {
+    /// Build from a config; capacity is split evenly across shards with a
+    /// floor of one entry per shard.
+    pub fn new(config: &CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        let per_shard_capacity = (config.capacity / shards).max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        recency: BTreeMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            enabled: config.enabled,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether lookups can ever hit.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up a cached response, refreshing its recency on hit.
+    pub fn get(&self, key: u64) -> Option<ScoreResponse> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard(key).lock();
+        let found = shard.entries.get(&key).map(|(_, response)| response.clone());
+        match found {
+            Some(response) => {
+                shard.touch(key);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(response)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a response, evicting the shard's least-recently-used entry
+    /// when the shard is full. A no-op when the cache is disabled.
+    pub fn insert(&self, key: u64, response: ScoreResponse) {
+        if !self.enabled {
+            return;
+        }
+        let mut shard = self.shard(key).lock();
+        if let Some((old_tick, _)) = shard.entries.get(&key).map(|(t, _)| (*t, ())) {
+            // Overwrite in place, refreshing recency.
+            shard.recency.remove(&old_tick);
+        } else if shard.entries.len() >= self.per_shard_capacity {
+            if let Some((&oldest_tick, &oldest_key)) = shard.recency.iter().next() {
+                shard.recency.remove(&oldest_tick);
+                shard.entries.remove(&oldest_key);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.tick += 1;
+        let now = shard.tick;
+        shard.entries.insert(key, (now, response));
+        shard.recency.insert(now, key);
+        drop(shard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current counter values and residency.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().entries.len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasq::pipeline::{AllocationDecision, ServedTier};
+
+    fn response(job_id: u64) -> ScoreResponse {
+        ScoreResponse {
+            job_id,
+            predicted_runtime_at_request: 10.0 + job_id as f64,
+            optimal_tokens: 8,
+            decision: AllocationDecision::Automatic { tokens: 8 },
+            served_tier: ServedTier::Primary,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_and_counters() {
+        let cache = SignatureCache::new(&CacheConfig { capacity: 16, shards: 2, enabled: true });
+        assert!(cache.get(1).is_none());
+        cache.insert(1, response(1));
+        let hit = cache.get(1).expect("hit");
+        assert_eq!(hit.job_id, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = SignatureCache::new(&CacheConfig { capacity: 2, shards: 1, enabled: true });
+        cache.insert(10, response(10));
+        cache.insert(20, response(20));
+        // Touch 10 so 20 becomes the LRU victim.
+        assert!(cache.get(10).is_some());
+        cache.insert(30, response(30));
+        assert!(cache.get(20).is_none(), "LRU entry evicted");
+        assert!(cache.get(10).is_some());
+        assert!(cache.get(30).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn overwrite_refreshes_without_eviction() {
+        let cache = SignatureCache::new(&CacheConfig { capacity: 2, shards: 1, enabled: true });
+        cache.insert(1, response(1));
+        cache.insert(1, response(100));
+        assert_eq!(cache.get(1).expect("hit").job_id, 100);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let cache = SignatureCache::new(&CacheConfig { capacity: 16, shards: 2, enabled: false });
+        cache.insert(1, response(1));
+        assert!(cache.get(1).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 0);
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn shards_partition_the_key_space() {
+        let cache = SignatureCache::new(&CacheConfig { capacity: 64, shards: 8, enabled: true });
+        for key in 0..64u64 {
+            cache.insert(key, response(key));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 64);
+        assert_eq!(stats.evictions, 0);
+        for key in 0..64u64 {
+            assert_eq!(cache.get(key).expect("resident").job_id, key);
+        }
+    }
+
+    #[test]
+    fn concurrent_access_keeps_counters_consistent() {
+        let cache = std::sync::Arc::new(SignatureCache::new(&CacheConfig {
+            capacity: 128,
+            shards: 4,
+            enabled: true,
+        }));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = std::sync::Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let key = (t * 50 + i) % 100;
+                        if cache.get(key).is_none() {
+                            cache.insert(key, response(key));
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 800);
+        assert!(stats.entries <= 128);
+    }
+}

@@ -1,0 +1,37 @@
+//! `tasq-serve`: an embeddable concurrent scoring server for TASQ.
+//!
+//! The training pipeline (`tasq::pipeline`) produces versioned model
+//! artifacts; this crate turns them into a production-shaped serving
+//! stack, mirroring how TASQ runs inside a job-submission service:
+//!
+//! - [`signature`] — deterministic 64-bit plan signatures, so recurring
+//!   jobs (the dominant production traffic) are recognizable on arrival.
+//! - [`cache`] — a sharded exact-LRU response cache keyed by signature,
+//!   with hit/miss/eviction counters.
+//! - [`registry`] — an atomically hot-swappable model deployment with
+//!   probe validation and rollback-by-not-swapping.
+//! - [`server`] — the worker pool itself: micro-batching under a
+//!   max-batch/max-delay policy, bounded-queue admission control with
+//!   shed-to-analytic-tier degradation, and lock-free latency stats
+//!   ([`stats`]).
+//!
+//! Everything is std-threads + channels + atomics over the workspace's
+//! vendored dependencies; there is no async runtime and no network
+//! surface — the server embeds into a host process (here, the `tasq` CLI
+//! `serve` / `loadgen` subcommands).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod registry;
+pub mod server;
+pub mod signature;
+pub mod stats;
+
+pub use cache::{CacheConfig, CacheStats, SignatureCache};
+pub use registry::{ActiveModel, ModelRegistry, SwapError};
+pub use server::{
+    ScoringServer, ServeConfig, ServedResponse, ServedVia, SubmitError, Ticket,
+};
+pub use signature::PlanSignature;
+pub use stats::{LatencyHistogram, LatencySnapshot, ServerStatsSnapshot};

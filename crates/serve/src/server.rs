@@ -1,0 +1,675 @@
+//! The concurrent scoring server.
+//!
+//! A bounded worker pool wraps a [`ModelRegistry`] deployment:
+//!
+//! 1. **Fast path** — `submit` hashes the job's plan signature and, on a
+//!    cache hit, answers immediately on the caller's thread with no
+//!    queueing and no model inference.
+//! 2. **Batched path** — cache misses enter a bounded queue; workers
+//!    coalesce them into micro-batches under a max-batch / max-delay
+//!    policy, dedupe identical signatures within a batch, score against
+//!    the current registry snapshot, fan results back out over per-request
+//!    channels, and populate the cache.
+//! 3. **Admission control** — when the queue passes the shed watermark
+//!    the request is answered inline from the analytic Amdahl tier
+//!    (cheap, model-free, clearly marked); at full capacity it is
+//!    rejected with [`SubmitError::Overloaded`]. The queue can therefore
+//!    never grow beyond its configured bound.
+//!
+//! All coordination is std-only (threads + mpsc channels + atomics), in
+//! keeping with the workspace's vendored offline dependencies.
+
+use crate::cache::{CacheConfig, SignatureCache};
+use crate::registry::ModelRegistry;
+use crate::signature::PlanSignature;
+use crate::stats::{LatencyHistogram, ServerStatsSnapshot};
+use parking_lot::Mutex;
+use scope_sim::Job;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+use tasq::pipeline::{ScoreResponse, ScoringService};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads scoring micro-batches.
+    pub workers: usize,
+    /// Maximum requests coalesced into one micro-batch.
+    pub max_batch: usize,
+    /// Maximum time a worker waits to fill a batch once it holds the
+    /// first request.
+    pub max_delay: Duration,
+    /// Hard bound on queued (admitted but unscored) requests; beyond it
+    /// `submit` returns [`SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Queue depth at which requests shed to the analytic tier instead of
+    /// queueing (set `>= queue_capacity` to disable shedding).
+    pub shed_watermark: usize,
+    /// Signature-cache settings.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_batch: 16,
+            max_delay: Duration::from_micros(500),
+            queue_capacity: 512,
+            shed_watermark: 448,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// Which serving path answered a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServedVia {
+    /// Signature-cache hit; no inference ran.
+    Cache,
+    /// Scored by the worker pool against the active model.
+    Model,
+    /// Shed to the analytic tier under queue pressure.
+    Shed,
+}
+
+/// A completed scoring request.
+#[derive(Debug, Clone)]
+pub struct ServedResponse {
+    /// The scoring response (with this request's own job id).
+    pub response: ScoreResponse,
+    /// Which path produced it.
+    pub via: ServedVia,
+    /// Registry generation that answered.
+    pub generation: u64,
+}
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry later or back off.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// The configured bound.
+        capacity: usize,
+    },
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Overloaded { depth, capacity } => {
+                write!(f, "overloaded: queue depth {depth} at capacity {capacity}")
+            }
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Handle to an in-flight (or already answered) request.
+pub struct Ticket {
+    inner: TicketInner,
+}
+
+enum TicketInner {
+    Ready(ServedResponse),
+    Pending(mpsc::Receiver<ServedResponse>),
+}
+
+impl Ticket {
+    /// Wait for the response. `None` only if the server was torn down
+    /// with the request still queued.
+    pub fn wait(self) -> Option<ServedResponse> {
+        match self.inner {
+            TicketInner::Ready(response) => Some(response),
+            TicketInner::Pending(rx) => rx.recv().ok(),
+        }
+    }
+}
+
+struct Envelope {
+    job: Job,
+    key: u64,
+    submitted: Instant,
+    reply: mpsc::Sender<ServedResponse>,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    model_scored: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    peak_queue_depth: AtomicU64,
+}
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    cache: SignatureCache,
+    /// Analytic-only scorer for the shed path (model-free, cheap).
+    analytic: ScoringService,
+    depth: AtomicUsize,
+    counters: Counters,
+    latency: LatencyHistogram,
+    shutdown: AtomicBool,
+    config: ServeConfig,
+}
+
+impl Shared {
+    fn finish(&self, via: ServedVia, submitted: Instant) {
+        self.latency.record(submitted.elapsed());
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        match via {
+            ServedVia::Cache => &self.counters.cache_hits,
+            ServedVia::Model => &self.counters.model_scored,
+            ServedVia::Shed => &self.counters.shed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The running server: spawn with [`ScoringServer::start`], submit jobs,
+/// read [`ScoringServer::stats`], and drop (or [`ScoringServer::shutdown`])
+/// to stop. Dropping joins the workers after draining the queue.
+pub struct ScoringServer {
+    shared: Arc<Shared>,
+    tx: mpsc::SyncSender<Envelope>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// How long an idle worker sleeps between shutdown checks.
+const IDLE_POLL: Duration = Duration::from_millis(20);
+
+impl ScoringServer {
+    /// Start the worker pool against a registry deployment.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Self {
+        let scoring_config = registry.current().service().config().clone();
+        let shared = Arc::new(Shared {
+            cache: SignatureCache::new(&config.cache),
+            analytic: ScoringService::analytic(scoring_config),
+            registry,
+            depth: AtomicUsize::new(0),
+            counters: Counters::default(),
+            latency: LatencyHistogram::new(),
+            shutdown: AtomicBool::new(false),
+            config: config.clone(),
+        });
+        // The channel bound exceeds the admission bound, so `send` below
+        // never blocks: depth accounting rejects first.
+        let bound = config.queue_capacity + config.workers.max(1) * config.max_batch.max(1) + 1;
+        let (tx, rx) = mpsc::sync_channel::<Envelope>(bound);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+        Self { shared, tx, workers }
+    }
+
+    /// Submit one job for scoring. Returns a [`Ticket`] immediately; the
+    /// ticket is pre-resolved on the cache and shed paths.
+    pub fn submit(&self, job: Job) -> Result<Ticket, SubmitError> {
+        let shared = &self.shared;
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let submitted = Instant::now();
+        let generation = shared.registry.generation();
+        let key = PlanSignature::of_job(&job).cache_key(generation);
+
+        // Fast path: answer recurring plans from cache, bypassing the
+        // queue and all inference.
+        if let Some(mut response) = shared.cache.get(key) {
+            response.job_id = job.id;
+            shared.finish(ServedVia::Cache, submitted);
+            return Ok(Ticket {
+                inner: TicketInner::Ready(ServedResponse {
+                    response,
+                    via: ServedVia::Cache,
+                    generation,
+                }),
+            });
+        }
+
+        // Admission control: claim a queue slot; over the hard bound the
+        // request is refused, over the watermark it is shed to the
+        // analytic tier (served inline, never queued).
+        let config = &shared.config;
+        let depth = shared.depth.fetch_add(1, Ordering::SeqCst);
+        if depth >= config.queue_capacity {
+            shared.depth.fetch_sub(1, Ordering::SeqCst);
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Overloaded { depth, capacity: config.queue_capacity });
+        }
+        if depth >= config.shed_watermark {
+            shared.depth.fetch_sub(1, Ordering::SeqCst);
+            let mut response = shared.analytic.score(&job);
+            response.job_id = job.id;
+            shared.finish(ServedVia::Shed, submitted);
+            return Ok(Ticket {
+                inner: TicketInner::Ready(ServedResponse {
+                    response,
+                    via: ServedVia::Shed,
+                    generation,
+                }),
+            });
+        }
+        shared
+            .counters
+            .peak_queue_depth
+            .fetch_max(depth as u64 + 1, Ordering::Relaxed);
+
+        let (reply, rx) = mpsc::channel();
+        let envelope = Envelope { job, key, submitted, reply };
+        if self.tx.send(envelope).is_err() {
+            shared.depth.fetch_sub(1, Ordering::SeqCst);
+            return Err(SubmitError::ShuttingDown);
+        }
+        Ok(Ticket { inner: TicketInner::Pending(rx) })
+    }
+
+    /// Submit and wait: the synchronous convenience wrapper.
+    pub fn score_blocking(&self, job: Job) -> Result<ServedResponse, SubmitError> {
+        let ticket = self.submit(job)?;
+        ticket.wait().ok_or(SubmitError::ShuttingDown)
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        let shared = &self.shared;
+        let c = &shared.counters;
+        ServerStatsSnapshot {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            model_scored: c.model_scored.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_requests: c.batched_requests.load(Ordering::Relaxed),
+            peak_queue_depth: c.peak_queue_depth.load(Ordering::Relaxed),
+            generation: shared.registry.generation(),
+            latency: shared.latency.snapshot(),
+            cache: shared.cache.stats(),
+        }
+    }
+
+    /// The registry this server scores against (hot-swaps through it take
+    /// effect on the next batch).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// Stop accepting requests, drain the queue, and join the workers.
+    pub fn shutdown(mut self) -> ServerStatsSnapshot {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for handle in self.workers.drain(..) {
+            if handle.join().is_err() {
+                // A panicked worker is a bug elsewhere; shutdown still
+                // completes so callers can read stats.
+            }
+        }
+    }
+}
+
+impl Drop for ScoringServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Collect one micro-batch: block for the first request, then fill until
+/// `max_batch` or `max_delay`. Returns `None` when the worker should exit.
+fn collect_batch(
+    shared: &Shared,
+    rx: &Mutex<mpsc::Receiver<Envelope>>,
+) -> Option<Vec<Envelope>> {
+    let guard = rx.lock();
+    let first = loop {
+        match guard.recv_timeout(IDLE_POLL) {
+            Ok(envelope) => break envelope,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return None;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return None,
+        }
+    };
+    let mut batch = vec![first];
+    let deadline = Instant::now() + shared.config.max_delay;
+    while batch.len() < shared.config.max_batch.max(1) {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match guard.recv_timeout(remaining) {
+            Ok(envelope) => batch.push(envelope),
+            Err(_) => break,
+        }
+    }
+    Some(batch)
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<Envelope>>) {
+    while let Some(batch) = collect_batch(shared, rx) {
+        shared.depth.fetch_sub(batch.len(), Ordering::SeqCst);
+        shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .batched_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        // One registry snapshot per batch: a hot-swap mid-batch is
+        // invisible, the next batch sees the new generation.
+        let active = shared.registry.current();
+        let mut scored_in_batch: HashMap<u64, ScoreResponse> = HashMap::new();
+        for envelope in batch {
+            let mut response = match scored_in_batch.get(&envelope.key) {
+                // Identical signatures inside one batch are scored once.
+                Some(response) => response.clone(),
+                None => {
+                    let response = active.service().score(&envelope.job);
+                    scored_in_batch.insert(envelope.key, response.clone());
+                    shared.cache.insert(envelope.key, response.clone());
+                    response
+                }
+            };
+            response.job_id = envelope.job.id;
+            shared.finish(ServedVia::Model, envelope.submitted);
+            let served = ServedResponse {
+                response,
+                via: ServedVia::Model,
+                generation: active.generation,
+            };
+            // The requester may have dropped its ticket; that is fine.
+            let _ = envelope.reply.send(served);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_sim::{replay_traffic, TrafficConfig, WorkloadConfig, WorkloadGenerator};
+    use tasq::models::{NnTrainConfig, XgbTrainConfig};
+    use tasq::pipeline::{
+        JobRepository, ModelChoice, ModelStore, PipelineConfig, ScoringConfig, ServedTier,
+        TasqPipeline,
+    };
+
+    fn jobs(n: usize, seed: u64) -> Vec<Job> {
+        WorkloadGenerator::new(WorkloadConfig { num_jobs: n, seed, ..Default::default() })
+            .generate()
+    }
+
+    fn registry(seed: u64) -> Arc<ModelRegistry> {
+        let repo = JobRepository::new();
+        repo.ingest(jobs(20, seed));
+        let store = ModelStore::new();
+        TasqPipeline::new(PipelineConfig {
+            xgb: XgbTrainConfig { num_rounds: 15, ..Default::default() },
+            nn: NnTrainConfig { epochs: 8, ..Default::default() },
+            ..Default::default()
+        })
+        .train(&repo, &store)
+        .expect("trains");
+        Arc::new(ModelRegistry::deploy(&store, ModelChoice::Nn, ScoringConfig::default()).unwrap())
+    }
+
+    #[test]
+    fn scores_a_workload_and_caches_repeats() {
+        let server = ScoringServer::start(registry(61), ServeConfig::default());
+        let job = jobs(1, 63).remove(0);
+
+        let first = server.score_blocking(job.clone()).expect("scored");
+        assert_eq!(first.via, ServedVia::Model);
+        assert_eq!(first.response.job_id, job.id);
+        assert_eq!(first.response.served_tier, ServedTier::Primary);
+
+        let mut resubmission = job.clone();
+        resubmission.id = 777;
+        let second = server.score_blocking(resubmission).expect("scored");
+        assert_eq!(second.via, ServedVia::Cache);
+        assert_eq!(second.response.job_id, 777, "cached response re-addressed");
+        assert_eq!(second.response.optimal_tokens, first.response.optimal_tokens);
+
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.model_scored, 1);
+        assert_eq!(stats.completed, 2);
+        assert!(stats.latency.count == 2);
+    }
+
+    #[test]
+    fn batches_coalesce_under_load() {
+        let server = ScoringServer::start(
+            registry(65),
+            ServeConfig {
+                workers: 1,
+                max_batch: 8,
+                max_delay: Duration::from_millis(20),
+                cache: CacheConfig { enabled: false, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let tickets: Vec<Ticket> = jobs(24, 67)
+            .into_iter()
+            .map(|j| server.submit(j).expect("admitted"))
+            .collect();
+        for ticket in tickets {
+            assert!(ticket.wait().is_some());
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.model_scored, 24);
+        assert!(
+            stats.mean_batch_size() > 1.5,
+            "expected coalescing, mean batch size {}",
+            stats.mean_batch_size()
+        );
+    }
+
+    #[test]
+    fn overload_rejects_once_the_queue_is_full() {
+        // Shedding disabled (watermark == capacity): a burst into one
+        // slow worker must fill the tiny queue and then be refused, and
+        // the queue depth must never exceed its bound.
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_delay: Duration::from_micros(100),
+            queue_capacity: 8,
+            shed_watermark: 8,
+            cache: CacheConfig { enabled: false, ..Default::default() },
+        };
+        let server = ScoringServer::start(registry(69), config);
+        let mut tickets = Vec::new();
+        let mut rejected = 0usize;
+        for job in replay_traffic(
+            &jobs(10, 71),
+            &TrafficConfig { requests: 300, repeat_fraction: 0.0, seed: 5 },
+        ) {
+            match server.submit(job) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(SubmitError::Overloaded { depth, capacity }) => {
+                    assert!(depth >= capacity);
+                    rejected += 1;
+                }
+                Err(SubmitError::ShuttingDown) => panic!("not shutting down"),
+            }
+        }
+        for ticket in tickets {
+            assert!(ticket.wait().is_some(), "admitted requests complete");
+        }
+        let stats = server.shutdown();
+        assert!(rejected > 0, "burst should overflow the queue");
+        assert_eq!(stats.rejected, rejected as u64);
+        assert_eq!(stats.shed, 0);
+        assert!(
+            stats.peak_queue_depth <= 8,
+            "queue bounded at capacity, peaked at {}",
+            stats.peak_queue_depth
+        );
+        assert_eq!(stats.completed, stats.submitted - stats.rejected);
+    }
+
+    #[test]
+    fn overload_sheds_to_the_analytic_tier_below_the_rejection_point() {
+        // Watermark well under capacity: the same burst degrades to the
+        // analytic tier instead of queueing, so nothing is rejected and
+        // the queue never grows past the watermark.
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_delay: Duration::from_micros(100),
+            queue_capacity: 1024,
+            shed_watermark: 4,
+            cache: CacheConfig { enabled: false, ..Default::default() },
+        };
+        let server = ScoringServer::start(registry(69), config);
+        let tickets: Vec<Ticket> = replay_traffic(
+            &jobs(10, 71),
+            &TrafficConfig { requests: 300, repeat_fraction: 0.0, seed: 5 },
+        )
+        .into_iter()
+        .map(|job| server.submit(job).expect("below capacity, never rejected"))
+        .collect();
+        let mut shed = 0usize;
+        for ticket in tickets {
+            let served = ticket.wait().expect("admitted requests complete");
+            if served.via == ServedVia::Shed {
+                shed += 1;
+                assert_eq!(served.response.served_tier, ServedTier::Analytic);
+            }
+        }
+        let stats = server.shutdown();
+        assert!(shed > 0, "watermark should shed some requests");
+        assert_eq!(stats.shed, shed as u64);
+        assert_eq!(stats.rejected, 0);
+        assert!(
+            stats.peak_queue_depth <= 4,
+            "shedding holds the queue at the watermark, peaked at {}",
+            stats.peak_queue_depth
+        );
+        assert_eq!(stats.completed, stats.submitted);
+    }
+
+    #[test]
+    fn hot_swap_under_traffic_invalidates_cached_generation() {
+        let registry = registry(73);
+        let server = ScoringServer::start(Arc::clone(&registry), ServeConfig::default());
+        let job = jobs(1, 75).remove(0);
+        assert_eq!(server.score_blocking(job.clone()).expect("ok").via, ServedVia::Model);
+        assert_eq!(server.score_blocking(job.clone()).expect("ok").via, ServedVia::Cache);
+
+        // Swap (same artifacts, new generation): the old cache entry is
+        // keyed under generation 1 and must not serve generation 2.
+        let store = {
+            // Rebuild an equivalent store for the swap.
+            let repo = JobRepository::new();
+            repo.ingest(jobs(20, 73));
+            let store = ModelStore::new();
+            TasqPipeline::new(PipelineConfig {
+                xgb: XgbTrainConfig { num_rounds: 15, ..Default::default() },
+                nn: NnTrainConfig { epochs: 8, ..Default::default() },
+                ..Default::default()
+            })
+            .train(&repo, &store)
+            .expect("trains");
+            store
+        };
+        registry
+            .hot_swap(&store, ModelChoice::Nn, ScoringConfig::default(), &jobs(2, 77))
+            .expect("swap");
+        let after = server.score_blocking(job).expect("ok");
+        assert_eq!(after.via, ServedVia::Model, "new generation misses the old cache key");
+        assert_eq!(after.generation, 2);
+    }
+
+    #[test]
+    fn cached_throughput_beats_uncached_by_5x_on_recurring_traffic() {
+        // The acceptance benchmark in miniature: a repeat-heavy stream
+        // (80% resubmissions; the fresh remainder cycles a finite daily
+        // job population) served with and without the signature cache.
+        let base = jobs(25, 79);
+        let traffic = replay_traffic(
+            &base,
+            &TrafficConfig { requests: 1200, repeat_fraction: 0.8, seed: 7 },
+        );
+        let run = |enabled: bool| -> (Duration, ServerStatsSnapshot) {
+            let server = ScoringServer::start(
+                registry(79),
+                ServeConfig {
+                    workers: 1,
+                    cache: CacheConfig { enabled, ..Default::default() },
+                    ..Default::default()
+                },
+            );
+            // Clone the stream outside the timed section: request
+            // construction is the client's cost, not the server's.
+            let stream: Vec<Job> = traffic.clone();
+            let start = Instant::now();
+            let mut window: std::collections::VecDeque<Ticket> = Default::default();
+            for job in stream {
+                if window.len() >= 64 {
+                    if let Some(ticket) = window.pop_front() {
+                        assert!(ticket.wait().is_some());
+                    }
+                }
+                window.push_back(server.submit(job).expect("admitted"));
+            }
+            for ticket in window {
+                assert!(ticket.wait().is_some());
+            }
+            (start.elapsed(), server.shutdown())
+        };
+        let (uncached_elapsed, uncached_stats) = run(false);
+        let (cached_elapsed, cached_stats) = run(true);
+        assert_eq!(uncached_stats.cache_hits, 0);
+        assert!(
+            cached_stats.cache.hit_rate() > 0.9,
+            "repeat-heavy stream should mostly hit, rate {}",
+            cached_stats.cache.hit_rate()
+        );
+        let speedup = uncached_elapsed.as_secs_f64() / cached_elapsed.as_secs_f64().max(1e-9);
+        assert!(
+            speedup >= 5.0,
+            "signature cache should win >=5x on recurring traffic, got {speedup:.2}x \
+             (uncached {uncached_elapsed:?}, cached {cached_elapsed:?})"
+        );
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_but_answers_admitted_work() {
+        let server = ScoringServer::start(registry(81), ServeConfig::default());
+        let tickets: Vec<Ticket> = jobs(6, 83)
+            .into_iter()
+            .map(|j| server.submit(j).expect("admitted"))
+            .collect();
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 6, "queued work drains on shutdown");
+        for ticket in tickets {
+            assert!(ticket.wait().is_some());
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Serving statistics: lock-free latency histograms and counter snapshots.
+//!
+//! Latencies are recorded into power-of-two microsecond buckets with
+//! atomic increments, so the hot path never takes a lock; percentiles are
+//! derived from the bucket counts at snapshot time (resolution: one
+//! bucket, i.e. at most 2x — the standard trade of HDR-style serving
+//! histograms).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets: bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` microseconds, the last bucket absorbs the tail
+/// (2^39 µs is ~6.4 days — nothing legitimate lands there).
+const NUM_BUCKETS: usize = 40;
+
+/// Lock-free log-bucketed latency histogram.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(micros: u64) -> usize {
+        // 1 µs (and anything faster) lands in bucket 0.
+        (63 - micros.max(1).leading_zeros() as usize).min(NUM_BUCKETS - 1)
+    }
+
+    /// Record one observed latency.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Snapshot with derived percentiles.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = buckets.iter().sum();
+        let total_us = self.total_us.load(Ordering::Relaxed);
+        let percentile = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // Upper bound of the bucket: conservative (never
+                    // under-reports a percentile).
+                    return 1u64 << (i + 1);
+                }
+            }
+            1u64 << NUM_BUCKETS
+        };
+        LatencySnapshot {
+            count,
+            mean_us: if count == 0 { 0.0 } else { total_us as f64 / count as f64 },
+            p50_us: percentile(0.50),
+            p95_us: percentile(0.95),
+            p99_us: percentile(0.99),
+        }
+    }
+}
+
+/// Derived latency summary.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencySnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Arithmetic mean in microseconds (exact, not bucketed).
+    pub mean_us: f64,
+    /// Median upper bound in microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile upper bound in microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile upper bound in microseconds.
+    pub p99_us: u64,
+}
+
+/// Point-in-time server statistics (see `ScoringServer::stats`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServerStatsSnapshot {
+    /// Requests accepted by `submit` (including cache hits and sheds).
+    pub submitted: u64,
+    /// Requests answered (any path).
+    pub completed: u64,
+    /// Requests answered from the signature cache.
+    pub cache_hits: u64,
+    /// Requests scored by the model worker pool.
+    pub model_scored: u64,
+    /// Requests shed to the analytic tier under queue pressure.
+    pub shed: u64,
+    /// Requests rejected with `Overloaded`.
+    pub rejected: u64,
+    /// Micro-batches executed by the worker pool.
+    pub batches: u64,
+    /// Requests carried by those batches (mean batch size =
+    /// `batched_requests / batches`).
+    pub batched_requests: u64,
+    /// Highest queue depth ever observed.
+    pub peak_queue_depth: u64,
+    /// Model-registry generation at snapshot time.
+    pub generation: u64,
+    /// End-to-end latency summary.
+    pub latency: LatencySnapshot,
+    /// Signature-cache counters.
+    pub cache: crate::cache::CacheStats,
+}
+
+impl ServerStatsSnapshot {
+    /// Mean micro-batch size (0 when no batch ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_buckets_latencies() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(10));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(5));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        // 10 µs lands in [8,16): p50 upper bound is 16.
+        assert_eq!(snap.p50_us, 16);
+        // p95 straddles into the 5 ms bucket [4096, 8192).
+        assert_eq!(snap.p99_us, 8192);
+        assert!(snap.p95_us <= snap.p99_us);
+        assert!((snap.mean_us - (90.0 * 10.0 + 10.0 * 5000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_zeros() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50_us, 0);
+        assert_eq!(snap.p99_us, 0);
+        assert_eq!(snap.mean_us, 0.0);
+    }
+
+    #[test]
+    fn sub_microsecond_and_huge_latencies_stay_in_range() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_secs(60 * 60 * 24 * 30));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert!(snap.p50_us >= 1);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p() {
+        let h = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            h.record(Duration::from_micros(1 + i * 7));
+        }
+        let snap = h.snapshot();
+        assert!(snap.p50_us <= snap.p95_us && snap.p95_us <= snap.p99_us);
+    }
+
+    #[test]
+    fn mean_batch_size_divides_safely() {
+        let mut snap = ServerStatsSnapshot::default();
+        assert_eq!(snap.mean_batch_size(), 0.0);
+        snap.batches = 4;
+        snap.batched_requests = 10;
+        assert!((snap.mean_batch_size() - 2.5).abs() < 1e-12);
+    }
+}
