@@ -1,0 +1,299 @@
+//! Vector-clock happens-before race checking over synchronization logs.
+//!
+//! The input is an [`EventLog`] recorded by an instrumented run (the
+//! simulator's [`scope_sim::ExecTrace::sync_log`] lowering, or the serving
+//! stack's shared [`scope_sim::EventTrace`]). The checker replays the log
+//! with one vector clock per actor:
+//!
+//! * `Send {chan, msg}` publishes the sender's clock under `(chan, msg)`;
+//!   the matching `Recv` joins it — channel edges are matched by message
+//!   id, **not** by log position, so the checker tolerates the arbitrary
+//!   interleavings a multi-threaded recorder produces.
+//! * `Acquire`/`Release` order critical sections through the lock's
+//!   last-release clock.
+//! * `Read`/`Write` are the accesses being audited: two accesses to the
+//!   same resource, at least one a write, from different actors, with
+//!   neither ordered before the other, are a data race.
+//!
+//! Replay is by *enablement*, not log order: each actor's events stay in
+//! program order, and a `Recv` (or a contended `Acquire`) simply waits
+//! until its counterpart has been processed. A log that can never finish —
+//! a `Recv` with no `Send`, say — is reported as malformed rather than
+//! racy.
+
+use scope_sim::{EventLog, TraceEvent, TraceOp};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// A vector clock: actor id to logical time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock(BTreeMap<u32, u64>);
+
+impl VectorClock {
+    /// This actor's own component.
+    fn get(&self, actor: u32) -> u64 {
+        self.0.get(&actor).copied().unwrap_or(0)
+    }
+
+    fn tick(&mut self, actor: u32) {
+        *self.0.entry(actor).or_insert(0) += 1;
+    }
+
+    fn join(&mut self, other: &VectorClock) {
+        for (&actor, &t) in &other.0 {
+            let slot = self.0.entry(actor).or_insert(0);
+            *slot = (*slot).max(t);
+        }
+    }
+}
+
+/// An unsynchronized pair of conflicting accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// The shared resource both events touched.
+    pub resource: u64,
+    /// The earlier-processed access.
+    pub first: TraceEvent,
+    /// The later-processed access that did not observe `first`.
+    pub second: TraceEvent,
+}
+
+/// Why a log could not be replayed to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HbError {
+    /// Replay wedged: no actor's next event is enabled. Holds the number
+    /// of unprocessed events — a `Recv` missing its `Send` or an
+    /// `Acquire` whose holder never releases.
+    Stuck {
+        /// Events left unprocessed when replay wedged.
+        remaining: usize,
+    },
+}
+
+impl std::fmt::Display for HbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Stuck { remaining } => write!(
+                f,
+                "malformed log: replay wedged with {remaining} events unprocessed \
+                 (a Recv without its Send, or an Acquire never released)"
+            ),
+        }
+    }
+}
+
+/// One recorded access for race bookkeeping.
+#[derive(Debug, Clone)]
+struct Access {
+    clock: VectorClock,
+    event: TraceEvent,
+}
+
+/// Replay `log` and report every data race found.
+///
+/// Returns `Ok(races)` when the whole log replays; an empty vector means
+/// the recorded execution is free of unsynchronized conflicting accesses.
+pub fn check_log(log: &EventLog) -> Result<Vec<Race>, HbError> {
+    let mut queues: BTreeMap<u32, VecDeque<TraceEvent>> = BTreeMap::new();
+    for ev in &log.events {
+        queues.entry(ev.actor).or_default().push_back(*ev);
+    }
+
+    let mut clocks: HashMap<u32, VectorClock> = HashMap::new();
+    let mut sent: HashMap<(u64, u64), VectorClock> = HashMap::new();
+    let mut lock_release: HashMap<u64, VectorClock> = HashMap::new();
+    let mut lock_holder: HashMap<u64, u32> = HashMap::new();
+    // Per resource, the latest read and write of each actor.
+    let mut reads: HashMap<u64, HashMap<u32, Access>> = HashMap::new();
+    let mut writes: HashMap<u64, HashMap<u32, Access>> = HashMap::new();
+    let mut races: Vec<Race> = Vec::new();
+
+    let mut remaining: usize = log.len();
+    loop {
+        let mut progressed = false;
+        let actors: Vec<u32> = queues.keys().copied().collect();
+        for actor in actors {
+            while let Some(&ev) = queues.get(&actor).and_then(VecDeque::front) {
+                let enabled = match ev.op {
+                    TraceOp::Recv { chan, msg } => sent.contains_key(&(chan, msg)),
+                    TraceOp::Acquire(l) => {
+                        lock_holder.get(&l).is_none_or(|&h| h == actor)
+                    }
+                    _ => true,
+                };
+                if !enabled {
+                    break;
+                }
+                queues.get_mut(&actor).map(|q| q.pop_front());
+                remaining -= 1;
+                progressed = true;
+
+                let clock = clocks.entry(actor).or_default();
+                clock.tick(actor);
+                match ev.op {
+                    TraceOp::Send { chan, msg } => {
+                        sent.insert((chan, msg), clock.clone());
+                    }
+                    TraceOp::Recv { chan, msg } => {
+                        let origin = sent
+                            .get(&(chan, msg))
+                            .cloned()
+                            .unwrap_or_default();
+                        clock.join(&origin);
+                    }
+                    TraceOp::Acquire(l) => {
+                        if let Some(rel) = lock_release.get(&l) {
+                            clock.join(&rel.clone());
+                        }
+                        lock_holder.insert(l, actor);
+                    }
+                    TraceOp::Release(l) => {
+                        lock_release.insert(l, clock.clone());
+                        lock_holder.remove(&l);
+                    }
+                    TraceOp::Write(r) => {
+                        let clock = clock.clone();
+                        for prior in reads
+                            .get(&r)
+                            .into_iter()
+                            .chain(writes.get(&r))
+                            .flat_map(HashMap::values)
+                        {
+                            report_if_unordered(&mut races, r, prior, &clock, ev, actor);
+                        }
+                        writes
+                            .entry(r)
+                            .or_default()
+                            .insert(actor, Access { clock, event: ev });
+                    }
+                    TraceOp::Read(r) => {
+                        let clock = clock.clone();
+                        for prior in writes.get(&r).into_iter().flat_map(HashMap::values) {
+                            report_if_unordered(&mut races, r, prior, &clock, ev, actor);
+                        }
+                        reads
+                            .entry(r)
+                            .or_default()
+                            .insert(actor, Access { clock, event: ev });
+                    }
+                }
+            }
+        }
+        if remaining == 0 {
+            return Ok(races);
+        }
+        if !progressed {
+            return Err(HbError::Stuck { remaining });
+        }
+    }
+}
+
+/// A prior access by another actor races the current one unless the
+/// prior's own clock component is visible in the current clock.
+fn report_if_unordered(
+    races: &mut Vec<Race>,
+    resource: u64,
+    prior: &Access,
+    current: &VectorClock,
+    event: TraceEvent,
+    actor: u32,
+) {
+    let p = prior.event.actor;
+    if p != actor && current.get(p) < prior.clock.get(p) {
+        races.push(Race { resource, first: prior.event, second: event });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_sim::EventLog;
+
+    fn log(events: &[(u32, TraceOp)]) -> EventLog {
+        let mut l = EventLog::new();
+        for &(actor, op) in events {
+            l.push(actor, op);
+        }
+        l
+    }
+
+    #[test]
+    fn channel_edge_orders_write_before_read() {
+        let l = log(&[
+            (1, TraceOp::Write(9)),
+            (1, TraceOp::Send { chan: 5, msg: 0 }),
+            (2, TraceOp::Recv { chan: 5, msg: 0 }),
+            (2, TraceOp::Read(9)),
+        ]);
+        assert_eq!(check_log(&l), Ok(vec![]));
+    }
+
+    #[test]
+    fn dropping_the_recv_exposes_the_race() {
+        let l = log(&[
+            (1, TraceOp::Write(9)),
+            (1, TraceOp::Send { chan: 5, msg: 0 }),
+            (2, TraceOp::Read(9)),
+        ]);
+        let races = check_log(&l).expect("replays");
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].resource, 9);
+    }
+
+    #[test]
+    fn lock_discipline_orders_writes() {
+        let l = log(&[
+            (1, TraceOp::Acquire(3)),
+            (1, TraceOp::Write(9)),
+            (1, TraceOp::Release(3)),
+            (2, TraceOp::Acquire(3)),
+            (2, TraceOp::Write(9)),
+            (2, TraceOp::Release(3)),
+        ]);
+        assert_eq!(check_log(&l), Ok(vec![]));
+    }
+
+    #[test]
+    fn unlocked_concurrent_writes_race() {
+        let l = log(&[(1, TraceOp::Write(9)), (2, TraceOp::Write(9))]);
+        let races = check_log(&l).expect("replays");
+        assert_eq!(races.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_log_order_is_tolerated() {
+        // The recorder appended the Recv *before* the Send (possible when
+        // threads race to the shared buffer); matching is by msg id.
+        let l = log(&[
+            (2, TraceOp::Recv { chan: 5, msg: 0 }),
+            (1, TraceOp::Write(9)),
+            (1, TraceOp::Send { chan: 5, msg: 0 }),
+            (2, TraceOp::Read(9)),
+        ]);
+        assert_eq!(check_log(&l), Ok(vec![]));
+    }
+
+    #[test]
+    fn recv_without_send_is_malformed() {
+        let l = log(&[(2, TraceOp::Recv { chan: 5, msg: 0 })]);
+        assert_eq!(check_log(&l), Err(HbError::Stuck { remaining: 1 }));
+    }
+
+    #[test]
+    fn same_actor_accesses_never_race() {
+        let l = log(&[(1, TraceOp::Write(9)), (1, TraceOp::Read(9)), (1, TraceOp::Write(9))]);
+        assert_eq!(check_log(&l), Ok(vec![]));
+    }
+
+    #[test]
+    fn transitive_ordering_through_a_third_actor() {
+        let l = log(&[
+            (1, TraceOp::Write(9)),
+            (1, TraceOp::Send { chan: 1, msg: 0 }),
+            (2, TraceOp::Recv { chan: 1, msg: 0 }),
+            (2, TraceOp::Send { chan: 2, msg: 0 }),
+            (3, TraceOp::Recv { chan: 2, msg: 0 }),
+            (3, TraceOp::Write(9)),
+        ]);
+        assert_eq!(check_log(&l), Ok(vec![]));
+    }
+}

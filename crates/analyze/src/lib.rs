@@ -1,0 +1,210 @@
+//! `tasq-analyze` — the workspace gatekeeper.
+//!
+//! Three analysis families run under one `tasq-analyze check` command:
+//!
+//! 1. **Source lints** ([`rules`]): a hand-rolled, string/comment-aware
+//!    scanner ([`lexer`]) drives pluggable rules — panicking constructs
+//!    outside tests, float `==`, unseeded RNG, wall-clock reads in the
+//!    simulator, unbounded channels — with per-path allowlists and inline
+//!    `// lint: allow(rule-id) — reason` waivers.
+//! 2. **Semantic invariants** ([`invariants`]): generated job plans must
+//!    pass [`scope_sim::validate_job`]; measured scaling curves and fitted
+//!    power-law PCCs must pass [`tasq::validate::validate_curve`] /
+//!    [`tasq::validate::validate_pcc`] (positivity, monotonicity,
+//!    Amdahl-consistency).
+//! 3. **Concurrency audits** ([`locks`], [`hb`]): a lock-acquisition-order
+//!    extractor over the serving stack's sources fails on cyclic lock
+//!    graphs, and a vector-clock happens-before checker replays
+//!    synchronization logs from seeded simulator and server runs to prove
+//!    the recorded executions race-free and deterministic.
+//!
+//! The binary exits nonzero when any deny diagnostic is produced, which is
+//! what gates CI.
+
+#![warn(missing_docs)]
+
+pub mod hb;
+pub mod invariants;
+pub mod lexer;
+pub mod locks;
+pub mod report;
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Advisory; never fails the check.
+    Warn,
+    /// Fails `tasq-analyze check` (and CI).
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Warn => write!(f, "warn"),
+            Self::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// One finding, with a `file:line:col` span when the source is a file.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The rule or pass that produced this finding.
+    pub rule: String,
+    /// Whether it fails the check.
+    pub severity: Severity,
+    /// Workspace-relative path, or a `dynamic/…` pseudo-path for findings
+    /// from instrumented runs.
+    pub path: String,
+    /// 1-based line (0 for dynamic findings).
+    pub line: usize,
+    /// 1-based column (0 for dynamic findings).
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{}: {}:{}:{}: [{}] {}",
+                self.severity, self.path, self.line, self.col, self.rule, self.message
+            )
+        } else {
+            write!(f, "{}: {}: [{}] {}", self.severity, self.path, self.rule, self.message)
+        }
+    }
+}
+
+/// Aggregate result of a `check` run.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Source files linted.
+    pub files_scanned: usize,
+    /// Nested lock-acquisition edges observed.
+    pub lock_edges: usize,
+    /// Jobs validated in the dynamic invariant pass.
+    pub jobs_validated: usize,
+    /// Scaling curves / fitted PCCs audited.
+    pub curves_audited: usize,
+    /// Synchronization events replayed by the happens-before checker.
+    pub hb_events: usize,
+    /// Every finding, lint and dynamic alike.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CheckReport {
+    /// `true` when no deny diagnostic was produced.
+    pub fn ok(&self) -> bool {
+        !self.diagnostics.iter().any(|d| d.severity == Severity::Deny)
+    }
+}
+
+/// What `run_check` should do.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Workspace root (the directory holding `crates/`).
+    pub root: PathBuf,
+    /// Skip the dynamic passes (workload validation, PCC audit,
+    /// happens-before replay); lint and lock analysis only.
+    pub static_only: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        Self { root: PathBuf::from("."), static_only: false }
+    }
+}
+
+/// Run every analysis pass and aggregate the findings.
+pub fn run_check(opts: &CheckOptions) -> io::Result<CheckReport> {
+    let mut report = CheckReport::default();
+
+    // Pass 1: lints over every workspace source file. A missing `crates/`
+    // is an error, not a vacuous pass — a typo'd --root must not go green.
+    let crates_dir = opts.root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} is not a workspace root (no crates/ directory)", opts.root.display()),
+        ));
+    }
+    let mut files = Vec::new();
+    collect_rs_files(&crates_dir, &mut files)?;
+    files.sort();
+    for file in &files {
+        let rel = relative_path(&opts.root, file);
+        let source = fs::read_to_string(file)?;
+        report.diagnostics.extend(rules::lint_source(&rel, &source));
+        report.files_scanned += 1;
+    }
+
+    // Pass 2: lock-order audit over the concurrent serving stack.
+    let mut graph = locks::LockGraph::default();
+    for file in &files {
+        let rel = relative_path(&opts.root, file);
+        if rel.starts_with("crates/serve/src") {
+            graph.add_file(&rel, &fs::read_to_string(file)?);
+        }
+    }
+    report.lock_edges = graph.edges.len();
+    if let Some(cycle) = graph.find_cycle() {
+        report.diagnostics.push(Diagnostic {
+            rule: "lock-order".into(),
+            severity: Severity::Deny,
+            path: "crates/serve/src".into(),
+            line: 0,
+            col: 0,
+            message: format!(
+                "cyclic lock acquisition order (potential deadlock): {}",
+                cycle.join(" -> ")
+            ),
+        });
+    }
+
+    // Pass 3: dynamic invariants + happens-before replay.
+    if !opts.static_only {
+        invariants::run_dynamic_pass(&mut report);
+    }
+    Ok(report)
+}
+
+/// Recursively collect `.rs` files, skipping build output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative path with `/` separators (what the rules key on).
+fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,265 @@
+//! Static lock-acquisition-order extraction.
+//!
+//! Scans a crate's sources for `.lock()`, `.read()`, and `.write()` calls
+//! (empty argument lists only — the `parking_lot`/`std` guard styles used
+//! in this workspace), tracks which guards are live via `let` bindings,
+//! explicit `drop(..)` calls, and scope ends, and builds a directed graph
+//! of *acquired B while holding A* edges. A cycle in that graph is a
+//! potential ABBA deadlock and fails `tasq-analyze check`.
+//!
+//! Lock identity is the receiver expression text (e.g. `self.inner`,
+//! `shared.cache`) — a deliberately coarse approximation that trades
+//! precision for zero type information. Same-named receivers in different
+//! functions conflate; in practice this makes the audit *stricter*, never
+//! blinder.
+
+use crate::lexer::scan;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One observed "acquired `to` while holding `from`" edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// The lock already held.
+    pub from: String,
+    /// The lock acquired under it.
+    pub to: String,
+    /// Workspace-relative path of the acquisition site.
+    pub path: String,
+    /// 1-based line of the acquisition site.
+    pub line: usize,
+}
+
+/// The extracted lock graph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// All distinct nested-acquisition edges.
+    pub edges: Vec<LockEdge>,
+}
+
+/// A live guard: which lock it holds and the brace depth of its scope.
+struct Guard {
+    name: Option<String>,
+    lock: String,
+    depth: i64,
+}
+
+impl LockGraph {
+    /// Scan one file and accumulate its edges.
+    pub fn add_file(&mut self, path: &str, source: &str) {
+        let scanned = scan(source);
+        let mut depth: i64 = 0;
+        let mut held: Vec<Guard> = Vec::new();
+        for (idx, line) in scanned.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let code = &line.code;
+            // Scope ends release let-bound guards; a `}` that closes the
+            // guard's enclosing block kills it.
+            for c in code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        held.retain(|g| g.depth <= depth);
+                    }
+                    _ => {}
+                }
+            }
+            // Explicit drops.
+            for dropped in drop_targets(code) {
+                held.retain(|g| g.name.as_deref() != Some(dropped.as_str()));
+            }
+            // New acquisitions, in textual order. Earlier temporaries on
+            // the same line are still live when later ones are taken, so
+            // they contribute edges even without a `let` binding.
+            let let_name = let_binding(code);
+            let acquisitions = lock_calls(code);
+            let n = acquisitions.len();
+            let mut line_locks: Vec<String> = Vec::new();
+            for (k, lock) in acquisitions.into_iter().enumerate() {
+                for from in held.iter().map(|g| &g.lock).chain(line_locks.iter()) {
+                    if *from != lock {
+                        self.edges.push(LockEdge {
+                            from: from.clone(),
+                            to: lock.clone(),
+                            path: path.to_string(),
+                            line: idx + 1,
+                        });
+                    }
+                }
+                // Only a `let` binding keeps the guard beyond its
+                // statement.
+                if k + 1 == n {
+                    if let Some(name) = &let_name {
+                        held.push(Guard {
+                            name: Some(name.clone()),
+                            lock,
+                            depth,
+                        });
+                        continue;
+                    }
+                }
+                line_locks.push(lock);
+            }
+        }
+    }
+
+    /// Find a cycle in the edge graph, if any, as the list of lock names
+    /// along the cycle.
+    pub fn find_cycle(&self) -> Option<Vec<String>> {
+        let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for e in &self.edges {
+            adj.entry(&e.from).or_default().insert(&e.to);
+        }
+        let mut visited: BTreeSet<&str> = BTreeSet::new();
+        for &start in adj.keys() {
+            if visited.contains(start) {
+                continue;
+            }
+            let mut stack: Vec<(&str, Vec<&str>)> = vec![(start, vec![start])];
+            while let Some((node, path)) = stack.pop() {
+                visited.insert(node);
+                let on_path: BTreeSet<&str> = path.iter().copied().collect();
+                if let Some(nexts) = adj.get(node) {
+                    for &next in nexts {
+                        if on_path.contains(next) {
+                            let mut cycle: Vec<String> =
+                                path.iter().map(|s| s.to_string()).collect();
+                            cycle.push(next.to_string());
+                            return Some(cycle);
+                        }
+                        let mut p = path.clone();
+                        p.push(next);
+                        stack.push((next, p));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Receiver expressions of `.lock()` / `.read()` / `.write()` calls with
+/// empty argument lists, in textual order.
+fn lock_calls(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for method in [".lock()", ".read()", ".write()"] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(method) {
+            let at = from + pos;
+            out.push((at, receiver_before(&code[..at])));
+            from = at + method.len();
+        }
+    }
+    out.sort();
+    out.into_iter().map(|(_, r)| r).filter(|r| !r.is_empty()).collect()
+}
+
+/// The dotted receiver path immediately before a method call:
+/// `self.state.jobs` out of `… self.state.jobs`.
+fn receiver_before(before: &str) -> String {
+    before
+        .chars()
+        .rev()
+        .take_while(|&c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect::<String>()
+        .trim_matches('.')
+        .to_string()
+}
+
+/// `let name = …` binding on this line, if any.
+fn let_binding(code: &str) -> Option<String> {
+    let trimmed = code.trim_start();
+    let rest = trimmed.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|&c| c.is_ascii_alphanumeric() || c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Arguments of `drop(x)` calls on this line.
+fn drop_targets(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("drop(") {
+        let at = from + pos;
+        let inner = &code[at + 5..];
+        if let Some(close) = inner.find(')') {
+            let target = inner[..close].trim();
+            if !target.is_empty() {
+                out.push(target.to_string());
+            }
+        }
+        from = at + 5;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_acquisition_produces_an_edge() {
+        let src = "fn f(&self) {\n    let a = self.alpha.lock();\n    let b = self.beta.lock();\n}\n";
+        let mut g = LockGraph::default();
+        g.add_file("crates/x/src/a.rs", src);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0].from, "self.alpha");
+        assert_eq!(g.edges[0].to, "self.beta");
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn scope_end_releases_guards() {
+        let src = "fn f(&self) {\n    {\n        let a = self.alpha.lock();\n    }\n    let b = self.beta.lock();\n}\n";
+        let mut g = LockGraph::default();
+        g.add_file("crates/x/src/a.rs", src);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn explicit_drop_releases_guards() {
+        let src = "fn f(&self) {\n    let a = self.alpha.lock();\n    drop(a);\n    let b = self.beta.lock();\n}\n";
+        let mut g = LockGraph::default();
+        g.add_file("crates/x/src/a.rs", src);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn abba_order_is_a_cycle() {
+        let src = "fn f(&self) {\n    let a = self.alpha.lock();\n    let b = self.beta.lock();\n}\nfn g(&self) {\n    let b = self.beta.lock();\n    let a = self.alpha.lock();\n}\n";
+        let mut g = LockGraph::default();
+        g.add_file("crates/x/src/a.rs", src);
+        let cycle = g.find_cycle().expect("ABBA must be reported");
+        assert!(cycle.len() >= 3, "{cycle:?}");
+    }
+
+    #[test]
+    fn expression_temporaries_do_not_outlive_their_statement() {
+        let src = "fn f(&self) {\n    self.alpha.lock().push(1);\n    let b = self.beta.lock();\n}\n";
+        let mut g = LockGraph::default();
+        g.add_file("crates/x/src/a.rs", src);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn two_locks_in_one_statement_are_ordered() {
+        let src = "fn f(&self) {\n    use_both(self.alpha.lock(), self.beta.lock());\n}\n";
+        let mut g = LockGraph::default();
+        g.add_file("crates/x/src/a.rs", src);
+        assert_eq!(g.edges.len(), 1, "{:?}", g.edges);
+        assert_eq!(g.edges[0].from, "self.alpha");
+        assert_eq!(g.edges[0].to, "self.beta");
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: bounded channel constructions the rule must NOT flag.
+fn clean() {
+    let (tx, rx) = mpsc::sync_channel::<u32>(64);
+    let (ctx, crx) = crossbeam::channel::bounded::<u32>(64);
+    drop((tx, rx, ctx, crx));
+}

@@ -1,0 +1,6 @@
+// Fixture: unbounded channel constructions the rule must flag.
+fn violations() {
+    let (tx, rx) = mpsc::channel::<u32>();
+    let (ctx, crx) = crossbeam::channel::unbounded::<u32>();
+    drop((tx, rx, ctx, crx));
+}

@@ -1,0 +1,10 @@
+// Fixture: comparisons the float-eq rule must NOT flag.
+fn clean(a: f64, n: u32) -> bool {
+    let p = (a - 0.5).abs() < 1e-9; // tolerance compare: fine
+    let q = n == 3; // integer literal: fine
+    let r = a <= 0.0; // ordering, not equality: fine
+    let s = a >= 1.5;
+    // lint: allow(float-eq) — exact sentinel propagated unchanged.
+    let t = a == 0.0;
+    p || q || r || s || t
+}

@@ -1,0 +1,7 @@
+// Fixture: float-literal equality comparisons the rule must flag.
+fn violations(a: f64, b: f64) -> bool {
+    let x = a == 0.0;
+    let y = 1e-3 != b;
+    let z = a == 2.5f64;
+    x || y || z
+}

@@ -1,0 +1,27 @@
+// Fixture: constructs the no-panic rule must NOT flag.
+fn clean(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap_or(0);
+    let b = x.unwrap_or_else(|| 1);
+    let c = x.unwrap_or_default();
+    let d = r.expect_err("fine: not .expect(");
+    assert!(a <= 10, "assert! is allowed; it states an invariant");
+    debug_assert!(b <= 10);
+    // The words unwrap() and panic!() in a comment are not code.
+    let s = "strings with .unwrap() and panic!(...) are not code";
+    let raw = r#"raw strings with "quotes" and .unwrap() are not code"#;
+    a + b + c + s.len() as u32 + raw.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let w: Result<u32, ()> = Ok(4);
+        assert_eq!(w.expect("in tests"), 4);
+        if v.is_none() {
+            panic!("unreachable in this test");
+        }
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: every construct the no-panic rule must flag, one per line.
+fn violations(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("boom");
+    if a > b {
+        panic!("a > b");
+    }
+    match a {
+        0 => todo!(),
+        1 => unimplemented!(),
+        _ => unreachable!(),
+    }
+}

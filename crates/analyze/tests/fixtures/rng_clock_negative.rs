@@ -1,0 +1,8 @@
+// Fixture: seeded RNG construction the rules must NOT flag.
+fn clean(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let other = SmallRng::seed_from_u64(seed ^ 1);
+    // Mentioning thread_rng() in a comment is fine; so is the string:
+    let s = "call thread_rng() or Instant::now() — not code";
+    seed + s.len() as u64
+}

@@ -1,0 +1,9 @@
+// Fixture: unseeded RNG and wall-clock reads the rules must flag.
+fn violations() -> u64 {
+    let mut rng = rand::thread_rng();
+    let other = SmallRng::from_entropy();
+    let n: u64 = rand::random();
+    let t = Instant::now();
+    let w = SystemTime::now();
+    n
+}

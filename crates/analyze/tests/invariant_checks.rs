@@ -1,0 +1,140 @@
+//! End-to-end tests of the semantic invariant layer as `tasq-analyze`
+//! exercises it: malformed inputs produce *typed* rejections, and the
+//! seeded executor is provably deterministic and race-free under the
+//! happens-before checker.
+
+use scope_sim::{
+    validate_job, validate_plan, validate_stage_graph, ExecTrace, ExecutionConfig, PlanViolation,
+    StageGraph, StageViolation, TraceOp, WorkloadConfig, WorkloadGenerator,
+};
+use tasq::validate::{
+    validate_curve, validate_pcc, CurveViolation, PccViolation, CURVE_TOLERANCE,
+};
+use tasq::PowerLawPcc;
+use tasq_analyze::hb::check_log;
+
+fn generated_job(seed: u64) -> scope_sim::Job {
+    WorkloadGenerator::new(WorkloadConfig { num_jobs: 1, seed, ..Default::default() })
+        .generate()
+        .remove(0)
+}
+
+#[test]
+fn cyclic_dag_is_rejected_with_a_typed_violation() {
+    let mut job = generated_job(7);
+    // Close a loop behind `JobPlan::new`'s back, as a corrupted workload
+    // file would.
+    let n = job.plan.operators.len();
+    job.plan.edges.push((n - 1, 0));
+    let err = validate_job(&job).expect_err("cycle must be rejected");
+    assert!(err.plan.contains(&PlanViolation::Cycle), "{err:?}");
+    assert!(validate_plan(&job.plan).is_err());
+}
+
+#[test]
+fn token_conservation_violations_are_typed() {
+    let job = generated_job(9);
+    let mut graph = StageGraph::from_plan(&job.plan, job.seed);
+    graph.stages[0].task_durations[0] += 25.0; // leak 25 token-seconds
+    let errs = validate_stage_graph(&job.plan, &graph).expect_err("leak must be rejected");
+    assert!(
+        errs.iter().any(|v| matches!(v, StageViolation::WorkNotConserved { stage: 0, .. })),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn non_monotone_pcc_is_rejected() {
+    // a > 0 means runtime *rises* with tokens — never valid.
+    let rising = PowerLawPcc::new(0.5, 10.0);
+    let violations = validate_pcc(&rising).expect_err("rising curve must be rejected");
+    assert!(
+        violations.iter().any(|v| matches!(v, PccViolation::IncreasingCurve { .. })),
+        "{violations:?}"
+    );
+
+    // a < -1 - tolerance claims super-linear scaling, beyond Amdahl.
+    let superlinear = PowerLawPcc::new(-1.5, 100.0);
+    let violations = validate_pcc(&superlinear).expect_err("super-linear must be rejected");
+    assert!(
+        violations.iter().any(|v| matches!(v, PccViolation::SuperLinearScaling { .. })),
+        "{violations:?}"
+    );
+
+    // Negative scale is meaningless. `PowerLawPcc::new` asserts it away,
+    // so forge the value as a corrupted artifact file would.
+    let negative = validate_pcc(&PowerLawPcc { a: -0.5, b: -3.0 }).expect_err("b < 0");
+    assert!(
+        negative.iter().any(|v| matches!(v, PccViolation::NonPositiveScale { .. })),
+        "{negative:?}"
+    );
+}
+
+#[test]
+fn non_monotone_curve_is_rejected_pointwise() {
+    let rising = vec![(1u32, 100.0), (2, 60.0), (4, 80.0), (8, 30.0)];
+    let violations =
+        validate_curve(&rising, CURVE_TOLERANCE).expect_err("33% rise must be rejected");
+    assert!(
+        violations.iter().any(|v| matches!(v, CurveViolation::NonMonotone { index: 2, .. })),
+        "{violations:?}"
+    );
+    // A rise within tolerance is measurement noise, not a violation.
+    let noisy = vec![(1u32, 100.0), (2, 60.0), (4, 61.0), (8, 30.0)];
+    assert_eq!(validate_curve(&noisy, CURVE_TOLERANCE), Ok(()));
+}
+
+#[test]
+fn same_seed_executor_runs_are_deterministic_and_race_free() {
+    let job = generated_job(21);
+    let executor = job.executor();
+    let config = ExecutionConfig::default();
+
+    let mut first = ExecTrace::new();
+    let mut second = ExecTrace::new();
+    executor.run_traced(8, &config, &mut first).expect("runs");
+    executor.run_traced(8, &config, &mut second).expect("runs");
+    assert_eq!(first, second, "same-seed traces must be bit-identical");
+    assert!(!first.is_empty());
+
+    let log = first.sync_log();
+    let races = check_log(&log).expect("log replays to completion");
+    assert_eq!(races, vec![], "executor synchronization must be race-free");
+}
+
+#[test]
+fn dropping_a_recv_edge_exposes_the_scheduler_race() {
+    // Mutation test: remove the scheduler's first Recv from the log. The
+    // scheduler's later Read of that task's state is now unordered
+    // against the task's Write — the checker must call it out.
+    let job = generated_job(23);
+    let executor = job.executor();
+    let mut trace = ExecTrace::new();
+    executor.run_traced(8, &ExecutionConfig::default(), &mut trace).expect("runs");
+    let mut log = trace.sync_log();
+    let pos = log
+        .events
+        .iter()
+        .position(|e| {
+            e.actor == scope_sim::trace::SCHEDULER_ACTOR
+                && matches!(e.op, TraceOp::Recv { .. })
+        })
+        .expect("scheduler receives completions");
+    log.events.remove(pos);
+    let races = check_log(&log).expect("log still replays");
+    assert!(!races.is_empty(), "dropping the channel edge must surface a race");
+}
+
+#[test]
+fn fitted_pcc_from_simulated_curve_is_valid() {
+    let job = generated_job(25);
+    let executor = job.executor();
+    let config = ExecutionConfig::default();
+    let mut points = Vec::new();
+    for tokens in [1u32, 2, 4, 8, 16, 32] {
+        let result = executor.run(tokens, &config).expect("runs");
+        points.push((f64::from(tokens), result.runtime_secs));
+    }
+    let pcc = PowerLawPcc::fit(&points).expect("fits");
+    assert_eq!(validate_pcc(&pcc), Ok(()), "a = {}, b = {}", pcc.a, pcc.b);
+}

@@ -129,14 +129,15 @@ pub struct ErrorSummary {
 }
 
 impl ErrorSummary {
-    /// Summarize predictions against ground truth. Pairs with zero ground
-    /// truth are skipped.
+    /// Summarize predictions against ground truth. Pairs whose ground
+    /// truth is (numerically) zero are skipped — an exact-zero test would
+    /// still divide by denormal values and blow the percentage up.
     pub fn from_pairs(predicted: &[f64], actual: &[f64]) -> Self {
         assert_eq!(predicted.len(), actual.len(), "ErrorSummary: length mismatch");
         let mut apes: Vec<f64> = predicted
             .iter()
             .zip(actual)
-            .filter(|(_, a)| **a != 0.0)
+            .filter(|(_, a)| a.abs() > 1e-12)
             .map(|(p, a)| ((p - a) / a).abs())
             .collect();
         apes.sort_by(|a, b| a.total_cmp(b));

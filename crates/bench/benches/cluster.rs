@@ -23,7 +23,7 @@ fn bench_cluster_simulation(c: &mut Criterion) {
         let cluster = Cluster::new(capacity);
         let submissions = poisson_arrivals(&jobs, 15.0, |j| j.requested_tokens, 1);
         group.bench_with_input(BenchmarkId::from_parameter(n), &submissions, |b, s| {
-            b.iter(|| cluster.simulate(black_box(s)));
+            b.iter(|| cluster.simulate(black_box(s)).expect("grants fit the pool"));
         });
     }
     group.finish();

@@ -1,4 +1,4 @@
-//! The seven subcommands.
+//! The eight subcommands.
 
 use crate::options::Options;
 use crate::CliError;
@@ -146,8 +146,11 @@ pub fn score(args: &[String]) -> Result<String, CliError> {
     let mut total_optimal = 0.0;
     for job in &jobs {
         let response = service.score(job);
-        let AllocationDecision::Automatic { tokens } = response.decision else {
-            unreachable!("automatic mode configured");
+        // Automatic mode is configured above, but the response carries the
+        // optimum either way.
+        let tokens = match response.decision {
+            AllocationDecision::Automatic { tokens } => tokens,
+            AllocationDecision::ShowCurve { .. } => response.optimal_tokens,
         };
         total_requested += job.requested_tokens as f64;
         total_optimal += tokens as f64;
@@ -490,6 +493,7 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
                 queue_capacity,
                 shed_watermark,
                 cache: CacheConfig { enabled: false, ..Default::default() },
+                ..Default::default()
             },
         );
         let (_, _) = drive(&server, burst_traffic.clone(), 0.0);
@@ -533,6 +537,32 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
         shed_burst.shed,
         shed_burst.submitted,
     ))
+}
+
+/// `tasq analyze [--root <dir>] [--mode full|static]`
+pub fn analyze(args: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(args, &["root", "mode"])?;
+    let mode = opts.get("mode").unwrap_or("full");
+    let static_only = match mode {
+        "full" => false,
+        "static" => true,
+        other => {
+            return Err(CliError::Usage(format!("--mode must be full or static, got `{other}`")))
+        }
+    };
+    let check_opts = tasq_analyze::CheckOptions {
+        root: std::path::PathBuf::from(opts.get("root").unwrap_or(".")),
+        static_only,
+    };
+    let report = tasq_analyze::run_check(&check_opts)?;
+    let rendered = tasq_analyze::report::to_human(&report);
+    if report.ok() {
+        Ok(rendered)
+    } else {
+        // Surface findings through the usage-error path so the binary
+        // exits nonzero without a dedicated error variant per tool.
+        Err(CliError::Analysis(rendered))
+    }
 }
 
 #[cfg(test)]

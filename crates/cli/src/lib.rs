@@ -1,6 +1,6 @@
 //! Library backing the `tasq` command-line binary.
 //!
-//! Seven subcommands drive the pipeline from files on disk, with workloads
+//! Eight subcommands drive the pipeline from files on disk, with workloads
 //! and model artifacts serialized through the workspace's binary codec:
 //!
 //! * `generate` — synthesize a workload and write it to a file.
@@ -15,6 +15,8 @@
 //!   (`tasq-serve`) and report per-path serving statistics.
 //! * `loadgen`  — drive recurring-job replay traffic through the server,
 //!   cached and uncached, plus overload bursts; write `BENCH_serve.json`.
+//! * `analyze`  — run the `tasq-analyze` gatekeeper (source lints, lock
+//!   audit, plan/PCC invariants, happens-before race replay).
 //!
 //! Commands return their output as a `String` so they are directly
 //! testable; `main` just prints.
@@ -39,6 +41,9 @@ pub enum CliError {
     Store(tasq::pipeline::StoreError),
     /// Training-pipeline failure.
     Pipeline(tasq::pipeline::PipelineError),
+    /// `tasq-analyze` found deny-severity diagnostics; the string is the
+    /// rendered report.
+    Analysis(String),
 }
 
 impl fmt::Display for CliError {
@@ -49,6 +54,7 @@ impl fmt::Display for CliError {
             CliError::Codec(e) => write!(f, "codec error: {e}"),
             CliError::Store(e) => write!(f, "model store error: {e}"),
             CliError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            CliError::Analysis(report) => write!(f, "{report}"),
         }
     }
 }
@@ -92,6 +98,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "flight" => commands::flight(rest),
         "serve" => commands::serve(rest),
         "loadgen" => commands::loadgen(rest),
+        "analyze" => commands::analyze(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
     }
@@ -114,5 +121,6 @@ USAGE:
                       [--requests N] [--repeat FRAC] [--seed N]
     tasq-cli loadgen  --workload <file> [--model-dir <dir>] [--requests N] [--repeat FRAC]
                       [--qps N] [--out <json>] [--seed N]
+    tasq-cli analyze  [--root <dir>] [--mode full|static]
     tasq-cli help
 ";

@@ -54,7 +54,7 @@ impl Dataset {
         let num_workers = jobs.len().clamp(1, 8);
         let chunk_size = jobs.len().div_ceil(num_workers);
         let mut results: Vec<Vec<TrainingExample>> = Vec::new();
-        crossbeam::scope(|scope| {
+        let scope_result = crossbeam::scope(|scope| {
             let handles: Vec<_> = jobs
                 .chunks(chunk_size.max(1))
                 .map(|chunk| {
@@ -67,10 +67,17 @@ impl Dataset {
                 })
                 .collect();
             for handle in handles {
-                results.push(handle.join().expect("dataset worker panicked"));
+                // Propagate a worker panic on the caller's stack instead
+                // of unwrapping into a second, context-free panic.
+                match handle.join() {
+                    Ok(examples) => results.push(examples),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
-        })
-        .expect("crossbeam scope failed");
+        });
+        if let Err(payload) = scope_result {
+            std::panic::resume_unwind(payload);
+        }
         Self { examples: results.into_iter().flatten().collect() }
     }
 

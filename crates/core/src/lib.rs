@@ -27,6 +27,9 @@
 //!   MAE / run-time Median AE) and workload-level savings analysis.
 //! * [`pipeline`] — the in-process equivalent of Figure 4's system:
 //!   repository → featurize → train → model store → scoring service.
+//! * [`validate`] — the PCC parameter/curve invariants (positivity,
+//!   monotonicity, the Amdahl ceiling) enforced at training time, by
+//!   deploy probes, and by `tasq-analyze`.
 //!
 //! ## Quickstart
 //!
@@ -76,5 +79,7 @@ pub mod platforms;
 pub mod policy;
 pub mod selection;
 pub mod slo;
+pub mod validate;
 
 pub use pcc::PowerLawPcc;
+pub use validate::{validate_curve, validate_pcc, CurveViolation, PccViolation};

@@ -95,8 +95,9 @@ pub fn decode_outputs(o1: f64, o2: f64, scaler: &ParamScaler) -> PowerLawPcc {
 
 /// Evaluate the loss and its gradient w.r.t. the raw outputs.
 ///
-/// # Panics
-/// Panics if LF3 is requested without a teacher run time.
+/// LF3 without a teacher run time degrades gracefully to LF2: the
+/// transfer term is simply skipped for that example (a missing XGBoost
+/// prediction must not abort an entire training epoch).
 pub fn evaluate(
     config: &LossConfig,
     scaler: &ParamScaler,
@@ -121,13 +122,12 @@ pub fn evaluate(
         grad_o2 += config.runtime_weight * g2;
     }
     if config.kind == LossKind::Lf3 {
-        let teacher = sample
-            .teacher_runtime
-            .expect("LF3 requires a teacher (XGBoost) run-time prediction");
-        let (l, g1, g2) = runtime_term(scaler, t1_hat, t2_hat, s1, s2, sample, teacher);
-        loss += config.transfer_weight * l;
-        grad_o1 += config.transfer_weight * g1;
-        grad_o2 += config.transfer_weight * g2;
+        if let Some(teacher) = sample.teacher_runtime {
+            let (l, g1, g2) = runtime_term(scaler, t1_hat, t2_hat, s1, s2, sample, teacher);
+            loss += config.transfer_weight * l;
+            grad_o1 += config.transfer_weight * g1;
+            grad_o2 += config.transfer_weight * g2;
+        }
     }
     LossEval { loss, grad_o1, grad_o2 }
 }
@@ -241,10 +241,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "LF3 requires a teacher")]
-    fn lf3_without_teacher_panics() {
+    fn lf3_without_teacher_degrades_to_lf2() {
         let smp = LossSample { teacher_runtime: None, ..sample() };
-        let _ = evaluate(&LossConfig::of_kind(LossKind::Lf3), &scaler(), 0.0, 0.0, &smp);
+        let lf3 = evaluate(&LossConfig::of_kind(LossKind::Lf3), &scaler(), 0.3, 0.7, &smp);
+        let lf2 = evaluate(&LossConfig::of_kind(LossKind::Lf2), &scaler(), 0.3, 0.7, &smp);
+        // With no teacher the transfer term is skipped, so LF3 is
+        // numerically identical to LF2 — value and gradients.
+        assert_eq!(lf3, lf2);
+        // With a teacher present, LF3 strictly adds the transfer term.
+        let with_teacher = evaluate(&LossConfig::of_kind(LossKind::Lf3), &scaler(), 0.3, 0.7, &sample());
+        assert!(with_teacher.loss >= lf2.loss);
     }
 
     #[test]

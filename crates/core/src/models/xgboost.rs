@@ -93,7 +93,8 @@ impl XgbRuntime {
             if points.last().is_some_and(|&(t, _)| t == tokens) {
                 continue;
             }
-            *row.last_mut().expect("row has a token slot") = tokens as f64;
+            row.pop();
+            row.push(tokens as f64);
             points.push((tokens, self.booster.predict_row(&row).max(1.0)));
         }
         points
@@ -142,7 +143,15 @@ impl PccPredictor for XgboostSs {
         let xs: Vec<f64> = points.iter().map(|&(t, _)| t as f64).collect();
         let ys: Vec<f64> = points.iter().map(|&(_, r)| r).collect();
         let spline = SmoothingSpline::fit(&xs, &ys, self.smoothing_lambda)
-            .expect("local curve has at least two distinct token counts");
+            .or_else(|| {
+                // Degenerate grid (one distinct token count): serve the
+                // flat line through that level instead of failing.
+                let x = xs.first().copied().unwrap_or(1.0);
+                let y = ys.first().copied().unwrap_or(1.0);
+                SmoothingSpline::fit(&[x, x + 1.0], &[y, y], 0.0)
+            })
+            // lint: allow(no-panic) — a two-point grid always fits.
+            .expect("flat fallback spline fits");
         PredictedPcc::Curve { points, spline }
     }
 

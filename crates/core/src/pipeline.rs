@@ -97,6 +97,25 @@ pub enum PipelineError {
     /// Every job in the repository was degenerate — not a single training
     /// example could be prepared.
     NoTrainableJobs,
+    /// A repository job failed plan/stage-graph invariant validation
+    /// (cyclic DAG, bad operator arity, incompatible partitioning, broken
+    /// work conservation, ...). Training on such a job would poison the
+    /// dataset, so the pipeline refuses the whole batch.
+    InvalidJob {
+        /// The offending job.
+        job_id: u64,
+        /// The rendered [`scope_sim::JobValidationError`].
+        detail: String,
+    },
+    /// A fitted target PCC violated the parameter contract of
+    /// [`crate::validate::validate_pcc`] (non-monotone, super-Amdahl, or
+    /// degenerate parameters).
+    InvalidTargetPcc {
+        /// The job whose target failed.
+        job_id: u64,
+        /// The rendered violations.
+        detail: String,
+    },
     /// Serializing a trained artifact for the store failed.
     Codec(codec::CodecError),
 }
@@ -107,6 +126,12 @@ impl fmt::Display for PipelineError {
             PipelineError::EmptyRepository => write!(f, "cannot train on an empty repository"),
             PipelineError::NoTrainableJobs => {
                 write!(f, "no trainable examples: every job was degenerate")
+            }
+            PipelineError::InvalidJob { job_id, detail } => {
+                write!(f, "job {job_id} failed plan validation: {detail}")
+            }
+            PipelineError::InvalidTargetPcc { job_id, detail } => {
+                write!(f, "job {job_id} fitted an invalid target PCC: {detail}")
             }
             PipelineError::Codec(e) => write!(f, "artifact serialization failed: {e}"),
         }
@@ -388,8 +413,10 @@ impl TasqPipeline {
     /// Train on the repository's jobs and register artifacts in the store.
     ///
     /// Returns the prepared dataset (useful for evaluation), or a typed
-    /// error when the repository is empty, no job yields a trainable
-    /// example, or an artifact cannot be serialized.
+    /// error when the repository is empty, a job fails plan/stage
+    /// invariant validation, no job yields a trainable example, a fitted
+    /// target PCC violates the parameter contract, or an artifact cannot
+    /// be serialized.
     pub fn train(
         &self,
         repository: &JobRepository,
@@ -399,9 +426,32 @@ impl TasqPipeline {
         if jobs.is_empty() {
             return Err(PipelineError::EmptyRepository);
         }
+        // Gate the batch on the simulator-side invariants before spending
+        // any execution/augmentation work on it.
+        for job in &jobs {
+            if let Err(e) = scope_sim::validate_job(job) {
+                return Err(PipelineError::InvalidJob {
+                    job_id: job.id,
+                    detail: e.to_string(),
+                });
+            }
+        }
         let dataset = Dataset::build(&jobs, &self.config.augment);
         if dataset.is_empty() {
             return Err(PipelineError::NoTrainableJobs);
+        }
+        // Every regression target must itself satisfy the PCC contract —
+        // a model trained toward a non-monotone or super-Amdahl target
+        // would learn to violate it.
+        for example in &dataset.examples {
+            if let Err(violations) = crate::validate::validate_pcc(&example.target_pcc) {
+                let detail = violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return Err(PipelineError::InvalidTargetPcc { job_id: example.job_id, detail });
+            }
         }
         let xgb = XgbRuntime::train(&dataset, &self.config.xgb);
         store.register(XGB_MODEL_NAME, &xgb)?;
@@ -621,6 +671,31 @@ impl ScoringService {
             decision,
             served_tier,
         }
+    }
+
+    /// Evaluate the *primary* tier's raw prediction for a job on a token
+    /// grid, with no tier degradation applied. Returns `None` when no
+    /// primary tier is deployed (degraded or analytic-only services).
+    ///
+    /// Deploy probes pass the result to [`crate::validate::validate_curve`]
+    /// to audit the served model's monotonicity before promoting it; the
+    /// degradation chain in [`ScoringService::score`] would otherwise mask
+    /// a broken primary by silently answering from a lower tier.
+    pub fn primary_curve(&self, job: &Job, tokens: &[u32]) -> Option<Vec<(u32, f64)>> {
+        let (tier, model) = self.tiers.first()?;
+        if *tier != ServedTier::Primary {
+            return None;
+        }
+        let stage_graph = StageGraph::from_plan(&job.plan, job.seed);
+        let features = featurize_job(&job.plan, stage_graph.num_stages());
+        let op_features = featurize_operators(&job.plan);
+        let input = ScoringInput {
+            features: &features,
+            op_features: &op_features,
+            reference_tokens: job.requested_tokens.max(1),
+        };
+        let predicted = model.predict(&input);
+        Some(tokens.iter().map(|&t| (t, predicted.predict(t.max(1)))).collect())
     }
 
     /// Walk the tier chain until a prediction passes validation; the
@@ -857,6 +932,52 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("unavailable"));
+    }
+
+    #[test]
+    fn train_rejects_invalid_jobs_with_a_typed_error() {
+        let repo = JobRepository::new();
+        let mut batch = jobs(3, 91);
+        // Corrupt one plan the way a damaged repository would: a feature
+        // no generated plan can carry, injected behind the constructor.
+        batch[1].plan.operators[0].est_exclusive_cost = f64::NAN;
+        let expected_id = batch[1].id;
+        repo.ingest(batch);
+        let store = ModelStore::new();
+        let err = TasqPipeline::new(quick_config()).train(&repo, &store).unwrap_err();
+        match &err {
+            PipelineError::InvalidJob { job_id, detail } => {
+                assert_eq!(*job_id, expected_id);
+                assert!(!detail.is_empty());
+            }
+            other => panic!("expected InvalidJob, got {other:?}"),
+        }
+        assert!(err.to_string().contains("failed plan validation"));
+        // Nothing was registered: the batch was refused before training.
+        assert!(store.versions(NN_MODEL_NAME).is_empty());
+        assert!(store.versions(XGB_MODEL_NAME).is_empty());
+    }
+
+    #[test]
+    fn primary_curve_exposes_the_raw_primary_prediction() {
+        let repo = JobRepository::new();
+        repo.ingest(jobs(15, 93));
+        let store = ModelStore::new();
+        TasqPipeline::new(quick_config()).train(&repo, &store).expect("trains");
+        let service =
+            ScoringService::deploy(&store, ModelChoice::Nn, ScoringConfig::default()).unwrap();
+        let job = jobs(1, 97).remove(0);
+        let grid: Vec<u32> = (0..8).map(|i| 1u32 << i).collect();
+        let curve = service.primary_curve(&job, &grid).expect("primary tier deployed");
+        assert_eq!(curve.len(), grid.len());
+        assert!(curve.iter().zip(&grid).all(|(&(t, r), &g)| t == g && r.is_finite() && r > 0.0));
+        // The NN primary is monotone by construction: the deploy probe's
+        // curve audit passes.
+        let tolerance = crate::validate::CURVE_TOLERANCE;
+        assert!(crate::validate::validate_curve(&curve, tolerance).is_ok());
+        // Services without a primary tier expose no curve to probe.
+        let analytic = ScoringService::analytic(ScoringConfig::default());
+        assert!(analytic.primary_curve(&job, &grid).is_none());
     }
 
     #[test]

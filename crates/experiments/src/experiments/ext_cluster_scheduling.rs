@@ -59,7 +59,8 @@ pub fn run(args: &Args) -> String {
         ("TASQ optimal (NN)", &optimal_grant),
     ] {
         let submissions = poisson_arrivals(&stream, mean_gap, grants, args.seed);
-        let result = cluster.simulate(&submissions);
+        let result =
+            cluster.simulate(&submissions).expect("grants are clamped to pool capacity");
         let total_grant_tokens: f64 =
             result.outcomes.iter().map(|o| o.granted_tokens as f64).sum();
         rows.push(vec![

@@ -181,6 +181,8 @@ impl Matrix {
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
+                // lint: allow(float-eq) — exact-zero skip: bit-identical
+                // results, just fewer FMAs on sparse rows.
                 if a == 0.0 {
                     continue;
                 }
@@ -205,6 +207,7 @@ impl Matrix {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let b_row = &rhs.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &a) in a_row.iter().enumerate() {
+                // lint: allow(float-eq) — exact-zero skip, as in `matmul`.
                 if a == 0.0 {
                     continue;
                 }

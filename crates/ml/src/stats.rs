@@ -70,13 +70,14 @@ pub fn mean_absolute_error(predictions: &[f64], targets: &[f64]) -> f64 {
 }
 
 /// Absolute percentage errors `|pred - target| / |target|`, one per pair.
-/// Pairs with `target == 0` are skipped.
+/// Pairs whose target is (numerically) zero are skipped — an exact-zero
+/// test would still divide by denormal targets and blow the ratio up.
 pub fn absolute_percentage_errors(predictions: &[f64], targets: &[f64]) -> Vec<f64> {
     assert_eq!(predictions.len(), targets.len(), "absolute_percentage_errors: length mismatch");
     predictions
         .iter()
         .zip(targets)
-        .filter(|(_, t)| **t != 0.0)
+        .filter(|(_, t)| t.abs() > 1e-12)
         .map(|(p, t)| ((p - t) / t).abs())
         .collect()
 }

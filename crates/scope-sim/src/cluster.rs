@@ -11,6 +11,7 @@
 //! time and utilization effects.
 
 use crate::exec::{ExecutionConfig, Executor};
+use crate::faults::SimError;
 use crate::generator::Job;
 use crate::stage::StageGraph;
 use serde::{Deserialize, Serialize};
@@ -133,7 +134,7 @@ impl ClusterReport {
 /// let capacity = jobs.iter().map(|j| j.requested_tokens).max().unwrap() * 2;
 /// let cluster = Cluster::new(capacity);
 /// let submissions = poisson_arrivals(&jobs, 30.0, |j| j.requested_tokens, 7);
-/// let report = cluster.simulate(&submissions);
+/// let report = cluster.simulate(&submissions).expect("grants fit the pool");
 /// assert_eq!(report.outcomes.len(), 5);
 /// ```
 #[derive(Debug, Clone)]
@@ -161,10 +162,11 @@ impl Cluster {
     /// job's usable parallelism simply waste pool space — exactly the
     /// effect the paper targets).
     ///
-    /// # Panics
-    /// Panics if any grant exceeds the pool capacity (such a job could
-    /// never start).
-    pub fn simulate(&self, submissions: &[Submission]) -> ClusterReport {
+    /// # Errors
+    /// [`SimError::GrantExceedsCapacity`] if any grant exceeds the pool
+    /// capacity (such a job could never start); any executor error from
+    /// the per-job runs is propagated.
+    pub fn simulate(&self, submissions: &[Submission]) -> Result<ClusterReport, SimError> {
         let mut ordered: Vec<&Submission> = submissions.iter().collect();
         ordered.sort_by(|a, b| {
             a.arrival_secs
@@ -172,17 +174,17 @@ impl Cluster {
                 .then(a.job.id.cmp(&b.job.id))
         });
         for submission in &ordered {
-            assert!(
-                submission.granted_tokens <= self.capacity,
-                "job {} grant {} exceeds capacity {}",
-                submission.job.id,
-                submission.granted_tokens,
-                self.capacity
-            );
+            if submission.granted_tokens > self.capacity {
+                return Err(SimError::GrantExceedsCapacity {
+                    job_id: submission.job.id,
+                    grant: submission.granted_tokens,
+                    capacity: self.capacity,
+                });
+            }
         }
 
         // Completion events: (finish_time, tokens_released).
-        #[derive(PartialEq)]
+        #[derive(Clone, Copy, PartialEq)]
         struct Completion(f64, u32);
         impl Eq for Completion {}
         impl PartialOrd for Completion {
@@ -206,9 +208,9 @@ impl Cluster {
             let grant = submission.granted_tokens.max(1);
             now = now.max(submission.arrival_secs);
             // Drain completions that happened before this arrival.
-            while let Some(Reverse(Completion(t, _))) = running.peek() {
-                if *t <= now {
-                    let Reverse(Completion(_, released)) = running.pop().expect("peeked");
+            while let Some(&Reverse(Completion(t, released))) = running.peek() {
+                if t <= now {
+                    running.pop();
                     free += released;
                 } else {
                     break;
@@ -216,8 +218,15 @@ impl Cluster {
             }
             // FIFO head-of-line blocking: wait for enough free tokens.
             while free < grant {
-                let Reverse(Completion(t, released)) =
-                    running.pop().expect("grant <= capacity, so it eventually frees");
+                // The pool is exhausted but something is running (grant <=
+                // capacity was checked up front), so a completion exists.
+                let Some(Reverse(Completion(t, released))) = running.pop() else {
+                    return Err(SimError::GrantExceedsCapacity {
+                        job_id: submission.job.id,
+                        grant,
+                        capacity: self.capacity,
+                    });
+                };
                 now = now.max(t);
                 free += released;
             }
@@ -227,10 +236,7 @@ impl Cluster {
                 &submission.job.plan,
                 submission.job.seed,
             ));
-            let run_secs = executor
-                .run(grant, &exec_config)
-                .expect("fault-free execution at a positive grant cannot fail")
-                .runtime_secs;
+            let run_secs = executor.run(grant, &exec_config)?.runtime_secs;
             let finish = start + run_secs;
             running.push(Reverse(Completion(finish, grant)));
             outcomes.push(JobOutcome {
@@ -244,7 +250,7 @@ impl Cluster {
 
         let makespan_secs =
             outcomes.iter().map(|o| o.finish_secs).fold(0.0, f64::max);
-        ClusterReport { outcomes, makespan_secs, capacity: self.capacity }
+        Ok(ClusterReport { outcomes, makespan_secs, capacity: self.capacity })
     }
 }
 
@@ -290,7 +296,7 @@ mod tests {
                 granted_tokens: j.requested_tokens,
             })
             .collect();
-        let report = cluster.simulate(&submissions);
+        let report = cluster.simulate(&submissions).expect("fits");
         for outcome in &report.outcomes {
             assert!(outcome.wait_secs() < 1e-9, "{outcome:?}");
         }
@@ -309,7 +315,7 @@ mod tests {
                 granted_tokens: j.requested_tokens,
             })
             .collect();
-        let report = cluster.simulate(&submissions);
+        let report = cluster.simulate(&submissions).expect("fits");
         assert!(report.mean_wait_secs() > 0.0, "simultaneous arrivals must queue");
         // FIFO: start times are non-decreasing in arrival (= id) order.
         let mut by_id = report.outcomes.clone();
@@ -334,8 +340,9 @@ mod tests {
                 })
                 .collect()
         };
-        let full = cluster.simulate(&arrivals(&|j| j.requested_tokens));
-        let half = cluster.simulate(&arrivals(&|j| (j.requested_tokens / 2).max(1)));
+        let full = cluster.simulate(&arrivals(&|j| j.requested_tokens)).expect("fits");
+        let half =
+            cluster.simulate(&arrivals(&|j| (j.requested_tokens / 2).max(1))).expect("fits");
         assert!(
             half.mean_wait_secs() <= full.mean_wait_secs() + 1e-9,
             "half grants should not wait longer: {} vs {}",
@@ -345,8 +352,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds capacity")]
-    fn oversized_grant_panics() {
+    fn oversized_grant_is_a_typed_error() {
         let jobs = jobs(1);
         let cluster = Cluster::new(2);
         let submissions = vec![Submission {
@@ -354,7 +360,11 @@ mod tests {
             arrival_secs: 0.0,
             granted_tokens: 100,
         }];
-        let _ = cluster.simulate(&submissions);
+        let err = cluster.simulate(&submissions).expect_err("grant cannot fit");
+        assert!(
+            matches!(err, SimError::GrantExceedsCapacity { grant: 100, capacity: 2, .. }),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -375,7 +385,7 @@ mod tests {
         let jobs = jobs(5);
         let cluster = Cluster::new(6287);
         let submissions = poisson_arrivals(&jobs, 5.0, |j| j.requested_tokens, 3);
-        let report = cluster.simulate(&submissions);
+        let report = cluster.simulate(&submissions).expect("fits");
         assert_eq!(report.outcomes.len(), 5);
         for o in &report.outcomes {
             assert!(o.finish_secs >= o.start_secs);

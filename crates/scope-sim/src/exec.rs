@@ -11,6 +11,7 @@
 use crate::faults::{FaultInjector, FaultPlan, FaultReport, PlacementFate, RecoveryPolicy, SimError};
 use crate::skyline::Skyline;
 use crate::stage::StageGraph;
+use crate::trace::{ExecEventKind, ExecTrace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BinaryHeap, VecDeque};
@@ -65,11 +66,11 @@ impl NoiseModel {
         }
     }
 
-    /// Whether every knob is zero.
+    /// Whether every knob is off (non-positive).
     pub fn is_deterministic(&self) -> bool {
-        self.duration_jitter_sigma == 0.0
-            && self.task_retry_probability == 0.0
-            && self.max_queueing_delay_secs == 0.0
+        self.duration_jitter_sigma <= 0.0
+            && self.task_retry_probability <= 0.0
+            && self.max_queueing_delay_secs <= 0.0
     }
 }
 
@@ -153,6 +154,30 @@ impl Executor {
         allocation: u32,
         config: &ExecutionConfig,
     ) -> Result<ExecutionResult, SimError> {
+        self.run_inner(allocation, config, &mut None)
+    }
+
+    /// Like [`Executor::run`], but also appends every scheduling decision
+    /// (with exact simulated timestamps) to `trace`. Two runs with the
+    /// same configuration must produce bit-identical traces; the
+    /// `tasq-analyze` happens-before checker replays
+    /// [`ExecTrace::sync_log`] to audit the recorded orderings.
+    pub fn run_traced(
+        &self,
+        allocation: u32,
+        config: &ExecutionConfig,
+        trace: &mut ExecTrace,
+    ) -> Result<ExecutionResult, SimError> {
+        let mut slot = Some(trace);
+        self.run_inner(allocation, config, &mut slot)
+    }
+
+    fn run_inner(
+        &self,
+        allocation: u32,
+        config: &ExecutionConfig,
+        trace: &mut Option<&mut ExecTrace>,
+    ) -> Result<ExecutionResult, SimError> {
         if allocation == 0 {
             return Err(SimError::InvalidAllocation { allocation });
         }
@@ -231,9 +256,19 @@ impl Executor {
                 &mut remaining_tasks,
                 &dependents,
                 &mut completed_stages,
+                start_delay,
+                trace,
             );
             for s in to_dispatch {
-                self.dispatch_stage(s, start_delay, noise, &mut injector, &mut rng, &mut state);
+                self.dispatch_stage(
+                    s,
+                    start_delay,
+                    noise,
+                    &mut injector,
+                    &mut rng,
+                    &mut state,
+                    trace,
+                );
             }
         }
 
@@ -276,6 +311,16 @@ impl Executor {
                 };
                 let copy_id = state.seq;
                 intervals.push((now, end));
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(
+                        now,
+                        ExecEventKind::Placed {
+                            uid,
+                            stage: state.tasks[uid].stage,
+                            speculative: rt.speculative,
+                        },
+                    );
+                }
                 state.tasks[uid].active.push(ActiveCopy {
                     copy_id,
                     interval_idx,
@@ -321,6 +366,9 @@ impl Executor {
                         free += 1;
                     }
                     let stage = state.tasks[uid].stage;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(now, ExecEventKind::Finished { uid, stage });
+                    }
                     remaining_tasks[stage] -= 1;
                     if remaining_tasks[stage] == 0 {
                         let mut to_dispatch: Vec<usize> = Vec::new();
@@ -332,9 +380,19 @@ impl Executor {
                             &mut remaining_tasks,
                             &dependents,
                             &mut completed_stages,
+                            now,
+                            trace,
                         );
                         for s in to_dispatch {
-                            self.dispatch_stage(s, now, noise, &mut injector, &mut rng, &mut state);
+                            self.dispatch_stage(
+                                s,
+                                now,
+                                noise,
+                                &mut injector,
+                                &mut rng,
+                                &mut state,
+                                trace,
+                            );
                         }
                     }
                 }
@@ -342,6 +400,12 @@ impl Executor {
                     let Some(copy) = state.tasks[uid].take_active(copy_id) else {
                         continue; // copy was cancelled before the fault fired
                     };
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(
+                            now,
+                            ExecEventKind::Aborted { uid, stage: state.tasks[uid].stage, preempt },
+                        );
+                    }
                     injector.record_waste(now - copy.start);
                     if preempt {
                         // The token lease is revoked; it returns later.
@@ -369,6 +433,9 @@ impl Executor {
                     );
                 }
                 EventKind::SlotRestored => {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(now, ExecEventKind::SlotRestored);
+                    }
                     free += 1;
                 }
                 EventKind::Ready(rt) => {
@@ -377,6 +444,9 @@ impl Executor {
                 EventKind::LaunchCopy { uid } => {
                     if state.tasks[uid].done {
                         continue;
+                    }
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(now, ExecEventKind::CopyLaunched { uid });
                     }
                     injector.record_speculative_launch();
                     let duration = state.tasks[uid].base_duration;
@@ -404,6 +474,7 @@ impl Executor {
     /// Queue every task of a stage: noise jitter, retry doubling, and
     /// straggler slowdown apply per task; a scheduler queueing burst
     /// delays the whole stage.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch_stage(
         &self,
         stage_idx: usize,
@@ -412,7 +483,17 @@ impl Executor {
         injector: &mut FaultInjector,
         rng: &mut StdRng,
         state: &mut LoopState,
+        trace: &mut Option<&mut ExecTrace>,
     ) {
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(
+                now,
+                ExecEventKind::StageDispatched {
+                    stage: stage_idx,
+                    tasks: self.graph.stages[stage_idx].width(),
+                },
+            );
+        }
         let burst = injector.queueing_burst_secs(rng);
         for &base in &self.graph.stages[stage_idx].task_durations {
             let mut duration = base;
@@ -552,6 +633,7 @@ impl LoopState {
 /// Drain a stack of just-completed zero-width stages (and any stages
 /// their completion finishes transitively), collecting newly-ready
 /// nonempty stages into `to_dispatch`.
+#[allow(clippy::too_many_arguments)]
 fn complete_zero_width(
     zero_stack: &mut Vec<usize>,
     to_dispatch: &mut Vec<usize>,
@@ -559,10 +641,15 @@ fn complete_zero_width(
     remaining_tasks: &mut [usize],
     dependents: &[Vec<usize>],
     completed_stages: &mut usize,
+    now: f64,
+    trace: &mut Option<&mut ExecTrace>,
 ) {
     while let Some(stage) = zero_stack.pop() {
         remaining_tasks[stage] = usize::MAX; // mark complete
         *completed_stages += 1;
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(now, ExecEventKind::StageCompleted { stage });
+        }
         for &dep in &dependents[stage] {
             pending_deps[dep] -= 1;
             if pending_deps[dep] == 0 {
@@ -887,6 +974,39 @@ mod tests {
             assert_eq!(r.skyline, base.skyline);
             assert!(r.faults.is_clean());
         }
+    }
+
+    #[test]
+    fn traced_runs_are_bit_identical_and_match_untraced() {
+        let exec = wide_then_narrow();
+        let cfg = ExecutionConfig::default();
+        let mut t1 = ExecTrace::new();
+        let mut t2 = ExecTrace::new();
+        let r1 = exec.run_traced(8, &cfg, &mut t1).expect("runs");
+        let r2 = exec.run_traced(8, &cfg, &mut t2).expect("runs");
+        assert_eq!(t1, t2, "same-seed traces must be bit-identical");
+        assert!(!t1.is_empty());
+        // Tracing must not perturb the schedule.
+        let plain = run_ok(&exec, 8, &cfg);
+        assert_eq!(r1.runtime_secs.to_bits(), plain.runtime_secs.to_bits());
+        assert_eq!(r2.skyline, plain.skyline);
+    }
+
+    #[test]
+    fn faulty_traced_run_records_aborts() {
+        let exec = wide_then_narrow();
+        let cfg = fault_config(
+            FaultPlan { task_crash_probability: 0.3, ..FaultPlan::none() },
+            5,
+        );
+        let mut t = ExecTrace::new();
+        let _ = exec.run_traced(8, &cfg, &mut t);
+        let aborts = t
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, ExecEventKind::Aborted { .. }))
+            .count();
+        assert!(aborts > 0, "30% crash probability should abort something");
     }
 
     #[test]

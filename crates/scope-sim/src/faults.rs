@@ -44,6 +44,16 @@ pub enum SimError {
         /// Number of stages that never completed.
         pending_stages: usize,
     },
+    /// A cluster submission's guaranteed grant exceeds the pool capacity,
+    /// so the job could never start.
+    GrantExceedsCapacity {
+        /// The offending job.
+        job_id: u64,
+        /// Tokens the job requested as a grant.
+        grant: u32,
+        /// The pool's capacity.
+        capacity: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -57,6 +67,9 @@ impl fmt::Display for SimError {
             }
             SimError::Stalled { pending_stages } => {
                 write!(f, "execution stalled with {pending_stages} stages pending")
+            }
+            SimError::GrantExceedsCapacity { job_id, grant, capacity } => {
+                write!(f, "job {job_id} grant {grant} exceeds cluster capacity {capacity}")
             }
         }
     }
@@ -160,10 +173,15 @@ impl FaultPlan {
 
     /// Whether this plan can never fire a fault.
     pub fn is_empty(&self) -> bool {
-        self.task_crash_probability == 0.0
-            && self.straggler_probability == 0.0
-            && self.preemption_probability == 0.0
-            && self.queueing_burst_probability == 0.0
+        let rates = [
+            self.task_crash_probability,
+            self.straggler_probability,
+            self.preemption_probability,
+            self.queueing_burst_probability,
+        ];
+        // lint: allow(float-eq) — these are configured probabilities, not
+        // computed values; exactly zero disables the mechanism.
+        rates.iter().all(|&p| p == 0.0)
     }
 }
 

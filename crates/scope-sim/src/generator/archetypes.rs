@@ -49,9 +49,19 @@ impl Archetype {
         Archetype::MlScoring,
     ];
 
-    /// Stable index of this archetype.
+    /// Stable index of this archetype (its position in [`Self::ALL`]; a
+    /// test pins the correspondence).
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&a| a == self).expect("archetype in ALL")
+        match self {
+            Archetype::DataCopy => 0,
+            Archetype::EtlIngest => 1,
+            Archetype::StarJoinAgg => 2,
+            Archetype::WindowAnalytics => 3,
+            Archetype::Featurization => 4,
+            Archetype::ReportingRollup => 5,
+            Archetype::LogMining => 6,
+            Archetype::MlScoring => 7,
+        }
     }
 
     /// Whether this archetype tends to produce peaky skylines.

@@ -151,13 +151,22 @@ impl WorkloadGenerator {
                 .round()
                 .clamp(1.0, 6287.0) as u32;
                 let plan = archetype.build_plan(structure_seed, size_factor, requested_tokens);
-                Job {
+                let job = Job {
                     id,
                     plan,
                     requested_tokens,
                     seed: structure_seed ^ (id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                     meta: JobMeta { archetype, recurring_template: template, size_factor },
-                }
+                };
+                // Every archetype must satisfy the semantic invariants in
+                // `crate::validate`; a violation here is a generator bug.
+                debug_assert!(
+                    crate::validate::validate_job(&job).is_ok(),
+                    "generator produced an invalid job {}: {:?}",
+                    job.id,
+                    crate::validate::validate_job(&job).err()
+                );
+                job
             })
             .collect()
     }

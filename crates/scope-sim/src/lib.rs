@@ -30,6 +30,11 @@
 //!   token-lease preemption, queueing bursts) and the recovery policy
 //!   (bounded retries with exponential backoff, speculative
 //!   re-execution) layered onto the executor.
+//! * [`validate`] — semantic invariant checks over plans and stage graphs
+//!   (scan/join arity, partitioning compatibility, work conservation),
+//!   used by the generator, the training pipeline, and `tasq-analyze`.
+//! * [`trace`] — deterministic execution traces and the synchronization
+//!   event-log model the `tasq-analyze` happens-before checker replays.
 //!
 //! Everything is deterministic given seeds unless a noise model or fault
 //! plan is explicitly enabled.
@@ -48,6 +53,8 @@ pub mod operators;
 pub mod plan;
 pub mod skyline;
 pub mod stage;
+pub mod trace;
+pub mod validate;
 
 pub use amdahl::AmdahlModel;
 pub use exec::{ExecutionConfig, ExecutionResult, Executor, NoiseModel};
@@ -59,3 +66,8 @@ pub use operators::{PartitioningMethod, PhysicalOperator};
 pub use plan::{JobPlan, OperatorNode};
 pub use skyline::Skyline;
 pub use stage::{Stage, StageGraph};
+pub use trace::{EventLog, EventTrace, ExecTrace, TraceEvent, TraceOp};
+pub use validate::{
+    validate_job, validate_plan, validate_stage_graph, JobValidationError, PlanViolation,
+    StageViolation,
+};

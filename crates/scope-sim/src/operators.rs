@@ -144,11 +144,11 @@ pub const ALL_OPERATORS: [PhysicalOperator; 35] = [
 
 impl PhysicalOperator {
     /// Index into the one-hot encoding (stable across releases).
+    ///
+    /// `ALL_OPERATORS` lists the variants in declaration order, so the
+    /// discriminant *is* the one-hot index (a test pins this).
     pub fn one_hot_index(self) -> usize {
-        ALL_OPERATORS
-            .iter()
-            .position(|&op| op == self)
-            .expect("operator missing from ALL_OPERATORS")
+        self as usize
     }
 
     /// The operator's behaviour class for the execution simulator.
@@ -221,6 +221,7 @@ impl PhysicalOperator {
 
 /// SCOPE's four partitioning methods.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
 pub enum PartitioningMethod {
     /// Hash partitioning on a column set.
     Hash,
@@ -241,12 +242,10 @@ pub const ALL_PARTITIONINGS: [PartitioningMethod; 4] = [
 ];
 
 impl PartitioningMethod {
-    /// Index into the one-hot encoding.
+    /// Index into the one-hot encoding (declaration order, like
+    /// [`PhysicalOperator::one_hot_index`]).
     pub fn one_hot_index(self) -> usize {
-        ALL_PARTITIONINGS
-            .iter()
-            .position(|&p| p == self)
-            .expect("partitioning missing from ALL_PARTITIONINGS")
+        self as usize
     }
 
     /// Relative skew of task sizes this partitioning induces (hash is

@@ -14,10 +14,12 @@ use serde::{Deserialize, Serialize};
 use tasq_ml::rand_ext;
 
 /// Seconds of work represented by one unit of estimated operator cost.
-const COST_TO_SECONDS: f64 = 1.0;
+/// Public so the invariant checker (`crate::validate`) can verify that
+/// stage task durations conserve cost-derived work.
+pub const COST_TO_SECONDS: f64 = 1.0;
 
 /// Fixed scheduling/startup latency added to every task, in seconds.
-const TASK_STARTUP_SECS: f64 = 1.0;
+pub const TASK_STARTUP_SECS: f64 = 1.0;
 
 /// One executable stage: a set of plan operators plus its task durations.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -84,6 +86,8 @@ impl StageGraph {
 
         // Map union roots to dense stage ids, ordered by the plan's
         // topological order so stage indices are already topological.
+        // lint: allow(no-panic) — JobPlan::new rejects cyclic graphs, so a
+        // plan that reaches stage extraction always has a topological order.
         let topo = plan.topological_order().expect("plan validated acyclic");
         let mut stage_id: Vec<Option<usize>> = vec![None; n];
         let mut members: Vec<Vec<usize>> = Vec::new();
@@ -101,6 +105,8 @@ impl StageGraph {
             members[id].push(node);
         }
         let node_stage: Vec<usize> =
+            // lint: allow(no-panic) — the topological order above visits
+            // every node, so every union root received a stage id.
             (0..n).map(|i| stage_id[find(&mut parent, i)].expect("all nodes assigned")).collect();
 
         // Dependencies from boundary edges (and any cross-stage edge).

@@ -107,23 +107,54 @@ fn latest_version(store: &ModelStore, choice: ModelChoice) -> u32 {
     store.versions(primary_artifact_name(choice)).last().copied().unwrap_or(0)
 }
 
-/// Probe-validate a candidate deployment: every probe must come back
-/// finite, in-range, and served by the *primary* tier — a model that
-/// immediately degrades to its fallback is not an upgrade.
+/// Token grid on which deploy probes sample the candidate's primary
+/// curve: doubling steps across the service's configured search range.
+fn probe_grid(config: &ScoringConfig) -> Vec<u32> {
+    let mut grid = Vec::new();
+    let mut tokens = config.min_tokens.max(1);
+    let max = config.max_tokens.max(tokens);
+    while tokens < max && grid.len() < 16 {
+        grid.push(tokens);
+        tokens = tokens.saturating_mul(2);
+    }
+    grid.push(max);
+    grid
+}
+
+/// Probe-validate a candidate deployment. Two audits per probe job, both
+/// of which must pass:
+///
+/// 1. **Curve invariants** — the *raw primary* prediction, sampled on a
+///    token grid via [`ScoringService::primary_curve`], must satisfy the
+///    PCC contract ([`tasq::validate::validate_curve`]): finite, positive,
+///    and monotone non-increasing within [`tasq::validate::CURVE_TOLERANCE`].
+///    This is checked before the response because serve-time degradation
+///    would otherwise mask a broken primary behind a healthy fallback.
+/// 2. **Response sanity** — the scored response must be finite, allocate
+///    at least one token, and be served by the *primary* tier — a model
+///    that immediately degrades to its fallback is not an upgrade.
 fn validate(service: &ScoringService, probes: &[Job]) -> Result<(), SwapError> {
+    let grid = probe_grid(service.config());
     let mut failures = 0usize;
     let mut detail = String::new();
     for job in probes {
-        let response = service.score(job);
-        let reason = if !response.predicted_runtime_at_request.is_finite() {
-            Some("non-finite runtime prediction".to_string())
-        } else if response.optimal_tokens == 0 {
-            Some("zero-token allocation".to_string())
-        } else if response.served_tier != ServedTier::Primary {
-            Some(format!("served by {:?} tier, not Primary", response.served_tier))
-        } else {
-            None
-        };
+        let curve_reason = service.primary_curve(job, &grid).and_then(|curve| {
+            tasq::validate::validate_curve(&curve, tasq::validate::CURVE_TOLERANCE)
+                .err()
+                .map(|violations| format!("primary curve failed its audit: {}", violations[0]))
+        });
+        let reason = curve_reason.or_else(|| {
+            let response = service.score(job);
+            if !response.predicted_runtime_at_request.is_finite() {
+                Some("non-finite runtime prediction".to_string())
+            } else if response.optimal_tokens == 0 {
+                Some("zero-token allocation".to_string())
+            } else if response.served_tier != ServedTier::Primary {
+                Some(format!("served by {:?} tier, not Primary", response.served_tier))
+            } else {
+                None
+            }
+        });
         if let Some(reason) = reason {
             failures += 1;
             if detail.is_empty() {
@@ -321,6 +352,50 @@ mod tests {
             }
             other => panic!("expected validation failure, got {other}"),
         }
+    }
+
+    #[test]
+    fn planted_non_monotone_model_is_rejected_by_the_curve_audit() {
+        use tasq::augment::AugmentConfig;
+        use tasq::dataset::Dataset;
+        use tasq::models::XgbRuntime;
+        use tasq::pipeline::XGB_MODEL_NAME;
+
+        let store = trained_store(59);
+        let registry =
+            ModelRegistry::deploy(&store, ModelChoice::XgboostPl, ScoringConfig::default())
+                .unwrap();
+        assert_eq!(registry.generation(), 1);
+
+        // Poison a retrain: rewrite every augmented training point so run
+        // time *rises* with tokens, then register the resulting model as
+        // the new latest XGBoost artifact. Its fitted power law slopes
+        // upward — exactly the PCC violation the deploy probe must catch.
+        let mut dataset = Dataset::build(&jobs(20, 61), &AugmentConfig::default());
+        for example in &mut dataset.examples {
+            for point in &mut example.xgb_points {
+                point.runtime = 10.0 + point.tokens * 5.0;
+            }
+        }
+        let poisoned =
+            XgbRuntime::train(&dataset, &XgbTrainConfig { num_rounds: 40, ..Default::default() });
+        store.register(XGB_MODEL_NAME, &poisoned).unwrap();
+
+        let probes = jobs(4, 63);
+        let err = registry
+            .hot_swap(&store, ModelChoice::XgboostPl, ScoringConfig::default(), &probes)
+            .expect_err("rising curve must not swap in");
+        match &err {
+            SwapError::Validation { failures, detail, .. } => {
+                assert!(*failures > 0);
+                assert!(detail.contains("non-monotone"), "detail: {detail}");
+            }
+            other => panic!("expected a validation rejection, got {other}"),
+        }
+        assert_eq!(registry.rollback_count(), 1);
+        // The previous (healthy) deployment keeps serving.
+        let active = registry.current();
+        assert_eq!((active.generation, active.version), (1, 1));
     }
 
     #[test]

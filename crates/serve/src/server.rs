@@ -24,7 +24,7 @@ use crate::registry::ModelRegistry;
 use crate::signature::PlanSignature;
 use crate::stats::{LatencyHistogram, ServerStatsSnapshot};
 use parking_lot::Mutex;
-use scope_sim::Job;
+use scope_sim::{EventTrace, Job, TraceOp};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -51,6 +51,13 @@ pub struct ServeConfig {
     pub shed_watermark: usize,
     /// Signature-cache settings.
     pub cache: CacheConfig,
+    /// Optional synchronization-event trace. When set, every queued
+    /// request's channel handoffs and request/response buffer accesses
+    /// are appended to the shared log, which the `tasq-analyze`
+    /// happens-before checker replays to prove the serving stack free of
+    /// unsynchronized cross-thread accesses. `None` (the default) records
+    /// nothing and costs nothing.
+    pub trace: Option<EventTrace>,
 }
 
 impl Default for ServeConfig {
@@ -62,9 +69,22 @@ impl Default for ServeConfig {
             queue_capacity: 512,
             shed_watermark: 448,
             cache: CacheConfig::default(),
+            trace: None,
         }
     }
 }
+
+/// Channel id of the request queue in the serving stack's synchronization
+/// log. The id spaces here are disjoint from the executor's `sync_log`
+/// convention; each request's reply channel and request/response buffers
+/// are keyed by the envelope's sequence number below the base.
+pub const CHAN_QUEUE: u64 = 6 << 32;
+/// Channel id base of per-request reply channels in the trace.
+pub const CHAN_REPLY_BASE: u64 = 7 << 32;
+/// Resource id base of per-request job buffers in the trace.
+pub const RES_REQUEST_BASE: u64 = 8 << 32;
+/// Resource id base of per-request response buffers in the trace.
+pub const RES_RESPONSE_BASE: u64 = 9 << 32;
 
 /// Which serving path answered a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -122,7 +142,11 @@ pub struct Ticket {
 
 enum TicketInner {
     Ready(ServedResponse),
-    Pending(mpsc::Receiver<ServedResponse>),
+    Pending {
+        rx: mpsc::Receiver<ServedResponse>,
+        trace: Option<EventTrace>,
+        seq: u64,
+    },
 }
 
 impl Ticket {
@@ -131,7 +155,15 @@ impl Ticket {
     pub fn wait(self) -> Option<ServedResponse> {
         match self.inner {
             TicketInner::Ready(response) => Some(response),
-            TicketInner::Pending(rx) => rx.recv().ok(),
+            TicketInner::Pending { rx, trace, seq } => {
+                let response = rx.recv().ok()?;
+                if let Some(trace) = &trace {
+                    let actor = trace.register_actor();
+                    trace.record(actor, TraceOp::Recv { chan: CHAN_REPLY_BASE | seq, msg: seq });
+                    trace.record(actor, TraceOp::Read(RES_RESPONSE_BASE | seq));
+                }
+                Some(response)
+            }
         }
     }
 }
@@ -139,8 +171,9 @@ impl Ticket {
 struct Envelope {
     job: Job,
     key: u64,
+    seq: u64,
     submitted: Instant,
-    reply: mpsc::Sender<ServedResponse>,
+    reply: mpsc::SyncSender<ServedResponse>,
 }
 
 #[derive(Default)]
@@ -154,6 +187,8 @@ struct Counters {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     peak_queue_depth: AtomicU64,
+    /// Per-envelope sequence numbers keying trace channels/resources.
+    trace_seq: AtomicU64,
 }
 
 struct Shared {
@@ -276,13 +311,24 @@ impl ScoringServer {
             .peak_queue_depth
             .fetch_max(depth as u64 + 1, Ordering::Relaxed);
 
-        let (reply, rx) = mpsc::channel();
-        let envelope = Envelope { job, key, submitted, reply };
+        // Exactly one response ever travels per reply channel, so a bound
+        // of one makes the reply path provably non-blocking while keeping
+        // the allocation fixed-size.
+        let (reply, rx) = mpsc::sync_channel(1);
+        let seq = shared.counters.trace_seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(trace) = &config.trace {
+            let actor = trace.register_actor();
+            trace.record(actor, TraceOp::Write(RES_REQUEST_BASE | seq));
+            trace.record(actor, TraceOp::Send { chan: CHAN_QUEUE, msg: seq });
+        }
+        let envelope = Envelope { job, key, seq, submitted, reply };
         if self.tx.send(envelope).is_err() {
             shared.depth.fetch_sub(1, Ordering::SeqCst);
             return Err(SubmitError::ShuttingDown);
         }
-        Ok(Ticket { inner: TicketInner::Pending(rx) })
+        Ok(Ticket {
+            inner: TicketInner::Pending { rx, trace: config.trace.clone(), seq },
+        })
     }
 
     /// Submit and wait: the synchronous convenience wrapper.
@@ -371,6 +417,8 @@ fn collect_batch(
 }
 
 fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<Envelope>>) {
+    let trace = shared.config.trace.clone();
+    let trace_actor = trace.as_ref().map(EventTrace::register_actor);
     while let Some(batch) = collect_batch(shared, rx) {
         shared.depth.fetch_sub(batch.len(), Ordering::SeqCst);
         shared.counters.batches.fetch_add(1, Ordering::Relaxed);
@@ -384,6 +432,12 @@ fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<Envelope>>) {
         let active = shared.registry.current();
         let mut scored_in_batch: HashMap<u64, ScoreResponse> = HashMap::new();
         for envelope in batch {
+            if let (Some(trace), Some(actor)) = (&trace, trace_actor) {
+                trace.record(actor, TraceOp::Recv { chan: CHAN_QUEUE, msg: envelope.seq });
+                // Reading the request buffer is race-free only because the
+                // queue edge orders it after the submitter's write.
+                trace.record(actor, TraceOp::Read(RES_REQUEST_BASE | envelope.seq));
+            }
             let mut response = match scored_in_batch.get(&envelope.key) {
                 // Identical signatures inside one batch are scored once.
                 Some(response) => response.clone(),
@@ -401,6 +455,11 @@ fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<Envelope>>) {
                 via: ServedVia::Model,
                 generation: active.generation,
             };
+            if let (Some(trace), Some(actor)) = (&trace, trace_actor) {
+                trace.record(actor, TraceOp::Write(RES_RESPONSE_BASE | envelope.seq));
+                let chan = CHAN_REPLY_BASE | envelope.seq;
+                trace.record(actor, TraceOp::Send { chan, msg: envelope.seq });
+            }
             // The requester may have dropped its ticket; that is fine.
             let _ = envelope.reply.send(served);
         }
@@ -501,6 +560,7 @@ mod tests {
             queue_capacity: 8,
             shed_watermark: 8,
             cache: CacheConfig { enabled: false, ..Default::default() },
+            ..Default::default()
         };
         let server = ScoringServer::start(registry(69), config);
         let mut tickets = Vec::new();
@@ -545,6 +605,7 @@ mod tests {
             queue_capacity: 1024,
             shed_watermark: 4,
             cache: CacheConfig { enabled: false, ..Default::default() },
+            ..Default::default()
         };
         let server = ScoringServer::start(registry(69), config);
         let tickets: Vec<Ticket> = replay_traffic(

@@ -42,8 +42,8 @@ fn tasq_grants_do_not_worsen_cluster_waits() {
         .collect();
     let tasq_submissions = poisson_arrivals(&jobs, 5.0, |j| optimal[&j.id], 3);
 
-    let default_report = cluster.simulate(&default_submissions);
-    let tasq_report = cluster.simulate(&tasq_submissions);
+    let default_report = cluster.simulate(&default_submissions).expect("grants fit the pool");
+    let tasq_report = cluster.simulate(&tasq_submissions).expect("grants fit the pool");
     assert!(
         tasq_report.mean_wait_secs() <= default_report.mean_wait_secs() + 1e-9,
         "tasq {} vs default {}",
