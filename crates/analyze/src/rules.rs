@@ -43,7 +43,7 @@ fn path_is_exempt(path: &str) -> bool {
 /// * `wall-clock` only guards the simulator (`crates/scope-sim/src`),
 ///   where wall time would silently break determinism;
 /// * `unbounded-channel` only guards the concurrent crates
-///   (`crates/serve`, `crates/scope-sim`).
+///   (`crates/serve`, `crates/scope-sim`, `crates/par`).
 pub fn rule_applies(rule: &str, path: &str) -> bool {
     if path_is_exempt(path) {
         return false;
@@ -53,7 +53,9 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
         UNSEEDED_RNG => true,
         WALL_CLOCK => path.starts_with("crates/scope-sim/src"),
         UNBOUNDED_CHANNEL => {
-            path.starts_with("crates/serve/") || path.starts_with("crates/scope-sim/")
+            path.starts_with("crates/serve/")
+                || path.starts_with("crates/scope-sim/")
+                || path.starts_with("crates/par/")
         }
         _ => false,
     }
@@ -323,6 +325,13 @@ mod tests {
         );
         let bounded = "fn f() { let (tx, rx) = mpsc::sync_channel(8); }\n";
         assert!(rules_hit("crates/serve/src/a.rs", bounded).is_empty());
+        // The work-stealing runtime is a concurrent crate too: its deques
+        // are bounded by construction and its channels must be as well.
+        assert_eq!(
+            rules_hit("crates/par/src/a.rs", src),
+            vec![UNBOUNDED_CHANNEL.to_string()]
+        );
+        assert!(rules_hit("crates/core/src/a.rs", src).is_empty());
     }
 
     #[test]

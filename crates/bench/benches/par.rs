@@ -1,0 +1,99 @@
+//! Work-stealing runtime benchmarks (`tasq-par`): scheduler overhead on
+//! uniform vs. steal-heavy (skewed) task sets, and the blocked
+//! row-parallel GEMM against its sequential counterpart.
+//!
+//! Numbers depend on the host's core count — on a single-core container
+//! the parallel variants measure pure scheduling overhead, which is the
+//! interesting quantity there.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tasq_ml::matrix::Matrix;
+use tasq_par::Pool;
+
+/// Deterministic floating-point spin: `iters` dependent FLOPs.
+fn spin(seed: u64, iters: u64) -> f64 {
+    let mut acc = (seed as f64).mul_add(1e-9, 1.0);
+    for i in 0..iters {
+        acc = acc.mul_add(1.000_000_1, (i as f64) * 1e-12);
+    }
+    acc
+}
+
+fn bench_par_map_shapes(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+    let pool = Pool::new(threads);
+    let seq = Pool::sequential();
+    const TASKS: usize = 256;
+    const TOTAL_ITERS: u64 = 256 * 2_000;
+
+    // Uniform: every task costs the same — static chunking would already
+    // balance this, so it measures baseline dispatch overhead.
+    let uniform: Vec<u64> = vec![TOTAL_ITERS / TASKS as u64; TASKS];
+    // Steal-heavy: the same total work front-loaded into a few huge tasks
+    // (cost ~ 1/(i+1), normalized) — idle workers must steal to help.
+    let weights: Vec<f64> = (0..TASKS).map(|i| 1.0 / (i + 1) as f64).collect();
+    let wsum: f64 = weights.iter().sum();
+    let skewed: Vec<u64> = weights
+        .iter()
+        .map(|w| ((w / wsum) * TOTAL_ITERS as f64) as u64 + 1)
+        .collect();
+
+    let mut group = c.benchmark_group("par/par_map");
+    for (shape, tasks) in [("uniform", &uniform), ("steal_heavy", &skewed)] {
+        group.bench_with_input(
+            BenchmarkId::new(shape, format!("seq_t{}", seq.threads())),
+            tasks,
+            |b, tasks| {
+                b.iter(|| {
+                    seq.par_map(black_box(tasks), |i, &iters| spin(i as u64, iters))
+                        .expect("bench closures do not panic")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(shape, format!("pool_t{threads}")),
+            tasks,
+            |b, tasks| {
+                b.iter(|| {
+                    pool.par_map(black_box(tasks), |i, &iters| spin(i as u64, iters))
+                        .expect("bench closures do not panic")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+    let pool = Pool::new(threads);
+    let seq = Pool::sequential();
+
+    let mut group = c.benchmark_group("par/gemm");
+    for n in [64usize, 128] {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|r| (0..n).map(|c| spin((r * n + c) as u64, 0)).collect())
+            .collect();
+        let a = Matrix::from_rows(&rows);
+        let b_mat = a.transpose();
+        group.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
+            b.iter(|| black_box(&a).matmul_par(black_box(&b_mat), &seq));
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("pool_t{threads}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| black_box(&a).matmul_par(black_box(&b_mat), &pool));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_par_map_shapes, bench_gemm
+}
+criterion_main!(benches);

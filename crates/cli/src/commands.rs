@@ -1,8 +1,8 @@
-//! The eight subcommands.
+//! The nine subcommands.
 
 use crate::options::Options;
 use crate::CliError;
-use scope_sim::flight::{filter_non_anomalous, flight_job, FlightConfig};
+use scope_sim::flight::{filter_non_anomalous, flight_job, flight_workload, FlightConfig};
 use scope_sim::{
     replay_traffic, FaultPlan, Job, NoiseModel, TrafficConfig, WorkloadConfig, WorkloadGenerator,
 };
@@ -539,6 +539,194 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
+/// One timed run of the offline training pipeline at a given thread count.
+struct TrainBenchRun {
+    threads: usize,
+    generate_ms: f64,
+    flight_ms: f64,
+    featurize_ms: f64,
+    fit_ms: f64,
+    total_ms: f64,
+    /// Order-sensitive digest of every float the run produced; equal
+    /// digests across thread counts prove the parallel pipeline is
+    /// bit-identical to the sequential one.
+    fingerprint: u64,
+}
+
+fn fold_bits(fingerprint: &mut u64, bits: u64) {
+    *fingerprint = fingerprint.rotate_left(7) ^ bits;
+}
+
+fn elapsed_ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Run generate → flight → featurize → fit once on a pool of `threads`
+/// workers, timing each phase and fingerprinting every numeric output.
+fn run_train_bench(num_jobs: usize, seed: u64, threads: usize, quick: bool) -> TrainBenchRun {
+    let pool = tasq_par::Pool::new(threads);
+    let run_start = Instant::now();
+    let mut fingerprint = 0u64;
+
+    // Phase 1: workload generation (inherently sequential; timed so the
+    // per-phase breakdown accounts for all wall time).
+    let t = Instant::now();
+    let jobs = WorkloadGenerator::new(WorkloadConfig {
+        num_jobs,
+        seed,
+        ..Default::default()
+    })
+    .generate();
+    let generate_ms = elapsed_ms(t);
+
+    // Phase 2: flight every job over the (allocation × repetition) grid.
+    let t = Instant::now();
+    let refs: Vec<u32> = jobs.iter().map(|j| j.requested_tokens.max(4)).collect();
+    let flight_cfg = FlightConfig {
+        noise: NoiseModel::mild(),
+        seed,
+        repetitions: if quick { 2 } else { 3 },
+        ..Default::default()
+    };
+    let flighted = flight_workload(&jobs, &refs, &flight_cfg, &pool);
+    for fj in flighted.iter().flatten() {
+        for f in &fj.flights {
+            fold_bits(&mut fingerprint, f.runtime_secs.to_bits());
+            fold_bits(&mut fingerprint, f.token_seconds.to_bits());
+        }
+    }
+    let flight_ms = elapsed_ms(t);
+
+    // Phase 3: dataset preparation (execution, AREPAS augmentation,
+    // featurization, target-PCC fitting), fanned out per job.
+    let t = Instant::now();
+    let dataset =
+        tasq::dataset::Dataset::build_with_pool(&jobs, &tasq::augment::AugmentConfig::default(), &pool);
+    for example in &dataset.examples {
+        fold_bits(&mut fingerprint, example.observed_runtime.to_bits());
+        fold_bits(&mut fingerprint, example.target_pcc.a.to_bits());
+        fold_bits(&mut fingerprint, example.target_pcc.b.to_bits());
+    }
+    let featurize_ms = elapsed_ms(t);
+
+    // Phase 4: model fitting — GBDT with parallel per-feature split
+    // search, and k-means with parallel restarts.
+    let t = Instant::now();
+    let (rows, targets) = dataset.xgb_rows();
+    let booster = tasq_ml::gbdt::Booster::train_with_pool(
+        &rows,
+        &targets,
+        &tasq_ml::gbdt::BoosterConfig {
+            num_rounds: if quick { 15 } else { 60 },
+            ..Default::default()
+        },
+        &pool,
+    );
+    for pred in booster.predict(&rows) {
+        fold_bits(&mut fingerprint, pred.to_bits());
+    }
+    let features = tasq_ml::Matrix::from_rows(&dataset.job_feature_rows());
+    let km = tasq_ml::kmeans::kmeans_restarts(
+        &features,
+        &tasq_ml::kmeans::KMeansConfig { k: 5.min(dataset.len().max(1)), ..Default::default() },
+        seed,
+        if quick { 4 } else { 8 },
+        &pool,
+    );
+    fold_bits(&mut fingerprint, km.inertia.to_bits());
+    let fit_ms = elapsed_ms(t);
+
+    TrainBenchRun {
+        threads,
+        generate_ms,
+        flight_ms,
+        featurize_ms,
+        fit_ms,
+        total_ms: elapsed_ms(run_start),
+        fingerprint,
+    }
+}
+
+/// `tasq bench-train [--out <json>] [--jobs N] [--seed N] [--threads N]
+///  [--quick true]`
+///
+/// The offline-training benchmark: runs the end-to-end pipeline
+/// (generate → flight → featurize → fit) sequentially and on
+/// work-stealing pools of 2 and `--threads` workers, verifies the
+/// parallel runs are bit-identical to the sequential one, and writes the
+/// timing trajectory as JSON (default `BENCH_train.json`).
+pub fn bench_train(args: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(args, &["out", "jobs", "seed", "threads", "quick"])?;
+    let quick = matches!(opts.get("quick").unwrap_or("false"), "true" | "1" | "on");
+    let out_path = opts.get("out").unwrap_or("BENCH_train.json").to_string();
+    let num_jobs = opts.number::<usize>("jobs", if quick { 10 } else { 48 })?;
+    let seed = opts.number::<u64>("seed", 0)?;
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_threads = opts.number::<usize>("threads", hardware_threads.max(4))?.max(1);
+
+    let mut thread_counts = vec![1usize, 2, max_threads];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let runs: Vec<TrainBenchRun> = thread_counts
+        .iter()
+        .map(|&threads| run_train_bench(num_jobs, seed, threads, quick))
+        .collect();
+    let baseline = &runs[0];
+    let bit_identical = runs.iter().all(|r| r.fingerprint == baseline.fingerprint);
+
+    let mut runs_json = String::new();
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            runs_json,
+            "    {{\"threads\": {}, \"generate_ms\": {:.3}, \"flight_ms\": {:.3}, \
+             \"featurize_ms\": {:.3}, \"fit_ms\": {:.3}, \"total_ms\": {:.3}, \
+             \"speedup_vs_sequential\": {:.3}}}{}",
+            r.threads,
+            r.generate_ms,
+            r.flight_ms,
+            r.featurize_ms,
+            r.fit_ms,
+            r.total_ms,
+            baseline.total_ms / r.total_ms.max(1e-9),
+            if i + 1 < runs.len() { ",\n" } else { "" },
+        );
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"train-pipeline\",\n  \"jobs\": {num_jobs},\n  \
+         \"seed\": {seed},\n  \"quick\": {quick},\n  \
+         \"hardware_threads\": {hardware_threads},\n  \"bit_identical\": {bit_identical},\n  \
+         \"runs\": [\n{runs_json}\n  ]\n}}\n",
+    );
+    std::fs::write(&out_path, &json)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench-train: {num_jobs} jobs, seed {seed}, {hardware_threads} hardware thread(s)"
+    );
+    for r in &runs {
+        let _ = writeln!(
+            out,
+            "  {} thread(s): {:>8.1} ms total (generate {:.1}, flight {:.1}, featurize {:.1}, \
+             fit {:.1}) — {:.2}x vs sequential",
+            r.threads,
+            r.total_ms,
+            r.generate_ms,
+            r.flight_ms,
+            r.featurize_ms,
+            r.fit_ms,
+            baseline.total_ms / r.total_ms.max(1e-9),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "parallel output bit-identical to sequential: {bit_identical}"
+    );
+    let _ = writeln!(out, "wrote {out_path}");
+    Ok(out)
+}
+
 /// `tasq analyze [--root <dir>] [--mode full|static]`
 pub fn analyze(args: &[String]) -> Result<String, CliError> {
     let opts = Options::parse(args, &["root", "mode"])?;
@@ -751,6 +939,40 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("paths: 0 cache"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_train_writes_a_bit_identical_report() {
+        let dir = temp_dir("benchtrain");
+        let report = dir.join("BENCH_train.json");
+        let out = bench_train(&strings(&[
+            "--out",
+            report.to_str().unwrap(),
+            "--jobs",
+            "6",
+            "--threads",
+            "4",
+            "--quick",
+            "true",
+        ]))
+        .unwrap();
+        assert!(out.contains("bench-train: 6 jobs"), "{out}");
+        assert!(out.contains("bit-identical to sequential: true"), "{out}");
+
+        let json = std::fs::read_to_string(&report).unwrap();
+        for key in [
+            "\"benchmark\": \"train-pipeline\"",
+            "\"hardware_threads\"",
+            "\"bit_identical\": true",
+            "\"flight_ms\"",
+            "\"featurize_ms\"",
+            "\"fit_ms\"",
+            "\"speedup_vs_sequential\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,6 +1,6 @@
 //! Library backing the `tasq` command-line binary.
 //!
-//! Eight subcommands drive the pipeline from files on disk, with workloads
+//! Nine subcommands drive the pipeline from files on disk, with workloads
 //! and model artifacts serialized through the workspace's binary codec:
 //!
 //! * `generate` — synthesize a workload and write it to a file.
@@ -15,6 +15,9 @@
 //!   (`tasq-serve`) and report per-path serving statistics.
 //! * `loadgen`  — drive recurring-job replay traffic through the server,
 //!   cached and uncached, plus overload bursts; write `BENCH_serve.json`.
+//! * `bench-train` — time the offline pipeline (generate → flight →
+//!   featurize → fit) sequentially and on work-stealing pools, verify the
+//!   parallel runs are bit-identical, and write `BENCH_train.json`.
 //! * `analyze`  — run the `tasq-analyze` gatekeeper (source lints, lock
 //!   audit, plan/PCC invariants, happens-before race replay).
 //!
@@ -98,6 +101,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "flight" => commands::flight(rest),
         "serve" => commands::serve(rest),
         "loadgen" => commands::loadgen(rest),
+        "bench-train" => commands::bench_train(rest),
         "analyze" => commands::analyze(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
@@ -121,6 +125,7 @@ USAGE:
                       [--requests N] [--repeat FRAC] [--seed N]
     tasq-cli loadgen  --workload <file> [--model-dir <dir>] [--requests N] [--repeat FRAC]
                       [--qps N] [--out <json>] [--seed N]
+    tasq-cli bench-train [--out <json>] [--jobs N] [--seed N] [--threads N] [--quick true]
     tasq-cli analyze  [--root <dir>] [--mode full|static]
     tasq-cli help
 ";

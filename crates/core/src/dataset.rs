@@ -48,37 +48,30 @@ pub struct Dataset {
 
 impl Dataset {
     /// Build a dataset from jobs: execute each once (deterministically) at
-    /// its requested tokens, augment, featurize. Work fans out over
-    /// `min(8, jobs)` worker threads via crossbeam's scoped threads.
+    /// its requested tokens, augment, featurize. Work fans out over a
+    /// work-stealing [`tasq_par::Pool`] sized to the available hardware
+    /// parallelism (capped at 8 workers).
     pub fn build(jobs: &[Job], config: &AugmentConfig) -> Self {
-        let num_workers = jobs.len().clamp(1, 8);
-        let chunk_size = jobs.len().div_ceil(num_workers);
-        let mut results: Vec<Vec<TrainingExample>> = Vec::new();
-        let scope_result = crossbeam::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .chunks(chunk_size.max(1))
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        chunk
-                            .iter()
-                            .filter_map(|job| Self::prepare_example(job, config))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                // Propagate a worker panic on the caller's stack instead
-                // of unwrapping into a second, context-free panic.
-                match handle.join() {
-                    Ok(examples) => results.push(examples),
-                    Err(payload) => std::panic::resume_unwind(payload),
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+        Self::build_with_pool(jobs, config, &tasq_par::Pool::new(threads))
+    }
+
+    /// [`Dataset::build`] on a caller-supplied pool. Example order always
+    /// matches job order regardless of thread count, and a panic inside
+    /// job preparation resumes on the caller's stack (as the old scoped-
+    /// thread fan-out did). Work-stealing keeps workers busy even when
+    /// one job's plan is much larger than the rest — the static chunking
+    /// this replaces stalled the whole build on its slowest chunk.
+    pub fn build_with_pool(jobs: &[Job], config: &AugmentConfig, pool: &tasq_par::Pool) -> Self {
+        let prepared = pool
+            .par_map(jobs, |_, job| Self::prepare_example(job, config))
+            .unwrap_or_else(|e| match e {
+                tasq_par::ParError::TaskPanicked { message, .. } => {
+                    std::panic::resume_unwind(Box::new(message))
                 }
-            }
-        });
-        if let Err(payload) = scope_result {
-            std::panic::resume_unwind(payload);
-        }
-        Self { examples: results.into_iter().flatten().collect() }
+                other => std::panic::resume_unwind(Box::new(other.to_string())),
+            });
+        Self { examples: prepared.into_iter().flatten().collect() }
     }
 
     /// Prepare a single example (returns `None` if the PCC target cannot
@@ -218,6 +211,24 @@ mod tests {
             assert_eq!(p.job_id, s.job_id);
             assert_eq!(p.observed_runtime, s.observed_runtime);
             assert_eq!(p.target_pcc, s.target_pcc);
+        }
+    }
+
+    #[test]
+    fn pool_builds_bit_identical_across_thread_counts() {
+        let jobs = jobs(9);
+        let config = AugmentConfig::default();
+        let baseline = Dataset::build_with_pool(&jobs, &config, &tasq_par::Pool::sequential());
+        for threads in [2usize, 4, 8] {
+            let ds = Dataset::build_with_pool(&jobs, &config, &tasq_par::Pool::new(threads));
+            assert_eq!(ds.len(), baseline.len());
+            for (a, b) in ds.examples.iter().zip(&baseline.examples) {
+                assert_eq!(a.job_id, b.job_id);
+                assert_eq!(a.observed_runtime.to_bits(), b.observed_runtime.to_bits());
+                assert_eq!(a.features.values, b.features.values);
+                assert_eq!(a.target_pcc, b.target_pcc);
+                assert_eq!(a.pcc_points.len(), b.pcc_points.len());
+            }
         }
     }
 

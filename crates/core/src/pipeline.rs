@@ -422,6 +422,21 @@ impl TasqPipeline {
         repository: &JobRepository,
         store: &ModelStore,
     ) -> Result<Dataset, PipelineError> {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+        self.train_with_pool(repository, store, &tasq_par::Pool::new(threads))
+    }
+
+    /// [`TasqPipeline::train`] with dataset preparation (execution,
+    /// AREPAS augmentation, featurization, target-PCC fitting) fanned
+    /// out over a caller-supplied pool. Training itself stays
+    /// sequential, so the registered artifacts are bit-identical at any
+    /// thread count.
+    pub fn train_with_pool(
+        &self,
+        repository: &JobRepository,
+        store: &ModelStore,
+        pool: &tasq_par::Pool,
+    ) -> Result<Dataset, PipelineError> {
         let jobs = repository.all_jobs();
         if jobs.is_empty() {
             return Err(PipelineError::EmptyRepository);
@@ -436,7 +451,7 @@ impl TasqPipeline {
                 });
             }
         }
-        let dataset = Dataset::build(&jobs, &self.config.augment);
+        let dataset = Dataset::build_with_pool(&jobs, &self.config.augment, pool);
         if dataset.is_empty() {
             return Err(PipelineError::NoTrainableJobs);
         }

@@ -17,7 +17,7 @@ use crate::dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use tasq_ml::kmeans::{kmeans, KMeans, KMeansConfig};
+use tasq_ml::kmeans::{KMeans, KMeansConfig};
 use tasq_ml::matrix::Matrix;
 use tasq_ml::rand_ext;
 use tasq_ml::stats::{ks_two_sample, KsResult};
@@ -130,10 +130,14 @@ pub fn select_jobs(dataset: &Dataset, config: &SelectionConfig) -> SelectionResu
     // Step 2: cluster the full population on its job-level features.
     let rows = dataset.job_feature_rows();
     let data = Matrix::from_rows(&rows);
-    let model: KMeans = kmeans(
+    // Assignment distances are computed on a work-stealing pool;
+    // `kmeans_with_pool` is bit-identical to the sequential fit at any
+    // thread count, so selection stays fully deterministic.
+    let model: KMeans = tasq_ml::kmeans::kmeans_with_pool(
         &mut rng,
         &data,
         &KMeansConfig { k: config.num_clusters, ..Default::default() },
+        &tasq_par::Pool::with_available_parallelism(),
     );
     let population_clusters = model.assignments.clone();
     let k = model.k();

@@ -81,6 +81,23 @@ impl Booster {
     /// Panics if lengths mismatch, the dataset is empty, or a Gamma
     /// objective is given non-positive targets.
     pub fn train(rows: &[Vec<f64>], targets: &[f64], config: &BoosterConfig) -> Self {
+        Self::train_with_pool(rows, targets, config, &tasq_par::Pool::sequential())
+    }
+
+    /// [`Booster::train`] with the per-feature split search of every tree
+    /// fanned out over `pool`. The round loop, subsampling RNG stream and
+    /// prediction updates are untouched, and the split search reduces
+    /// deterministically, so the trained ensemble is bit-identical to the
+    /// sequential one at any thread count.
+    ///
+    /// # Panics
+    /// As [`Booster::train`].
+    pub fn train_with_pool(
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        config: &BoosterConfig,
+        pool: &tasq_par::Pool,
+    ) -> Self {
         assert_eq!(rows.len(), targets.len(), "Booster::train: length mismatch");
         assert!(!rows.is_empty(), "Booster::train: empty dataset");
         if config.objective.requires_positive_targets() {
@@ -120,7 +137,7 @@ impl Booster {
             } else {
                 all.clone()
             };
-            let tree = Tree::grow(&data, &mapper, &grads, &hess, &sample, &growth);
+            let tree = Tree::grow_with_pool(&data, &mapper, &grads, &hess, &sample, &growth, pool);
             for (i, r) in raw.iter_mut().enumerate() {
                 *r += config.learning_rate * tree.predict_row(&rows[i]);
             }
@@ -298,6 +315,32 @@ mod tests {
         let b1 = Booster::train(&rows, &targets, &config);
         let b2 = Booster::train(&rows, &targets, &config);
         assert_eq!(b1.predict(&rows), b2.predict(&rows));
+    }
+
+    #[test]
+    fn parallel_split_search_bit_identical_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Wide rows so indices.len() * num_features clears the parallel
+        // threshold at the root and shallow nodes.
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| (0..20).map(|_| rng.gen_range(-5.0..5.0)).collect())
+            .collect();
+        let targets: Vec<f64> =
+            rows.iter().map(|r| r[0] * 3.0 - r[7] * r[7] + r[13].sin() * 4.0).collect();
+        let config =
+            BoosterConfig { num_rounds: 12, subsample: 0.8, seed: 7, ..Default::default() };
+        let seq = Booster::train(&rows, &targets, &config);
+        for threads in [2, 4] {
+            let par =
+                Booster::train_with_pool(&rows, &targets, &config, &tasq_par::Pool::new(threads));
+            let seq_preds = seq.predict(&rows);
+            let par_preds = par.predict(&rows);
+            let seq_bits: Vec<u64> = seq_preds.iter().map(|p| p.to_bits()).collect();
+            let par_bits: Vec<u64> = par_preds.iter().map(|p| p.to_bits()).collect();
+            assert_eq!(seq_bits, par_bits, "threads={threads}");
+            assert_eq!(seq.total_nodes(), par.total_nodes());
+            assert_eq!(seq.feature_importance(), par.feature_importance());
+        }
     }
 
     #[test]

@@ -2,6 +2,12 @@
 
 use super::binning::{BinMapper, BinnedDataset};
 use serde::{Deserialize, Serialize};
+use tasq_par::Pool;
+
+/// Below this many (sample x feature) histogram accumulations the split
+/// search runs sequentially even on a multi-thread pool: at deep nodes
+/// with few rows the fan-out costs more than the scan.
+const PAR_SPLIT_MIN_WORK: usize = 4096;
 
 /// A node in a [`Tree`]. Leaves carry a weight; internal nodes carry a
 /// split on `feature <= threshold`.
@@ -67,10 +73,28 @@ impl Tree {
         samples: &[usize],
         params: &GrowthParams,
     ) -> Self {
+        Self::grow_with_pool(data, mapper, grads, hess, samples, params, &Pool::sequential())
+    }
+
+    /// [`Tree::grow`] with the per-feature histogram/split search fanned
+    /// out over `pool`. Per-feature candidates are reduced in ascending
+    /// feature order with the same strict-greater tie-break as the
+    /// sequential scan, so the grown tree is bit-identical at any thread
+    /// count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn grow_with_pool(
+        data: &BinnedDataset,
+        mapper: &BinMapper,
+        grads: &[f64],
+        hess: &[f64],
+        samples: &[usize],
+        params: &GrowthParams,
+        pool: &Pool,
+    ) -> Self {
         let mut tree = Tree { nodes: Vec::new() };
         let root_indices: Vec<usize> = samples.to_vec();
         tree.nodes.push(Node::Leaf { weight: 0.0 });
-        tree.grow_node(0, data, mapper, grads, hess, root_indices, 0, params);
+        tree.grow_node(0, data, mapper, grads, hess, root_indices, 0, params, pool);
         tree
     }
 
@@ -85,6 +109,7 @@ impl Tree {
         indices: Vec<usize>,
         depth: usize,
         params: &GrowthParams,
+        pool: &Pool,
     ) {
         let total_grad: f64 = indices.iter().map(|&i| grads[i]).sum();
         let total_hess: f64 = indices.iter().map(|&i| hess[i]).sum();
@@ -99,7 +124,9 @@ impl Tree {
             return;
         }
 
-        let best = Self::find_best_split(data, mapper, grads, hess, &indices, total_grad, total_hess, params);
+        let best = Self::find_best_split(
+            data, mapper, grads, hess, &indices, total_grad, total_hess, params, pool,
+        );
         let Some(split) = best else {
             make_leaf(self);
             return;
@@ -126,8 +153,67 @@ impl Tree {
             left,
             right,
         };
-        self.grow_node(left, data, mapper, grads, hess, left_idx, depth + 1, params);
-        self.grow_node(right, data, mapper, grads, hess, right_idx, depth + 1, params);
+        self.grow_node(left, data, mapper, grads, hess, left_idx, depth + 1, params, pool);
+        self.grow_node(right, data, mapper, grads, hess, right_idx, depth + 1, params, pool);
+    }
+
+    /// Histogram scan of a single feature: fill `hist_grad`/`hist_hess`
+    /// and return the best candidate for that feature alone (first bin
+    /// wins ties via the strict-greater comparison).
+    #[allow(clippy::too_many_arguments)]
+    fn best_split_for_feature(
+        data: &BinnedDataset,
+        mapper: &BinMapper,
+        grads: &[f64],
+        hess: &[f64],
+        indices: &[usize],
+        total_grad: f64,
+        total_hess: f64,
+        params: &GrowthParams,
+        f: usize,
+        hist_grad: &mut [f64],
+        hist_hess: &mut [f64],
+    ) -> Option<SplitCandidate> {
+        let parent_score = total_grad * total_grad / (total_hess + params.lambda);
+        let nbins = mapper.num_bins(f);
+        if nbins < 2 {
+            return None;
+        }
+        hist_grad[..nbins].iter_mut().for_each(|x| *x = 0.0);
+        hist_hess[..nbins].iter_mut().for_each(|x| *x = 0.0);
+        let bins = data.feature_bins(f);
+        for &i in indices {
+            let b = bins[i] as usize;
+            hist_grad[b] += grads[i];
+            hist_hess[b] += hess[i];
+        }
+        let mut best: Option<SplitCandidate> = None;
+        let mut left_grad = 0.0;
+        let mut left_hess = 0.0;
+        // Split candidates: "bin <= b" for b in 0..nbins-1.
+        for b in 0..nbins - 1 {
+            left_grad += hist_grad[b];
+            left_hess += hist_hess[b];
+            let right_grad = total_grad - left_grad;
+            let right_hess = total_hess - left_hess;
+            if left_hess < params.min_child_weight || right_hess < params.min_child_weight {
+                continue;
+            }
+            let gain = 0.5
+                * (left_grad * left_grad / (left_hess + params.lambda)
+                    + right_grad * right_grad / (right_hess + params.lambda)
+                    - parent_score);
+            if best.as_ref().is_none_or(|s| gain > s.gain) {
+                best = Some(SplitCandidate {
+                    feature: f,
+                    bin_threshold: b as u8,
+                    gain,
+                    left_grad,
+                    left_hess,
+                });
+            }
+        }
+        best
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -140,51 +226,47 @@ impl Tree {
         total_grad: f64,
         total_hess: f64,
         params: &GrowthParams,
+        pool: &Pool,
     ) -> Option<SplitCandidate> {
-        let parent_score = total_grad * total_grad / (total_hess + params.lambda);
+        let num_features = data.num_features();
+        let max_bins = (0..num_features).map(|f| mapper.num_bins(f)).max()?;
+
         let mut best: Option<SplitCandidate> = None;
-
-        // Reusable histogram buffers sized for the largest feature.
-        let max_bins = (0..data.num_features()).map(|f| mapper.num_bins(f)).max()?;
-        let mut hist_grad = vec![0.0f64; max_bins];
-        let mut hist_hess = vec![0.0f64; max_bins];
-
-        for f in 0..data.num_features() {
-            let nbins = mapper.num_bins(f);
-            if nbins < 2 {
-                continue;
-            }
-            hist_grad[..nbins].iter_mut().for_each(|x| *x = 0.0);
-            hist_hess[..nbins].iter_mut().for_each(|x| *x = 0.0);
-            let bins = data.feature_bins(f);
-            for &i in indices {
-                let b = bins[i] as usize;
-                hist_grad[b] += grads[i];
-                hist_hess[b] += hess[i];
-            }
-            let mut left_grad = 0.0;
-            let mut left_hess = 0.0;
-            // Split candidates: "bin <= b" for b in 0..nbins-1.
-            for b in 0..nbins - 1 {
-                left_grad += hist_grad[b];
-                left_hess += hist_hess[b];
-                let right_grad = total_grad - left_grad;
-                let right_hess = total_hess - left_hess;
-                if left_hess < params.min_child_weight || right_hess < params.min_child_weight {
-                    continue;
+        if pool.threads() > 1 && indices.len() * num_features >= PAR_SPLIT_MIN_WORK {
+            // One task per feature, each with its own histogram buffers;
+            // candidates come back in feature order for the deterministic
+            // lowest-feature-wins reduction below.
+            let features: Vec<usize> = (0..num_features).collect();
+            let per_feature = match pool.par_map_grain(&features, 1, |_, &f| {
+                let mut hist_grad = vec![0.0f64; max_bins];
+                let mut hist_hess = vec![0.0f64; max_bins];
+                Self::best_split_for_feature(
+                    data, mapper, grads, hess, indices, total_grad, total_hess, params, f,
+                    &mut hist_grad, &mut hist_hess,
+                )
+            }) {
+                Ok(v) => v,
+                // The scan cannot panic on valid binned data; runtime bug.
+                Err(e) => std::panic::resume_unwind(Box::new(e.to_string())),
+            };
+            for cand in per_feature.into_iter().flatten() {
+                if best.as_ref().is_none_or(|s| cand.gain > s.gain) {
+                    best = Some(cand);
                 }
-                let gain = 0.5
-                    * (left_grad * left_grad / (left_hess + params.lambda)
-                        + right_grad * right_grad / (right_hess + params.lambda)
-                        - parent_score);
-                if best.as_ref().is_none_or(|s| gain > s.gain) {
-                    best = Some(SplitCandidate {
-                        feature: f,
-                        bin_threshold: b as u8,
-                        gain,
-                        left_grad,
-                        left_hess,
-                    });
+            }
+        } else {
+            // Reusable histogram buffers sized for the largest feature.
+            let mut hist_grad = vec![0.0f64; max_bins];
+            let mut hist_hess = vec![0.0f64; max_bins];
+            for f in 0..num_features {
+                let cand = Self::best_split_for_feature(
+                    data, mapper, grads, hess, indices, total_grad, total_hess, params, f,
+                    &mut hist_grad, &mut hist_hess,
+                );
+                if let Some(cand) = cand {
+                    if best.as_ref().is_none_or(|s| cand.gain > s.gain) {
+                        best = Some(cand);
+                    }
                 }
             }
         }

@@ -7,8 +7,11 @@
 #![allow(clippy::needless_range_loop)] // parallel-array indexing is clearer here
 
 use crate::matrix::Matrix;
-use rand::Rng;
+use crate::rand_ext;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use tasq_par::Pool;
 
 /// Configuration for [`kmeans`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -129,6 +132,21 @@ fn kmeans_pp_init<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, k: usize) -> Matr
 /// # Panics
 /// Panics if `data` is empty or `k == 0`. If `k > n`, `k` is reduced to `n`.
 pub fn kmeans<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &KMeansConfig) -> KMeans {
+    kmeans_with_pool(rng, data, config, &Pool::sequential())
+}
+
+/// [`kmeans`] with the assignment step fanned out over `pool`.
+///
+/// The assignment step is pure (each row's nearest centroid depends only
+/// on the shared centroid matrix), so parallelizing it is bit-identical
+/// to the sequential loop; the update step and the empty-cluster re-seed
+/// draw from `rng` and stay sequential to preserve the RNG stream.
+pub fn kmeans_with_pool<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &Matrix,
+    config: &KMeansConfig,
+    pool: &Pool,
+) -> KMeans {
     let n = data.rows();
     assert!(n > 0, "kmeans: empty data");
     assert!(config.k > 0, "kmeans: k must be positive");
@@ -140,10 +158,8 @@ pub fn kmeans<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &KMeansConfig
 
     for iter in 0..config.max_iterations {
         iterations = iter + 1;
-        // Assignment step.
-        for r in 0..n {
-            assignments[r] = nearest_centroid(&centroids, data.row(r)).0;
-        }
+        // Assignment step (parallel over row blocks).
+        assign_rows(data, &centroids, &mut assignments, pool);
         // Update step.
         let mut sums = Matrix::zeros(k, data.cols());
         let mut counts = vec![0usize; k];
@@ -177,14 +193,97 @@ pub fn kmeans<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &KMeansConfig
         }
     }
 
-    // Final assignment + inertia.
-    let mut inertia = 0.0;
-    for r in 0..n {
-        let (a, d) = nearest_centroid(&centroids, data.row(r));
-        assignments[r] = a;
-        inertia += d;
-    }
+    // Final assignment + per-row distances in parallel; the inertia sum
+    // stays sequential in row order so float accumulation matches the
+    // single-threaded path bit-for-bit.
+    let mut distances = vec![0.0f64; n];
+    assign_rows_with_distances(data, &centroids, &mut assignments, &mut distances, pool);
+    let inertia = distances.iter().sum();
     KMeans { centroids, assignments, inertia, iterations }
+}
+
+/// Rows per parallel assignment task; small enough to balance, large
+/// enough that a task amortizes scheduling.
+const ASSIGN_CHUNK: usize = 64;
+
+fn assign_rows(data: &Matrix, centroids: &Matrix, assignments: &mut [usize], pool: &Pool) {
+    let result = pool.par_for_chunks(assignments, ASSIGN_CHUNK, |ci, chunk| {
+        let base = ci * ASSIGN_CHUNK;
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            *slot = nearest_centroid(centroids, data.row(base + j)).0;
+        }
+    });
+    if let Err(e) = result {
+        // nearest_centroid cannot panic for matching dims; runtime bug.
+        std::panic::resume_unwind(Box::new(e.to_string()));
+    }
+}
+
+fn assign_rows_with_distances(
+    data: &Matrix,
+    centroids: &Matrix,
+    assignments: &mut [usize],
+    distances: &mut [f64],
+    pool: &Pool,
+) {
+    let n = assignments.len();
+    // Pair up (assignment, distance) per row so one parallel sweep fills
+    // both output arrays without sharing mutable state across tasks.
+    let mut pairs: Vec<(usize, f64)> = vec![(0, 0.0); n];
+    let result = pool.par_for_chunks(&mut pairs, ASSIGN_CHUNK, |ci, chunk| {
+        let base = ci * ASSIGN_CHUNK;
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            *slot = nearest_centroid(centroids, data.row(base + j));
+        }
+    });
+    if let Err(e) = result {
+        std::panic::resume_unwind(Box::new(e.to_string()));
+    }
+    for (r, (a, d)) in pairs.into_iter().enumerate() {
+        assignments[r] = a;
+        distances[r] = d;
+    }
+}
+
+/// Run `restarts` independently seeded k-means fits in parallel and keep
+/// the best (lowest inertia; ties broken by lowest restart index).
+///
+/// Each restart's RNG is pre-split from `base_seed` via
+/// [`rand_ext::split_seed`], so the winner — and every field of the
+/// returned model — is bit-identical at any thread count.
+///
+/// # Panics
+/// Panics if `restarts == 0` or on empty data / `k == 0` (as [`kmeans`]).
+pub fn kmeans_restarts(
+    data: &Matrix,
+    config: &KMeansConfig,
+    base_seed: u64,
+    restarts: usize,
+    pool: &Pool,
+) -> KMeans {
+    assert!(restarts > 0, "kmeans_restarts: need at least one restart");
+    let seeds: Vec<u64> =
+        (0..restarts).map(|i| rand_ext::split_seed(base_seed, i as u64)).collect();
+    let fits = match pool.par_map_grain(&seeds, 1, |_, &seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Restarts are the parallel axis; each fit assigns sequentially.
+        kmeans_with_pool(&mut rng, data, config, &Pool::sequential())
+    }) {
+        Ok(fits) => fits,
+        Err(e) => std::panic::resume_unwind(Box::new(e.to_string())),
+    };
+    let mut iter = fits.into_iter();
+    let Some(mut best) = iter.next() else {
+        // Unreachable: restarts > 0 is asserted above.
+        let mut rng = StdRng::seed_from_u64(base_seed);
+        return kmeans(&mut rng, data, config);
+    };
+    for fit in iter {
+        if fit.inertia < best.inertia {
+            best = fit;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -250,6 +349,40 @@ mod tests {
         let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
         let model = kmeans(&mut rng, &data, &KMeansConfig { k: 10, ..Default::default() });
         assert_eq!(model.k(), 2);
+    }
+
+    #[test]
+    fn parallel_assignment_bit_identical_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let data = three_blobs(&mut rng, 60);
+        let config = KMeansConfig { k: 5, ..Default::default() };
+        let mut rng_seq = StdRng::seed_from_u64(77);
+        let seq = kmeans(&mut rng_seq, &data, &config);
+        for threads in [2, 4] {
+            let mut rng_par = StdRng::seed_from_u64(77);
+            let par = kmeans_with_pool(&mut rng_par, &data, &config, &Pool::new(threads));
+            assert_eq!(par.centroids, seq.centroids, "threads={threads}");
+            assert_eq!(par.assignments, seq.assignments);
+            assert_eq!(par.inertia.to_bits(), seq.inertia.to_bits());
+            assert_eq!(par.iterations, seq.iterations);
+        }
+    }
+
+    #[test]
+    fn restarts_deterministic_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = three_blobs(&mut rng, 40);
+        let config = KMeansConfig { k: 3, ..Default::default() };
+        let base = kmeans_restarts(&data, &config, 99, 6, &Pool::sequential());
+        for threads in [2, 4] {
+            let par = kmeans_restarts(&data, &config, 99, 6, &Pool::new(threads));
+            assert_eq!(par.centroids, base.centroids, "threads={threads}");
+            assert_eq!(par.assignments, base.assignments);
+            assert_eq!(par.inertia.to_bits(), base.inertia.to_bits());
+        }
+        // More restarts can only improve (or match) the best inertia.
+        let single = kmeans_restarts(&data, &config, 99, 1, &Pool::sequential());
+        assert!(base.inertia <= single.inertia);
     }
 
     #[test]

@@ -11,6 +11,19 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+/// Products below this many scalar multiply-adds run sequentially even on
+/// a multi-thread pool — fan-out costs more than it saves.
+const PAR_GEMM_MIN_FLOPS: usize = 32 * 32 * 32;
+
+/// The gemm kernels themselves cannot panic on shape-checked inputs, so a
+/// `ParError` here means a runtime bug; re-raise it as a panic rather
+/// than forcing every matmul call site to thread a `Result`.
+fn propagate_par_error(result: Result<(), tasq_par::ParError>) {
+    if let Err(e) = result {
+        std::panic::resume_unwind(Box::new(e.to_string()));
+    }
+}
+
 /// A dense row-major matrix of `f64`.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
@@ -144,9 +157,23 @@ impl Matrix {
     }
 
     /// Copy column `c` into a new `Vec`.
+    ///
+    /// Allocates on every call — hot paths should use the strided view
+    /// [`Matrix::col_iter`] or reuse a buffer via [`Matrix::copy_col_into`].
     pub fn col(&self, c: usize) -> Vec<f64> {
+        self.col_iter(c).collect()
+    }
+
+    /// Allocation-free view of column `c` as a strided iterator.
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = f64> + '_ {
         assert!(c < self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        self.data.iter().skip(c).step_by(self.cols.max(1)).copied()
+    }
+
+    /// Copy column `c` into `out`, reusing `out`'s allocation.
+    pub fn copy_col_into(&self, c: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.col_iter(c));
     }
 
     /// Iterate over rows as slices.
@@ -155,11 +182,22 @@ impl Matrix {
     }
 
     /// Transpose into a new matrix.
+    ///
+    /// Tiled so both the read and write sides stay within a cache-line
+    /// window per block instead of striding the full matrix per element.
     pub fn transpose(&self) -> Matrix {
+        const TILE: usize = 32;
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        for rb in (0..self.rows).step_by(TILE) {
+            let r_end = (rb + TILE).min(self.rows);
+            for cb in (0..self.cols).step_by(TILE) {
+                let c_end = (cb + TILE).min(self.cols);
+                for r in rb..r_end {
+                    let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                    for (c, &v) in row.iter().enumerate().take(c_end).skip(cb) {
+                        out.data[c * self.rows + r] = v;
+                    }
+                }
             }
         }
         out
@@ -239,6 +277,114 @@ impl Matrix {
                 out.data[i * rhs.rows + j] = acc;
             }
         }
+        out
+    }
+
+    /// Row-blocked parallel `self * rhs`.
+    ///
+    /// Output rows are partitioned into contiguous blocks (one stealable
+    /// task per block); every block runs the same `ikj` kernel as
+    /// [`Matrix::matmul`] in the same accumulation order, so the result
+    /// is **bit-identical** to the sequential product at any thread
+    /// count. Small products fall back to the sequential kernel where
+    /// fan-out overhead would dominate.
+    pub fn matmul_par(&self, rhs: &Matrix, pool: &tasq_par::Pool) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul_par: inner dimensions mismatch ({}x{} * {}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        if pool.threads() == 1 || self.rows * self.cols * rhs.cols < PAR_GEMM_MIN_FLOPS {
+            return self.matmul(rhs);
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let block_rows = self.rows.div_ceil(pool.threads() * 2).max(1);
+        let lhs = self;
+        let result = pool.par_for_chunks(&mut out.data, block_rows * rhs.cols, |bi, chunk| {
+            for (local_r, out_row) in chunk.chunks_mut(rhs.cols).enumerate() {
+                let i = bi * block_rows + local_r;
+                for k in 0..lhs.cols {
+                    let a = lhs.data[i * lhs.cols + k];
+                    // lint: allow(float-eq) — exact-zero skip as in `matmul`.
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                    for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
+        propagate_par_error(result);
+        out
+    }
+
+    /// Row-blocked parallel `self^T * rhs` (blocks over *output* rows,
+    /// i.e. columns of `self`); bit-identical to [`Matrix::t_matmul`].
+    pub fn t_matmul_par(&self, rhs: &Matrix, pool: &tasq_par::Pool) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul_par: dimensions mismatch ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        if pool.threads() == 1 || self.rows * self.cols * rhs.cols < PAR_GEMM_MIN_FLOPS {
+            return self.t_matmul(rhs);
+        }
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        let block_rows = self.cols.div_ceil(pool.threads() * 2).max(1);
+        let lhs = self;
+        let result = pool.par_for_chunks(&mut out.data, block_rows * rhs.cols, |bi, chunk| {
+            for (local_k, out_row) in chunk.chunks_mut(rhs.cols).enumerate() {
+                let k = bi * block_rows + local_k;
+                // Same i-ascending accumulation order as the sequential
+                // kernel, restricted to this block's output rows.
+                for i in 0..lhs.rows {
+                    let a = lhs.data[i * lhs.cols + k];
+                    // lint: allow(float-eq) — exact-zero skip as in `matmul`.
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &rhs.data[i * rhs.cols..(i + 1) * rhs.cols];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
+        propagate_par_error(result);
+        out
+    }
+
+    /// Row-blocked parallel `self * rhs^T`; bit-identical to
+    /// [`Matrix::matmul_t`].
+    pub fn matmul_t_par(&self, rhs: &Matrix, pool: &tasq_par::Pool) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_t_par: dimensions mismatch {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        if pool.threads() == 1 || self.rows * self.cols * rhs.rows < PAR_GEMM_MIN_FLOPS {
+            return self.matmul_t(rhs);
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        let block_rows = self.rows.div_ceil(pool.threads() * 2).max(1);
+        let lhs = self;
+        let result = pool.par_for_chunks(&mut out.data, block_rows * rhs.rows, |bi, chunk| {
+            for (local_r, out_row) in chunk.chunks_mut(rhs.rows).enumerate() {
+                let i = bi * block_rows + local_r;
+                let a_row = &lhs.data[i * lhs.cols..(i + 1) * lhs.cols];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                    let mut acc = 0.0;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
+        propagate_par_error(result);
         out
     }
 
@@ -504,6 +650,45 @@ mod tests {
         assert_eq!(a.hadamard(&b).as_slice(), &[4.0, 10.0, 18.0]);
         assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
         assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn col_iter_matches_col_without_alloc() {
+        let m = Matrix::from_fn(5, 3, |r, c| (r * 10 + c) as f64);
+        for c in 0..3 {
+            assert_eq!(m.col_iter(c).collect::<Vec<_>>(), m.col(c));
+        }
+        let mut buf = Vec::new();
+        m.copy_col_into(2, &mut buf);
+        assert_eq!(buf, m.col(2));
+    }
+
+    #[test]
+    fn blocked_transpose_matches_naive() {
+        // Sizes straddling the tile boundary.
+        for (r, c) in [(1, 1), (7, 33), (32, 32), (33, 65), (100, 3)] {
+            let m = Matrix::from_fn(r, c, |i, j| (i * 131 + j * 17) as f64);
+            let t = m.transpose();
+            assert_eq!(t.shape(), (c, r));
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t[(j, i)], m[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_bit_identical_to_sequential() {
+        let a = Matrix::from_fn(67, 45, |r, c| ((r * 31 + c * 7) % 13) as f64 * 0.37 - 1.0);
+        let b = Matrix::from_fn(45, 52, |r, c| ((r * 5 + c * 11) % 17) as f64 * 0.21 - 0.8);
+        let bt = b.transpose();
+        for threads in [1, 2, 4] {
+            let pool = tasq_par::Pool::new(threads);
+            assert_eq!(a.matmul_par(&b, &pool).as_slice(), a.matmul(&b).as_slice());
+            assert_eq!(a.t_matmul_par(&a, &pool).as_slice(), a.t_matmul(&a).as_slice());
+            assert_eq!(a.matmul_t_par(&bt, &pool).as_slice(), a.matmul_t(&bt).as_slice());
+        }
     }
 
     #[test]

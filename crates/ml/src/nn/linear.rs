@@ -67,7 +67,14 @@ impl Linear {
 
     /// Forward pass: `x W + b` for a batch `x: batch x in_dim`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut out = x.matmul(&self.weight);
+        self.forward_with(x, &tasq_par::Pool::sequential())
+    }
+
+    /// [`Linear::forward`] with the gemm row-blocked over `pool`
+    /// (bit-identical at any thread count; small batches fall back to the
+    /// sequential kernel automatically).
+    pub fn forward_with(&self, x: &Matrix, pool: &tasq_par::Pool) -> Matrix {
+        let mut out = x.matmul_par(&self.weight, pool);
         out.add_row_broadcast(self.bias.as_slice());
         out
     }
@@ -77,12 +84,27 @@ impl Linear {
         (self.forward(x), LinearCache { input: x.clone() })
     }
 
+    /// [`Linear::forward_cached`] with a parallel gemm.
+    pub fn forward_cached_with(&self, x: &Matrix, pool: &tasq_par::Pool) -> (Matrix, LinearCache) {
+        (self.forward_with(x, pool), LinearCache { input: x.clone() })
+    }
+
     /// Backward pass given upstream gradient `d_out: batch x out_dim`.
     pub fn backward(&self, cache: &LinearCache, d_out: &Matrix) -> LinearGrads {
+        self.backward_with(cache, d_out, &tasq_par::Pool::sequential())
+    }
+
+    /// [`Linear::backward`] with both gemms row-blocked over `pool`.
+    pub fn backward_with(
+        &self,
+        cache: &LinearCache,
+        d_out: &Matrix,
+        pool: &tasq_par::Pool,
+    ) -> LinearGrads {
         // dW = x^T d_out ; db = column sums of d_out ; dX = d_out W^T
-        let weight = cache.input.t_matmul(d_out);
+        let weight = cache.input.t_matmul_par(d_out, pool);
         let bias = Matrix::row_vector(&d_out.col_sums());
-        let input = d_out.matmul_t(&self.weight);
+        let input = d_out.matmul_t_par(&self.weight, pool);
         LinearGrads { weight, bias, input }
     }
 }

@@ -94,10 +94,16 @@ impl Mlp {
 
     /// Forward pass for a batch `x: batch x in_dim`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
+        self.forward_with(x, &tasq_par::Pool::sequential())
+    }
+
+    /// [`Mlp::forward`] with every layer gemm row-blocked over `pool`
+    /// (bit-identical to the sequential pass at any thread count).
+    pub fn forward_with(&self, x: &Matrix, pool: &tasq_par::Pool) -> Matrix {
         let mut h = x.clone();
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            let pre = layer.forward(&h);
+            let pre = layer.forward_with(&h, pool);
             let act = if i == last { self.output_activation } else { self.hidden_activation };
             h = act.apply(&pre);
         }
@@ -106,12 +112,17 @@ impl Mlp {
 
     /// Forward pass keeping the caches needed by [`Mlp::backward`].
     pub fn forward_cached(&self, x: &Matrix) -> (Matrix, MlpCache) {
+        self.forward_cached_with(x, &tasq_par::Pool::sequential())
+    }
+
+    /// [`Mlp::forward_cached`] with parallel layer gemms.
+    pub fn forward_cached_with(&self, x: &Matrix, pool: &tasq_par::Pool) -> (Matrix, MlpCache) {
         let mut h = x.clone();
         let last = self.layers.len() - 1;
         let mut layer_caches = Vec::with_capacity(self.layers.len());
         let mut pre_activations = Vec::with_capacity(self.layers.len());
         for (i, layer) in self.layers.iter().enumerate() {
-            let (pre, cache) = layer.forward_cached(&h);
+            let (pre, cache) = layer.forward_cached_with(&h, pool);
             layer_caches.push(cache);
             let act = if i == last { self.output_activation } else { self.hidden_activation };
             h = act.apply(&pre);
@@ -122,13 +133,23 @@ impl Mlp {
 
     /// Backward pass given the upstream gradient w.r.t. the network output.
     pub fn backward(&self, cache: &MlpCache, d_output: &Matrix) -> MlpGrads {
+        self.backward_with(cache, d_output, &tasq_par::Pool::sequential())
+    }
+
+    /// [`Mlp::backward`] with parallel layer gemms.
+    pub fn backward_with(
+        &self,
+        cache: &MlpCache,
+        d_output: &Matrix,
+        pool: &tasq_par::Pool,
+    ) -> MlpGrads {
         let last = self.layers.len() - 1;
         let mut grads: Vec<(Matrix, Matrix)> = Vec::with_capacity(self.layers.len());
         let mut d = d_output.clone();
         for (i, layer) in self.layers.iter().enumerate().rev() {
             let act = if i == last { self.output_activation } else { self.hidden_activation };
             let d_pre = d.hadamard(&act.derivative(&cache.pre_activations[i]));
-            let lg = layer.backward(&cache.layer_caches[i], &d_pre);
+            let lg = layer.backward_with(&cache.layer_caches[i], &d_pre, pool);
             grads.push((lg.weight, lg.bias));
             d = lg.input;
         }

@@ -116,6 +116,21 @@ pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<u
     reservoir
 }
 
+/// Derive an independent child seed from `base` for task `index`
+/// (splitmix64 finalizer over the golden-ratio-mixed index).
+///
+/// Parallel code MUST pre-split seeds per task index — never share one
+/// RNG stream across tasks — so that results stay bit-identical to
+/// sequential execution regardless of scheduling (the `tasq-par`
+/// determinism contract).
+pub fn split_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,243 @@
+//! Bounded Chase-Lev-style work-stealing deque over plain atomics.
+//!
+//! Each worker owns one [`Deque`]; the owner pushes and pops at the
+//! *bottom*, thieves steal from the *top*. The memory-ordering discipline
+//! follows Lê et al., "Correct and Efficient Work-Stealing for Weak Memory
+//! Models" (PPoPP 2013), with one simplification that keeps the whole
+//! structure in safe Rust: items are plain `u64`s (the runtime packs
+//! `[lo, hi)` index ranges into one word), stored in a fixed ring of
+//! `AtomicU64` slots, so no buffer growth, no raw pointers and no
+//! `unsafe` are needed.
+//!
+//! Boundedness is sound for the runtime's usage: a worker's deque only
+//! ever holds the O(log n) suffix halves it published while splitting one
+//! range, and [`Deque::push`] signals fullness instead of overwriting —
+//! the caller then just processes the range inline. A slot can only be
+//! recycled by `push` after `top` has advanced past it, and a stale thief
+//! CAS on `top` fails by monotonicity, so a successful steal always
+//! returns the value that was published for that index.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicU64, Ordering};
+
+/// Ring capacity. Range splitting adds at most ~log2(n) entries per
+/// deque, so 64 slots cover any input this workspace can address.
+const CAPACITY: usize = 64;
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// Got an item from the top of the victim's deque.
+    Success(u64),
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; try again.
+    Retry,
+}
+
+/// One worker's bounded deque of packed index ranges.
+pub struct Deque {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buf: Box<[AtomicU64]>,
+}
+
+impl Default for Deque {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deque {
+    /// Empty deque with the fixed ring capacity.
+    pub fn new() -> Self {
+        let buf: Vec<AtomicU64> = (0..CAPACITY).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buf: buf.into_boxed_slice(),
+        }
+    }
+
+    /// Pre-fill with a single item before the deque is shared with any
+    /// other thread (no synchronization needed at that point).
+    pub fn seed_initial(&self, v: u64) {
+        self.buf[0].store(v, Ordering::Relaxed);
+        self.bottom.store(1, Ordering::Relaxed);
+    }
+
+    /// Owner-only: push `v` at the bottom. Returns `false` when the ring
+    /// is full (caller keeps the work and runs it inline).
+    pub fn push(&self, v: u64) -> bool {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= CAPACITY as isize {
+            return false;
+        }
+        self.buf[(b as usize) % CAPACITY].store(v, Ordering::Relaxed);
+        // Publish the slot before publishing the new bottom.
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+        true
+    }
+
+    /// Owner-only: pop from the bottom (LIFO for locality).
+    pub fn pop(&self) -> Option<u64> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let v = self.buf[(b as usize) % CAPACITY].load(Ordering::Relaxed);
+            if t == b {
+                // Last item: race thieves for it via `top`.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    Some(v)
+                } else {
+                    None
+                }
+            } else {
+                Some(v)
+            }
+        } else {
+            // Deque was empty; restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: steal from the top (FIFO — thieves take the oldest,
+    /// largest ranges, which is what makes splitting effective).
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let v = self.buf[(t as usize) % CAPACITY].load(Ordering::Relaxed);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(v)
+            } else {
+                Steal::Retry
+            }
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Observed length (approximate under concurrency; exact when quiesced).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Acquire);
+        let t = self.top.load(Ordering::Acquire);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque is observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as SharedCounter;
+
+    #[test]
+    fn push_pop_lifo() {
+        let d = Deque::new();
+        assert!(d.is_empty());
+        assert!(d.push(1));
+        assert!(d.push(2));
+        assert!(d.push(3));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), Some(1));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn steal_fifo() {
+        let d = Deque::new();
+        d.push(10);
+        d.push(20);
+        assert_eq!(d.steal(), Steal::Success(10));
+        assert_eq!(d.steal(), Steal::Success(20));
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn push_reports_full() {
+        let d = Deque::new();
+        for i in 0..CAPACITY as u64 {
+            assert!(d.push(i));
+        }
+        assert!(!d.push(999));
+        assert_eq!(d.steal(), Steal::Success(0));
+        assert!(d.push(999));
+    }
+
+    #[test]
+    fn seed_initial_then_steal() {
+        let d = Deque::new();
+        d.seed_initial(42);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.steal(), Steal::Success(42));
+    }
+
+    #[test]
+    fn concurrent_owner_and_thieves_conserve_items() {
+        // Owner pushes 1..=N and pops; two thieves steal. Every item must
+        // be consumed exactly once (sum check).
+        const N: u64 = 20_000;
+        let d = Deque::new();
+        let consumed = SharedCounter::new(0);
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let d = &d;
+                let consumed = &consumed;
+                let done = &done;
+                s.spawn(move || loop {
+                    match d.steal() {
+                        Steal::Success(v) => {
+                            consumed.fetch_add(v, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) && d.is_empty() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let mut next = 1u64;
+            while next <= N {
+                if d.push(next) {
+                    next += 1;
+                } else {
+                    // Ring full: drain one ourselves.
+                    if let Some(v) = d.pop() {
+                        consumed.fetch_add(v, Ordering::Relaxed);
+                    }
+                }
+            }
+            while let Some(v) = d.pop() {
+                consumed.fetch_add(v, Ordering::Relaxed);
+            }
+            done.store(true, Ordering::Release);
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), N * (N + 1) / 2);
+    }
+}

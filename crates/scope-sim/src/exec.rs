@@ -115,6 +115,35 @@ pub struct ExecutionResult {
     pub faults: FaultReport,
 }
 
+/// Reusable per-run working memory for [`Executor::run_with_scratch`].
+///
+/// One simulated flight allocates a dozen growable buffers (dependency
+/// counters, the dependents adjacency, the ready queue, the event heap,
+/// the busy-interval log, ...). Flighting re-executes the same job at
+/// several allocations times several repetitions, so callers on that hot
+/// path keep one `ExecScratch` and hand it to every run: buffers are
+/// cleared, not reallocated, between runs. Reuse never changes results —
+/// a scratch-backed run is bit-identical to a fresh [`Executor::run`].
+#[derive(Default)]
+pub struct ExecScratch {
+    pending_deps: Vec<usize>,
+    remaining_tasks: Vec<usize>,
+    dependents: Vec<Vec<usize>>,
+    spec_threshold: Vec<f64>,
+    duration_sort: Vec<f64>,
+    intervals: Vec<(f64, f64)>,
+    tasks: Vec<TaskState>,
+    ready: VecDeque<ReadyTask>,
+    events: BinaryHeap<Event>,
+}
+
+impl ExecScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Executes a stage graph at a given token allocation.
 #[derive(Debug, Clone)]
 pub struct Executor {
@@ -154,7 +183,19 @@ impl Executor {
         allocation: u32,
         config: &ExecutionConfig,
     ) -> Result<ExecutionResult, SimError> {
-        self.run_inner(allocation, config, &mut None)
+        self.run_inner(allocation, config, &mut None, &mut ExecScratch::default())
+    }
+
+    /// Like [`Executor::run`], but reuses the caller's [`ExecScratch`]
+    /// instead of allocating fresh working buffers. Use this when running
+    /// many flights in a loop; results are bit-identical to `run`.
+    pub fn run_with_scratch(
+        &self,
+        allocation: u32,
+        config: &ExecutionConfig,
+        scratch: &mut ExecScratch,
+    ) -> Result<ExecutionResult, SimError> {
+        self.run_inner(allocation, config, &mut None, scratch)
     }
 
     /// Like [`Executor::run`], but also appends every scheduling decision
@@ -169,7 +210,7 @@ impl Executor {
         trace: &mut ExecTrace,
     ) -> Result<ExecutionResult, SimError> {
         let mut slot = Some(trace);
-        self.run_inner(allocation, config, &mut slot)
+        self.run_inner(allocation, config, &mut slot, &mut ExecScratch::default())
     }
 
     fn run_inner(
@@ -177,22 +218,41 @@ impl Executor {
         allocation: u32,
         config: &ExecutionConfig,
         trace: &mut Option<&mut ExecTrace>,
+        scratch: &mut ExecScratch,
     ) -> Result<ExecutionResult, SimError> {
         if allocation == 0 {
             return Err(SimError::InvalidAllocation { allocation });
         }
+        // Split the scratch into disjoint buffer borrows; every buffer is
+        // cleared before use so stale state from a previous run (including
+        // one that ended in an error) cannot leak in.
+        let ExecScratch {
+            pending_deps,
+            remaining_tasks,
+            dependents,
+            spec_threshold,
+            duration_sort,
+            intervals,
+            tasks,
+            ready,
+            events,
+        } = scratch;
         let mut rng = StdRng::seed_from_u64(config.noise_seed);
         let noise = &config.noise;
         let recovery = &config.recovery;
         let mut injector = FaultInjector::new(config.faults.clone());
 
         let num_stages = self.graph.num_stages();
-        let mut pending_deps: Vec<usize> =
-            (0..num_stages).map(|s| self.graph.deps[s].len()).collect();
-        let mut remaining_tasks: Vec<usize> =
-            (0..num_stages).map(|s| self.graph.stages[s].width()).collect();
-        // Dependents adjacency for completion propagation.
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); num_stages];
+        pending_deps.clear();
+        pending_deps.extend((0..num_stages).map(|s| self.graph.deps[s].len()));
+        remaining_tasks.clear();
+        remaining_tasks.extend((0..num_stages).map(|s| self.graph.stages[s].width()));
+        // Dependents adjacency for completion propagation (inner vectors
+        // keep their capacity across reuse).
+        for d in dependents.iter_mut() {
+            d.clear();
+        }
+        dependents.resize_with(num_stages, Vec::new);
         for s in 0..num_stages {
             for &d in &self.graph.deps[s] {
                 dependents[d].push(s);
@@ -203,23 +263,25 @@ impl Executor {
         // it stays off entirely, so fault-free execution is byte-identical
         // to the plain deterministic scheduler (naturally skewed stages
         // must not spawn duplicate work).
-        let spec_threshold: Vec<f64> = if config.faults.is_empty() {
-            vec![f64::INFINITY; num_stages]
+        spec_threshold.clear();
+        if config.faults.is_empty() {
+            spec_threshold.resize(num_stages, f64::INFINITY);
         } else {
-            (0..num_stages)
-                .map(|s| {
-                    let durations = &self.graph.stages[s].task_durations;
-                    if durations.is_empty() {
-                        return f64::INFINITY;
-                    }
-                    let mut sorted = durations.clone();
-                    sorted.sort_by(f64::total_cmp);
-                    let idx =
-                        ((sorted.len() as f64 * 0.95).ceil() as usize).clamp(1, sorted.len()) - 1;
-                    recovery.speculation_threshold_secs(sorted[idx])
-                })
-                .collect()
-        };
+            for s in 0..num_stages {
+                let durations = &self.graph.stages[s].task_durations;
+                if durations.is_empty() {
+                    spec_threshold.push(f64::INFINITY);
+                    continue;
+                }
+                duration_sort.clear();
+                duration_sort.extend_from_slice(durations);
+                duration_sort.sort_by(f64::total_cmp);
+                let idx = ((duration_sort.len() as f64 * 0.95).ceil() as usize)
+                    .clamp(1, duration_sort.len())
+                    - 1;
+                spec_threshold.push(recovery.speculation_threshold_secs(duration_sort[idx]));
+            }
+        }
 
         let start_delay = if noise.max_queueing_delay_secs > 0.0 {
             rng.gen_range(0.0..noise.max_queueing_delay_secs)
@@ -227,12 +289,10 @@ impl Executor {
             0.0
         };
 
-        let mut state = LoopState {
-            tasks: Vec::new(),
-            ready: VecDeque::new(),
-            events: BinaryHeap::new(),
-            seq: 0,
-        };
+        tasks.clear();
+        ready.clear();
+        events.clear();
+        let mut state = LoopState { tasks, ready, events, seq: 0 };
 
         // Initial dispatch: stages with no dependencies run immediately;
         // zero-width stages complete instantly (possibly in chains).
@@ -252,9 +312,9 @@ impl Executor {
             complete_zero_width(
                 &mut zero_stack,
                 &mut to_dispatch,
-                &mut pending_deps,
-                &mut remaining_tasks,
-                &dependents,
+                pending_deps,
+                remaining_tasks,
+                dependents,
                 &mut completed_stages,
                 start_delay,
                 trace,
@@ -276,7 +336,7 @@ impl Executor {
         let mut now = start_delay;
         // Busy intervals for skyline construction; fault-truncated
         // attempts keep their (shorter) real extent.
-        let mut intervals: Vec<(f64, f64)> = Vec::new();
+        intervals.clear();
 
         loop {
             // Fill free slots from the ready queue.
@@ -376,9 +436,9 @@ impl Executor {
                         complete_zero_width(
                             &mut zero_stack,
                             &mut to_dispatch,
-                            &mut pending_deps,
-                            &mut remaining_tasks,
-                            &dependents,
+                            pending_deps,
+                            remaining_tasks,
+                            dependents,
                             &mut completed_stages,
                             now,
                             trace,
@@ -460,7 +520,7 @@ impl Executor {
         }
 
         let makespan = intervals.iter().map(|&(_, e)| e).fold(start_delay, f64::max);
-        let skyline = build_skyline(&intervals, makespan);
+        let skyline = build_skyline(intervals, makespan);
         let total = skyline.area();
         Ok(ExecutionResult {
             skyline,
@@ -482,7 +542,7 @@ impl Executor {
         noise: &NoiseModel,
         injector: &mut FaultInjector,
         rng: &mut StdRng,
-        state: &mut LoopState,
+        state: &mut LoopState<'_>,
         trace: &mut Option<&mut ExecTrace>,
     ) {
         if let Some(t) = trace.as_deref_mut() {
@@ -529,9 +589,10 @@ impl Executor {
     /// `(allocation, runtime_secs)` pairs — a ground-truth PCC sample.
     pub fn performance_curve(&self, allocations: &[u32]) -> Result<Vec<(u32, f64)>, SimError> {
         let config = ExecutionConfig::default();
+        let mut scratch = ExecScratch::default();
         allocations
             .iter()
-            .map(|&a| Ok((a, self.run(a, &config)?.runtime_secs)))
+            .map(|&a| Ok((a, self.run_with_scratch(a, &config, &mut scratch)?.runtime_secs)))
             .collect()
     }
 }
@@ -615,15 +676,16 @@ impl Ord for Event {
 }
 
 /// Mutable scheduling state shared between the event loop and stage
-/// dispatch.
-struct LoopState {
-    tasks: Vec<TaskState>,
-    ready: VecDeque<ReadyTask>,
-    events: BinaryHeap<Event>,
+/// dispatch; the collections themselves live in an [`ExecScratch`] so
+/// their capacity survives across runs.
+struct LoopState<'a> {
+    tasks: &'a mut Vec<TaskState>,
+    ready: &'a mut VecDeque<ReadyTask>,
+    events: &'a mut BinaryHeap<Event>,
     seq: u64,
 }
 
-impl LoopState {
+impl LoopState<'_> {
     fn push(&mut self, time: f64, kind: EventKind) {
         self.seq += 1;
         self.events.push(Event { time, seq: self.seq, kind });
@@ -771,6 +833,33 @@ mod tests {
             "{} vs {expected}",
             r.total_token_seconds
         );
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_runs() {
+        // Reusing one scratch across allocations, repetitions, noise
+        // configs, and even an error-producing run must not change any
+        // result relative to a fresh `run`.
+        let exec = wide_then_narrow();
+        let mut scratch = ExecScratch::new();
+        let noisy =
+            ExecutionConfig { noise: NoiseModel::mild(), noise_seed: 9, ..Default::default() };
+        // An errored run in between must not poison the scratch.
+        assert!(exec.run_with_scratch(0, &ExecutionConfig::default(), &mut scratch).is_err());
+        for alloc in [1u32, 3, 8, 16, 8, 3] {
+            for config in [&ExecutionConfig::default(), &noisy] {
+                let fresh = run_ok(&exec, alloc, config);
+                let reused = exec
+                    .run_with_scratch(alloc, config, &mut scratch)
+                    .expect("scratch run should succeed");
+                assert_eq!(fresh.runtime_secs.to_bits(), reused.runtime_secs.to_bits());
+                assert_eq!(
+                    fresh.total_token_seconds.to_bits(),
+                    reused.total_token_seconds.to_bits()
+                );
+                assert_eq!(fresh.skyline, reused.skyline);
+            }
+        }
     }
 
     #[test]

@@ -12,10 +12,11 @@
 //! a job whose flight still fails after the retry budget is dropped —
 //! [`flight_job`] returns the final error.
 
-use crate::exec::{ExecutionConfig, ExecutionResult, Executor, NoiseModel};
+use crate::exec::{ExecScratch, ExecutionConfig, ExecutionResult, Executor, NoiseModel};
 use crate::faults::{FaultPlan, RecoveryPolicy, SimError};
 use crate::generator::Job;
 use serde::{Deserialize, Serialize};
+use tasq_par::Pool;
 
 /// The paper's standard flighting fractions of the reference token count.
 pub const STANDARD_FRACTIONS: [f64; 4] = [1.0, 0.8, 0.6, 0.2];
@@ -55,23 +56,26 @@ pub struct FlightedJob {
 impl FlightedJob {
     /// Mean run time per unique allocation, sorted by descending
     /// allocation: `(allocation, mean_runtime)`.
+    ///
+    /// Single pass over the flight records: run times are accumulated
+    /// into one small `(allocation, sum, count)` table instead of
+    /// collecting and re-scanning the flight vector once per unique
+    /// allocation (this method sits inside the anomaly filter's per-job
+    /// hot loop). Per-allocation sums run in flight order, so the means
+    /// are bit-identical to the old collect-then-average formulation.
     pub fn mean_runtimes(&self) -> Vec<(u32, f64)> {
-        let mut allocs: Vec<u32> = self.flights.iter().map(|f| f.allocation).collect();
-        allocs.sort_unstable();
-        allocs.dedup();
-        allocs.reverse();
-        allocs
-            .into_iter()
-            .map(|a| {
-                let runs: Vec<f64> = self
-                    .flights
-                    .iter()
-                    .filter(|f| f.allocation == a)
-                    .map(|f| f.runtime_secs)
-                    .collect();
-                (a, runs.iter().sum::<f64>() / runs.len() as f64)
-            })
-            .collect()
+        let mut acc: Vec<(u32, f64, u32)> = Vec::new();
+        for f in &self.flights {
+            match acc.iter_mut().find(|(a, _, _)| *a == f.allocation) {
+                Some((_, sum, n)) => {
+                    *sum += f.runtime_secs;
+                    *n += 1;
+                }
+                None => acc.push((f.allocation, f.runtime_secs, 1)),
+            }
+        }
+        acc.sort_unstable_by_key(|entry| std::cmp::Reverse(entry.0));
+        acc.into_iter().map(|(a, sum, n)| (a, sum / n as f64)).collect()
     }
 
     /// Whether run time monotonically non-increases with tokens, within a
@@ -135,12 +139,15 @@ impl Default for FlightConfig {
     }
 }
 
-/// Run one flight, re-submitting with a perturbed seed on failure.
+/// Run one flight, re-submitting with a perturbed seed on failure. The
+/// caller's scratch is reused across the re-submissions (and, on the
+/// flighting hot path, across every flight of a job).
 fn run_with_retries(
     executor: &Executor,
     alloc: u32,
     base_seed: u64,
     config: &FlightConfig,
+    scratch: &mut ExecScratch,
 ) -> Result<ExecutionResult, SimError> {
     let mut attempt: u64 = 0;
     loop {
@@ -150,12 +157,66 @@ fn run_with_retries(
             faults: config.faults.clone(),
             recovery: config.recovery.clone(),
         };
-        match executor.run(alloc, &exec_config) {
+        match executor.run_with_scratch(alloc, &exec_config, scratch) {
             Ok(result) => return Ok(result),
             Err(_) if attempt < config.max_flight_retries as u64 => attempt += 1,
             Err(err) => return Err(err),
         }
     }
+}
+
+/// The unique allocations a job is flighted at, in fraction order.
+fn flight_allocations(reference_tokens: u32, config: &FlightConfig) -> Vec<u32> {
+    let mut allocations: Vec<u32> = config
+        .fractions
+        .iter()
+        .map(|f| ((reference_tokens as f64 * f).round() as u32).max(1))
+        .collect();
+    allocations.dedup();
+    allocations
+}
+
+/// The per-(job, allocation, repetition) seed every flight derives its
+/// noise and fault randomness from. Seeds depend only on these three
+/// coordinates, never on execution order — which is what lets the
+/// parallel fan-out reproduce the sequential harness bit for bit.
+fn flight_seed(config: &FlightConfig, job_id: u64, alloc: u32, rep: u32) -> u64 {
+    config
+        .seed
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(job_id)
+        .wrapping_mul(31)
+        .wrapping_add(alloc as u64)
+        .wrapping_mul(17)
+        .wrapping_add(rep as u64)
+}
+
+/// Assemble a [`FlightedJob`] from per-(allocation, repetition) results
+/// delivered in sequential order, surfacing the first error in that
+/// order (exactly what the sequential loop would have hit first).
+fn assemble_flighted_job(
+    job: &Job,
+    reference_tokens: u32,
+    tasks: &[(u32, u32)],
+    results: impl IntoIterator<Item = Result<ExecutionResult, SimError>>,
+) -> Result<FlightedJob, SimError> {
+    let mut flights = Vec::with_capacity(tasks.len());
+    let mut executions = Vec::new();
+    for (&(alloc, rep), result) in tasks.iter().zip(results) {
+        let result = result?;
+        flights.push(Flight {
+            job_id: job.id,
+            allocation: alloc,
+            repetition: rep,
+            runtime_secs: result.runtime_secs,
+            token_seconds: result.total_token_seconds,
+            peak_tokens: result.skyline.peak(),
+        });
+        if rep == 0 {
+            executions.push(result);
+        }
+    }
+    Ok(FlightedJob { job: job.clone(), reference_tokens, flights, executions })
 }
 
 /// Flight one job at every configured fraction of `reference_tokens`.
@@ -173,26 +234,18 @@ pub fn flight_job(
         return Err(SimError::InvalidAllocation { allocation: 0 });
     }
     let executor = job.executor();
-    let mut allocations: Vec<u32> = config
-        .fractions
-        .iter()
-        .map(|f| ((reference_tokens as f64 * f).round() as u32).max(1))
-        .collect();
-    allocations.dedup();
+    let allocations = flight_allocations(reference_tokens, config);
+    let reps = config.repetitions.max(1);
 
-    let mut flights = Vec::new();
-    let mut executions = Vec::new();
+    // One scratch serves every (allocation × repetition) run of the job:
+    // the executor's working buffers are allocated once and reused.
+    let mut scratch = ExecScratch::default();
+    let mut flights = Vec::with_capacity(allocations.len() * reps as usize);
+    let mut executions = Vec::with_capacity(allocations.len());
     for &alloc in &allocations {
-        for rep in 0..config.repetitions.max(1) {
-            let base_seed = config
-                .seed
-                .wrapping_mul(0x9E37_79B9)
-                .wrapping_add(job.id)
-                .wrapping_mul(31)
-                .wrapping_add(alloc as u64)
-                .wrapping_mul(17)
-                .wrapping_add(rep as u64);
-            let result = run_with_retries(&executor, alloc, base_seed, config)?;
+        for rep in 0..reps {
+            let base_seed = flight_seed(config, job.id, alloc, rep);
+            let result = run_with_retries(&executor, alloc, base_seed, config, &mut scratch)?;
             flights.push(Flight {
                 job_id: job.id,
                 allocation: alloc,
@@ -207,6 +260,104 @@ pub fn flight_job(
         }
     }
     Ok(FlightedJob { job: job.clone(), reference_tokens, flights, executions })
+}
+
+/// [`flight_job`] with the (allocation × repetition) grid fanned out
+/// over a [`Pool`]. Every flight's seed is a pure function of its (job,
+/// allocation, repetition) coordinates, so the result — including which
+/// error surfaces when flights fail — is bit-identical to the
+/// sequential harness at any thread count.
+pub fn flight_job_with_pool(
+    job: &Job,
+    reference_tokens: u32,
+    config: &FlightConfig,
+    pool: &Pool,
+) -> Result<FlightedJob, SimError> {
+    if pool.threads() <= 1 {
+        // The sequential path also shares one executor scratch across
+        // all runs, which the inline closure below cannot.
+        return flight_job(job, reference_tokens, config);
+    }
+    if reference_tokens == 0 {
+        return Err(SimError::InvalidAllocation { allocation: 0 });
+    }
+    let executor = job.executor();
+    let allocations = flight_allocations(reference_tokens, config);
+    let reps = config.repetitions.max(1);
+    let tasks: Vec<(u32, u32)> = allocations
+        .iter()
+        .flat_map(|&alloc| (0..reps).map(move |rep| (alloc, rep)))
+        .collect();
+    let results = pool
+        .par_map(&tasks, |_, &(alloc, rep)| {
+            let mut scratch = ExecScratch::default();
+            let base_seed = flight_seed(config, job.id, alloc, rep);
+            run_with_retries(&executor, alloc, base_seed, config, &mut scratch)
+        })
+        .unwrap_or_else(|e| std::panic::resume_unwind(Box::new(e.to_string())));
+    assemble_flighted_job(job, reference_tokens, &tasks, results)
+}
+
+/// Flight a whole workload: every (job × allocation × repetition) cell
+/// becomes one task in a single flat fan-out over `pool`, so small jobs
+/// cannot leave workers idle while a large job finishes. Returns one
+/// result per job, in job order; each entry equals what
+/// [`flight_job`] would have produced for that job (`reference_tokens`
+/// pairs up with `jobs` index-wise).
+pub fn flight_workload(
+    jobs: &[Job],
+    reference_tokens: &[u32],
+    config: &FlightConfig,
+    pool: &Pool,
+) -> Vec<Result<FlightedJob, SimError>> {
+    debug_assert_eq!(jobs.len(), reference_tokens.len());
+    let reps = config.repetitions.max(1);
+    let executors: Vec<Executor> = jobs.iter().map(|j| j.executor()).collect();
+    let per_job: Vec<(usize, Vec<u32>)> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let tokens = reference_tokens.get(i).copied().unwrap_or(0);
+            let allocs =
+                if tokens == 0 { Vec::new() } else { flight_allocations(tokens, config) };
+            (i, allocs)
+        })
+        .collect();
+    // Flatten to (job index, allocation, repetition) in sequential order.
+    let tasks: Vec<(usize, u32, u32)> = per_job
+        .iter()
+        .flat_map(|(i, allocs)| {
+            allocs
+                .iter()
+                .flat_map(move |&alloc| (0..reps).map(move |rep| (*i, alloc, rep)))
+        })
+        .collect();
+    let results = pool
+        .par_map(&tasks, |_, &(job_idx, alloc, rep)| {
+            let mut scratch = ExecScratch::default();
+            let base_seed = flight_seed(config, jobs[job_idx].id, alloc, rep);
+            run_with_retries(&executors[job_idx], alloc, base_seed, config, &mut scratch)
+        })
+        .unwrap_or_else(|e| std::panic::resume_unwind(Box::new(e.to_string())));
+
+    // Regroup the flat results per job, preserving sequential semantics.
+    let mut results = results.into_iter();
+    per_job
+        .into_iter()
+        .map(|(i, allocs)| {
+            let tokens = reference_tokens.get(i).copied().unwrap_or(0);
+            if tokens == 0 {
+                return Err(SimError::InvalidAllocation { allocation: 0 });
+            }
+            let job_tasks: Vec<(u32, u32)> = allocs
+                .iter()
+                .flat_map(|&alloc| (0..reps).map(move |rep| (alloc, rep)))
+                .collect();
+            let job_results: Vec<Result<ExecutionResult, SimError>> =
+                results.by_ref().take(job_tasks.len()).collect();
+            assemble_flighted_job(&jobs[i], tokens, &job_tasks, job_results)
+        })
+        .collect()
 }
 
 /// Fraction of a run's token-seconds that may be fault churn (crashed
@@ -225,10 +376,12 @@ const MAX_WASTE_FRACTION: f64 = 0.25;
 pub fn filter_non_anomalous(jobs: Vec<FlightedJob>, tolerance: f64) -> Vec<FlightedJob> {
     jobs.into_iter()
         .filter(|fj| {
-            let mut allocs: Vec<u32> = fj.flights.iter().map(|f| f.allocation).collect();
-            allocs.sort_unstable();
-            allocs.dedup();
-            let enough_flights = allocs.len() >= 2;
+            // `executions` holds exactly one retained result per unique
+            // allocation (the flighting harness pushes the first
+            // repetition of each), so its length is the unique-flight
+            // count — no need to collect, sort, and dedup the full
+            // flight vector per job.
+            let enough_flights = fj.executions.len() >= 2;
             let within_allocation = fj
                 .flights
                 .iter()
@@ -321,6 +474,66 @@ mod tests {
         let fj = flight_ok(&job, 30, &config);
         let kept = filter_non_anomalous(vec![fj], 0.1);
         assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn parallel_flighting_bit_identical_to_sequential() {
+        // The fan-out over (allocation × repetition) must reproduce the
+        // sequential harness exactly — runtimes, token-seconds, retained
+        // skylines — at any thread count, including under noise.
+        let job = one_job();
+        let config = FlightConfig {
+            noise: NoiseModel::production(),
+            seed: 11,
+            ..Default::default()
+        };
+        let sequential = flight_ok(&job, 64, &config);
+        for threads in [2usize, 4, 8] {
+            let pool = Pool::new(threads);
+            let parallel = flight_job_with_pool(&job, 64, &config, &pool)
+                .expect("parallel flighting should succeed");
+            assert_eq!(sequential.flights.len(), parallel.flights.len());
+            for (s, p) in sequential.flights.iter().zip(&parallel.flights) {
+                assert_eq!(s.allocation, p.allocation);
+                assert_eq!(s.repetition, p.repetition);
+                assert_eq!(s.runtime_secs.to_bits(), p.runtime_secs.to_bits());
+                assert_eq!(s.token_seconds.to_bits(), p.token_seconds.to_bits());
+                assert_eq!(s.peak_tokens.to_bits(), p.peak_tokens.to_bits());
+            }
+            assert_eq!(sequential.executions.len(), parallel.executions.len());
+            for (s, p) in sequential.executions.iter().zip(&parallel.executions) {
+                assert_eq!(s.skyline, p.skyline);
+                assert_eq!(s.allocation, p.allocation);
+            }
+        }
+    }
+
+    #[test]
+    fn flight_workload_matches_per_job_flighting() {
+        let jobs: Vec<Job> =
+            WorkloadGenerator::new(WorkloadConfig { num_jobs: 4, seed: 47, ..Default::default() })
+                .generate();
+        let refs: Vec<u32> = jobs.iter().map(|j| j.requested_tokens.max(6)).collect();
+        let config = FlightConfig { noise: NoiseModel::mild(), seed: 3, ..Default::default() };
+        for threads in [1usize, 4] {
+            let pool = Pool::new(threads);
+            let batch = flight_workload(&jobs, &refs, &config, &pool);
+            assert_eq!(batch.len(), jobs.len());
+            for ((job, &tokens), result) in jobs.iter().zip(&refs).zip(batch) {
+                let expected = flight_ok(job, tokens, &config);
+                let got = result.expect("workload flighting should succeed");
+                assert_eq!(expected.flights.len(), got.flights.len());
+                for (s, p) in expected.flights.iter().zip(&got.flights) {
+                    assert_eq!(s.runtime_secs.to_bits(), p.runtime_secs.to_bits());
+                }
+            }
+        }
+        // A zero reference propagates the same typed error the
+        // sequential harness returns, without disturbing its neighbors.
+        let bad_refs: Vec<u32> = refs.iter().enumerate().map(|(i, &r)| if i == 1 { 0 } else { r }).collect();
+        let batch = flight_workload(&jobs, &bad_refs, &config, &Pool::new(2));
+        assert!(matches!(batch[1], Err(SimError::InvalidAllocation { allocation: 0 })));
+        assert!(batch[0].is_ok() && batch[2].is_ok() && batch[3].is_ok());
     }
 
     #[test]

@@ -57,8 +57,12 @@ pub mod trace;
 pub mod validate;
 
 pub use amdahl::AmdahlModel;
-pub use exec::{ExecutionConfig, ExecutionResult, Executor, NoiseModel};
+pub use exec::{ExecScratch, ExecutionConfig, ExecutionResult, Executor, NoiseModel};
 pub use faults::{FaultInjector, FaultPlan, FaultReport, RecoveryPolicy, SimError};
+pub use flight::{
+    filter_non_anomalous, flight_job, flight_job_with_pool, flight_workload, Flight, FlightConfig,
+    FlightedJob,
+};
 pub use generator::{
     replay_traffic, Archetype, Job, JobMeta, TrafficConfig, WorkloadConfig, WorkloadGenerator,
 };
