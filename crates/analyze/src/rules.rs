@@ -40,10 +40,14 @@ fn path_is_exempt(path: &str) -> bool {
 ///
 /// * `crates/experiments` is exploratory plotting code — `no-panic` and
 ///   `float-eq` are waived there wholesale;
-/// * `wall-clock` only guards the simulator (`crates/scope-sim/src`),
-///   where wall time would silently break determinism;
-/// * `unbounded-channel` only guards the concurrent crates
-///   (`crates/serve`, `crates/scope-sim`, `crates/par`).
+/// * `wall-clock` guards the simulator (`crates/scope-sim/src`), where
+///   wall time would silently break determinism, and the observability
+///   crate (`crates/obs/src`), whose timestamps must all flow through its
+///   `clock` module — the single allowlisted wall-clock read site in the
+///   instrumented workspace;
+/// * `unbounded-channel` guards the concurrent crates (`crates/serve`,
+///   `crates/scope-sim`, `crates/par`) and the observability crate, whose
+///   collector buffers must stay bounded.
 pub fn rule_applies(rule: &str, path: &str) -> bool {
     if path_is_exempt(path) {
         return false;
@@ -51,11 +55,15 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
     match rule {
         NO_PANIC | FLOAT_EQ => !path.starts_with("crates/experiments/"),
         UNSEEDED_RNG => true,
-        WALL_CLOCK => path.starts_with("crates/scope-sim/src"),
+        WALL_CLOCK => {
+            path.starts_with("crates/scope-sim/src")
+                || (path.starts_with("crates/obs/src") && !path.ends_with("/clock.rs"))
+        }
         UNBOUNDED_CHANNEL => {
             path.starts_with("crates/serve/")
                 || path.starts_with("crates/scope-sim/")
                 || path.starts_with("crates/par/")
+                || path.starts_with("crates/obs/")
         }
         _ => false,
     }
@@ -314,6 +322,10 @@ mod tests {
         let src = "fn f() { let t = Instant::now(); }\n";
         assert_eq!(rules_hit("crates/scope-sim/src/a.rs", src), vec![WALL_CLOCK.to_string()]);
         assert!(rules_hit("crates/serve/src/a.rs", src).is_empty());
+        // The observability crate is covered too, except its clock module
+        // — the one sanctioned wall-clock read site.
+        assert_eq!(rules_hit("crates/obs/src/span.rs", src), vec![WALL_CLOCK.to_string()]);
+        assert!(rules_hit("crates/obs/src/clock.rs", src).is_empty());
     }
 
     #[test]
@@ -329,6 +341,12 @@ mod tests {
         // are bounded by construction and its channels must be as well.
         assert_eq!(
             rules_hit("crates/par/src/a.rs", src),
+            vec![UNBOUNDED_CHANNEL.to_string()]
+        );
+        // The observability collector is bounded by design; its sources
+        // must not introduce unbounded channels either.
+        assert_eq!(
+            rules_hit("crates/obs/src/a.rs", src),
             vec![UNBOUNDED_CHANNEL.to_string()]
         );
         assert!(rules_hit("crates/core/src/a.rs", src).is_empty());

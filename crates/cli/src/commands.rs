@@ -1,4 +1,4 @@
-//! The nine subcommands.
+//! The ten subcommands.
 
 use crate::options::Options;
 use crate::CliError;
@@ -202,6 +202,22 @@ pub fn flight(args: &[String]) -> Result<String, CliError> {
         }
     }
 
+    // When span collection is on (`--trace-out`), run one sampled job
+    // through the traced executor so the export carries the simulator's
+    // virtual-time track alongside the wall-clock spans.
+    if tasq_obs::collect_enabled() {
+        if let Some(job) = jobs.first() {
+            let graph = scope_sim::StageGraph::from_plan(&job.plan, job.seed);
+            let mut trace = scope_sim::ExecTrace::new();
+            let _ = scope_sim::Executor::new(graph).run_traced(
+                job.requested_tokens.max(1),
+                &scope_sim::ExecutionConfig::default(),
+                &mut trace,
+            );
+            crate::obs::stash_sim_trace(trace);
+        }
+    }
+
     let mut crashes = 0u32;
     let mut retries = 0u32;
     let mut preemptions = 0u32;
@@ -392,7 +408,7 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
     );
     let _ = writeln!(
         out,
-        "latency us: p50 {}, p95 {}, p99 {} (mean {:.0})",
+        "latency us: p50 {:.1}, p95 {:.1}, p99 {:.1} (mean {:.0})",
         stats.latency.p50_us, stats.latency.p95_us, stats.latency.p99_us, stats.latency.mean_us
     );
     let _ = writeln!(
@@ -412,13 +428,14 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
         stats.cache.entries
     );
     let _ = writeln!(out, "model generation: {}", stats.generation);
+    stats.publish(tasq_obs::Registry::global());
     Ok(out)
 }
 
 fn phase_json(label: &str, elapsed: Duration, stats: &ServerStatsSnapshot) -> String {
     format!(
         "  \"{label}\": {{\n    \"elapsed_ms\": {:.3},\n    \"throughput_rps\": {:.1},\n    \
-         \"p50_us\": {},\n    \"p95_us\": {},\n    \"p99_us\": {},\n    \"mean_us\": {:.1},\n    \
+         \"p50_us\": {:.1},\n    \"p95_us\": {:.1},\n    \"p99_us\": {:.1},\n    \"mean_us\": {:.1},\n    \
          \"mean_batch_size\": {:.2},\n    \"cache_hit_rate\": {:.4}\n  }}",
         elapsed.as_secs_f64() * 1e3,
         stats.completed as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -520,12 +537,19 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
     );
     std::fs::write(&out_path, &json)?;
 
+    // Publish the cached-phase snapshot as gauges and dump the whole
+    // process-global registry (server counters, cache stats, fault/retry
+    // totals) as Prometheus text exposition.
+    let registry = tasq_obs::Registry::global();
+    cached.publish(registry);
+
     Ok(format!(
         "loadgen: {requests} requests at {:.0}% repeat\n\
          uncached: {:.1} ms ({:.0} req/s)\ncached:   {:.1} ms ({:.0} req/s, {:.0}% hit rate)\n\
          speedup: {speedup:.2}x\n\
          overload: {} rejected of {} (reject burst), {} shed of {} (shed burst)\n\
-         wrote {out_path}\n",
+         wrote {out_path}\n\
+         \nmetrics exposition:\n{}",
         repeat * 100.0,
         uncached_elapsed.as_secs_f64() * 1e3,
         uncached.completed as f64 / uncached_elapsed.as_secs_f64().max(1e-9),
@@ -536,6 +560,7 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
         reject_burst.submitted,
         shed_burst.shed,
         shed_burst.submitted,
+        registry.render_prometheus(),
     ))
 }
 
@@ -750,6 +775,24 @@ pub fn analyze(args: &[String]) -> Result<String, CliError> {
         // Surface findings through the usage-error path so the binary
         // exits nonzero without a dedicated error variant per tool.
         Err(CliError::Analysis(rendered))
+    }
+}
+
+/// `tasq metrics [--format prometheus|json]`
+///
+/// Dump the process-global metrics registry. Most useful chained after
+/// another command in the same process (the binary runs one command per
+/// invocation, so on its own this shows an empty registry); library
+/// callers and tests can run several commands and then dump.
+pub fn metrics(args: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(args, &["format"])?;
+    let registry = tasq_obs::Registry::global();
+    match opts.get("format").unwrap_or("prometheus") {
+        "prometheus" => Ok(registry.render_prometheus()),
+        "json" => Ok(registry.render_json()),
+        other => {
+            Err(CliError::Usage(format!("--format must be prometheus or json, got `{other}`")))
+        }
     }
 }
 
@@ -1013,6 +1056,58 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+
+        // The run ends with a Prometheus text exposition covering the
+        // server, cache, and fault/retry metric families.
+        assert!(out.contains("metrics exposition:"), "{out}");
+        for family in ["serve_submitted", "serve_cache_hits", "serve_latency_us"] {
+            assert!(out.contains(family), "missing {family} in exposition:\n{out}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_command_renders_both_formats() {
+        let prom = metrics(&strings(&[])).unwrap();
+        // The exposition may be empty early in the test run, but the
+        // format dispatch must work and reject unknown formats.
+        let _ = metrics(&strings(&["--format", "prometheus"])).unwrap();
+        let json = metrics(&strings(&["--format", "json"])).unwrap();
+        assert!(json.trim_start().starts_with('{'), "{json}");
+        assert!(metrics(&strings(&["--format", "yaml"])).is_err());
+        // Prometheus output is line-oriented key/value text.
+        for line in prom.lines() {
+            assert!(line.starts_with('#') || line.contains(' '), "{line}");
+        }
+    }
+
+    #[test]
+    fn trace_out_writes_a_valid_chrome_trace() {
+        let dir = temp_dir("traceout");
+        let workload = dir.join("w.bin");
+        let trace = dir.join("trace.json");
+        let workload_str = workload.to_str().unwrap().to_string();
+        generate(&strings(&["--out", &workload_str, "--jobs", "12", "--seed", "5"])).unwrap();
+
+        let out = crate::run(&strings(&[
+            "flight",
+            "--workload",
+            &workload_str,
+            "--sample",
+            "4",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote Chrome trace"), "{out}");
+
+        let doc = std::fs::read_to_string(&trace).unwrap();
+        let events = tasq_obs::validate_chrome_trace(&doc).unwrap();
+        assert!(events > 0, "trace should contain events:\n{doc}");
+        // The flight command stashes a simulator trace, so the export
+        // carries both the wall-clock and virtual-time process rows.
+        assert!(doc.contains("\"pid\":1"), "{doc}");
+        assert!(doc.contains("\"pid\":2"), "{doc}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

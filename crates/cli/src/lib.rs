@@ -1,6 +1,6 @@
 //! Library backing the `tasq` command-line binary.
 //!
-//! Nine subcommands drive the pipeline from files on disk, with workloads
+//! Ten subcommands drive the pipeline from files on disk, with workloads
 //! and model artifacts serialized through the workspace's binary codec:
 //!
 //! * `generate` — synthesize a workload and write it to a file.
@@ -20,6 +20,8 @@
 //!   parallel runs are bit-identical, and write `BENCH_train.json`.
 //! * `analyze`  — run the `tasq-analyze` gatekeeper (source lints, lock
 //!   audit, plan/PCC invariants, happens-before race replay).
+//! * `metrics`  — dump the process-global metrics registry (Prometheus
+//!   text exposition or JSON).
 //!
 //! Commands return their output as a `String` so they are directly
 //! testable; `main` just prints.
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod commands;
+pub mod obs;
 pub mod options;
 
 use std::fmt;
@@ -89,7 +92,22 @@ impl From<tasq::pipeline::PipelineError> for CliError {
 }
 
 /// Top-level dispatch: run a command line (without the program name).
+///
+/// The global observability flags `--log <level>` and `--trace-out
+/// <path>` are stripped before dispatch and may appear anywhere on the
+/// line; when `--trace-out` is given, a Chrome trace-event JSON file is
+/// written after the command completes.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (args, obs_flags) = obs::extract(args)?;
+    obs_flags.install();
+    let mut output = dispatch(&args)?;
+    if let Some(note) = obs_flags.export()? {
+        output.push_str(&note);
+    }
+    Ok(output)
+}
+
+fn dispatch(args: &[String]) -> Result<String, CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Err(CliError::Usage(USAGE.to_string()));
     };
@@ -103,6 +121,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "loadgen" => commands::loadgen(rest),
         "bench-train" => commands::bench_train(rest),
         "analyze" => commands::analyze(rest),
+        "metrics" => commands::metrics(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
     }
@@ -127,5 +146,10 @@ USAGE:
                       [--qps N] [--out <json>] [--seed N]
     tasq-cli bench-train [--out <json>] [--jobs N] [--seed N] [--threads N] [--quick true]
     tasq-cli analyze  [--root <dir>] [--mode full|static]
+    tasq-cli metrics  [--format prometheus|json]
     tasq-cli help
+
+GLOBAL FLAGS (any command):
+    --log error|warn|info|debug|trace|off   structured span/event lines on stderr
+    --trace-out <path>                      write a Chrome trace (Perfetto-loadable)
 ";

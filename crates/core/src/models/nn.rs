@@ -135,7 +135,15 @@ impl NnPcc {
         let mut validation_loss = Vec::with_capacity(config.epochs);
         let mut best: Option<(f64, Mlp)> = None;
         let mut stale_epochs = 0usize;
-        for _ in 0..config.epochs {
+        for epoch in 0..config.epochs {
+            let _span = tasq_obs::span(
+                tasq_obs::Level::Debug,
+                "nn_epoch",
+                &[
+                    ("epoch", tasq_obs::FieldValue::U64(epoch as u64)),
+                    ("examples", tasq_obs::FieldValue::U64(order.len() as u64)),
+                ],
+            );
             rand_ext::shuffle(&mut rng, &mut order);
             let mut epoch_loss = 0.0;
             for batch in order.chunks(config.batch_size.max(1)) {

@@ -437,40 +437,71 @@ impl TasqPipeline {
         store: &ModelStore,
         pool: &tasq_par::Pool,
     ) -> Result<Dataset, PipelineError> {
+        use tasq_obs::{span, FieldValue, Level};
+        let _pipeline_span = span(
+            Level::Info,
+            "pipeline_train",
+            &[("jobs", FieldValue::U64(repository.len() as u64))],
+        );
         let jobs = repository.all_jobs();
         if jobs.is_empty() {
             return Err(PipelineError::EmptyRepository);
         }
         // Gate the batch on the simulator-side invariants before spending
         // any execution/augmentation work on it.
-        for job in &jobs {
-            if let Err(e) = scope_sim::validate_job(job) {
-                return Err(PipelineError::InvalidJob {
-                    job_id: job.id,
-                    detail: e.to_string(),
-                });
+        {
+            let _span = span(Level::Info, "pipeline_validate", &[]);
+            for job in &jobs {
+                if let Err(e) = scope_sim::validate_job(job) {
+                    return Err(PipelineError::InvalidJob {
+                        job_id: job.id,
+                        detail: e.to_string(),
+                    });
+                }
             }
         }
-        let dataset = Dataset::build_with_pool(&jobs, &self.config.augment, pool);
+        // Dataset preparation covers the flight (ground-truth execution at
+        // several allocations) and featurize phases of paper Figure 4.
+        let dataset = {
+            let _span = span(Level::Info, "pipeline_featurize", &[]);
+            Dataset::build_with_pool(&jobs, &self.config.augment, pool)
+        };
         if dataset.is_empty() {
             return Err(PipelineError::NoTrainableJobs);
         }
         // Every regression target must itself satisfy the PCC contract —
         // a model trained toward a non-monotone or super-Amdahl target
         // would learn to violate it.
-        for example in &dataset.examples {
-            if let Err(violations) = crate::validate::validate_pcc(&example.target_pcc) {
-                let detail = violations
-                    .iter()
-                    .map(|v| v.to_string())
-                    .collect::<Vec<_>>()
-                    .join("; ");
-                return Err(PipelineError::InvalidTargetPcc { job_id: example.job_id, detail });
+        {
+            let _span = span(Level::Info, "pipeline_validate_targets", &[]);
+            for example in &dataset.examples {
+                if let Err(violations) = crate::validate::validate_pcc(&example.target_pcc) {
+                    let detail = violations
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    return Err(PipelineError::InvalidTargetPcc { job_id: example.job_id, detail });
+                }
             }
         }
-        let xgb = XgbRuntime::train(&dataset, &self.config.xgb);
+        let xgb = {
+            let _span = span(
+                Level::Info,
+                "pipeline_fit_xgb",
+                &[("examples", FieldValue::U64(dataset.len() as u64))],
+            );
+            XgbRuntime::train(&dataset, &self.config.xgb)
+        };
         store.register(XGB_MODEL_NAME, &xgb)?;
-        let nn = NnPcc::train(&dataset, &self.config.nn);
+        let nn = {
+            let _span = span(
+                Level::Info,
+                "pipeline_fit_nn",
+                &[("examples", FieldValue::U64(dataset.len() as u64))],
+            );
+            NnPcc::train(&dataset, &self.config.nn)
+        };
         store.register(NN_MODEL_NAME, &nn)?;
         Ok(dataset)
     }

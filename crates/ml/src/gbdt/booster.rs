@@ -126,7 +126,15 @@ impl Booster {
         };
 
         let all: Vec<usize> = (0..n).collect();
-        for _ in 0..config.num_rounds {
+        for round in 0..config.num_rounds {
+            let _span = tasq_obs::span(
+                tasq_obs::Level::Debug,
+                "gbdt_round",
+                &[
+                    ("round", tasq_obs::FieldValue::U64(round as u64)),
+                    ("rows", tasq_obs::FieldValue::U64(n as u64)),
+                ],
+            );
             for i in 0..n {
                 grads[i] = config.objective.gradient(raw[i], targets[i]);
                 hess[i] = config.objective.hessian(raw[i], targets[i]);

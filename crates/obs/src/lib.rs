@@ -1,0 +1,37 @@
+//! Observability for the TASQ workspace, built from scratch (the crate
+//! registry is unreachable, so no `tracing` / `prometheus` dependencies).
+//!
+//! Three subsystems share this crate:
+//!
+//! * [`span`] — hierarchical structured spans with `key=value` fields,
+//!   recorded into thread-owned ring buffers and drained into a global
+//!   in-memory collector. The global subscriber switches between *off*
+//!   (the disabled check is a single relaxed atomic load — no clock read,
+//!   no thread-local touch), human stderr logging with level filtering,
+//!   and collection for trace export.
+//! * [`metrics`] — named counters, gauges, and log-linear histograms in a
+//!   process-global registry with Prometheus-style text exposition and a
+//!   hand-rolled JSON dump.
+//! * [`export`] — Chrome trace-event JSON (loadable in Perfetto /
+//!   `chrome://tracing`) rendering collected spans, plus arbitrary extra
+//!   tracks (the simulator injects its virtual-time events here).
+//!
+//! [`clock`] is the single wall-clock read site: every timestamp in the
+//! workspace's instrumentation flows through it, which keeps the
+//! `tasq-analyze` `wall-clock` lint enforceable everywhere else. [`json`]
+//! is a minimal parser used by trace-validation tests.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use export::{validate_chrome_trace, ChromeTrace};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use span::{
+    collect_enabled, current_span_id, event, set_subscriber, span, span_with_parent,
+    subscriber_off, FieldValue, Level, SpanEvent, SpanGuard,
+};

@@ -38,6 +38,37 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use deque::{Deque, Steal};
 use parking_lot::Mutex;
+use tasq_obs::{span_with_parent, Counter, FieldValue, Level, Registry};
+
+/// Registry-backed runtime counters. Handles are registered once and
+/// incremented with relaxed atomics — steal-loop instrumentation stays
+/// off every lock. The counts are scheduling telemetry only; results are
+/// bit-identical whatever they read.
+struct ParMetrics {
+    tasks: Counter,
+    steals: Counter,
+    steal_retries: Counter,
+    overflow: Counter,
+}
+
+fn metrics() -> &'static ParMetrics {
+    static METRICS: std::sync::OnceLock<ParMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = Registry::global();
+        ParMetrics {
+            tasks: registry
+                .counter("par_tasks_total", "Items executed by the work-stealing runtime"),
+            steals: registry
+                .counter("par_steals_total", "Ranges successfully stolen from a peer deque"),
+            steal_retries: registry
+                .counter("par_steal_retries_total", "Contended steal attempts that retried"),
+            overflow: registry.counter(
+                "par_overflow_total",
+                "Deque-full pushes: the range ran inline instead of becoming stealable",
+            ),
+        }
+    })
+}
 
 /// Error produced when parallel work fails.
 ///
@@ -147,6 +178,9 @@ struct MapShared {
     /// Set on the first panic; workers drain out promptly.
     abort: AtomicBool,
     panic: PanicSlot,
+    /// Span open on the submitting thread when the call was made; worker
+    /// task spans parent onto it across the thread boundary.
+    parent_span: u64,
 }
 
 impl Pool {
@@ -209,6 +243,16 @@ impl Pool {
         // Ranges are packed into u64 halves; gigantic inputs (never hit by
         // this workspace) take the inline path instead of overflowing.
         if self.threads == 1 || n <= grain || n > u32::MAX as usize {
+            let _task_span = span_with_parent(
+                Level::Trace,
+                "par_task",
+                tasq_obs::current_span_id(),
+                &[
+                    ("lo", FieldValue::U64(0)),
+                    ("hi", FieldValue::U64(n as u64)),
+                    ("inline", FieldValue::Bool(true)),
+                ],
+            );
             let mut out = Vec::with_capacity(n);
             for (i, item) in items.iter().enumerate() {
                 match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
@@ -221,6 +265,7 @@ impl Pool {
                     }
                 }
             }
+            metrics().tasks.add(n as u64);
             return Ok(out);
         }
 
@@ -241,6 +286,7 @@ impl Pool {
             remaining: AtomicUsize::new(n),
             abort: AtomicBool::new(false),
             panic: PanicSlot::default(),
+            parent_span: tasq_obs::current_span_id(),
         };
 
         let partials: Vec<Vec<(usize, U)>> = std::thread::scope(|s| {
@@ -330,6 +376,7 @@ impl Pool {
             abort: AtomicBool::new(false),
             panic: PanicSlot::default(),
             next_seq: AtomicUsize::new(0),
+            parent_span: tasq_obs::current_span_id(),
         };
         let result = std::thread::scope(|s| {
             for _ in 1..self.threads {
@@ -359,6 +406,9 @@ struct ScopeShared<'env> {
     abort: AtomicBool,
     panic: PanicSlot,
     next_seq: AtomicUsize,
+    /// Span open on the thread that entered [`Pool::scope`]; task spans
+    /// parent onto it from whichever worker runs them.
+    parent_span: u64,
 }
 
 /// Spawn handle passed to the closure given to [`Pool::scope`].
@@ -391,10 +441,18 @@ fn scope_worker(shared: &ScopeShared<'_>) {
                     shared.pending.fetch_sub(1, Ordering::AcqRel);
                     continue;
                 }
+                let task_span = span_with_parent(
+                    Level::Trace,
+                    "par_scope_task",
+                    shared.parent_span,
+                    &[("seq", FieldValue::U64(seq as u64))],
+                );
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(t)) {
                     shared.panic.record(seq, payload);
                     shared.abort.store(true, Ordering::Release);
                 }
+                drop(task_span);
+                metrics().tasks.inc();
                 shared.pending.fetch_sub(1, Ordering::AcqRel);
             }
             None => {
@@ -437,11 +495,13 @@ where
             loop {
                 match shared.deques[victim].steal() {
                     Steal::Success(range) => {
+                        metrics().steals.inc();
                         process_range(me, range, shared, items, f, grain, &mut local);
                         continue 'outer;
                     }
                     Steal::Empty => break,
                     Steal::Retry => {
+                        metrics().steal_retries.inc();
                         spins += 1;
                         if spins > 16 {
                             break;
@@ -481,26 +541,40 @@ fn process_range<T, U, F>(
     while hi - lo > grain {
         let mid = lo + (hi - lo) / 2;
         if !shared.deques[me].push(encode_range(mid, hi)) {
+            metrics().overflow.inc();
             break;
         }
         hi = mid;
     }
+    let _task_span = span_with_parent(
+        Level::Trace,
+        "par_task",
+        shared.parent_span,
+        &[
+            ("lo", FieldValue::U64(lo as u64)),
+            ("hi", FieldValue::U64(hi as u64)),
+            ("worker", FieldValue::U64(me as u64)),
+        ],
+    );
+    let mut executed = 0u64;
     for (i, item) in items.iter().enumerate().take(hi).skip(lo) {
         if shared.abort.load(Ordering::Relaxed) {
-            return;
+            break;
         }
         match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
             Ok(v) => {
                 local.push((i, v));
+                executed += 1;
                 shared.remaining.fetch_sub(1, Ordering::AcqRel);
             }
             Err(payload) => {
                 shared.panic.record(i, payload);
                 shared.abort.store(true, Ordering::Release);
-                return;
+                break;
             }
         }
     }
+    metrics().tasks.add(executed);
 }
 
 #[cfg(test)]
@@ -621,6 +695,36 @@ mod tests {
         assert_eq!(pool.threads(), 1);
         let got = pool.par_map(&[1u8, 2, 3], |i, &x| (i as u8) + x).unwrap();
         assert_eq!(got, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn worker_spans_parent_onto_caller_and_survive_panics() {
+        tasq_obs::set_subscriber(None, true);
+        let _ = tasq_obs::span::take_collected();
+        let root = tasq_obs::span(Level::Info, "par_root", &[]);
+        let root_id = root.id();
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let doubled = pool.par_map_grain(&items, 1, |i, &x| i + x).unwrap();
+        assert_eq!(doubled.len(), 64);
+        // A captured task panic must not corrupt the caller's span stack.
+        let err = pool
+            .par_map_grain(&items, 1, |i, &x| {
+                assert!(i != 10, "instrumented boom");
+                x
+            })
+            .unwrap_err();
+        assert!(matches!(err, ParError::TaskPanicked { index: 10, .. }));
+        assert_eq!(tasq_obs::current_span_id(), root_id);
+        drop(root);
+        let events = tasq_obs::span::take_collected();
+        tasq_obs::subscriber_off();
+        let root_event = events.iter().find(|e| e.name == "par_root").unwrap();
+        let tasks: Vec<_> = events.iter().filter(|e| e.name == "par_task").collect();
+        assert!(!tasks.is_empty());
+        assert!(tasks.iter().all(|t| t.parent == root_id), "workers parent onto the caller");
+        assert!(tasks.iter().all(|t| t.start_us >= root_event.start_us));
+        assert!(metrics().tasks.get() >= 64);
     }
 
     #[test]

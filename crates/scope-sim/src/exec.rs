@@ -522,12 +522,14 @@ impl Executor {
         let makespan = intervals.iter().map(|&(_, e)| e).fold(start_delay, f64::max);
         let skyline = build_skyline(intervals, makespan);
         let total = skyline.area();
+        let faults = injector.into_report();
+        crate::obs::publish_fault_report(&faults);
         Ok(ExecutionResult {
             skyline,
             runtime_secs: makespan,
             total_token_seconds: total,
             allocation,
-            faults: injector.into_report(),
+            faults,
         })
     }
 

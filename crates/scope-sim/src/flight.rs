@@ -15,8 +15,24 @@
 use crate::exec::{ExecScratch, ExecutionConfig, ExecutionResult, Executor, NoiseModel};
 use crate::faults::{FaultPlan, RecoveryPolicy, SimError};
 use crate::generator::Job;
+use crate::obs::metrics;
 use serde::{Deserialize, Serialize};
+use tasq_obs::{FieldValue, Level};
 use tasq_par::Pool;
+
+/// Open the per-flight trace span shared by the sequential harness and
+/// both parallel fan-outs.
+fn flight_span(job_id: u64, alloc: u32, rep: u32) -> tasq_obs::SpanGuard {
+    tasq_obs::span(
+        Level::Trace,
+        "flight",
+        &[
+            ("job", FieldValue::U64(job_id)),
+            ("alloc", FieldValue::U64(alloc as u64)),
+            ("rep", FieldValue::U64(rep as u64)),
+        ],
+    )
+}
 
 /// The paper's standard flighting fractions of the reference token count.
 pub const STANDARD_FRACTIONS: [f64; 4] = [1.0, 0.8, 0.6, 0.2];
@@ -158,8 +174,22 @@ fn run_with_retries(
             recovery: config.recovery.clone(),
         };
         match executor.run_with_scratch(alloc, &exec_config, scratch) {
-            Ok(result) => return Ok(result),
-            Err(_) if attempt < config.max_flight_retries as u64 => attempt += 1,
+            Ok(result) => {
+                metrics().flights.inc();
+                return Ok(result);
+            }
+            Err(_) if attempt < config.max_flight_retries as u64 => {
+                attempt += 1;
+                metrics().flight_retries.inc();
+                tasq_obs::event(
+                    Level::Warn,
+                    "flight_retry",
+                    &[
+                        ("alloc", FieldValue::U64(alloc as u64)),
+                        ("attempt", FieldValue::U64(attempt)),
+                    ],
+                );
+            }
             Err(err) => return Err(err),
         }
     }
@@ -244,6 +274,7 @@ pub fn flight_job(
     let mut executions = Vec::with_capacity(allocations.len());
     for &alloc in &allocations {
         for rep in 0..reps {
+            let _span = flight_span(job.id, alloc, rep);
             let base_seed = flight_seed(config, job.id, alloc, rep);
             let result = run_with_retries(&executor, alloc, base_seed, config, &mut scratch)?;
             flights.push(Flight {
@@ -290,6 +321,7 @@ pub fn flight_job_with_pool(
         .collect();
     let results = pool
         .par_map(&tasks, |_, &(alloc, rep)| {
+            let _span = flight_span(job.id, alloc, rep);
             let mut scratch = ExecScratch::default();
             let base_seed = flight_seed(config, job.id, alloc, rep);
             run_with_retries(&executor, alloc, base_seed, config, &mut scratch)
@@ -334,6 +366,7 @@ pub fn flight_workload(
         .collect();
     let results = pool
         .par_map(&tasks, |_, &(job_idx, alloc, rep)| {
+            let _span = flight_span(jobs[job_idx].id, alloc, rep);
             let mut scratch = ExecScratch::default();
             let base_seed = flight_seed(config, jobs[job_idx].id, alloc, rep);
             run_with_retries(&executors[job_idx], alloc, base_seed, config, &mut scratch)
@@ -374,7 +407,9 @@ const MAX_WASTE_FRACTION: f64 = 0.25;
 /// dominated by crashes and re-runs measures the cluster's bad day, not
 /// the job's PCC).
 pub fn filter_non_anomalous(jobs: Vec<FlightedJob>, tolerance: f64) -> Vec<FlightedJob> {
-    jobs.into_iter()
+    let before = jobs.len();
+    let kept: Vec<FlightedJob> = jobs
+        .into_iter()
         .filter(|fj| {
             // `executions` holds exactly one retained result per unique
             // allocation (the flighting harness pushes the first
@@ -391,7 +426,20 @@ pub fn filter_non_anomalous(jobs: Vec<FlightedJob>, tolerance: f64) -> Vec<Fligh
             });
             enough_flights && within_allocation && low_churn && fj.is_monotonic(tolerance)
         })
-        .collect()
+        .collect();
+    let dropped = (before - kept.len()) as u64;
+    if dropped > 0 {
+        metrics().anomalous_jobs.add(dropped);
+        tasq_obs::event(
+            Level::Warn,
+            "anomalous_jobs_dropped",
+            &[
+                ("dropped", FieldValue::U64(dropped)),
+                ("kept", FieldValue::U64(kept.len() as u64)),
+            ],
+        );
+    }
+    kept
 }
 
 #[cfg(test)]

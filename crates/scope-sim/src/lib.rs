@@ -49,6 +49,7 @@ pub mod faults;
 pub mod flight;
 pub mod generator;
 pub mod jockey;
+mod obs;
 pub mod operators;
 pub mod plan;
 pub mod skyline;
@@ -70,7 +71,7 @@ pub use operators::{PartitioningMethod, PhysicalOperator};
 pub use plan::{JobPlan, OperatorNode};
 pub use skyline::Skyline;
 pub use stage::{Stage, StageGraph};
-pub use trace::{EventLog, EventTrace, ExecTrace, TraceEvent, TraceOp};
+pub use trace::{chrome_track, EventLog, EventTrace, ExecTrace, TraceEvent, TraceOp};
 pub use validate::{
     validate_job, validate_plan, validate_stage_graph, JobValidationError, PlanViolation,
     StageViolation,

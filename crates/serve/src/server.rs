@@ -29,9 +29,46 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::{Duration, Instant};
 use tasq::pipeline::{ScoreResponse, ScoringService};
+use tasq_obs::{Counter, FieldValue, Level};
+
+/// Always-on counters mirrored into the global metrics registry so the
+/// Prometheus/JSON expositions see serving activity live, without waiting
+/// for a stats snapshot. Relaxed atomic increments; never contended.
+struct ServeMetrics {
+    submitted: Counter,
+    completed: Counter,
+    cache_hits: Counter,
+    model_scored: Counter,
+    shed: Counter,
+    rejected: Counter,
+    batches: Counter,
+    /// Process-wide latency histogram; each server also keeps its own
+    /// detached histogram for per-server snapshots.
+    latency: tasq_obs::Histogram,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = tasq_obs::Registry::global();
+        ServeMetrics {
+            submitted: r.counter("serve_submitted_total", "requests accepted by submit"),
+            completed: r.counter("serve_completed_total", "requests answered on any path"),
+            cache_hits: r
+                .counter("serve_cache_hits_total", "requests answered from the signature cache"),
+            model_scored: r
+                .counter("serve_model_scored_total", "requests scored by the worker pool"),
+            shed: r.counter("serve_shed_total", "requests shed to the analytic tier"),
+            rejected: r.counter("serve_rejected_total", "requests rejected as overloaded"),
+            batches: r.counter("serve_batches_total", "micro-batches executed"),
+            latency: r
+                .histogram("serve_latency_us", "end-to-end request latency in microseconds"),
+        }
+    })
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -205,12 +242,25 @@ struct Shared {
 
 impl Shared {
     fn finish(&self, via: ServedVia, submitted: Instant) {
-        self.latency.record(submitted.elapsed());
+        let elapsed = submitted.elapsed();
+        self.latency.record(elapsed);
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        let metrics = serve_metrics();
+        metrics.latency.record(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+        metrics.completed.inc();
         match via {
-            ServedVia::Cache => &self.counters.cache_hits,
-            ServedVia::Model => &self.counters.model_scored,
-            ServedVia::Shed => &self.counters.shed,
+            ServedVia::Cache => {
+                metrics.cache_hits.inc();
+                &self.counters.cache_hits
+            }
+            ServedVia::Model => {
+                metrics.model_scored.inc();
+                &self.counters.model_scored
+            }
+            ServedVia::Shed => {
+                metrics.shed.inc();
+                &self.counters.shed
+            }
         }
         .fetch_add(1, Ordering::Relaxed);
     }
@@ -264,7 +314,10 @@ impl ScoringServer {
         if shared.shutdown.load(Ordering::Relaxed) {
             return Err(SubmitError::ShuttingDown);
         }
+        let _span =
+            tasq_obs::span(Level::Debug, "serve_submit", &[("job", FieldValue::U64(job.id))]);
         shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        serve_metrics().submitted.inc();
         let submitted = Instant::now();
         let generation = shared.registry.generation();
         let key = PlanSignature::of_job(&job).cache_key(generation);
@@ -291,6 +344,12 @@ impl ScoringServer {
         if depth >= config.queue_capacity {
             shared.depth.fetch_sub(1, Ordering::SeqCst);
             shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            serve_metrics().rejected.inc();
+            tasq_obs::event(
+                Level::Warn,
+                "serve_rejected",
+                &[("depth", FieldValue::U64(depth as u64))],
+            );
             return Err(SubmitError::Overloaded { depth, capacity: config.queue_capacity });
         }
         if depth >= config.shed_watermark {
@@ -420,8 +479,14 @@ fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<Envelope>>) {
     let trace = shared.config.trace.clone();
     let trace_actor = trace.as_ref().map(EventTrace::register_actor);
     while let Some(batch) = collect_batch(shared, rx) {
+        let _span = tasq_obs::span(
+            Level::Debug,
+            "serve_batch",
+            &[("size", FieldValue::U64(batch.len() as u64))],
+        );
         shared.depth.fetch_sub(batch.len(), Ordering::SeqCst);
         shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+        serve_metrics().batches.inc();
         shared
             .counters
             .batched_requests

@@ -1,25 +1,27 @@
 //! Serving statistics: lock-free latency histograms and counter snapshots.
 //!
-//! Latencies are recorded into power-of-two microsecond buckets with
-//! atomic increments, so the hot path never takes a lock; percentiles are
-//! derived from the bucket counts at snapshot time (resolution: one
-//! bucket, i.e. at most 2x — the standard trade of HDR-style serving
-//! histograms).
+//! Latencies are recorded into the shared log-linear histogram from
+//! [`tasq_obs::metrics`] — 4 linear sub-buckets per power-of-two octave —
+//! with atomic increments, so the hot path never takes a lock.
+//! Percentiles are derived at snapshot time with intra-bucket linear
+//! interpolation, bounding the relative error per observation to one
+//! quarter-octave (~12.5%) instead of the 2x a pure power-of-two
+//! bucketing allows (which collapsed p50 and p95 into the same value on
+//! realistic unimodal latency distributions).
 
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Number of power-of-two buckets: bucket `i` holds latencies in
-/// `[2^i, 2^(i+1))` microseconds, the last bucket absorbs the tail
-/// (2^39 µs is ~6.4 days — nothing legitimate lands there).
-const NUM_BUCKETS: usize = 40;
-
-/// Lock-free log-bucketed latency histogram.
+/// Lock-free log-linear latency histogram (microsecond resolution).
+///
+/// Thin wrapper over [`tasq_obs::Histogram`] that speaks [`Duration`] on
+/// the way in and serving-style percentile snapshots on the way out. The
+/// wrapped handle is shareable: construct with [`LatencyHistogram::from_handle`]
+/// to record into a histogram that is also registered in the global
+/// metrics [`tasq_obs::Registry`], so one `record` feeds both the server
+/// snapshot and the Prometheus exposition.
 pub struct LatencyHistogram {
-    buckets: [AtomicU64; NUM_BUCKETS],
-    count: AtomicU64,
-    total_us: AtomicU64,
+    inner: tasq_obs::Histogram,
 }
 
 impl Default for LatencyHistogram {
@@ -29,55 +31,32 @@ impl Default for LatencyHistogram {
 }
 
 impl LatencyHistogram {
-    /// Empty histogram.
+    /// Empty, detached histogram.
     pub fn new() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            total_us: AtomicU64::new(0),
-        }
+        Self { inner: tasq_obs::Histogram::new() }
     }
 
-    fn bucket_index(micros: u64) -> usize {
-        // 1 µs (and anything faster) lands in bucket 0.
-        (63 - micros.max(1).leading_zeros() as usize).min(NUM_BUCKETS - 1)
+    /// Wrap an existing histogram handle (typically one obtained from the
+    /// global metrics registry).
+    pub fn from_handle(inner: tasq_obs::Histogram) -> Self {
+        Self { inner }
     }
 
     /// Record one observed latency.
     pub fn record(&self, latency: Duration) {
         let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_us.fetch_add(micros, Ordering::Relaxed);
+        self.inner.record(micros);
     }
 
     /// Snapshot with derived percentiles.
     pub fn snapshot(&self) -> LatencySnapshot {
-        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let count: u64 = buckets.iter().sum();
-        let total_us = self.total_us.load(Ordering::Relaxed);
-        let percentile = |p: f64| -> u64 {
-            if count == 0 {
-                return 0;
-            }
-            let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
-            let mut seen = 0u64;
-            for (i, &n) in buckets.iter().enumerate() {
-                seen += n;
-                if seen >= rank {
-                    // Upper bound of the bucket: conservative (never
-                    // under-reports a percentile).
-                    return 1u64 << (i + 1);
-                }
-            }
-            1u64 << NUM_BUCKETS
-        };
+        let count = self.inner.count();
         LatencySnapshot {
             count,
-            mean_us: if count == 0 { 0.0 } else { total_us as f64 / count as f64 },
-            p50_us: percentile(0.50),
-            p95_us: percentile(0.95),
-            p99_us: percentile(0.99),
+            mean_us: self.inner.mean(),
+            p50_us: self.inner.quantile(0.50),
+            p95_us: self.inner.quantile(0.95),
+            p99_us: self.inner.quantile(0.99),
         }
     }
 }
@@ -89,12 +68,12 @@ pub struct LatencySnapshot {
     pub count: u64,
     /// Arithmetic mean in microseconds (exact, not bucketed).
     pub mean_us: f64,
-    /// Median upper bound in microseconds.
-    pub p50_us: u64,
-    /// 95th-percentile upper bound in microseconds.
-    pub p95_us: u64,
-    /// 99th-percentile upper bound in microseconds.
-    pub p99_us: u64,
+    /// Median estimate in microseconds (intra-bucket interpolated).
+    pub p50_us: f64,
+    /// 95th-percentile estimate in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile estimate in microseconds.
+    pub p99_us: f64,
 }
 
 /// Point-in-time server statistics (see `ScoringServer::stats`).
@@ -136,6 +115,32 @@ impl ServerStatsSnapshot {
             self.batched_requests as f64 / self.batches as f64
         }
     }
+
+    /// Publish every counter in this snapshot as a gauge in the global
+    /// metrics registry, so the Prometheus/JSON expositions carry the
+    /// serving state alongside the always-on counters. Gauges (not
+    /// counters) because a snapshot is a point-in-time level, re-published
+    /// wholesale on each call.
+    pub fn publish(&self, registry: &tasq_obs::Registry) {
+        let g = |name: &str, help: &str, value: f64| {
+            registry.gauge(name, help).set(value);
+        };
+        g("serve_submitted", "requests accepted by submit", self.submitted as f64);
+        g("serve_completed", "requests answered on any path", self.completed as f64);
+        g("serve_cache_hits", "requests answered from the signature cache", self.cache_hits as f64);
+        g("serve_model_scored", "requests scored by the worker pool", self.model_scored as f64);
+        g("serve_shed", "requests shed to the analytic tier", self.shed as f64);
+        g("serve_rejected", "requests rejected as overloaded", self.rejected as f64);
+        g("serve_batches", "micro-batches executed", self.batches as f64);
+        g("serve_batched_requests", "requests carried by micro-batches", self.batched_requests as f64);
+        g("serve_peak_queue_depth", "highest queue depth observed", self.peak_queue_depth as f64);
+        g("serve_model_generation", "model-registry generation", self.generation as f64);
+        g("serve_cache_misses", "signature-cache misses", self.cache.misses as f64);
+        g("serve_cache_evictions", "signature-cache evictions", self.cache.evictions as f64);
+        g("serve_cache_insertions", "signature-cache insertions", self.cache.insertions as f64);
+        g("serve_cache_entries", "signature-cache live entries", self.cache.entries as f64);
+        g("serve_cache_hit_rate", "signature-cache hit rate", self.cache.hit_rate());
+    }
 }
 
 #[cfg(test)]
@@ -153,11 +158,16 @@ mod tests {
         }
         let snap = h.snapshot();
         assert_eq!(snap.count, 100);
-        // 10 µs lands in [8,16): p50 upper bound is 16.
-        assert_eq!(snap.p50_us, 16);
-        // p95 straddles into the 5 ms bucket [4096, 8192).
-        assert_eq!(snap.p99_us, 8192);
+        // 10 µs lands in the [10, 12) sub-bucket; interpolation keeps the
+        // median near the true value instead of reporting the octave top.
+        assert!((10.0..12.0).contains(&snap.p50_us), "p50 {}", snap.p50_us);
+        // 5 ms lands in [4096, 5120): p99 interpolates inside it.
+        assert!((4096.0..5120.0).contains(&snap.p99_us), "p99 {}", snap.p99_us);
         assert!(snap.p95_us <= snap.p99_us);
+        // The bimodal split is resolved: p95 sits in the slow mode, far
+        // from the 10 µs median (the old power-of-two buckets collapsed
+        // these within one octave).
+        assert!(snap.p95_us - snap.p50_us > 4000.0);
         assert!((snap.mean_us - (90.0 * 10.0 + 10.0 * 5000.0) / 100.0).abs() < 1e-9);
     }
 
@@ -165,8 +175,8 @@ mod tests {
     fn empty_histogram_snapshots_zeros() {
         let snap = LatencyHistogram::new().snapshot();
         assert_eq!(snap.count, 0);
-        assert_eq!(snap.p50_us, 0);
-        assert_eq!(snap.p99_us, 0);
+        assert_eq!(snap.p50_us, 0.0);
+        assert_eq!(snap.p99_us, 0.0);
         assert_eq!(snap.mean_us, 0.0);
     }
 
@@ -177,7 +187,8 @@ mod tests {
         h.record(Duration::from_secs(60 * 60 * 24 * 30));
         let snap = h.snapshot();
         assert_eq!(snap.count, 2);
-        assert!(snap.p50_us >= 1);
+        assert!(snap.p99_us >= snap.p50_us);
+        assert!(snap.p99_us.is_finite());
     }
 
     #[test]
@@ -188,6 +199,42 @@ mod tests {
         }
         let snap = h.snapshot();
         assert!(snap.p50_us <= snap.p95_us && snap.p95_us <= snap.p99_us);
+        // Uniform over [1, 6994]: interpolated percentiles track the true
+        // quantiles within one quarter-octave.
+        assert!((snap.p50_us / 3497.0 - 1.0).abs() < 0.15, "p50 {}", snap.p50_us);
+        assert!((snap.p95_us / 6644.0 - 1.0).abs() < 0.15, "p95 {}", snap.p95_us);
+    }
+
+    #[test]
+    fn registry_handle_feeds_exposition_and_snapshot() {
+        let registry = tasq_obs::Registry::new();
+        let h = LatencyHistogram::from_handle(
+            registry.histogram("serve_latency_us", "end-to-end latency"),
+        );
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(200));
+        assert_eq!(h.snapshot().count, 2);
+        let text = registry.render_prometheus();
+        assert!(text.contains("serve_latency_us_count 2"));
+        assert!(text.contains("serve_latency_us_sum 300"));
+    }
+
+    #[test]
+    fn snapshot_publish_writes_gauges() {
+        let registry = tasq_obs::Registry::new();
+        let snap = ServerStatsSnapshot {
+            submitted: 10,
+            completed: 9,
+            cache_hits: 3,
+            shed: 1,
+            ..Default::default()
+        };
+        snap.publish(&registry);
+        let text = registry.render_prometheus();
+        assert!(text.contains("serve_submitted 10"));
+        assert!(text.contains("serve_completed 9"));
+        assert!(text.contains("serve_cache_hits 3"));
+        assert!(text.contains("serve_shed 1"));
     }
 
     #[test]
