@@ -41,13 +41,15 @@ fn path_is_exempt(path: &str) -> bool {
 /// * `crates/experiments` is exploratory plotting code — `no-panic` and
 ///   `float-eq` are waived there wholesale;
 /// * `wall-clock` guards the simulator (`crates/scope-sim/src`), where
-///   wall time would silently break determinism, and the observability
+///   wall time would silently break determinism, the observability
 ///   crate (`crates/obs/src`), whose timestamps must all flow through its
 ///   `clock` module — the single allowlisted wall-clock read site in the
-///   instrumented workspace;
+///   instrumented workspace — and the resilience crate
+///   (`crates/resil/src`), whose circuit breaker and chaos plans are
+///   tick-driven so recovery tests replay deterministically;
 /// * `unbounded-channel` guards the concurrent crates (`crates/serve`,
-///   `crates/scope-sim`, `crates/par`) and the observability crate, whose
-///   collector buffers must stay bounded.
+///   `crates/scope-sim`, `crates/par`, `crates/resil`) and the
+///   observability crate, whose collector buffers must stay bounded.
 pub fn rule_applies(rule: &str, path: &str) -> bool {
     if path_is_exempt(path) {
         return false;
@@ -58,12 +60,14 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
         WALL_CLOCK => {
             path.starts_with("crates/scope-sim/src")
                 || (path.starts_with("crates/obs/src") && !path.ends_with("/clock.rs"))
+                || path.starts_with("crates/resil/src")
         }
         UNBOUNDED_CHANNEL => {
             path.starts_with("crates/serve/")
                 || path.starts_with("crates/scope-sim/")
                 || path.starts_with("crates/par/")
                 || path.starts_with("crates/obs/")
+                || path.starts_with("crates/resil/")
         }
         _ => false,
     }
@@ -326,6 +330,9 @@ mod tests {
         // — the one sanctioned wall-clock read site.
         assert_eq!(rules_hit("crates/obs/src/span.rs", src), vec![WALL_CLOCK.to_string()]);
         assert!(rules_hit("crates/obs/src/clock.rs", src).is_empty());
+        // The resilience crate is tick-driven end to end: breaker cooldowns
+        // and chaos plans count events, never read the wall clock.
+        assert_eq!(rules_hit("crates/resil/src/breaker.rs", src), vec![WALL_CLOCK.to_string()]);
     }
 
     #[test]
@@ -347,6 +354,12 @@ mod tests {
         // must not introduce unbounded channels either.
         assert_eq!(
             rules_hit("crates/obs/src/a.rs", src),
+            vec![UNBOUNDED_CHANNEL.to_string()]
+        );
+        // The resilience crate sits on the serving hot path; any queues it
+        // introduces must be bounded like the rest of the concurrent tree.
+        assert_eq!(
+            rules_hit("crates/resil/src/a.rs", src),
             vec![UNBOUNDED_CHANNEL.to_string()]
         );
         assert!(rules_hit("crates/core/src/a.rs", src).is_empty());

@@ -1,10 +1,14 @@
 //! The ten subcommands.
 
 use crate::options::Options;
+use crate::resume::{
+    fold_bits, run_checkpointed_train, shear_log_tail, RunEnd, TrainEngineConfig, TrainSummary,
+};
 use crate::CliError;
 use scope_sim::flight::{filter_non_anomalous, flight_job, flight_workload, FlightConfig};
 use scope_sim::{
-    replay_traffic, FaultPlan, Job, NoiseModel, TrafficConfig, WorkloadConfig, WorkloadGenerator,
+    replay_traffic, FaultPlan, Job, NoiseModel, RecoveryPolicy, TrafficConfig, WorkloadConfig,
+    WorkloadGenerator,
 };
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -15,6 +19,7 @@ use tasq::pipeline::{
     AllocationDecision, DiskModelStore, JobRepository, ModelChoice, ModelStore, PipelineConfig,
     ScoringConfig, ScoringService, TasqPipeline, NN_MODEL_NAME, XGB_MODEL_NAME,
 };
+use tasq_resil::{BreakerState, ChaosPlan, CheckpointStore};
 use tasq_serve::cache::CacheConfig;
 use tasq_serve::{ModelRegistry, ScoringServer, ServeConfig, ServedVia, ServerStatsSnapshot};
 
@@ -71,13 +76,36 @@ pub fn inspect(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `tasq train --workload <file> --model-dir <dir> [--nn-epochs N] [--xgb-rounds N]`
+/// `tasq train --workload <file> --model-dir <dir> [--nn-epochs N] [--xgb-rounds N]
+///  [--checkpoint-dir <dir>] [--resume true] [--seed N] [--threads N] [--flight-chunk N]`
+///
+/// With `--checkpoint-dir`, training runs through the crash-consistent
+/// engine in [`crate::resume`]: every phase commits durable frames, and
+/// `--resume true` replays only the work a killed run left unfinished.
 pub fn train(args: &[String]) -> Result<String, CliError> {
-    let opts = Options::parse(args, &["workload", "model-dir", "nn-epochs", "xgb-rounds"])?;
+    let opts = Options::parse(
+        args,
+        &[
+            "workload", "model-dir", "nn-epochs", "xgb-rounds", "checkpoint-dir", "resume",
+            "seed", "threads", "flight-chunk",
+        ],
+    )?;
     let jobs = read_workload(opts.required("workload")?)?;
     let model_dir = opts.required("model-dir")?;
     let nn_epochs = opts.number::<usize>("nn-epochs", 120)?;
     let xgb_rounds = opts.number::<usize>("xgb-rounds", 120)?;
+
+    if let Some(checkpoint_dir) = opts.get("checkpoint-dir") {
+        let resume = matches!(opts.get("resume").unwrap_or("false"), "true" | "1" | "on");
+        let engine = TrainEngineConfig {
+            nn_epochs,
+            xgb_rounds,
+            seed: opts.number::<u64>("seed", 0)?,
+            flight_chunk: opts.number::<usize>("flight-chunk", 64)?,
+            threads: opts.number::<usize>("threads", 2)?,
+        };
+        return train_checkpointed(&jobs, model_dir, checkpoint_dir, resume, &engine);
+    }
 
     // Train through the in-memory pipeline, then persist to disk.
     let repo = JobRepository::new();
@@ -101,6 +129,265 @@ pub fn train(args: &[String]) -> Result<String, CliError> {
          {XGB_MODEL_NAME} v{xgb_version} in {model_dir}\n",
         dataset.len()
     ))
+}
+
+/// The `--checkpoint-dir` arm of `train`: run the crash-consistent
+/// engine (resuming whatever frames the directory already holds when
+/// `--resume true`), then register the artifacts on disk.
+fn train_checkpointed(
+    jobs: &[Job],
+    model_dir: &str,
+    checkpoint_dir: &str,
+    resume: bool,
+    engine: &TrainEngineConfig,
+) -> Result<String, CliError> {
+    let store = CheckpointStore::open(checkpoint_dir)?;
+    if !resume {
+        store.reset()?;
+    }
+    let summary = match run_checkpointed_train(jobs, &store, engine, None)? {
+        RunEnd::Completed(summary) => summary,
+        RunEnd::Killed { stage, commits } => {
+            return Err(CliError::Usage(format!(
+                "internal: training halted in stage `{stage}` after {commits} commits \
+                 without a chaos plan"
+            )))
+        }
+    };
+    let disk = DiskModelStore::open(model_dir)?;
+    let nn_version = disk.register(NN_MODEL_NAME, &summary.nn)?;
+    let xgb_version = disk.register(XGB_MODEL_NAME, &summary.xgb)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "checkpointed train: {} jobs, {} flight cells ({} dropped), {} examples",
+        jobs.len(),
+        summary.flight_cells,
+        summary.flight_errors,
+        summary.examples,
+    );
+    let _ = writeln!(
+        out,
+        "resumed: {} ({} frames recovered, {} torn tails trimmed), {} commits this run",
+        summary.resumed, summary.recovered_frames, summary.torn_tails_trimmed, summary.commits,
+    );
+    let _ = writeln!(out, "fingerprint: {:#018x}", summary.fingerprint);
+    let _ = writeln!(
+        out,
+        "registered {NN_MODEL_NAME} v{nn_version}, {XGB_MODEL_NAME} v{xgb_version} in {model_dir}"
+    );
+    Ok(out)
+}
+
+/// One serving chaos drive: serial request stream through a supervised
+/// server with the plan's worker panics, NN fault window, and deadline
+/// storm armed. Returns the drained stats and whether the breaker ended
+/// the run closed.
+fn drive_serving_chaos(
+    summary: &TrainSummary,
+    jobs: &[Job],
+    plan: &ChaosPlan,
+    requests: usize,
+    seed: u64,
+) -> Result<(ServerStatsSnapshot, bool), CliError> {
+    let store = ModelStore::new();
+    store.register(NN_MODEL_NAME, &summary.nn)?;
+    store.register(XGB_MODEL_NAME, &summary.xgb)?;
+    let registry = ModelRegistry::deploy(&store, ModelChoice::Nn, ScoringConfig::default())
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let server = ScoringServer::start(
+        std::sync::Arc::new(registry),
+        ServeConfig {
+            workers: 2,
+            // Cache off so every admitted request reaches the worker pool
+            // (the breaker and the planted panics see all of the traffic).
+            cache: CacheConfig { enabled: false, ..Default::default() },
+            chaos: Some(plan.clone()),
+            ..Default::default()
+        },
+    );
+    let traffic =
+        replay_traffic(jobs, &TrafficConfig { requests, repeat_fraction: 0.5, seed });
+    // Serial submit → outcome keeps the request sequence (and so the
+    // planted fault schedule) deterministic; the server's counters do the
+    // per-outcome accounting.
+    for job in traffic {
+        if let Ok(ticket) = server.submit(job) {
+            let _ = ticket.outcome();
+        }
+    }
+    let breaker_closed = matches!(server.breaker_state(), BreakerState::Closed);
+    Ok((server.drain(), breaker_closed))
+}
+
+fn json_opt_u64(value: Option<u64>) -> String {
+    value.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+/// `tasq chaos --preset none|mild|production|adversarial [--seed N] [--jobs N]
+///  [--requests N] [--dir <dir>] [--out <json>]`
+///
+/// The deterministic chaos harness. One run:
+///
+/// 1. trains a reference through the checkpointed engine, uninterrupted;
+/// 2. replays the same training with the preset's planted process death,
+///    shears a torn tail off the last-written checkpoint log, resumes,
+///    and checks the resumed fingerprint is bit-identical;
+/// 3. drives the supervised scoring server (with the resumed artifacts)
+///    through the preset's worker panics, NN fault window, and deadline
+///    storm, asserting zero silent request loss and that the circuit
+///    breaker trips *and* recovers;
+/// 4. writes the whole report as machine-readable JSON for CI to grep.
+pub fn chaos(args: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(args, &["preset", "seed", "jobs", "requests", "dir", "out"])?;
+    let preset = opts.required("preset")?;
+    let seed = opts.number::<u64>("seed", 0)?;
+    let num_jobs = opts.number::<usize>("jobs", 10)?;
+    let requests = opts.number::<usize>("requests", 320)?;
+    let out_path = opts.get("out").unwrap_or("chaos-report.json").to_string();
+    let plan = ChaosPlan::preset(preset, seed).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown --preset `{preset}` (expected one of {})",
+            tasq_resil::chaos::PRESET_NAMES.join("|")
+        ))
+    })?;
+    let work_dir = match opts.get("dir") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("tasq-chaos-{}", std::process::id())),
+    };
+
+    let jobs = WorkloadGenerator::new(WorkloadConfig { num_jobs, seed, ..Default::default() })
+        .generate();
+    let engine = TrainEngineConfig {
+        nn_epochs: 8,
+        xgb_rounds: 12,
+        seed,
+        flight_chunk: 64,
+        threads: 2,
+    };
+    let complete = |end: RunEnd| -> Result<Box<TrainSummary>, CliError> {
+        match end {
+            RunEnd::Completed(summary) => Ok(summary),
+            RunEnd::Killed { stage, commits } => Err(CliError::Usage(format!(
+                "internal: unplanned kill in stage `{stage}` after {commits} commits"
+            ))),
+        }
+    };
+
+    // 1. Uninterrupted reference run.
+    let reference_store = CheckpointStore::open(work_dir.join("reference"))?;
+    reference_store.reset()?;
+    let reference = complete(run_checkpointed_train(&jobs, &reference_store, &engine, None)?)?;
+
+    // 2. Killed + torn + resumed run.
+    let chaos_store = CheckpointStore::open(work_dir.join("chaos"))?;
+    chaos_store.reset()?;
+    let first =
+        run_checkpointed_train(&jobs, &chaos_store, &engine, plan.kill_after_checkpoints)?;
+    let (killed_stage, commits_before_kill, torn_bytes_sheared) = match first {
+        RunEnd::Killed { stage, commits } => {
+            let sheared = match plan.torn_tail_bytes {
+                Some(bytes) => shear_log_tail(&chaos_store, &stage, bytes)?,
+                None => 0,
+            };
+            (Some(stage), commits, sheared)
+        }
+        RunEnd::Completed(summary) => (None, summary.commits, 0),
+    };
+    let resumed = complete(run_checkpointed_train(&jobs, &chaos_store, &engine, None)?)?;
+    let resumed_bit_identical = resumed.fingerprint == reference.fingerprint;
+
+    // 3. Serving chaos with the artifacts the resumed run produced.
+    let (stats, breaker_closed) = drive_serving_chaos(&resumed, &jobs, &plan, requests, seed)?;
+    let zero_silent_loss = stats.submitted == stats.resolved();
+    let breaker_exercised = plan.nn_fault_window.is_none()
+        || (stats.breaker_trips >= 1 && stats.breaker_recoveries >= 1 && breaker_closed);
+    let passed = resumed_bit_identical && zero_silent_loss && breaker_exercised;
+
+    let panics_json = plan
+        .worker_panics
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let window_json = plan
+        .nn_fault_window
+        .map_or_else(|| "null".to_string(), |(a, b)| format!("[{a}, {b}]"));
+    let json = format!(
+        "{{\n  \"preset\": \"{preset}\",\n  \"seed\": {seed},\n  \"jobs\": {num_jobs},\n  \
+         \"plan\": {{\n    \"kill_after_checkpoints\": {},\n    \"torn_tail_bytes\": {},\n    \
+         \"worker_panics\": [{panics_json}],\n    \"nn_fault_window\": {window_json},\n    \
+         \"deadline_storm_start\": {}\n  }},\n  \"training\": {{\n    \
+         \"reference_fingerprint\": \"{:#018x}\",\n    \"resumed_fingerprint\": \"{:#018x}\",\n    \
+         \"killed_stage\": {},\n    \"commits_before_kill\": {commits_before_kill},\n    \
+         \"torn_bytes_sheared\": {torn_bytes_sheared},\n    \
+         \"recovered_frames\": {},\n    \"torn_tails_trimmed\": {},\n    \
+         \"resumed_bit_identical\": {resumed_bit_identical}\n  }},\n  \"serving\": {{\n    \
+         \"requests\": {requests},\n    \"submitted\": {},\n    \"completed\": {},\n    \
+         \"rejected\": {},\n    \"worker_lost\": {},\n    \"deadline_timeouts\": {},\n    \
+         \"worker_respawns\": {},\n    \"breaker_trips\": {},\n    \
+         \"breaker_recoveries\": {},\n    \"breaker_closed_at_end\": {breaker_closed},\n    \
+         \"resolved\": {},\n    \"zero_silent_loss\": {zero_silent_loss}\n  }},\n  \
+         \"passed\": {passed}\n}}\n",
+        json_opt_u64(plan.kill_after_checkpoints),
+        json_opt_u64(plan.torn_tail_bytes),
+        json_opt_u64(plan.deadline_storm.map(|s| s.start_seq)),
+        reference.fingerprint,
+        resumed.fingerprint,
+        killed_stage.as_ref().map_or_else(|| "null".to_string(), |s| format!("\"{s}\"")),
+        resumed.recovered_frames,
+        resumed.torn_tails_trimmed,
+        stats.submitted,
+        stats.completed,
+        stats.rejected,
+        stats.worker_lost,
+        stats.deadline_timeouts,
+        stats.worker_respawns,
+        stats.breaker_trips,
+        stats.breaker_recoveries,
+        stats.resolved(),
+    );
+    std::fs::write(&out_path, &json)?;
+    stats.publish(tasq_obs::Registry::global());
+
+    let mut out = String::new();
+    let _ = writeln!(out, "chaos preset: {preset} (seed {seed})");
+    match &killed_stage {
+        Some(stage) => {
+            let _ = writeln!(
+                out,
+                "training: killed in `{stage}` after {commits_before_kill} commits, \
+                 sheared {torn_bytes_sheared} tail bytes, resumed with {} frames recovered \
+                 ({} torn tails trimmed)",
+                resumed.recovered_frames, resumed.torn_tails_trimmed,
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "training: no kill planted (preset `{preset}`), warm restart recovered {} frames",
+                resumed.recovered_frames,
+            );
+        }
+    }
+    let _ = writeln!(out, "resumed bit-identical: {resumed_bit_identical}");
+    let _ = writeln!(
+        out,
+        "serving: {} submitted = {} completed + {} rejected + {} worker-lost + {} timed out \
+         (zero silent loss: {zero_silent_loss})",
+        stats.submitted, stats.completed, stats.rejected, stats.worker_lost,
+        stats.deadline_timeouts,
+    );
+    let _ = writeln!(
+        out,
+        "breaker: {} trips, {} recoveries, closed at end: {breaker_closed}; \
+         {} worker respawns",
+        stats.breaker_trips, stats.breaker_recoveries, stats.worker_respawns,
+    );
+    let _ = writeln!(out, "passed: {passed}");
+    let _ = writeln!(out, "wrote {out_path}");
+    Ok(out)
 }
 
 /// `tasq score --workload <file> --model-dir <dir> [--model nn|xgb-ss|xgb-pl]
@@ -192,7 +479,18 @@ pub fn flight(args: &[String]) -> Result<String, CliError> {
     let sample = opts.number::<usize>("sample", 10)?;
     let seed = opts.number::<u64>("seed", 0)?;
 
-    let config = FlightConfig { noise: NoiseModel::mild(), faults, seed, ..Default::default() };
+    // Under the heavier presets a crash burst re-queues many retries at
+    // once; decorrelated jitter fans the backoffs out instead of letting
+    // them land as a synchronized retry storm (the draw is a pure hash,
+    // so flights stay deterministic given the seed).
+    let recovery = match preset {
+        "production" | "adversarial" => {
+            RecoveryPolicy { retry_jitter: 0.5, ..Default::default() }
+        }
+        _ => RecoveryPolicy::default(),
+    };
+    let config =
+        FlightConfig { noise: NoiseModel::mild(), faults, seed, recovery, ..Default::default() };
     let mut flighted = Vec::new();
     let mut dropped = 0usize;
     for job in jobs.iter().take(sample) {
@@ -484,7 +782,10 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
             },
         );
         let (elapsed, _) = drive(&server, traffic.clone(), qps);
-        Ok((elapsed, server.shutdown()))
+        // Drain, don't shut down: the benchmark must count every admitted
+        // request, so the server stops accepting and answers its backlog
+        // before the stats are read.
+        Ok((elapsed, server.drain()))
     };
     let (uncached_elapsed, uncached) = measure(false)?;
     let (cached_elapsed, cached) = measure(true)?;
@@ -514,7 +815,7 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
             },
         );
         let (_, _) = drive(&server, burst_traffic.clone(), 0.0);
-        Ok(server.shutdown())
+        Ok(server.drain())
     };
     let reject_burst = burst(8, 8)?;
     let shed_burst = burst(1024, 4)?;
@@ -576,10 +877,6 @@ struct TrainBenchRun {
     /// digests across thread counts prove the parallel pipeline is
     /// bit-identical to the sequential one.
     fingerprint: u64,
-}
-
-fn fold_bits(fingerprint: &mut u64, bits: u64) {
-    *fingerprint = fingerprint.rotate_left(7) ^ bits;
 }
 
 fn elapsed_ms(start: Instant) -> f64 {
@@ -932,6 +1229,84 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("unknown --faults"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_train_registers_and_warm_resume_recommits_nothing() {
+        let dir = temp_dir("ckpttrain");
+        let workload = dir.join("w.bin");
+        let workload_str = workload.to_str().unwrap().to_string();
+        let models = dir.join("models").to_str().unwrap().to_string();
+        let ckpt = dir.join("ckpt").to_str().unwrap().to_string();
+        generate(&strings(&["--out", &workload_str, "--jobs", "6", "--seed", "3"])).unwrap();
+
+        let cold = train(&strings(&[
+            "--workload", &workload_str, "--model-dir", &models, "--checkpoint-dir", &ckpt,
+            "--nn-epochs", "3", "--xgb-rounds", "5",
+        ]))
+        .unwrap();
+        assert!(cold.contains("checkpointed train: 6 jobs"), "{cold}");
+        assert!(cold.contains("resumed: false"), "{cold}");
+        assert!(cold.contains("registered"), "{cold}");
+
+        let warm = train(&strings(&[
+            "--workload", &workload_str, "--model-dir", &models, "--checkpoint-dir", &ckpt,
+            "--resume", "true", "--nn-epochs", "3", "--xgb-rounds", "5",
+        ]))
+        .unwrap();
+        assert!(warm.contains("resumed: true"), "{warm}");
+        assert!(warm.contains("0 commits this run"), "{warm}");
+        let fingerprint = |out: &str| {
+            out.lines().find(|l| l.starts_with("fingerprint:")).map(str::to_string)
+        };
+        assert_eq!(fingerprint(&cold), fingerprint(&warm));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_production_run_passes_and_writes_the_report() {
+        let dir = temp_dir("chaos");
+        let report = dir.join("chaos-report.json");
+        let out = chaos(&strings(&[
+            "--preset", "production", "--seed", "5", "--jobs", "6", "--requests", "320",
+            "--dir", dir.join("work").to_str().unwrap(),
+            "--out", report.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("resumed bit-identical: true"), "{out}");
+        assert!(out.contains("zero silent loss: true"), "{out}");
+        assert!(out.contains("passed: true"), "{out}");
+
+        let json = std::fs::read_to_string(&report).unwrap();
+        for key in [
+            "\"resumed_bit_identical\": true",
+            "\"zero_silent_loss\": true",
+            "\"breaker_closed_at_end\": true",
+            "\"killed_stage\": \"",
+            "\"passed\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Breaker tripped AND recovered within the run; workers respawned.
+        let field = |name: &str| -> u64 {
+            json.lines()
+                .find(|l| l.contains(&format!("\"{name}\"")))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().trim_end_matches(',').parse().unwrap())
+                .unwrap()
+        };
+        assert!(field("breaker_trips") >= 1, "{json}");
+        assert!(field("breaker_recoveries") >= 1, "{json}");
+        assert!(field("worker_respawns") >= 1, "{json}");
+        assert!(field("deadline_timeouts") >= 1, "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_rejects_unknown_preset() {
+        let err = chaos(&strings(&["--preset", "cataclysmic"])).unwrap_err();
+        assert!(err.to_string().contains("unknown --preset"), "{err}");
     }
 
     #[test]

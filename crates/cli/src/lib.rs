@@ -1,12 +1,15 @@
 //! Library backing the `tasq` command-line binary.
 //!
-//! Ten subcommands drive the pipeline from files on disk, with workloads
-//! and model artifacts serialized through the workspace's binary codec:
+//! Eleven subcommands drive the pipeline from files on disk, with
+//! workloads and model artifacts serialized through the workspace's
+//! binary codec:
 //!
 //! * `generate` — synthesize a workload and write it to a file.
 //! * `inspect`  — print population statistics of a workload file.
 //! * `train`    — prepare a dataset from a workload file, train the NN and
-//!   XGBoost models, and register them in a directory-backed model store.
+//!   XGBoost models, and register them in a directory-backed model store;
+//!   with `--checkpoint-dir` the run is crash-consistent and `--resume`
+//!   replays only the remaining work ([`resume`]).
 //! * `score`    — load the latest artifacts and score a workload file,
 //!   printing per-job allocation decisions.
 //! * `flight`   — re-execute a sample of jobs under a fault-injection
@@ -18,6 +21,11 @@
 //! * `bench-train` — time the offline pipeline (generate → flight →
 //!   featurize → fit) sequentially and on work-stealing pools, verify the
 //!   parallel runs are bit-identical, and write `BENCH_train.json`.
+//! * `chaos`    — the deterministic chaos harness: kill the checkpointed
+//!   trainer mid-run (with a torn tail), resume it, prove the artifacts
+//!   bit-identical, then drive the supervised server through planted
+//!   worker panics, an NN fault window, and a deadline storm; write a
+//!   machine-readable report CI asserts on.
 //! * `analyze`  — run the `tasq-analyze` gatekeeper (source lints, lock
 //!   audit, plan/PCC invariants, happens-before race replay).
 //! * `metrics`  — dump the process-global metrics registry (Prometheus
@@ -31,6 +39,7 @@
 pub mod commands;
 pub mod obs;
 pub mod options;
+pub mod resume;
 
 use std::fmt;
 
@@ -50,6 +59,8 @@ pub enum CliError {
     /// `tasq-analyze` found deny-severity diagnostics; the string is the
     /// rendered report.
     Analysis(String),
+    /// Checkpoint/recovery failure (`tasq-resil`).
+    Resil(tasq_resil::ResilError),
 }
 
 impl fmt::Display for CliError {
@@ -61,6 +72,7 @@ impl fmt::Display for CliError {
             CliError::Store(e) => write!(f, "model store error: {e}"),
             CliError::Pipeline(e) => write!(f, "pipeline error: {e}"),
             CliError::Analysis(report) => write!(f, "{report}"),
+            CliError::Resil(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -88,6 +100,12 @@ impl From<tasq::pipeline::StoreError> for CliError {
 impl From<tasq::pipeline::PipelineError> for CliError {
     fn from(e: tasq::pipeline::PipelineError) -> Self {
         CliError::Pipeline(e)
+    }
+}
+
+impl From<tasq_resil::ResilError> for CliError {
+    fn from(e: tasq_resil::ResilError) -> Self {
+        CliError::Resil(e)
     }
 }
 
@@ -120,6 +138,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         "serve" => commands::serve(rest),
         "loadgen" => commands::loadgen(rest),
         "bench-train" => commands::bench_train(rest),
+        "chaos" => commands::chaos(rest),
         "analyze" => commands::analyze(rest),
         "metrics" => commands::metrics(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -135,6 +154,8 @@ USAGE:
     tasq-cli generate --out <file> [--jobs N] [--seed N]
     tasq-cli inspect  --workload <file>
     tasq-cli train    --workload <file> --model-dir <dir> [--nn-epochs N] [--xgb-rounds N]
+                      [--checkpoint-dir <dir>] [--resume true] [--seed N] [--threads N]
+                      [--flight-chunk N]
     tasq-cli score    --workload <file> --model-dir <dir> [--model nn|xgb-ss|xgb-pl]
                       [--min-improvement FRAC]
     tasq-cli flight   --workload <file> [--faults none|mild|production|adversarial]
@@ -145,6 +166,8 @@ USAGE:
     tasq-cli loadgen  --workload <file> [--model-dir <dir>] [--requests N] [--repeat FRAC]
                       [--qps N] [--out <json>] [--seed N]
     tasq-cli bench-train [--out <json>] [--jobs N] [--seed N] [--threads N] [--quick true]
+    tasq-cli chaos    --preset none|mild|production|adversarial [--seed N] [--jobs N]
+                      [--requests N] [--dir <dir>] [--out <json>]
     tasq-cli analyze  [--root <dir>] [--mode full|static]
     tasq-cli metrics  [--format prometheus|json]
     tasq-cli help

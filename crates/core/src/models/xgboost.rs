@@ -46,19 +46,29 @@ impl XgbRuntime {
     pub fn train(dataset: &Dataset, config: &XgbTrainConfig) -> Self {
         let (rows, targets) = dataset.xgb_rows();
         assert!(!rows.is_empty(), "XgbRuntime::train: empty dataset");
-        let booster = Booster::train(
-            &rows,
-            &targets,
-            &BoosterConfig {
-                objective: Objective::GammaDeviance,
-                num_rounds: config.num_rounds,
-                max_depth: config.max_depth,
-                learning_rate: config.learning_rate,
-                subsample: config.subsample,
-                seed: config.seed,
-                ..Default::default()
-            },
-        );
+        let booster = Booster::train(&rows, &targets, &Self::booster_config(config));
+        Self { booster }
+    }
+
+    /// The [`BoosterConfig`] that [`XgbRuntime::train`] derives from a
+    /// training configuration. Exposed so checkpointed trainers can drive
+    /// [`Booster::train_resumable_with_pool`] round-by-round and still
+    /// grow exactly the ensemble `train` would.
+    pub fn booster_config(config: &XgbTrainConfig) -> BoosterConfig {
+        BoosterConfig {
+            objective: Objective::GammaDeviance,
+            num_rounds: config.num_rounds,
+            max_depth: config.max_depth,
+            learning_rate: config.learning_rate,
+            subsample: config.subsample,
+            seed: config.seed,
+            ..Default::default()
+        }
+    }
+
+    /// Wrap an externally trained booster (the resumable trainer finishes
+    /// the booster round-by-round, then wraps it here).
+    pub fn from_booster(booster: Booster) -> Self {
         Self { booster }
     }
 
@@ -267,6 +277,22 @@ mod tests {
         assert!(ss_pred.predict(example.observed_tokens) >= 1.0);
         let pl_pred = pl.predict(&input);
         assert!(pl_pred.power_law().is_some());
+    }
+
+    #[test]
+    fn resumable_wrapper_matches_train_bit_for_bit() {
+        let ds = dataset(12);
+        let cfg = quick_config();
+        let direct = XgbRuntime::train(&ds, &cfg);
+        let (rows, targets) = ds.xgb_rows();
+        let booster = Booster::train(&rows, &targets, &XgbRuntime::booster_config(&cfg));
+        let wrapped = XgbRuntime::from_booster(booster);
+        for e in &ds.examples {
+            assert_eq!(
+                direct.predict_runtime(&e.features.values, e.observed_tokens).to_bits(),
+                wrapped.predict_runtime(&e.features.values, e.observed_tokens).to_bits(),
+            );
+        }
     }
 
     #[test]

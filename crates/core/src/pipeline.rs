@@ -61,6 +61,17 @@ pub enum StoreError {
         /// The underlying codec failure.
         cause: codec::CodecError,
     },
+    /// The on-disk snapshot framing is damaged — torn write, truncated
+    /// tail, or CRC mismatch (disk-backed stores only). The artifact is
+    /// refused before any decode is attempted.
+    Damaged {
+        /// Model name being accessed.
+        name: String,
+        /// Version whose snapshot framing failed verification.
+        version: u32,
+        /// The resil-layer failure, stringified to keep the error cloneable.
+        detail: String,
+    },
     /// Filesystem failure (disk-backed stores only).
     Io {
         /// Model name being accessed.
@@ -79,6 +90,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::Corrupt { name, version, cause } => {
                 write!(f, "artifact `{name}` v{version} failed to decode: {cause}")
+            }
+            StoreError::Damaged { name, version, detail } => {
+                write!(f, "artifact `{name}` v{version} snapshot damaged: {detail}")
             }
             StoreError::Io { name, message } => {
                 write!(f, "i/o failure accessing artifact `{name}`: {message}")
@@ -320,27 +334,45 @@ impl DiskModelStore {
     }
 
     /// Serialize and register a model; returns the assigned version.
+    ///
+    /// The artifact is committed crash-consistently (CRC-framed snapshot,
+    /// write-temp → fsync → rename), so a crash mid-register leaves either
+    /// the previous store state or the fully-written new version — never a
+    /// half-written file that later decodes garbage.
     pub fn register<T: Serialize>(&self, name: &str, model: &T) -> std::io::Result<u32> {
         let bytes = codec::to_bytes(model)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         let version = self.versions(name).last().map_or(1, |v| v + 1);
-        std::fs::write(self.artifact_path(name, version), &bytes)?;
+        tasq_resil::snapshot::commit(&self.artifact_path(name, version), &bytes)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
         Ok(version)
     }
 
     /// Load a specific version.
+    ///
+    /// The snapshot framing (magic, length, CRC) is verified before any
+    /// decode; torn or corrupt files are refused with
+    /// [`StoreError::Damaged`] rather than fed to the codec.
     pub fn load_version<T: DeserializeOwned>(
         &self,
         name: &str,
         version: u32,
     ) -> Result<T, StoreError> {
-        let bytes = std::fs::read(self.artifact_path(name, version)).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::NotFound {
-                StoreError::MissingVersion { name: name.to_string(), version }
-            } else {
-                StoreError::Io { name: name.to_string(), message: e.to_string() }
-            }
-        })?;
+        let bytes = tasq_resil::snapshot::load(&self.artifact_path(name, version)).map_err(
+            |e| match e {
+                tasq_resil::ResilError::NoCheckpoint => {
+                    StoreError::MissingVersion { name: name.to_string(), version }
+                }
+                tasq_resil::ResilError::Io(io) => {
+                    StoreError::Io { name: name.to_string(), message: io.to_string() }
+                }
+                damaged => StoreError::Damaged {
+                    name: name.to_string(),
+                    version,
+                    detail: damaged.to_string(),
+                },
+            },
+        )?;
         codec::from_bytes(&bytes).map_err(|cause| StoreError::Corrupt {
             name: name.to_string(),
             version,
@@ -961,6 +993,35 @@ mod tests {
         let a = nn.predict_pcc(&dataset.examples[0].features);
         let b = loaded.predict_pcc(&dataset.examples[0].features);
         assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_refuses_torn_and_corrupt_artifacts() {
+        let dir = std::env::temp_dir().join(format!("tasq-store-damage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskModelStore::open(&dir).unwrap();
+        store.register("m", &1234u64).unwrap();
+        let path = dir.join("m.v1.bin");
+        let intact = std::fs::read(&path).unwrap();
+
+        // Torn tail: a crash mid-write truncates the file.
+        std::fs::write(&path, &intact[..intact.len() - 3]).unwrap();
+        assert!(matches!(
+            store.load_version::<u64>("m", 1),
+            Err(StoreError::Damaged { version: 1, .. })
+        ));
+
+        // Bit rot: flip one payload byte — CRC refuses before decode.
+        let mut rotten = intact.clone();
+        let last = rotten.len() - 1;
+        rotten[last] ^= 0x40;
+        std::fs::write(&path, &rotten).unwrap();
+        assert!(matches!(store.load_version::<u64>("m", 1), Err(StoreError::Damaged { .. })));
+
+        // The intact bytes still load.
+        std::fs::write(&path, &intact).unwrap();
+        assert_eq!(store.load_version::<u64>("m", 1).unwrap(), 1234);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

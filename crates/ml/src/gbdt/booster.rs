@@ -50,6 +50,31 @@ impl Default for BoosterConfig {
     }
 }
 
+/// Mid-training state captured after each completed boosting round.
+///
+/// Everything the round loop carries across iterations is here — the
+/// completed-round count, the subsampling RNG's raw state, the per-row
+/// margins, the trees grown so far and the loss curve — while the
+/// binned dataset and gradients are recomputed deterministically from
+/// the inputs. Feeding a checkpoint back into
+/// [`Booster::train_resumable_with_pool`] replays the remaining rounds
+/// bit-identically to a run that was never interrupted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoosterCheckpoint {
+    /// Boosting rounds completed.
+    pub round: usize,
+    /// Raw subsampling-RNG state after `round` rounds.
+    pub rng_state: [u64; 4],
+    /// Base margin (recomputable, carried for validation).
+    pub base_score: f64,
+    /// Per-row raw margins after `round` rounds.
+    pub raw: Vec<f64>,
+    /// Trees grown so far.
+    pub trees: Vec<Tree>,
+    /// Mean training loss per completed round.
+    pub training_loss: Vec<f64>,
+}
+
 /// A trained gradient-boosted tree ensemble.
 ///
 /// # Examples
@@ -98,6 +123,34 @@ impl Booster {
         config: &BoosterConfig,
         pool: &tasq_par::Pool,
     ) -> Self {
+        match Self::train_resumable_with_pool(rows, targets, config, pool, None, &mut |_| true) {
+            Some(booster) => booster,
+            // lint: allow(no-panic) — the always-continue callback above can never halt training
+            None => unreachable!("uninterruptible training halted"),
+        }
+    }
+
+    /// [`Booster::train_with_pool`] with per-round checkpointing.
+    ///
+    /// After every completed round the freshly captured
+    /// [`BoosterCheckpoint`] is handed to `on_round`; returning `false`
+    /// halts training right there (the crash-injection hook the chaos
+    /// harness uses) and yields `None`. Passing a previous checkpoint as
+    /// `resume` skips its completed rounds and restores the subsampling
+    /// RNG mid-stream, so an interrupted-and-resumed run grows exactly
+    /// the trees an uninterrupted one would — bit for bit.
+    ///
+    /// # Panics
+    /// As [`Booster::train`], and if `resume` does not match the
+    /// dataset's row count or its own round count.
+    pub fn train_resumable_with_pool(
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        config: &BoosterConfig,
+        pool: &tasq_par::Pool,
+        resume: Option<BoosterCheckpoint>,
+        on_round: &mut dyn FnMut(&BoosterCheckpoint) -> bool,
+    ) -> Option<Self> {
         assert_eq!(rows.len(), targets.len(), "Booster::train: length mismatch");
         assert!(!rows.is_empty(), "Booster::train: empty dataset");
         if config.objective.requires_positive_targets() {
@@ -109,14 +162,30 @@ impl Booster {
         let n = rows.len();
         let mapper = BinMapper::fit(rows, config.max_bins);
         let data = BinnedDataset::new(&mapper, rows);
-        let mut rng = StdRng::seed_from_u64(config.seed);
 
         let base_score = config.objective.base_score(targets);
-        let mut raw = vec![base_score; n];
+        let (start_round, mut rng, mut raw, mut trees, mut training_loss) = match resume {
+            Some(ckpt) => {
+                assert_eq!(ckpt.raw.len(), n, "Booster::resume: row count mismatch");
+                assert_eq!(ckpt.trees.len(), ckpt.round, "Booster::resume: round mismatch");
+                (
+                    ckpt.round,
+                    StdRng::from_state(ckpt.rng_state),
+                    ckpt.raw,
+                    ckpt.trees,
+                    ckpt.training_loss,
+                )
+            }
+            None => (
+                0,
+                StdRng::seed_from_u64(config.seed),
+                vec![base_score; n],
+                Vec::with_capacity(config.num_rounds),
+                Vec::with_capacity(config.num_rounds),
+            ),
+        };
         let mut grads = vec![0.0; n];
         let mut hess = vec![0.0; n];
-        let mut trees = Vec::with_capacity(config.num_rounds);
-        let mut training_loss = Vec::with_capacity(config.num_rounds);
 
         let growth = GrowthParams {
             max_depth: config.max_depth,
@@ -126,7 +195,7 @@ impl Booster {
         };
 
         let all: Vec<usize> = (0..n).collect();
-        for round in 0..config.num_rounds {
+        for round in start_round..config.num_rounds {
             let _span = tasq_obs::span(
                 tasq_obs::Level::Debug,
                 "gbdt_round",
@@ -151,16 +220,28 @@ impl Booster {
             }
             trees.push(tree);
             training_loss.push(Self::mean_loss(config.objective, &raw, targets));
+
+            let checkpoint = BoosterCheckpoint {
+                round: round + 1,
+                rng_state: rng.state(),
+                base_score,
+                raw: raw.clone(),
+                trees: trees.clone(),
+                training_loss: training_loss.clone(),
+            };
+            if !on_round(&checkpoint) {
+                return None;
+            }
         }
 
-        Self {
+        Some(Self {
             objective: config.objective,
             base_score,
             learning_rate: config.learning_rate,
             trees,
             num_features: mapper.num_features(),
             training_loss,
-        }
+        })
     }
 
     fn mean_loss(objective: Objective, raw: &[f64], targets: &[f64]) -> f64 {
@@ -348,6 +429,59 @@ mod tests {
             assert_eq!(seq_bits, par_bits, "threads={threads}");
             assert_eq!(seq.total_nodes(), par.total_nodes());
             assert_eq!(seq.feature_importance(), par.feature_importance());
+        }
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical_at_every_round() {
+        // Subsample < 1.0 so the RNG stream is actually exercised: the
+        // restored generator must continue mid-stream, not restart.
+        let rows: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64, (i * 3 % 7) as f64]).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 + r[1] * r[1]).collect();
+        let config =
+            BoosterConfig { num_rounds: 8, subsample: 0.6, seed: 17, ..Default::default() };
+        let pool = tasq_par::Pool::sequential();
+        let baseline = Booster::train_with_pool(&rows, &targets, &config, &pool);
+        let baseline_bits: Vec<u64> =
+            baseline.predict(&rows).iter().map(|p| p.to_bits()).collect();
+
+        for kill_at in 1..config.num_rounds {
+            // "Crash" after `kill_at` rounds, keeping the last checkpoint.
+            let mut saved = None;
+            let halted = Booster::train_resumable_with_pool(
+                &rows,
+                &targets,
+                &config,
+                &pool,
+                None,
+                &mut |ckpt| {
+                    saved = Some(ckpt.clone());
+                    ckpt.round < kill_at
+                },
+            );
+            assert!(halted.is_none(), "kill_at {kill_at}: training should have halted");
+            let ckpt = saved.expect("at least one checkpoint");
+            assert_eq!(ckpt.round, kill_at);
+
+            // Resume and finish; the ensemble must match bit for bit.
+            let resumed = Booster::train_resumable_with_pool(
+                &rows,
+                &targets,
+                &config,
+                &pool,
+                Some(ckpt),
+                &mut |_| true,
+            )
+            .expect("resumed training should finish");
+            let resumed_bits: Vec<u64> =
+                resumed.predict(&rows).iter().map(|p| p.to_bits()).collect();
+            assert_eq!(baseline_bits, resumed_bits, "kill_at {kill_at}");
+            assert_eq!(baseline.total_nodes(), resumed.total_nodes());
+            assert_eq!(
+                baseline.training_loss.len(),
+                resumed.training_loss.len(),
+                "loss curve must cover all rounds"
+            );
         }
     }
 

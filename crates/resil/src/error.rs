@@ -1,0 +1,106 @@
+//! Typed failure taxonomy for the resilience layer.
+//!
+//! Every recovery path in the workspace branches on these variants, so
+//! the distinctions are load-bearing: a [`ResilError::TornTail`] means
+//! "the process died mid-append and the valid prefix is trustworthy"
+//! (recover from the previous frame), while [`ResilError::CrcMismatch`]
+//! means "bytes changed after commit" (refuse the artifact entirely).
+
+use std::fmt;
+
+/// Errors surfaced by checkpoint persistence and recovery.
+#[derive(Debug)]
+pub enum ResilError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the expected magic, or a frame
+    /// header inside it is structurally impossible (e.g. a length that
+    /// overflows the file by more than a truncation could explain).
+    BadMagic {
+        /// What was found at the header position.
+        found: [u8; 4],
+    },
+    /// The file ends mid-frame: a header or payload was cut short.
+    ///
+    /// This is the expected signature of a crash during an append; the
+    /// frames before the tear are intact and safe to recover from.
+    TornTail {
+        /// Byte offset where the incomplete frame starts.
+        offset: u64,
+        /// Complete frames recovered before the tear.
+        recovered_frames: usize,
+    },
+    /// A structurally complete frame failed its CRC32 check: the bytes
+    /// were corrupted *after* commit, so nothing past this point can be
+    /// trusted.
+    CrcMismatch {
+        /// Byte offset of the corrupt frame.
+        offset: u64,
+        /// CRC stored in the frame header.
+        stored: u32,
+        /// CRC computed over the payload as read.
+        computed: u32,
+    },
+    /// No checkpoint exists (fresh start, not a failure of recovery).
+    NoCheckpoint,
+    /// A recovered payload failed to decode into the expected type.
+    Decode {
+        /// What was being decoded.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for ResilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilError::Io(err) => write!(f, "checkpoint i/o failed: {err}"),
+            ResilError::BadMagic { found } => {
+                write!(f, "not a tasq checkpoint (magic {found:02x?})")
+            }
+            ResilError::TornTail { offset, recovered_frames } => write!(
+                f,
+                "torn tail at byte {offset}: append interrupted; \
+                 {recovered_frames} intact frame(s) precede it"
+            ),
+            ResilError::CrcMismatch { offset, stored, computed } => write!(
+                f,
+                "crc mismatch at byte {offset}: stored {stored:#010x}, \
+                 computed {computed:#010x} — refusing corrupt frame"
+            ),
+            ResilError::NoCheckpoint => write!(f, "no checkpoint present"),
+            ResilError::Decode { context } => {
+                write!(f, "recovered payload failed to decode as {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResilError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResilError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ResilError {
+    fn from(err: std::io::Error) -> Self {
+        ResilError::Io(err)
+    }
+}
+
+impl ResilError {
+    /// True when the error signature is a mid-append interruption whose
+    /// valid prefix remains trustworthy (recovery may fall back to the
+    /// previous good frame).
+    pub fn is_torn(&self) -> bool {
+        matches!(self, ResilError::TornTail { .. })
+    }
+
+    /// True when the artifact must be refused outright (post-commit
+    /// corruption or a foreign file).
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, ResilError::CrcMismatch { .. } | ResilError::BadMagic { .. })
+    }
+}

@@ -485,7 +485,11 @@ impl Executor {
                         });
                     }
                     injector.record_retry();
-                    let delay = recovery.backoff_secs(attempt);
+                    // Salt = (noise seed, task uid): deterministic per run,
+                    // decorrelated across tasks, and independent of the
+                    // executor RNG stream.
+                    let salt = tasq_resil::chaos::mix64(config.noise_seed, uid as u64);
+                    let delay = recovery.jittered_backoff_secs(attempt, salt);
                     let duration = state.tasks[uid].duration;
                     state.push(
                         now + delay,

@@ -208,6 +208,15 @@ pub struct RecoveryPolicy {
     /// duration gets a speculative copy; the first finisher wins and the
     /// loser is cancelled.
     pub speculative_factor: f64,
+    /// Decorrelated-jitter fraction applied to retry backoff, in
+    /// `[0, 1]`. Zero keeps the exact exponential schedule; a positive
+    /// value spreads each retry uniformly over
+    /// `[backoff * (1 - jitter), backoff]`, desynchronising the retry
+    /// bursts that a correlated failure (preemption outage, queueing
+    /// burst) would otherwise re-queue at the same instant. The draw is
+    /// a pure hash of a caller-provided salt, never the executor RNG —
+    /// enabling jitter does not shift any other random stream.
+    pub retry_jitter: f64,
 }
 
 impl RecoveryPolicy {
@@ -216,6 +225,24 @@ impl RecoveryPolicy {
     pub fn backoff_secs(&self, attempt: u32) -> f64 {
         let doublings = attempt.saturating_sub(1).min(16);
         (self.retry_backoff_secs * f64::from(1u32 << doublings)).min(self.max_backoff_secs)
+    }
+
+    /// Seeded decorrelated-jitter variant of [`Self::backoff_secs`].
+    ///
+    /// `salt` must be a pure function of the retry site (the executor
+    /// hashes its noise seed with the task uid), so the jitter is
+    /// deterministic given the seed yet uncorrelated across tasks —
+    /// simultaneous failures fan out instead of re-queueing as a
+    /// synchronized retry storm. With [`Self::retry_jitter`] at zero
+    /// this is exactly `backoff_secs(attempt)`.
+    pub fn jittered_backoff_secs(&self, attempt: u32, salt: u64) -> f64 {
+        let base = self.backoff_secs(attempt);
+        if self.retry_jitter <= 0.0 {
+            return base;
+        }
+        let jitter = self.retry_jitter.min(1.0);
+        let u = tasq_resil::chaos::unit_f64(tasq_resil::chaos::mix64(salt, u64::from(attempt)));
+        base * (1.0 - jitter * u)
     }
 
     /// Speculation threshold for a stage whose 95th-percentile base task
@@ -237,6 +264,7 @@ impl Default for RecoveryPolicy {
             max_backoff_secs: 60.0,
             speculation: true,
             speculative_factor: 1.5,
+            retry_jitter: 0.0,
         }
     }
 }
@@ -438,6 +466,39 @@ mod tests {
         assert!((policy.backoff_secs(2) - 4.0).abs() < 1e-12);
         assert!((policy.backoff_secs(3) - 8.0).abs() < 1e-12);
         assert!(policy.backoff_secs(30) <= policy.max_backoff_secs);
+    }
+
+    #[test]
+    fn jitter_breaks_retry_storms_deterministically() {
+        // Regression: under the production preset a preemption outage
+        // re-queues many tasks at once; with fixed backoff they all come
+        // back at now + 2.0s and hammer the scheduler again. Jitter must
+        // fan those retries out — yet stay a pure function of the salt.
+        let fixed = RecoveryPolicy::default();
+        let jittered = RecoveryPolicy { retry_jitter: 0.5, ..RecoveryPolicy::default() };
+
+        let storm: Vec<f64> = (0..64).map(|_| fixed.backoff_secs(1)).collect();
+        assert!(storm.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()), "storm expected");
+
+        let salts: Vec<u64> = (0..64).map(|uid| 1000 + uid).collect();
+        let spread: Vec<f64> =
+            salts.iter().map(|&s| jittered.jittered_backoff_secs(1, s)).collect();
+        let distinct: std::collections::HashSet<u64> =
+            spread.iter().map(|d| d.to_bits()).collect();
+        assert!(distinct.len() >= 60, "only {} distinct delays", distinct.len());
+        for &d in &spread {
+            assert!((1.0 - 1e-12..=2.0 + 1e-12).contains(&d), "delay {d} outside [base/2, base]");
+        }
+
+        // Deterministic given the seed/salt, and jitter-off is exact.
+        let replay: Vec<f64> =
+            salts.iter().map(|&s| jittered.jittered_backoff_secs(1, s)).collect();
+        assert_eq!(
+            spread.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+            replay.iter().map(|d| d.to_bits()).collect::<Vec<_>>()
+        );
+        let exact = fixed.jittered_backoff_secs(3, 123);
+        assert!((exact - fixed.backoff_secs(3)).abs() < 1e-15);
     }
 
     #[test]

@@ -330,6 +330,82 @@ pub fn flight_job_with_pool(
     assemble_flighted_job(job, reference_tokens, &tasks, results)
 }
 
+/// The flat (job index, allocation, repetition) grid a workload flight
+/// fans out, in sequential order. This is the checkpointable unit of the
+/// flighting phase: each cell's seed is a pure function of its
+/// coordinates (see [`flight_cell_seed`]), so any completed prefix of
+/// this list can be persisted and the remainder replayed later with
+/// bit-identical results.
+pub fn flight_tasks(
+    jobs: &[Job],
+    reference_tokens: &[u32],
+    config: &FlightConfig,
+) -> Vec<(usize, u32, u32)> {
+    let reps = config.repetitions.max(1);
+    jobs.iter()
+        .enumerate()
+        .flat_map(|(i, _)| {
+            let tokens = reference_tokens.get(i).copied().unwrap_or(0);
+            let allocs =
+                if tokens == 0 { Vec::new() } else { flight_allocations(tokens, config) };
+            allocs
+                .into_iter()
+                .flat_map(move |alloc| (0..reps).map(move |rep| (i, alloc, rep)))
+        })
+        .collect()
+}
+
+/// The base seed of one grid cell (exactly what the sequential harness
+/// and both fan-outs use).
+pub fn flight_cell_seed(config: &FlightConfig, job_id: u64, alloc: u32, rep: u32) -> u64 {
+    flight_seed(config, job_id, alloc, rep)
+}
+
+/// Run one cell of the flighting grid, with the harness's usual span,
+/// seed discipline, and failed-flight re-submission.
+pub fn run_flight_cell(
+    job: &Job,
+    executor: &Executor,
+    alloc: u32,
+    rep: u32,
+    config: &FlightConfig,
+    scratch: &mut ExecScratch,
+) -> Result<ExecutionResult, SimError> {
+    let _span = flight_span(job.id, alloc, rep);
+    let base_seed = flight_seed(config, job.id, alloc, rep);
+    run_with_retries(executor, alloc, base_seed, config, scratch)
+}
+
+/// Regroup flat per-cell results (in [`flight_tasks`] order) into one
+/// [`FlightedJob`] per job, preserving the sequential harness's
+/// semantics: jobs with a zero reference get the typed error, and the
+/// first cell error within a job surfaces in sequential order.
+pub fn assemble_workload(
+    jobs: &[Job],
+    reference_tokens: &[u32],
+    config: &FlightConfig,
+    results: impl IntoIterator<Item = Result<ExecutionResult, SimError>>,
+) -> Vec<Result<FlightedJob, SimError>> {
+    let reps = config.repetitions.max(1);
+    let mut results = results.into_iter();
+    jobs.iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let tokens = reference_tokens.get(i).copied().unwrap_or(0);
+            if tokens == 0 {
+                return Err(SimError::InvalidAllocation { allocation: 0 });
+            }
+            let job_tasks: Vec<(u32, u32)> = flight_allocations(tokens, config)
+                .iter()
+                .flat_map(|&alloc| (0..reps).map(move |rep| (alloc, rep)))
+                .collect();
+            let job_results: Vec<Result<ExecutionResult, SimError>> =
+                results.by_ref().take(job_tasks.len()).collect();
+            assemble_flighted_job(job, tokens, &job_tasks, job_results)
+        })
+        .collect()
+}
+
 /// Flight a whole workload: every (job × allocation × repetition) cell
 /// becomes one task in a single flat fan-out over `pool`, so small jobs
 /// cannot leave workers idle while a large job finishes. Returns one
@@ -343,54 +419,22 @@ pub fn flight_workload(
     pool: &Pool,
 ) -> Vec<Result<FlightedJob, SimError>> {
     debug_assert_eq!(jobs.len(), reference_tokens.len());
-    let reps = config.repetitions.max(1);
     let executors: Vec<Executor> = jobs.iter().map(|j| j.executor()).collect();
-    let per_job: Vec<(usize, Vec<u32>)> = jobs
-        .iter()
-        .enumerate()
-        .map(|(i, _)| {
-            let tokens = reference_tokens.get(i).copied().unwrap_or(0);
-            let allocs =
-                if tokens == 0 { Vec::new() } else { flight_allocations(tokens, config) };
-            (i, allocs)
-        })
-        .collect();
-    // Flatten to (job index, allocation, repetition) in sequential order.
-    let tasks: Vec<(usize, u32, u32)> = per_job
-        .iter()
-        .flat_map(|(i, allocs)| {
-            allocs
-                .iter()
-                .flat_map(move |&alloc| (0..reps).map(move |rep| (*i, alloc, rep)))
-        })
-        .collect();
+    let tasks = flight_tasks(jobs, reference_tokens, config);
     let results = pool
         .par_map(&tasks, |_, &(job_idx, alloc, rep)| {
-            let _span = flight_span(jobs[job_idx].id, alloc, rep);
             let mut scratch = ExecScratch::default();
-            let base_seed = flight_seed(config, jobs[job_idx].id, alloc, rep);
-            run_with_retries(&executors[job_idx], alloc, base_seed, config, &mut scratch)
+            run_flight_cell(
+                &jobs[job_idx],
+                &executors[job_idx],
+                alloc,
+                rep,
+                config,
+                &mut scratch,
+            )
         })
         .unwrap_or_else(|e| std::panic::resume_unwind(Box::new(e.to_string())));
-
-    // Regroup the flat results per job, preserving sequential semantics.
-    let mut results = results.into_iter();
-    per_job
-        .into_iter()
-        .map(|(i, allocs)| {
-            let tokens = reference_tokens.get(i).copied().unwrap_or(0);
-            if tokens == 0 {
-                return Err(SimError::InvalidAllocation { allocation: 0 });
-            }
-            let job_tasks: Vec<(u32, u32)> = allocs
-                .iter()
-                .flat_map(|&alloc| (0..reps).map(move |rep| (alloc, rep)))
-                .collect();
-            let job_results: Vec<Result<ExecutionResult, SimError>> =
-                results.by_ref().take(job_tasks.len()).collect();
-            assemble_flighted_job(&jobs[i], tokens, &job_tasks, job_results)
-        })
-        .collect()
+    assemble_workload(jobs, reference_tokens, config, results)
 }
 
 /// Fraction of a run's token-seconds that may be fault churn (crashed

@@ -29,9 +29,11 @@ pub mod signature;
 pub mod stats;
 
 pub use cache::{CacheConfig, CacheStats, SignatureCache};
-pub use registry::{ActiveModel, ModelRegistry, SwapError};
+pub use registry::{
+    ActiveModel, DurableDeployError, ManifestRecord, ModelRegistry, SwapError,
+};
 pub use server::{
-    ScoringServer, ServeConfig, ServedResponse, ServedVia, SubmitError, Ticket,
+    RequestError, ScoringServer, ServeConfig, ServedResponse, ServedVia, SubmitError, Ticket,
 };
 pub use signature::PlanSignature;
 pub use stats::{LatencyHistogram, LatencySnapshot, ServerStatsSnapshot};

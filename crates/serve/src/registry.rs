@@ -14,16 +14,29 @@
 //! their snapshot even while a writer replaces the pointer. Each
 //! successful swap bumps a `generation`, which the serving cache mixes
 //! into its keys so stale cached predictions become unreachable.
+//!
+//! For crash recovery, a registry can be opened *durably*
+//! ([`ModelRegistry::deploy_durable`]): every probe-validated deployment
+//! is appended to a WAL-style manifest (a `tasq-resil` CRC-framed
+//! [`FrameLog`]) **before** it starts serving. On restart the manifest
+//! replays to the last durable record — a torn tail from a crash
+//! mid-append is trimmed back to the previous record, a corrupt frame
+//! (CRC mismatch) refuses recovery outright — and generation numbering
+//! resumes from there, so cache keys from a previous process life can
+//! never alias a post-restart deployment.
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use scope_sim::Job;
+use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tasq::pipeline::{
     DeployError, ModelChoice, ModelStore, ScoringConfig, ScoringService, ServedTier,
     NN_MODEL_NAME, XGB_MODEL_NAME,
 };
+use tasq_resil::{FrameLog, ResilError};
 
 /// One immutable deployment: the scoring service plus its provenance.
 pub struct ActiveModel {
@@ -67,6 +80,10 @@ pub enum SwapError {
         /// First observed failure, for the operator.
         detail: String,
     },
+    /// The durable manifest could not record the swap; without a durable
+    /// record the swap is not performed and the previous deployment
+    /// keeps serving (write-ahead semantics).
+    Manifest(String),
 }
 
 impl fmt::Display for SwapError {
@@ -75,6 +92,9 @@ impl fmt::Display for SwapError {
             SwapError::Deploy(e) => write!(f, "hot-swap rejected: {e}"),
             SwapError::Validation { probes, failures, detail } => {
                 write!(f, "hot-swap rejected: {failures}/{probes} probe failures ({detail})")
+            }
+            SwapError::Manifest(detail) => {
+                write!(f, "hot-swap rejected: manifest append failed ({detail})")
             }
         }
     }
@@ -88,11 +108,66 @@ impl From<DeployError> for SwapError {
     }
 }
 
+/// One durable manifest entry: a deployment that passed probe validation
+/// and was (or is about to start) serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestRecord {
+    /// Generation of the deployment (monotone across process restarts).
+    pub generation: u64,
+    /// Model family served as the primary tier.
+    pub choice: ModelChoice,
+    /// Store version of the primary artifact.
+    pub version: u32,
+}
+
+/// Why a durable deployment could not start.
+#[derive(Debug)]
+pub enum DurableDeployError {
+    /// The artifact itself could not be deployed.
+    Deploy(DeployError),
+    /// The manifest could not be recovered or written. A corrupt frame
+    /// (CRC mismatch on a non-tail frame) lands here: recovery refuses to
+    /// guess and the operator must intervene. A merely *torn* tail does
+    /// not — it is trimmed to the last durable record automatically.
+    Manifest(ResilError),
+}
+
+impl fmt::Display for DurableDeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableDeployError::Deploy(e) => write!(f, "durable deploy failed: {e}"),
+            DurableDeployError::Manifest(e) => {
+                write!(f, "durable deploy failed: manifest unusable ({e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableDeployError {}
+
+impl From<DeployError> for DurableDeployError {
+    fn from(e: DeployError) -> Self {
+        DurableDeployError::Deploy(e)
+    }
+}
+
+fn decode_record(payload: &[u8]) -> Result<ManifestRecord, ResilError> {
+    tasq::codec::from_bytes(payload).map_err(|_| ResilError::Decode { context: "manifest record" })
+}
+
+fn encode_record(record: &ManifestRecord) -> Result<Vec<u8>, ResilError> {
+    tasq::codec::to_bytes(record)
+        .map(|bytes| bytes.to_vec())
+        .map_err(|_| ResilError::Decode { context: "manifest record" })
+}
+
 /// The registry: one active deployment, swappable under traffic.
 pub struct ModelRegistry {
     active: RwLock<Arc<ActiveModel>>,
     swaps: AtomicU64,
     rollbacks: AtomicU64,
+    /// WAL-style deployment manifest (durable registries only).
+    manifest: Option<Mutex<FrameLog>>,
 }
 
 /// Store name of the artifact backing a model choice's primary tier.
@@ -188,7 +263,63 @@ impl ModelRegistry {
             active: RwLock::new(Arc::new(active)),
             swaps: AtomicU64::new(0),
             rollbacks: AtomicU64::new(0),
+            manifest: None,
         })
+    }
+
+    /// Deploy with a durable WAL-style manifest at `manifest_path`.
+    ///
+    /// The manifest is replayed first: generation numbering resumes after
+    /// the last durable record (a fresh manifest starts at 1), so a
+    /// restarted server can never reuse a generation a previous process
+    /// life already served under. The new deployment is appended to the
+    /// manifest *before* it starts serving; every subsequent successful
+    /// [`ModelRegistry::hot_swap`] is likewise logged ahead of the swap.
+    ///
+    /// A torn manifest tail (crash mid-append) is trimmed to the last
+    /// durable record; a corrupt manifest (CRC mismatch, foreign magic)
+    /// is refused with [`DurableDeployError::Manifest`].
+    pub fn deploy_durable(
+        store: &ModelStore,
+        choice: ModelChoice,
+        config: ScoringConfig,
+        manifest_path: &Path,
+    ) -> Result<Self, DurableDeployError> {
+        let (mut log, recovery) =
+            FrameLog::open_or_create(manifest_path).map_err(DurableDeployError::Manifest)?;
+        let last = recovery
+            .last()
+            .map(|frame| decode_record(&frame.payload))
+            .transpose()
+            .map_err(DurableDeployError::Manifest)?;
+        let service = ScoringService::deploy(store, choice, config)?;
+        let generation = last.map_or(1, |record| record.generation + 1);
+        let version = latest_version(store, choice);
+        let record = ManifestRecord { generation, choice, version };
+        let payload = encode_record(&record).map_err(DurableDeployError::Manifest)?;
+        log.append(&payload).map_err(DurableDeployError::Manifest)?;
+        let active = ActiveModel { service, choice, version, generation };
+        Ok(Self {
+            active: RwLock::new(Arc::new(active)),
+            swaps: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
+            manifest: Some(Mutex::new(log)),
+        })
+    }
+
+    /// Replay a manifest (read-only) to its last durable record, without
+    /// opening a registry. `Ok(None)` when no manifest exists yet; a
+    /// corrupt manifest is refused with the typed error.
+    pub fn last_manifest_record(
+        manifest_path: &Path,
+    ) -> Result<Option<ManifestRecord>, ResilError> {
+        match tasq_resil::frame::recover(manifest_path) {
+            Ok(recovery) => {
+                recovery.last().map(|frame| decode_record(&frame.payload)).transpose()
+            }
+            Err(ResilError::NoCheckpoint) => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 
     /// Snapshot of the current deployment. Cheap (`Arc` clone under a
@@ -237,12 +368,23 @@ impl ModelRegistry {
         }
         let version = latest_version(store, choice);
         let mut active = self.active.write();
-        let next = Arc::new(ActiveModel {
-            service: candidate,
-            choice,
-            version,
-            generation: active.generation + 1,
-        });
+        let generation = active.generation + 1;
+        if let Some(manifest) = &self.manifest {
+            // Write-ahead: the swap is durable before it is observable.
+            // On append failure nothing swaps, so the manifest can lag
+            // reality (a logged deploy that crashed before serving) but
+            // never lead it with an unserved generation... which is
+            // exactly what replay-then-resume-numbering tolerates.
+            let record = ManifestRecord { generation, choice, version };
+            let appended = encode_record(&record)
+                .and_then(|payload| manifest.lock().append(&payload).map(|_| ()));
+            if let Err(e) = appended {
+                drop(active);
+                self.rollbacks.fetch_add(1, Ordering::Relaxed);
+                return Err(SwapError::Manifest(e.to_string()));
+            }
+        }
+        let next = Arc::new(ActiveModel { service: candidate, choice, version, generation });
         *active = Arc::clone(&next);
         drop(active);
         self.swaps.fetch_add(1, Ordering::Relaxed);
@@ -396,6 +538,85 @@ mod tests {
         // The previous (healthy) deployment keeps serving.
         let active = registry.current();
         assert_eq!((active.generation, active.version), (1, 1));
+    }
+
+    fn manifest_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tasq-manifest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn durable_registry_resumes_generation_numbering_across_restarts() {
+        let dir = manifest_dir("resume");
+        let path = dir.join("registry.wal");
+        let store = trained_store(91);
+
+        let first =
+            ModelRegistry::deploy_durable(&store, ModelChoice::Nn, ScoringConfig::default(), &path)
+                .expect("fresh manifest");
+        assert_eq!(first.generation(), 1);
+        let probes = jobs(3, 93);
+        first
+            .hot_swap(&store, ModelChoice::Nn, ScoringConfig::default(), &probes)
+            .expect("swap recorded");
+        assert_eq!(first.generation(), 2);
+        drop(first);
+
+        // "Process restart": the manifest replays and numbering resumes
+        // past everything a previous life served under.
+        let second =
+            ModelRegistry::deploy_durable(&store, ModelChoice::Nn, ScoringConfig::default(), &path)
+                .expect("recovered manifest");
+        assert_eq!(second.generation(), 3, "generation resumes after the last durable record");
+        let last = ModelRegistry::last_manifest_record(&path).unwrap().expect("records exist");
+        assert_eq!(last, ManifestRecord { generation: 3, choice: ModelChoice::Nn, version: 1 });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_manifest_recovers_last_record_and_corrupt_manifest_refuses() {
+        let dir = manifest_dir("damage");
+        let path = dir.join("registry.wal");
+        let store = trained_store(95);
+        drop(
+            ModelRegistry::deploy_durable(&store, ModelChoice::Nn, ScoringConfig::default(), &path)
+                .unwrap(),
+        );
+        drop(
+            ModelRegistry::deploy_durable(&store, ModelChoice::Nn, ScoringConfig::default(), &path)
+                .unwrap(),
+        );
+        let intact = std::fs::read(&path).unwrap();
+
+        // A crash mid-append tears the second record: replay trims back
+        // to the first, and the next deployment becomes generation 2.
+        std::fs::write(&path, &intact[..intact.len() - 3]).unwrap();
+        let last = ModelRegistry::last_manifest_record(&path).unwrap().expect("first record");
+        assert_eq!(last.generation, 1);
+        let reopened =
+            ModelRegistry::deploy_durable(&store, ModelChoice::Nn, ScoringConfig::default(), &path)
+                .expect("torn tail is trimmed, not fatal");
+        assert_eq!(reopened.generation(), 2);
+        drop(reopened);
+
+        // Bit rot inside a committed frame is NOT recoverable: refuse.
+        let mut rotten = intact.clone();
+        rotten[24] ^= 0xFF; // first frame's payload (8 log header + 16 frame header)
+        std::fs::write(&path, &rotten).unwrap();
+        assert!(ModelRegistry::last_manifest_record(&path).is_err());
+        assert!(matches!(
+            ModelRegistry::deploy_durable(
+                &store,
+                ModelChoice::Nn,
+                ScoringConfig::default(),
+                &path
+            ),
+            Err(DurableDeployError::Manifest(e)) if e.is_corrupt()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //!    (cheap, model-free, clearly marked); at full capacity it is
 //!    rejected with [`SubmitError::Overloaded`]. The queue can therefore
 //!    never grow beyond its configured bound.
+//! 4. **Supervision** — each worker slot runs under a supervisor that
+//!    catches panics and respawns the worker. Requests in flight when a
+//!    worker dies resolve to the typed [`RequestError::WorkerLost`] —
+//!    never a hang. Per-request deadline budgets resolve overdue work to
+//!    [`RequestError::DeadlineExceeded`], and a [`CircuitBreaker`] over
+//!    the primary model tier trips onto the analytic fallback after
+//!    consecutive primary failures, half-open-probing its way back.
 //!
 //! All coordination is std-only (threads + mpsc channels + atomics), in
 //! keeping with the workspace's vendored offline dependencies.
@@ -26,13 +33,14 @@ use crate::stats::{LatencyHistogram, ServerStatsSnapshot};
 use parking_lot::Mutex;
 use scope_sim::{EventTrace, Job, TraceOp};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, OnceLock};
 use std::time::{Duration, Instant};
 use tasq::pipeline::{ScoreResponse, ScoringService};
 use tasq_obs::{Counter, FieldValue, Level};
+use tasq_resil::{BreakerConfig, BreakerState, ChaosPlan, CircuitBreaker};
 
 /// Always-on counters mirrored into the global metrics registry so the
 /// Prometheus/JSON expositions see serving activity live, without waiting
@@ -45,6 +53,9 @@ struct ServeMetrics {
     shed: Counter,
     rejected: Counter,
     batches: Counter,
+    worker_respawns: Counter,
+    deadline_timeouts: Counter,
+    breaker_trips: Counter,
     /// Process-wide latency histogram; each server also keeps its own
     /// detached histogram for per-server snapshots.
     latency: tasq_obs::Histogram,
@@ -64,6 +75,12 @@ fn serve_metrics() -> &'static ServeMetrics {
             shed: r.counter("serve_shed_total", "requests shed to the analytic tier"),
             rejected: r.counter("serve_rejected_total", "requests rejected as overloaded"),
             batches: r.counter("serve_batches_total", "micro-batches executed"),
+            worker_respawns: r
+                .counter("serve_worker_respawns", "panicked workers respawned by the supervisor"),
+            deadline_timeouts: r
+                .counter("serve_deadline_timeouts", "requests resolved as over their deadline"),
+            breaker_trips: r
+                .counter("serve_breaker_trips", "primary-tier circuit breaker open transitions"),
             latency: r
                 .histogram("serve_latency_us", "end-to-end request latency in microseconds"),
         }
@@ -95,6 +112,23 @@ pub struct ServeConfig {
     /// unsynchronized cross-thread accesses. `None` (the default) records
     /// nothing and costs nothing.
     pub trace: Option<EventTrace>,
+    /// Default per-request deadline budget. A queued request whose budget
+    /// has elapsed by the time a worker picks it up resolves to
+    /// [`RequestError::DeadlineExceeded`] instead of being scored late.
+    /// `None` (the default) disables deadline enforcement;
+    /// [`ScoringServer::submit_with_deadline`] overrides per request.
+    pub deadline: Option<Duration>,
+    /// Circuit breaker over the primary model tier: after
+    /// `failure_threshold` consecutive primary failures the breaker opens
+    /// and batched requests are answered by the analytic tier until a
+    /// half-open probe succeeds. Ticks are request sequence numbers, so
+    /// behavior is deterministic for a deterministic request stream.
+    pub breaker: BreakerConfig,
+    /// Deterministic fault-injection plan for the chaos harness: planted
+    /// worker panics, a primary-tier fault window, and deadline storms,
+    /// all keyed by request sequence number. `None` (the default) injects
+    /// nothing and costs one branch per request.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +141,9 @@ impl Default for ServeConfig {
             shed_watermark: 448,
             cache: CacheConfig::default(),
             trace: None,
+            deadline: None,
+            breaker: BreakerConfig::default(),
+            chaos: None,
         }
     }
 }
@@ -172,6 +209,35 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Why an *admitted* request did not produce a response. Every admitted
+/// request resolves to either a [`ServedResponse`] or one of these —
+/// never a silent hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The worker scoring this request died (panicked or was torn down);
+    /// the supervisor respawned the pool, but this request's work was
+    /// lost. Safe to retry.
+    WorkerLost,
+    /// The request's deadline budget elapsed before a worker reached it.
+    DeadlineExceeded {
+        /// The budget that was exceeded.
+        budget: Duration,
+    },
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::WorkerLost => write!(f, "scoring worker lost; retry"),
+            RequestError::DeadlineExceeded { budget } => {
+                write!(f, "deadline budget {budget:?} exceeded before scoring")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
 /// Handle to an in-flight (or already answered) request.
 pub struct Ticket {
     inner: TicketInner,
@@ -180,26 +246,41 @@ pub struct Ticket {
 enum TicketInner {
     Ready(ServedResponse),
     Pending {
-        rx: mpsc::Receiver<ServedResponse>,
+        rx: mpsc::Receiver<Result<ServedResponse, RequestError>>,
         trace: Option<EventTrace>,
         seq: u64,
     },
 }
 
 impl Ticket {
-    /// Wait for the response. `None` only if the server was torn down
-    /// with the request still queued.
+    /// Wait for the response. `None` when the request resolved to a
+    /// typed failure instead — use [`Ticket::outcome`] to see which.
     pub fn wait(self) -> Option<ServedResponse> {
+        self.outcome().ok()
+    }
+
+    /// Wait for the typed resolution of this request: the response, or
+    /// the reason no response was produced. Never hangs on a dead worker:
+    /// a panicked worker's in-flight requests resolve to
+    /// [`RequestError::WorkerLost`] (either replied by the unwinding
+    /// batch guard or observed as reply-channel hangup).
+    pub fn outcome(self) -> Result<ServedResponse, RequestError> {
         match self.inner {
-            TicketInner::Ready(response) => Some(response),
+            TicketInner::Ready(response) => Ok(response),
             TicketInner::Pending { rx, trace, seq } => {
-                let response = rx.recv().ok()?;
-                if let Some(trace) = &trace {
-                    let actor = trace.register_actor();
-                    trace.record(actor, TraceOp::Recv { chan: CHAN_REPLY_BASE | seq, msg: seq });
-                    trace.record(actor, TraceOp::Read(RES_RESPONSE_BASE | seq));
+                let outcome = rx.recv().unwrap_or(Err(RequestError::WorkerLost));
+                // Only successful replies traced: the worker records the
+                // matching Send/Write solely on the response path, and the
+                // checker requires every Recv to pair with a Send.
+                if outcome.is_ok() {
+                    if let Some(trace) = &trace {
+                        let actor = trace.register_actor();
+                        trace
+                            .record(actor, TraceOp::Recv { chan: CHAN_REPLY_BASE | seq, msg: seq });
+                        trace.record(actor, TraceOp::Read(RES_RESPONSE_BASE | seq));
+                    }
                 }
-                Some(response)
+                outcome
             }
         }
     }
@@ -210,7 +291,8 @@ struct Envelope {
     key: u64,
     seq: u64,
     submitted: Instant,
-    reply: mpsc::SyncSender<ServedResponse>,
+    deadline: Option<Duration>,
+    reply: mpsc::SyncSender<Result<ServedResponse, RequestError>>,
 }
 
 #[derive(Default)]
@@ -224,6 +306,11 @@ struct Counters {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     peak_queue_depth: AtomicU64,
+    worker_lost: AtomicU64,
+    deadline_timeouts: AtomicU64,
+    worker_respawns: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_recoveries: AtomicU64,
     /// Per-envelope sequence numbers keying trace channels/resources.
     trace_seq: AtomicU64,
 }
@@ -237,6 +324,10 @@ struct Shared {
     counters: Counters,
     latency: LatencyHistogram,
     shutdown: AtomicBool,
+    /// Drain mode: new submissions are refused but workers keep going.
+    draining: AtomicBool,
+    /// Primary-tier circuit breaker, ticked by request sequence number.
+    breaker: Mutex<CircuitBreaker>,
     config: ServeConfig,
 }
 
@@ -290,6 +381,8 @@ impl ScoringServer {
             counters: Counters::default(),
             latency: LatencyHistogram::new(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            breaker: Mutex::new(CircuitBreaker::new(config.breaker)),
             config: config.clone(),
         });
         // The channel bound exceeds the admission bound, so `send` below
@@ -298,10 +391,10 @@ impl ScoringServer {
         let (tx, rx) = mpsc::sync_channel::<Envelope>(bound);
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..config.workers.max(1))
-            .map(|_| {
+            .map(|slot| {
                 let shared = Arc::clone(&shared);
                 let rx = Arc::clone(&rx);
-                std::thread::spawn(move || worker_loop(&shared, &rx))
+                std::thread::spawn(move || supervise_worker(&shared, &rx, slot))
             })
             .collect();
         Self { shared, tx, workers }
@@ -310,8 +403,21 @@ impl ScoringServer {
     /// Submit one job for scoring. Returns a [`Ticket`] immediately; the
     /// ticket is pre-resolved on the cache and shed paths.
     pub fn submit(&self, job: Job) -> Result<Ticket, SubmitError> {
+        self.submit_with_deadline(job, None)
+    }
+
+    /// Submit with an explicit per-request deadline budget, overriding
+    /// [`ServeConfig::deadline`]. A queued request whose budget elapses
+    /// before a worker reaches it resolves to
+    /// [`RequestError::DeadlineExceeded`]. Cache hits and sheds answer
+    /// inline and never time out.
+    pub fn submit_with_deadline(
+        &self,
+        job: Job,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
         let shared = &self.shared;
-        if shared.shutdown.load(Ordering::Relaxed) {
+        if shared.shutdown.load(Ordering::Relaxed) || shared.draining.load(Ordering::Relaxed) {
             return Err(SubmitError::ShuttingDown);
         }
         let _span =
@@ -380,7 +486,15 @@ impl ScoringServer {
             trace.record(actor, TraceOp::Write(RES_REQUEST_BASE | seq));
             trace.record(actor, TraceOp::Send { chan: CHAN_QUEUE, msg: seq });
         }
-        let envelope = Envelope { job, key, seq, submitted, reply };
+        let mut deadline = deadline.or(config.deadline);
+        if let Some(plan) = &config.chaos {
+            // Deadline storms hand the request an (often unmeetable)
+            // budget; the worker resolves it as a typed timeout.
+            if let Some(budget_us) = plan.storm_budget_us(seq) {
+                deadline = Some(Duration::from_micros(budget_us));
+            }
+        }
+        let envelope = Envelope { job, key, seq, submitted, deadline, reply };
         if self.tx.send(envelope).is_err() {
             shared.depth.fetch_sub(1, Ordering::SeqCst);
             return Err(SubmitError::ShuttingDown);
@@ -410,10 +524,20 @@ impl ScoringServer {
             batches: c.batches.load(Ordering::Relaxed),
             batched_requests: c.batched_requests.load(Ordering::Relaxed),
             peak_queue_depth: c.peak_queue_depth.load(Ordering::Relaxed),
+            worker_lost: c.worker_lost.load(Ordering::Relaxed),
+            deadline_timeouts: c.deadline_timeouts.load(Ordering::Relaxed),
+            worker_respawns: c.worker_respawns.load(Ordering::Relaxed),
+            breaker_trips: c.breaker_trips.load(Ordering::Relaxed),
+            breaker_recoveries: c.breaker_recoveries.load(Ordering::Relaxed),
             generation: shared.registry.generation(),
             latency: shared.latency.snapshot(),
             cache: shared.cache.stats(),
         }
+    }
+
+    /// Current state of the primary-tier circuit breaker.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.shared.breaker.lock().state()
     }
 
     /// The registry this server scores against (hot-swaps through it take
@@ -424,6 +548,22 @@ impl ScoringServer {
 
     /// Stop accepting requests, drain the queue, and join the workers.
     pub fn shutdown(mut self) -> ServerStatsSnapshot {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    /// Graceful drain: refuse new submissions (callers see
+    /// [`SubmitError::ShuttingDown`]), wait until every admitted request
+    /// has left the queue and been answered, then join the workers and
+    /// return final stats. Unlike [`ScoringServer::shutdown`], the
+    /// refusal starts *before* the workers are told to stop, so a load
+    /// generator can stop the world without racing its own tail of
+    /// submissions against worker teardown.
+    pub fn drain(mut self) -> ServerStatsSnapshot {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        while self.shared.depth.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         self.stop_and_join();
         self.stats()
     }
@@ -475,6 +615,53 @@ fn collect_batch(
     Some(batch)
 }
 
+/// One worker slot: run [`worker_loop`] under a panic boundary and
+/// respawn it (in place, same thread) after every panic until shutdown.
+/// A panicking worker cannot hang its in-flight requests: the unwinding
+/// [`BatchGuard`] resolves everything it still holds to
+/// [`RequestError::WorkerLost`].
+fn supervise_worker(shared: &Shared, rx: &Mutex<mpsc::Receiver<Envelope>>, slot: usize) {
+    loop {
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_loop(shared, rx)));
+        match outcome {
+            // Clean exit: shutdown observed or the queue disconnected.
+            Ok(()) => break,
+            Err(_) => {
+                shared.counters.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                serve_metrics().worker_respawns.inc();
+                tasq_obs::event(
+                    Level::Warn,
+                    "serve_worker_respawn",
+                    &[("slot", FieldValue::U64(slot as u64))],
+                );
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Holds the unanswered tail of a micro-batch. Envelopes are popped as
+/// they are answered; if the worker unwinds mid-batch, `Drop` resolves
+/// every remaining envelope — including the one being scored — to
+/// [`RequestError::WorkerLost`], so admitted requests can never hang on
+/// a dead worker.
+struct BatchGuard<'a> {
+    shared: &'a Shared,
+    pending: VecDeque<Envelope>,
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        for envelope in self.pending.drain(..) {
+            self.shared.counters.worker_lost.fetch_add(1, Ordering::Relaxed);
+            let _ = envelope.reply.send(Err(RequestError::WorkerLost));
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<Envelope>>) {
     let trace = shared.config.trace.clone();
     let trace_actor = trace.as_ref().map(EventTrace::register_actor);
@@ -496,39 +683,119 @@ fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<Envelope>>) {
         // invisible, the next batch sees the new generation.
         let active = shared.registry.current();
         let mut scored_in_batch: HashMap<u64, ScoreResponse> = HashMap::new();
-        for envelope in batch {
+        let mut guard = BatchGuard { shared, pending: batch.into() };
+        while let Some(envelope) = guard.pending.front() {
+            let seq = envelope.seq;
+            if shared.config.chaos.as_ref().is_some_and(|plan| plan.panics_at(seq)) {
+                // lint: allow(no-panic) — deliberate chaos-harness fault; the supervisor respawns this worker
+                panic!("chaos: planted worker panic at request {seq}");
+            }
             if let (Some(trace), Some(actor)) = (&trace, trace_actor) {
-                trace.record(actor, TraceOp::Recv { chan: CHAN_QUEUE, msg: envelope.seq });
+                trace.record(actor, TraceOp::Recv { chan: CHAN_QUEUE, msg: seq });
                 // Reading the request buffer is race-free only because the
                 // queue edge orders it after the submitter's write.
-                trace.record(actor, TraceOp::Read(RES_REQUEST_BASE | envelope.seq));
+                trace.record(actor, TraceOp::Read(RES_REQUEST_BASE | seq));
             }
-            let mut response = match scored_in_batch.get(&envelope.key) {
-                // Identical signatures inside one batch are scored once.
-                Some(response) => response.clone(),
-                None => {
-                    let response = active.service().score(&envelope.job);
-                    scored_in_batch.insert(envelope.key, response.clone());
-                    shared.cache.insert(envelope.key, response.clone());
-                    response
+            let outcome = match envelope.deadline {
+                Some(budget) if envelope.submitted.elapsed() >= budget => {
+                    Err(RequestError::DeadlineExceeded { budget })
                 }
+                _ => Ok(score_envelope(shared, &active, &mut scored_in_batch, envelope)),
             };
-            response.job_id = envelope.job.id;
-            shared.finish(ServedVia::Model, envelope.submitted);
-            let served = ServedResponse {
-                response,
-                via: ServedVia::Model,
-                generation: active.generation,
-            };
-            if let (Some(trace), Some(actor)) = (&trace, trace_actor) {
-                trace.record(actor, TraceOp::Write(RES_RESPONSE_BASE | envelope.seq));
-                let chan = CHAN_REPLY_BASE | envelope.seq;
-                trace.record(actor, TraceOp::Send { chan, msg: envelope.seq });
+            // The immutable borrow of `envelope` ends here; reclaim it to
+            // reply and mark it answered (a panic above leaves it in the
+            // guard, which resolves it to WorkerLost on unwind).
+            let Some(envelope) = guard.pending.pop_front() else { break };
+            match outcome {
+                Ok(served) => {
+                    shared.finish(ServedVia::Model, envelope.submitted);
+                    if let (Some(trace), Some(actor)) = (&trace, trace_actor) {
+                        trace.record(actor, TraceOp::Write(RES_RESPONSE_BASE | envelope.seq));
+                        let chan = CHAN_REPLY_BASE | envelope.seq;
+                        trace.record(actor, TraceOp::Send { chan, msg: envelope.seq });
+                    }
+                    // The requester may have dropped its ticket; fine.
+                    let _ = envelope.reply.send(Ok(served));
+                }
+                Err(err) => {
+                    shared.counters.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+                    serve_metrics().deadline_timeouts.inc();
+                    tasq_obs::event(
+                        Level::Warn,
+                        "serve_deadline_timeout",
+                        &[("seq", FieldValue::U64(envelope.seq))],
+                    );
+                    let _ = envelope.reply.send(Err(err));
+                }
             }
-            // The requester may have dropped its ticket; that is fine.
-            let _ = envelope.reply.send(served);
         }
     }
+}
+
+/// Score one envelope through the circuit breaker: closed → primary
+/// service (with in-batch dedup + cache fill); open → analytic tier.
+/// Primary outcomes (including chaos-injected faults in the plan's fault
+/// window) feed back into the breaker, ticked by request sequence.
+fn score_envelope(
+    shared: &Shared,
+    active: &crate::registry::ActiveModel,
+    scored_in_batch: &mut HashMap<u64, ScoreResponse>,
+    envelope: &Envelope,
+) -> ServedResponse {
+    let seq = envelope.seq;
+    let fault_injected = shared.config.chaos.as_ref().is_some_and(|plan| plan.nn_faulted(seq));
+    let allowed = shared.breaker.lock().allow(seq);
+    let (mut response, primary_attempted) = if !allowed {
+        // Breaker open: the primary tier is skipped entirely and the
+        // analytic rung of the degradation ladder answers.
+        (shared.analytic.score(&envelope.job), false)
+    } else if fault_injected {
+        // The primary "failed" (chaos fault window); the request still
+        // gets a valid analytic answer, and the breaker hears about it.
+        (shared.analytic.score(&envelope.job), true)
+    } else {
+        let response = match scored_in_batch.get(&envelope.key) {
+            // Identical signatures inside one batch are scored once.
+            Some(response) => response.clone(),
+            None => {
+                let response = active.service().score(&envelope.job);
+                if response.predicted_runtime_at_request.is_finite() {
+                    scored_in_batch.insert(envelope.key, response.clone());
+                    shared.cache.insert(envelope.key, response.clone());
+                }
+                response
+            }
+        };
+        (response, true)
+    };
+    if primary_attempted {
+        let success = !fault_injected && response.predicted_runtime_at_request.is_finite();
+        let mut breaker = shared.breaker.lock();
+        let (trips, recoveries) = (breaker.trips(), breaker.recoveries());
+        breaker.record(seq, success);
+        let tripped = breaker.trips() > trips;
+        let recovered = breaker.recoveries() > recoveries;
+        drop(breaker);
+        if tripped {
+            shared.counters.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            serve_metrics().breaker_trips.inc();
+            tasq_obs::event(
+                Level::Warn,
+                "serve_breaker_open",
+                &[("seq", FieldValue::U64(seq))],
+            );
+        }
+        if recovered {
+            shared.counters.breaker_recoveries.fetch_add(1, Ordering::Relaxed);
+            tasq_obs::event(
+                Level::Info,
+                "serve_breaker_closed",
+                &[("seq", FieldValue::U64(seq))],
+            );
+        }
+    }
+    response.job_id = envelope.job.id;
+    ServedResponse { response, via: ServedVia::Model, generation: active.generation }
 }
 
 #[cfg(test)]
@@ -796,6 +1063,135 @@ mod tests {
         assert_eq!(stats.completed, 6, "queued work drains on shutdown");
         for ticket in tickets {
             assert!(ticket.wait().is_some());
+        }
+    }
+
+    /// A chaos plan with only the given worker panics planted.
+    fn panic_plan(seqs: Vec<u64>) -> ChaosPlan {
+        ChaosPlan {
+            preset: "test".into(),
+            seed: 0,
+            kill_after_checkpoints: None,
+            torn_tail_bytes: None,
+            worker_panics: seqs,
+            nn_fault_window: None,
+            deadline_storm: None,
+        }
+    }
+
+    #[test]
+    fn worker_panic_resolves_in_flight_requests_and_respawns() {
+        let server = ScoringServer::start(
+            registry(85),
+            ServeConfig {
+                workers: 1,
+                cache: CacheConfig { enabled: false, ..Default::default() },
+                chaos: Some(panic_plan(vec![2])),
+                ..Default::default()
+            },
+        );
+        // Serial submit/wait: each request is its own batch, sequence
+        // numbers are 0,1,2,... and the planted panic hits seq 2.
+        let mut outcomes = Vec::new();
+        for job in jobs(6, 87) {
+            let ticket = server.submit(job).expect("admitted");
+            outcomes.push(ticket.outcome());
+        }
+        assert_eq!(outcomes.len(), 6, "no request hangs");
+        assert!(
+            matches!(outcomes[2], Err(RequestError::WorkerLost)),
+            "in-flight request typed as lost: {:?}",
+            outcomes[2].as_ref().err()
+        );
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i != 2 {
+                assert!(outcome.is_ok(), "request {i} served after respawn: {outcome:?}");
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.worker_respawns, 1, "supervisor respawned the panicked worker");
+        assert_eq!(stats.worker_lost, 1);
+        assert_eq!(stats.submitted, stats.resolved(), "zero silent loss");
+    }
+
+    #[test]
+    fn expired_deadline_budget_is_a_typed_timeout() {
+        let server = ScoringServer::start(
+            registry(89),
+            ServeConfig {
+                workers: 1,
+                cache: CacheConfig { enabled: false, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let mut batch = jobs(2, 91);
+        let on_time = server.submit(batch.pop().unwrap()).expect("admitted");
+        assert!(on_time.outcome().is_ok());
+        let doomed = server
+            .submit_with_deadline(batch.pop().unwrap(), Some(Duration::ZERO))
+            .expect("admitted");
+        assert!(matches!(
+            doomed.outcome(),
+            Err(RequestError::DeadlineExceeded { budget: Duration::ZERO })
+        ));
+        let stats = server.shutdown();
+        assert_eq!(stats.deadline_timeouts, 1);
+        assert_eq!(stats.submitted, stats.resolved(), "zero silent loss");
+    }
+
+    #[test]
+    fn breaker_trips_on_fault_window_and_recovers_half_open() {
+        let fault_plan = ChaosPlan {
+            nn_fault_window: Some((0, 8)),
+            ..panic_plan(vec![])
+        };
+        let server = ScoringServer::start(
+            registry(93),
+            ServeConfig {
+                workers: 1,
+                cache: CacheConfig { enabled: false, ..Default::default() },
+                breaker: tasq_resil::BreakerConfig {
+                    failure_threshold: 3,
+                    cooldown_ticks: 4,
+                    probe_successes: 2,
+                },
+                chaos: Some(fault_plan),
+                ..Default::default()
+            },
+        );
+        // Serial traffic across the fault window: seqs 0..8 fault the
+        // primary tier; the breaker must open during the window and
+        // half-open its way back to Closed on healthy traffic after it.
+        let mut analytic_served = 0usize;
+        for job in replay_traffic(
+            &jobs(10, 95),
+            &TrafficConfig { requests: 30, repeat_fraction: 0.0, seed: 11 },
+        ) {
+            let served = server.submit(job).expect("admitted").outcome().expect("answered");
+            if served.response.served_tier == tasq::pipeline::ServedTier::Analytic {
+                analytic_served += 1;
+            }
+        }
+        assert_eq!(server.breaker_state(), tasq_resil::BreakerState::Closed);
+        let stats = server.shutdown();
+        assert!(stats.breaker_trips >= 1, "fault window must trip the breaker");
+        assert!(stats.breaker_recoveries >= 1, "breaker must close again after the window");
+        assert!(analytic_served >= 3, "open breaker serves the analytic rung");
+        assert_eq!(stats.completed, 30, "every request answered despite the faults");
+    }
+
+    #[test]
+    fn drain_answers_all_admitted_work_then_refuses() {
+        let server = ScoringServer::start(registry(97), ServeConfig::default());
+        let tickets: Vec<Ticket> = jobs(8, 99)
+            .into_iter()
+            .map(|j| server.submit(j).expect("admitted"))
+            .collect();
+        let stats = server.drain();
+        assert_eq!(stats.completed, 8, "drain waits for every admitted request");
+        assert_eq!(stats.submitted, stats.resolved());
+        for ticket in tickets {
+            assert!(ticket.outcome().is_ok());
         }
     }
 }

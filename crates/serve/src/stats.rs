@@ -98,6 +98,16 @@ pub struct ServerStatsSnapshot {
     pub batched_requests: u64,
     /// Highest queue depth ever observed.
     pub peak_queue_depth: u64,
+    /// Admitted requests resolved as `WorkerLost` by an unwinding worker.
+    pub worker_lost: u64,
+    /// Admitted requests resolved as over their deadline budget.
+    pub deadline_timeouts: u64,
+    /// Panicked workers respawned by the supervisor.
+    pub worker_respawns: u64,
+    /// Primary-tier circuit-breaker open transitions.
+    pub breaker_trips: u64,
+    /// Circuit-breaker half-open → closed recoveries.
+    pub breaker_recoveries: u64,
     /// Model-registry generation at snapshot time.
     pub generation: u64,
     /// End-to-end latency summary.
@@ -107,6 +117,14 @@ pub struct ServerStatsSnapshot {
 }
 
 impl ServerStatsSnapshot {
+    /// Submissions that resolved to *some* terminal outcome: a response
+    /// (`completed`), an overload rejection, a typed `WorkerLost`, or a
+    /// typed deadline timeout. The zero-silent-loss invariant the chaos
+    /// harness enforces is `submitted == resolved()`.
+    pub fn resolved(&self) -> u64 {
+        self.completed + self.rejected + self.worker_lost + self.deadline_timeouts
+    }
+
     /// Mean micro-batch size (0 when no batch ran).
     pub fn mean_batch_size(&self) -> f64 {
         if self.batches == 0 {
@@ -134,6 +152,23 @@ impl ServerStatsSnapshot {
         g("serve_batches", "micro-batches executed", self.batches as f64);
         g("serve_batched_requests", "requests carried by micro-batches", self.batched_requests as f64);
         g("serve_peak_queue_depth", "highest queue depth observed", self.peak_queue_depth as f64);
+        g("serve_worker_lost", "requests resolved as WorkerLost", self.worker_lost as f64);
+        g(
+            "serve_deadline_timeouts_snapshot",
+            "requests resolved as over deadline",
+            self.deadline_timeouts as f64,
+        );
+        g(
+            "serve_worker_respawns_snapshot",
+            "panicked workers respawned",
+            self.worker_respawns as f64,
+        );
+        g("serve_breaker_trips_snapshot", "breaker open transitions", self.breaker_trips as f64);
+        g(
+            "serve_breaker_recoveries",
+            "breaker half-open to closed recoveries",
+            self.breaker_recoveries as f64,
+        );
         g("serve_model_generation", "model-registry generation", self.generation as f64);
         g("serve_cache_misses", "signature-cache misses", self.cache.misses as f64);
         g("serve_cache_evictions", "signature-cache evictions", self.cache.evictions as f64);

@@ -54,7 +54,7 @@ where
 mod tests {
     #[test]
     fn scoped_threads_join() {
-        let data = vec![1, 2, 3, 4];
+        let data = [1, 2, 3, 4];
         let total: i32 = super::scope(|s| {
             let handles: Vec<_> =
                 data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<i32>())).collect();

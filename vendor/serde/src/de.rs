@@ -666,6 +666,30 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
     }
 }
 
+impl<'de, T: Deserialize<'de> + Default + Copy, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct ArrayVisitor<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Default + Copy, const N: usize> Visitor<'de>
+            for ArrayVisitor<T, N>
+        {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an array of length {N}")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<[T; N], A::Error> {
+                let mut values = [T::default(); N];
+                for (index, slot) in values.iter_mut().enumerate() {
+                    *slot = seq
+                        .next_element()?
+                        .ok_or_else(|| A::Error::invalid_length(index, &N))?;
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_tuple(N, ArrayVisitor::<T, N>(PhantomData))
+    }
+}
+
 macro_rules! impl_de_tuple {
     ($(($len:expr => $($name:ident),+),)*) => {
         $(
