@@ -48,8 +48,10 @@ fn path_is_exempt(path: &str) -> bool {
 ///   (`crates/resil/src`), whose circuit breaker and chaos plans are
 ///   tick-driven so recovery tests replay deterministically;
 /// * `unbounded-channel` guards the concurrent crates (`crates/serve`,
-///   `crates/scope-sim`, `crates/par`, `crates/resil`) and the
-///   observability crate, whose collector buffers must stay bounded.
+///   `crates/scope-sim`, `crates/par`, `crates/resil`, `crates/net` —
+///   the event loop must never buffer without bound between the socket
+///   and the admission queue) and the observability crate, whose
+///   collector buffers must stay bounded.
 pub fn rule_applies(rule: &str, path: &str) -> bool {
     if path_is_exempt(path) {
         return false;
@@ -68,6 +70,7 @@ pub fn rule_applies(rule: &str, path: &str) -> bool {
                 || path.starts_with("crates/par/")
                 || path.starts_with("crates/obs/")
                 || path.starts_with("crates/resil/")
+                || path.starts_with("crates/net/")
         }
         _ => false,
     }
@@ -360,6 +363,12 @@ mod tests {
         // introduces must be bounded like the rest of the concurrent tree.
         assert_eq!(
             rules_hit("crates/resil/src/a.rs", src),
+            vec![UNBOUNDED_CHANNEL.to_string()]
+        );
+        // The network event loop must never buffer unboundedly between
+        // the socket and the admission queue.
+        assert_eq!(
+            rules_hit("crates/net/src/a.rs", src),
             vec![UNBOUNDED_CHANNEL.to_string()]
         );
         assert!(rules_hit("crates/core/src/a.rs", src).is_empty());

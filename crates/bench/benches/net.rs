@@ -1,0 +1,116 @@
+//! Networked serving benchmarks: the incremental HTTP/1.1 parser and
+//! binary frame codec in isolation (pure byte-shuffling cost), and the
+//! end-to-end wire round trip — a real `tasq-net` epoll server on a
+//! loopback socket, one persistent connection, one request per
+//! iteration — in both framings. The round-trip numbers bound what a
+//! single synchronous client can see; `tasq-cli loadgen --networked`
+//! measures aggregate throughput across processes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scope_sim::{Job, WorkloadConfig, WorkloadGenerator};
+use std::hint::black_box;
+use std::sync::Arc;
+use tasq::codec;
+use tasq::models::{NnTrainConfig, XgbTrainConfig};
+use tasq::pipeline::{
+    JobRepository, ModelChoice, ModelStore, PipelineConfig, ScoringConfig, TasqPipeline,
+};
+use tasq_net::{
+    frame, http, BinaryClient, HttpClient, HttpLimits, NetConfig, NetServer, ScoreOutcome,
+};
+use tasq_serve::{ModelRegistry, ScoringServer, ServeConfig};
+
+fn jobs(n: usize, seed: u64) -> Vec<Job> {
+    WorkloadGenerator::new(WorkloadConfig { num_jobs: n, seed, ..Default::default() }).generate()
+}
+
+fn registry(seed: u64) -> Arc<ModelRegistry> {
+    let repo = JobRepository::new();
+    repo.ingest(jobs(20, seed));
+    let store = ModelStore::new();
+    TasqPipeline::new(PipelineConfig {
+        xgb: XgbTrainConfig { num_rounds: 15, ..Default::default() },
+        nn: NnTrainConfig { epochs: 8, ..Default::default() },
+        ..Default::default()
+    })
+    .train(&repo, &store)
+    .expect("trains");
+    Arc::new(
+        ModelRegistry::deploy(&store, ModelChoice::Nn, ScoringConfig::default())
+            .expect("deploys"),
+    )
+}
+
+fn bench_http_parse(c: &mut Criterion) {
+    let body = codec::to_bytes(&jobs(1, 11)[0]).expect("encodes");
+    let mut request = format!(
+        "POST /score HTTP/1.1\r\nHost: bench\r\nContent-Type: application/octet-stream\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(&body);
+    let limits = HttpLimits::default();
+    c.bench_function("net/http_parse", |b| {
+        b.iter(|| match http::parse_request(black_box(&request), 0, &limits) {
+            http::HttpParse::Complete(req, consumed) => {
+                black_box((req, consumed));
+            }
+            other => panic!("unexpected parse state {other:?}"),
+        });
+    });
+}
+
+fn bench_frame_parse(c: &mut Criterion) {
+    let payload = codec::to_bytes(&jobs(1, 13)[0]).expect("encodes");
+    let mut wire = Vec::new();
+    frame::write_request_frame(&mut wire, &payload);
+    c.bench_function("net/frame_parse", |b| {
+        b.iter(|| match frame::parse_frame(black_box(&wire), 0) {
+            frame::FrameParse::Complete(payload, consumed) => {
+                black_box((payload, consumed));
+            }
+            other => panic!("unexpected frame state {other:?}"),
+        });
+    });
+}
+
+fn bench_wire_roundtrip(c: &mut Criterion) {
+    let server = ScoringServer::start(registry(17), ServeConfig::default());
+    let net = NetServer::bind("127.0.0.1:0", NetConfig::default(), server).expect("binds");
+    let addr = net.local_addr().to_string();
+    let job = jobs(1, 19).remove(0);
+
+    let mut binary = BinaryClient::connect(&addr).expect("connects");
+    c.bench_function("net/roundtrip_binary", |b| {
+        b.iter(|| match binary.score(black_box(&job)).expect("scores") {
+            ScoreOutcome::Ok(resp) => {
+                black_box(resp);
+            }
+            ScoreOutcome::Rejected(status) => panic!("rejected with {status}"),
+        });
+    });
+
+    let mut http = HttpClient::connect(&addr).expect("connects");
+    c.bench_function("net/roundtrip_http", |b| {
+        b.iter(|| match http.score(black_box(&job)).expect("scores") {
+            ScoreOutcome::Ok(resp) => {
+                black_box(resp);
+            }
+            ScoreOutcome::Rejected(status) => panic!("rejected with {status}"),
+        });
+    });
+
+    drop(binary);
+    drop(http);
+    net.trigger_drain();
+    net.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_http_parse,
+    bench_frame_parse,
+    bench_wire_roundtrip
+);
+criterion_main!(benches);

@@ -19,9 +19,12 @@ use tasq::pipeline::{
     AllocationDecision, DiskModelStore, JobRepository, ModelChoice, ModelStore, PipelineConfig,
     ScoringConfig, ScoringService, TasqPipeline, NN_MODEL_NAME, XGB_MODEL_NAME,
 };
+use tasq_net::{BinaryClient, HttpClient, NetConfig, NetServer, ScoreOutcome, TokenBucket};
 use tasq_resil::{BreakerState, ChaosPlan, CheckpointStore};
 use tasq_serve::cache::CacheConfig;
-use tasq_serve::{ModelRegistry, ScoringServer, ServeConfig, ServedVia, ServerStatsSnapshot};
+use tasq_serve::{
+    ModelRegistry, ScalingConfig, ScoringServer, ServeConfig, ServedVia, ServerStatsSnapshot,
+};
 
 fn read_workload(path: &str) -> Result<Vec<Job>, CliError> {
     let bytes = std::fs::read(path)?;
@@ -607,8 +610,10 @@ fn build_registry(
 }
 
 /// Push a request stream through a server with a bounded in-flight window
-/// (and optional open-loop pacing at `qps`), returning the wall-clock time
-/// and per-path counts of `(cache, model, shed, rejected)`.
+/// (and optional token-bucket pacing at `qps`), returning the wall-clock
+/// time and per-path counts of `(cache, model, shed, rejected)`. The
+/// achieved rate is `requests / elapsed`; callers record it next to the
+/// target so a pacer that can't keep up is visible in the report.
 fn drive(
     server: &ScoringServer,
     traffic: Vec<Job>,
@@ -624,16 +629,14 @@ fn drive(
             }
         }
     };
+    // Burst of one: a paced run emits at a steady cadence rather than
+    // slamming an accumulated backlog after any stall.
+    let mut pacer =
+        if qps > 0.0 { TokenBucket::new(qps, 1.0) } else { TokenBucket::unlimited() };
     let start = Instant::now();
     let mut window: VecDeque<tasq_serve::Ticket> = VecDeque::new();
-    for (i, job) in traffic.into_iter().enumerate() {
-        if qps > 0.0 {
-            let due = start + Duration::from_secs_f64(i as f64 / qps);
-            let now = Instant::now();
-            if due > now {
-                std::thread::sleep(due - now);
-            }
-        }
+    for job in traffic {
+        pacer.acquire();
         if window.len() >= 64 {
             if let Some(ticket) = window.pop_front() {
                 settle(ticket.wait());
@@ -652,18 +655,29 @@ fn drive(
 
 /// `tasq serve --workload <file> [--model-dir <dir>] [--model ...]
 ///  [--workers N] [--max-batch N] [--max-delay-us N] [--cache on|off]
-///  [--requests N] [--repeat FRAC] [--seed N]`
+///  [--requests N] [--repeat FRAC] [--seed N]
+///  [--listen <addr>] [--shards N] [--deadline-ms N] [--autoscale on|off]
+///  [--min-workers N] [--max-workers N] [--scale-up FRAC] [--scale-down FRAC]
+///  [--cooldown-secs SECS]`
 ///
 /// One-shot embedding of the concurrent scoring server: replays the
 /// workload as recurring-job traffic through the full serving stack
 /// (signature cache, micro-batching worker pool, admission control) and
 /// reports where each request was answered.
+///
+/// With `--listen <addr>` the command instead becomes a real network
+/// server (`tasq-net`): it prints `listening on <addr>` once bound (the
+/// handshake a parent process reads to discover an ephemeral port),
+/// serves HTTP/1.1 and binary-framed scoring traffic until a `POST
+/// /drain` arrives over the wire, then prints the drained stats as one
+/// JSON line.
 pub fn serve(args: &[String]) -> Result<String, CliError> {
     let opts = Options::parse(
         args,
         &[
             "workload", "model-dir", "model", "workers", "max-batch", "max-delay-us", "cache",
-            "requests", "repeat", "seed",
+            "requests", "repeat", "seed", "listen", "shards", "deadline-ms", "autoscale",
+            "min-workers", "max-workers", "scale-up", "scale-down", "cooldown-secs",
         ],
     )?;
     let jobs = read_workload(opts.required("workload")?)?;
@@ -673,11 +687,24 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
         "off" => false,
         other => return Err(CliError::Usage(format!("--cache must be on|off, got {other}"))),
     };
+    let auto_scaling = match opts.get("autoscale").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(CliError::Usage(format!("--autoscale must be on|off, got {other}"))),
+    };
     let config = ServeConfig {
         workers: opts.number::<usize>("workers", 4)?,
         max_batch: opts.number::<usize>("max-batch", 16)?,
         max_delay: Duration::from_micros(opts.number::<u64>("max-delay-us", 500)?),
         cache: CacheConfig { enabled: cache_enabled, ..Default::default() },
+        scaling: ScalingConfig {
+            auto_scaling,
+            min_workers: opts.number::<usize>("min-workers", 1)?,
+            max_workers: opts.number::<usize>("max-workers", 8)?,
+            scale_up_threshold: opts.number::<f64>("scale-up", 0.75)?,
+            scale_down_threshold: opts.number::<f64>("scale-down", 0.20)?,
+            cooldown_secs: opts.number::<f64>("cooldown-secs", 5.0)?,
+        },
         ..Default::default()
     };
     let requests = opts.number::<usize>("requests", jobs.len().max(1) * 4)?;
@@ -687,6 +714,39 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
     let registry = build_registry(&jobs, opts.get("model-dir"), choice)?;
     let workers = config.workers;
     let server = ScoringServer::start(std::sync::Arc::new(registry), config);
+
+    if let Some(listen) = opts.get("listen") {
+        let net_config = NetConfig {
+            shards: opts.number::<usize>("shards", 2)?.max(1),
+            deadline: match opts.number::<u64>("deadline-ms", 0)? {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
+            ..Default::default()
+        };
+        let net = NetServer::bind(listen, net_config, server)?;
+        // Handshake line: a parent that spawned us with --listen
+        // 127.0.0.1:0 reads the resolved address from this exact prefix.
+        println!("listening on {}", net.local_addr());
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+        net.wait_for_drain();
+        let stats = net.shutdown();
+        return Ok(format!(
+            "{{\"submitted\":{},\"completed\":{},\"cache_hits\":{},\"shed\":{},\
+             \"rejected\":{},\"worker_lost\":{},\"deadline_timeouts\":{},\"resolved\":{},\
+             \"p50_us\":{:.1},\"p99_us\":{:.1}}}\n",
+            stats.submitted,
+            stats.completed,
+            stats.cache_hits,
+            stats.shed,
+            stats.rejected,
+            stats.worker_lost,
+            stats.deadline_timeouts,
+            stats.resolved(),
+            stats.latency.p50_us,
+            stats.latency.p99_us,
+        ));
+    }
     let traffic =
         replay_traffic(&jobs, &TrafficConfig { requests, repeat_fraction: repeat, seed });
     let (elapsed, (cache_hits, model, shed, rejected)) = drive(&server, traffic, 0.0);
@@ -730,6 +790,283 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// One persistent wire connection in either framing.
+enum WireClient {
+    Http(HttpClient),
+    Binary(BinaryClient),
+}
+
+impl WireClient {
+    fn connect(mode: &str, addr: &str) -> Result<Self, CliError> {
+        let client = match mode {
+            "http" => WireClient::Http(HttpClient::connect(addr)?),
+            "binary" => WireClient::Binary(BinaryClient::connect(addr)?),
+            other => {
+                return Err(CliError::Usage(format!("--mode must be http|binary, got {other}")))
+            }
+        };
+        match &client {
+            WireClient::Http(c) => c.set_timeout(Duration::from_secs(60))?,
+            WireClient::Binary(c) => c.set_timeout(Duration::from_secs(60))?,
+        }
+        Ok(client)
+    }
+
+    fn score(&mut self, job: &Job) -> Result<ScoreOutcome, CliError> {
+        Ok(match self {
+            WireClient::Http(c) => c.score(job)?,
+            WireClient::Binary(c) => c.score(job)?,
+        })
+    }
+}
+
+/// `tasq netgen --addr <host:port> --workload <file> [--requests N]
+///  [--repeat FRAC] [--qps N] [--seed N] [--mode http|binary]
+///  [--connections N]`
+///
+/// Networked load generator: replays recurring-job traffic against a
+/// `serve --listen` process over persistent connections (round-robin
+/// across `--connections`), optionally token-bucket paced at `--qps`,
+/// and prints a one-line JSON report so a parent process (the `loadgen
+/// --networked` orchestrator) can aggregate across client processes.
+pub fn netgen(args: &[String]) -> Result<String, CliError> {
+    let opts = Options::parse(
+        args,
+        &["addr", "workload", "requests", "repeat", "qps", "seed", "mode", "connections"],
+    )?;
+    let addr = opts.required("addr")?;
+    let jobs = read_workload(opts.required("workload")?)?;
+    let requests = opts.number::<usize>("requests", 1000)?;
+    let repeat = opts.number::<f64>("repeat", 0.8)?;
+    let qps = opts.number::<f64>("qps", 0.0)?;
+    let seed = opts.number::<u64>("seed", 0)?;
+    let mode = opts.get("mode").unwrap_or("binary");
+    let connections = opts.number::<usize>("connections", 1)?.max(1);
+
+    let traffic =
+        replay_traffic(&jobs, &TrafficConfig { requests, repeat_fraction: repeat, seed });
+    let mut conns = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        conns.push(WireClient::connect(mode, addr)?);
+    }
+
+    let latency = tasq_obs::Histogram::new();
+    let (mut ok, mut rejected) = (0u64, 0u64);
+    let mut pacer =
+        if qps > 0.0 { TokenBucket::new(qps, 1.0) } else { TokenBucket::unlimited() };
+    let start = Instant::now();
+    for (i, job) in traffic.iter().enumerate() {
+        pacer.acquire();
+        let sent = Instant::now();
+        match conns[i % connections].score(job)? {
+            ScoreOutcome::Ok(_) => ok += 1,
+            ScoreOutcome::Rejected(_) => rejected += 1,
+        }
+        latency.record(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+    let elapsed = start.elapsed();
+    let achieved = (ok + rejected) as f64 / elapsed.as_secs_f64().max(1e-9);
+    Ok(format!(
+        "{{\"mode\":\"{mode}\",\"requests\":{requests},\"ok\":{ok},\"rejected\":{rejected},\
+         \"connections\":{connections},\"elapsed_ms\":{:.3},\"qps_target\":{qps},\
+         \"achieved_rps\":{achieved:.1},\"p50_us\":{:.1},\"p99_us\":{:.1},\"mean_us\":{:.1}}}\n",
+        elapsed.as_secs_f64() * 1e3,
+        latency.quantile(0.50),
+        latency.quantile(0.99),
+        latency.mean(),
+    ))
+}
+
+/// Aggregated result of one networked benchmark round (one server
+/// process count).
+struct NetBenchRound {
+    server_procs: usize,
+    clients: usize,
+    mode: String,
+    requests: u64,
+    ok: u64,
+    rejected: u64,
+    aggregate_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+impl NetBenchRound {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"server_procs\": {}, \"clients\": {}, \"mode\": \"{}\", \
+             \"requests\": {}, \"ok\": {}, \"rejected\": {}, \"aggregate_rps\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+            self.server_procs,
+            self.clients,
+            self.mode,
+            self.requests,
+            self.ok,
+            self.rejected,
+            self.aggregate_rps,
+            self.p50_us,
+            self.p99_us,
+        )
+    }
+}
+
+/// Read lines from a spawned server's stdout until the `listening on `
+/// handshake appears, returning the resolved address.
+fn read_handshake(reader: &mut std::io::BufReader<std::process::ChildStdout>) -> Result<String, CliError> {
+    use std::io::BufRead as _;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(CliError::Usage(
+                "server process exited before printing its listening address".to_string(),
+            ));
+        }
+        if let Some(addr) = line.trim().strip_prefix("listening on ") {
+            return Ok(addr.to_string());
+        }
+    }
+}
+
+fn json_f64(value: &tasq_obs::json::JsonValue, key: &str) -> Result<f64, CliError> {
+    value
+        .get(key)
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| CliError::Usage(format!("netgen report missing numeric `{key}`")))
+}
+
+/// One multi-process networked benchmark round: spawn `server_procs`
+/// copies of this binary as `serve --listen 127.0.0.1:0`, read their
+/// handshakes, fan `clients` netgen processes out across them, drain the
+/// servers over the wire, and aggregate the per-client JSON reports.
+#[allow(clippy::too_many_arguments)]
+fn networked_round(
+    workload: &str,
+    model_dir: Option<&str>,
+    server_procs: usize,
+    clients: usize,
+    requests: usize,
+    repeat: f64,
+    qps: f64,
+    seed: u64,
+    mode: &str,
+) -> Result<NetBenchRound, CliError> {
+    let exe = std::env::current_exe()?;
+    let mut servers = Vec::with_capacity(server_procs);
+    let mut addrs = Vec::with_capacity(server_procs);
+    for _ in 0..server_procs {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.args([
+            "serve", "--workload", workload, "--listen", "127.0.0.1:0", "--workers", "2",
+            "--shards", "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null());
+        if let Some(dir) = model_dir {
+            cmd.args(["--model-dir", dir]);
+        }
+        let mut child = cmd.spawn()?;
+        let stdout = child.stdout.take().ok_or_else(|| {
+            CliError::Usage("server process spawned without a captured stdout".to_string())
+        })?;
+        let mut reader = std::io::BufReader::new(stdout);
+        let addr = read_handshake(&mut reader)?;
+        addrs.push(addr);
+        servers.push((child, reader));
+    }
+
+    let per_client = (requests / clients.max(1)).max(1);
+    let per_client_qps = if qps > 0.0 { qps / clients.max(1) as f64 } else { 0.0 };
+    let mut client_procs = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let child = std::process::Command::new(&exe)
+            .args([
+                "netgen",
+                "--addr",
+                &addrs[c % addrs.len()],
+                "--workload",
+                workload,
+                "--requests",
+                &per_client.to_string(),
+                "--repeat",
+                &repeat.to_string(),
+                "--qps",
+                &per_client_qps.to_string(),
+                "--seed",
+                &(seed ^ (c as u64 + 1)).to_string(),
+                "--mode",
+                mode,
+                "--connections",
+                "2",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()?;
+        client_procs.push(child);
+    }
+
+    let (mut total, mut ok, mut rejected) = (0u64, 0u64, 0u64);
+    let mut aggregate_rps = 0.0f64;
+    let (mut p50_weighted, mut p99_max) = (0.0f64, 0.0f64);
+    for child in client_procs {
+        let out = child.wait_with_output()?;
+        if !out.status.success() {
+            return Err(CliError::Usage(format!(
+                "netgen client process failed with {}",
+                out.status
+            )));
+        }
+        let text = String::from_utf8_lossy(&out.stdout);
+        let line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with('{'))
+            .ok_or_else(|| CliError::Usage("netgen client printed no JSON report".to_string()))?;
+        let report = tasq_obs::json::parse(line)
+            .map_err(|e| CliError::Usage(format!("bad netgen report: {e}")))?;
+        let client_requests = json_f64(&report, "requests")? as u64;
+        total += client_requests;
+        ok += json_f64(&report, "ok")? as u64;
+        rejected += json_f64(&report, "rejected")? as u64;
+        aggregate_rps += json_f64(&report, "achieved_rps")?;
+        p50_weighted += json_f64(&report, "p50_us")? * client_requests as f64;
+        p99_max = p99_max.max(json_f64(&report, "p99_us")?);
+    }
+
+    // Drain each server over the wire (the HTTP control plane works even
+    // when the benchmark traffic was binary-framed), then reap it.
+    for addr in &addrs {
+        let mut control = HttpClient::connect(addr)?;
+        control.set_timeout(Duration::from_secs(60))?;
+        let ack = control.request("POST", "/drain", b"")?;
+        if ack.status != 200 {
+            return Err(CliError::Usage(format!(
+                "drain of {addr} answered HTTP {}",
+                ack.status
+            )));
+        }
+    }
+    for (mut child, mut reader) in servers {
+        let mut rest = String::new();
+        let _ = std::io::Read::read_to_string(&mut reader, &mut rest);
+        let status = child.wait()?;
+        if !status.success() {
+            return Err(CliError::Usage(format!("server process failed with {status}")));
+        }
+    }
+
+    Ok(NetBenchRound {
+        server_procs,
+        clients,
+        mode: mode.to_string(),
+        requests: total,
+        ok,
+        rejected,
+        aggregate_rps,
+        p50_us: p50_weighted / (total.max(1)) as f64,
+        p99_us: p99_max,
+    })
+}
+
 fn phase_json(label: &str, elapsed: Duration, stats: &ServerStatsSnapshot) -> String {
     format!(
         "  \"{label}\": {{\n    \"elapsed_ms\": {:.3},\n    \"throughput_rps\": {:.1},\n    \
@@ -747,16 +1084,27 @@ fn phase_json(label: &str, elapsed: Duration, stats: &ServerStatsSnapshot) -> St
 }
 
 /// `tasq loadgen --workload <file> [--model-dir <dir>] [--requests N]
-///  [--repeat FRAC] [--qps N] [--out <json>] [--seed N]`
+///  [--repeat FRAC] [--qps N] [--out <json>] [--seed N]
+///  [--networked on|off] [--server-procs N,M,...] [--clients N]
+///  [--mode http|binary]`
 ///
 /// The serving benchmark: replays recurring-job traffic through the
 /// server twice (signature cache off, then on), runs two overload bursts
 /// against deliberately tiny queues (one sized to reject, one to shed),
 /// and writes the whole report as JSON (default `BENCH_serve.json`).
+///
+/// With `--networked on` it additionally benchmarks over real TCP: for
+/// each count in `--server-procs` it spawns that many `serve --listen`
+/// copies of this binary, fans `--clients` `netgen` processes out across
+/// them, drains the servers over the wire, and appends the aggregated
+/// per-round numbers as the report's `networked` section.
 pub fn loadgen(args: &[String]) -> Result<String, CliError> {
     let opts = Options::parse(
         args,
-        &["workload", "model-dir", "requests", "repeat", "qps", "out", "seed"],
+        &[
+            "workload", "model-dir", "requests", "repeat", "qps", "out", "seed", "networked",
+            "server-procs", "clients", "mode",
+        ],
     )?;
     let jobs = read_workload(opts.required("workload")?)?;
     let requests = opts.number::<usize>("requests", 2000)?;
@@ -765,6 +1113,25 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
     let out_path = opts.get("out").unwrap_or("BENCH_serve.json").to_string();
     let seed = opts.number::<u64>("seed", 0)?;
     let model_dir = opts.get("model-dir");
+    let networked = match opts.get("networked").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::Usage(format!("--networked must be on|off, got {other}")))
+        }
+    };
+    let server_procs: Vec<usize> = opts
+        .get("server-procs")
+        .unwrap_or("1,2")
+        .split(',')
+        .map(|s| {
+            s.trim().parse::<usize>().map_err(|_| {
+                CliError::Usage(format!("--server-procs must be comma-separated counts, got {s}"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let clients = opts.number::<usize>("clients", 2)?.max(1);
+    let net_mode = opts.get("mode").unwrap_or("binary");
 
     let traffic =
         replay_traffic(&jobs, &TrafficConfig { requests, repeat_fraction: repeat, seed });
@@ -820,13 +1187,43 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
     let reject_burst = burst(8, 8)?;
     let shed_burst = burst(1024, 4)?;
 
+    // The achieved rate of the paced (cached) run: a token bucket that
+    // can't keep up shows as qps_achieved < qps_target in the report
+    // rather than silently recording the target as fact.
+    let qps_achieved = requests as f64 / cached_elapsed.as_secs_f64().max(1e-9);
+
+    let mut networked_rounds = Vec::new();
+    if networked {
+        let workload_path = opts.required("workload")?;
+        for &procs in &server_procs {
+            networked_rounds.push(networked_round(
+                workload_path,
+                model_dir,
+                procs.max(1),
+                clients,
+                requests,
+                repeat,
+                qps,
+                seed,
+                net_mode,
+            )?);
+        }
+    }
+    let networked_section = if networked_rounds.is_empty() {
+        String::new()
+    } else {
+        let rounds: Vec<String> = networked_rounds.iter().map(NetBenchRound::json).collect();
+        format!(",\n  \"networked\": [\n{}\n  ]", rounds.join(",\n"))
+    };
+
     let json = format!(
         "{{\n  \"requests\": {requests},\n  \"repeat_fraction\": {repeat},\n  \
-         \"qps_target\": {qps},\n{},\n{},\n  \"speedup\": {speedup:.2},\n  \
+         \"qps_target\": {qps},\n  \"qps_achieved\": {qps_achieved:.1},\n{},\n{},\n  \
+         \"speedup\": {speedup:.2},\n  \
          \"overload\": {{\n    \"reject_burst\": {{\"submitted\": {}, \"rejected\": {}, \
          \"queue_capacity\": 8, \"peak_queue_depth\": {}}},\n    \
          \"shed_burst\": {{\"submitted\": {}, \"shed\": {}, \"shed_watermark\": 4, \
-         \"peak_queue_depth\": {}}}\n  }}\n}}\n",
+         \"peak_queue_depth\": {}}}\n  }}{networked_section}\n}}\n",
         phase_json("uncached", uncached_elapsed, &uncached),
         phase_json("cached", cached_elapsed, &cached),
         reject_burst.submitted,
@@ -844,12 +1241,27 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
     let registry = tasq_obs::Registry::global();
     cached.publish(registry);
 
+    let mut networked_summary = String::new();
+    for round in &networked_rounds {
+        let _ = writeln!(
+            networked_summary,
+            "networked: {} server procs x {} clients ({}) -> {:.0} req/s aggregate, \
+             p50 {:.0} us, p99 {:.0} us",
+            round.server_procs,
+            round.clients,
+            round.mode,
+            round.aggregate_rps,
+            round.p50_us,
+            round.p99_us,
+        );
+    }
+
     Ok(format!(
         "loadgen: {requests} requests at {:.0}% repeat\n\
          uncached: {:.1} ms ({:.0} req/s)\ncached:   {:.1} ms ({:.0} req/s, {:.0}% hit rate)\n\
          speedup: {speedup:.2}x\n\
          overload: {} rejected of {} (reject burst), {} shed of {} (shed burst)\n\
-         wrote {out_path}\n\
+         {networked_summary}wrote {out_path}\n\
          \nmetrics exposition:\n{}",
         repeat * 100.0,
         uncached_elapsed.as_secs_f64() * 1e3,

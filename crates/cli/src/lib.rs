@@ -1,6 +1,6 @@
 //! Library backing the `tasq` command-line binary.
 //!
-//! Eleven subcommands drive the pipeline from files on disk, with
+//! Twelve subcommands drive the pipeline from files on disk, with
 //! workloads and model artifacts serialized through the workspace's
 //! binary codec:
 //!
@@ -15,9 +15,17 @@
 //! * `flight`   — re-execute a sample of jobs under a fault-injection
 //!   preset and report recovery statistics and anomaly filtering.
 //! * `serve`    — push a workload through the concurrent scoring server
-//!   (`tasq-serve`) and report per-path serving statistics.
+//!   (`tasq-serve`) and report per-path serving statistics; with
+//!   `--listen` it becomes a real network server (`tasq-net`) speaking
+//!   HTTP/1.1 and binary framing until drained over the wire.
+//! * `netgen`   — networked load-generation client: replay recurring-job
+//!   traffic against a listening server over persistent connections and
+//!   report latency/throughput as JSON.
 //! * `loadgen`  — drive recurring-job replay traffic through the server,
 //!   cached and uncached, plus overload bursts; write `BENCH_serve.json`.
+//!   With `--networked on` it also benchmarks over real sockets:
+//!   N spawned server processes, M client processes, aggregated into the
+//!   report's `networked` section.
 //! * `bench-train` — time the offline pipeline (generate → flight →
 //!   featurize → fit) sequentially and on work-stealing pools, verify the
 //!   parallel runs are bit-identical, and write `BENCH_train.json`.
@@ -61,6 +69,8 @@ pub enum CliError {
     Analysis(String),
     /// Checkpoint/recovery failure (`tasq-resil`).
     Resil(tasq_resil::ResilError),
+    /// Network serving failure (`tasq-net`).
+    Net(tasq_net::NetError),
 }
 
 impl fmt::Display for CliError {
@@ -73,6 +83,7 @@ impl fmt::Display for CliError {
             CliError::Pipeline(e) => write!(f, "pipeline error: {e}"),
             CliError::Analysis(report) => write!(f, "{report}"),
             CliError::Resil(e) => write!(f, "checkpoint error: {e}"),
+            CliError::Net(e) => write!(f, "network error: {e}"),
         }
     }
 }
@@ -109,6 +120,12 @@ impl From<tasq_resil::ResilError> for CliError {
     }
 }
 
+impl From<tasq_net::NetError> for CliError {
+    fn from(e: tasq_net::NetError) -> Self {
+        CliError::Net(e)
+    }
+}
+
 /// Top-level dispatch: run a command line (without the program name).
 ///
 /// The global observability flags `--log <level>` and `--trace-out
@@ -136,6 +153,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         "score" => commands::score(rest),
         "flight" => commands::flight(rest),
         "serve" => commands::serve(rest),
+        "netgen" => commands::netgen(rest),
         "loadgen" => commands::loadgen(rest),
         "bench-train" => commands::bench_train(rest),
         "chaos" => commands::chaos(rest),
@@ -163,8 +181,14 @@ USAGE:
     tasq-cli serve    --workload <file> [--model-dir <dir>] [--model nn|xgb-ss|xgb-pl]
                       [--workers N] [--max-batch N] [--max-delay-us N] [--cache on|off]
                       [--requests N] [--repeat FRAC] [--seed N]
+                      [--listen <addr>] [--shards N] [--autoscale on|off]
+                      [--min-workers N] [--max-workers N] [--scale-up FRAC]
+                      [--scale-down FRAC] [--cooldown-secs SECS]
+    tasq-cli netgen   --addr <host:port> --workload <file> [--requests N] [--repeat FRAC]
+                      [--qps N] [--seed N] [--mode http|binary] [--connections N]
     tasq-cli loadgen  --workload <file> [--model-dir <dir>] [--requests N] [--repeat FRAC]
-                      [--qps N] [--out <json>] [--seed N]
+                      [--qps N] [--out <json>] [--seed N] [--networked on|off]
+                      [--server-procs N,M,...] [--clients N] [--mode http|binary]
     tasq-cli bench-train [--out <json>] [--jobs N] [--seed N] [--threads N] [--quick true]
     tasq-cli chaos    --preset none|mild|production|adversarial [--seed N] [--jobs N]
                       [--requests N] [--dir <dir>] [--out <json>]

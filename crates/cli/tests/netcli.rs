@@ -1,0 +1,151 @@
+//! End-to-end networked serving through the real `tasq-cli` binary.
+//!
+//! These tests spawn the compiled CLI (via `CARGO_BIN_EXE_tasq-cli`) the
+//! same way the CI smoke job and `loadgen --networked` do: a `serve
+//! --listen 127.0.0.1:0` server process discovered through its
+//! `listening on <addr>` handshake, driven by `netgen` client processes
+//! over both wire framings, then drained over the wire.
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+use tasq_net::HttpClient;
+use tasq_obs::json::{self, JsonValue};
+
+const EXE: &str = env!("CARGO_BIN_EXE_tasq-cli");
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tasq-netcli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run(args: &[&str]) -> String {
+    let out = Command::new(EXE).args(args).output().expect("spawn tasq-cli");
+    assert!(
+        out.status.success(),
+        "tasq-cli {args:?} failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn generate_workload(dir: &std::path::Path) -> String {
+    let path = dir.join("workload.bin");
+    let path = path.to_str().expect("utf8 path").to_string();
+    run(&["generate", "--out", &path, "--jobs", "24", "--seed", "7"]);
+    path
+}
+
+/// Spawn `serve --listen 127.0.0.1:0` and read the handshake line.
+fn spawn_server(workload: &str) -> (Child, BufReader<ChildStdout>, String) {
+    let mut child = Command::new(EXE)
+        .args([
+            "serve", "--workload", workload, "--listen", "127.0.0.1:0", "--workers", "2",
+            "--shards", "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve --listen");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read handshake");
+        assert!(n > 0, "server exited before handshake");
+        if let Some(addr) = line.trim().strip_prefix("listening on ") {
+            break addr.to_string();
+        }
+    };
+    (child, reader, addr)
+}
+
+fn parse_report(stdout: &str) -> JsonValue {
+    let line = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with('{'))
+        .unwrap_or_else(|| panic!("no JSON line in output:\n{stdout}"));
+    json::parse(line).unwrap_or_else(|e| panic!("bad JSON `{line}`: {e}"))
+}
+
+fn f64_field(value: &JsonValue, key: &str) -> f64 {
+    value
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric `{key}` in {value:?}"))
+}
+
+#[test]
+fn serve_listen_netgen_both_framings_and_drain() {
+    let dir = scratch_dir("e2e");
+    let workload = generate_workload(&dir);
+    let (mut server, mut reader, addr) = spawn_server(&workload);
+
+    for mode in ["binary", "http"] {
+        let stdout = run(&[
+            "netgen", "--addr", &addr, "--workload", &workload, "--requests", "30", "--mode",
+            mode, "--connections", "2", "--seed", "3",
+        ]);
+        let report = parse_report(&stdout);
+        assert_eq!(report.get("mode").and_then(JsonValue::as_str), Some(mode));
+        let ok = f64_field(&report, "ok");
+        let rejected = f64_field(&report, "rejected");
+        assert_eq!(ok + rejected, 30.0, "every request must resolve ({stdout})");
+        assert!(ok > 0.0, "server under no load must answer most requests ({stdout})");
+        assert!(f64_field(&report, "p99_us") >= f64_field(&report, "p50_us"));
+        assert!(f64_field(&report, "achieved_rps") > 0.0);
+    }
+
+    // Drain over the wire; the server prints its final stats JSON and exits 0.
+    let mut control = HttpClient::connect(&addr).expect("connect control");
+    control.set_timeout(Duration::from_secs(30)).expect("timeout");
+    let ack = control.request("POST", "/drain", b"").expect("drain");
+    assert_eq!(ack.status, 200);
+
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read server stdout");
+    let status = server.wait().expect("wait server");
+    assert!(status.success(), "server exited {status}, stdout:\n{rest}");
+    let stats = parse_report(&rest);
+    let submitted = f64_field(&stats, "submitted");
+    let resolved = f64_field(&stats, "resolved");
+    assert!(submitted >= 60.0, "both netgen runs must reach the server ({rest})");
+    assert_eq!(submitted, resolved, "drain must account for every request ({rest})");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn loadgen_networked_writes_bench_section() {
+    let dir = scratch_dir("bench");
+    let workload = generate_workload(&dir);
+    let out = dir.join("BENCH_serve.json");
+    let out = out.to_str().expect("utf8 path").to_string();
+
+    run(&[
+        "loadgen", "--workload", &workload, "--requests", "40", "--out", &out, "--networked",
+        "on", "--server-procs", "1,2", "--clients", "2", "--qps", "400",
+    ]);
+
+    let report = std::fs::read_to_string(&out).expect("read bench json");
+    let parsed = json::parse(&report).unwrap_or_else(|e| panic!("bad bench JSON: {e}\n{report}"));
+    assert!(f64_field(&parsed, "qps_achieved") > 0.0);
+    let rounds = parsed
+        .get("networked")
+        .and_then(JsonValue::as_array)
+        .unwrap_or_else(|| panic!("missing networked section:\n{report}"));
+    assert_eq!(rounds.len(), 2, "one round per --server-procs count");
+    for (round, procs) in rounds.iter().zip([1.0, 2.0]) {
+        assert_eq!(f64_field(round, "server_procs"), procs);
+        assert!(f64_field(round, "aggregate_rps") > 0.0);
+        assert!(f64_field(round, "p99_us") >= f64_field(round, "p50_us"));
+        let total = f64_field(round, "requests");
+        assert_eq!(f64_field(round, "ok") + f64_field(round, "rejected"), total);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

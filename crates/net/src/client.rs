@@ -1,0 +1,234 @@
+//! Blocking client for both wire framings.
+//!
+//! The server side is deliberately hand-rolled on raw epoll; the client
+//! side has no latency-critical readiness problem, so it uses plain
+//! blocking `std::net::TcpStream` I/O over one persistent connection.
+//! Used by the wire tests and the networked load generator.
+
+use crate::frame::{
+    self, FrameResponse, FrameResponseParse, FrameStatus, BINARY_PREAMBLE,
+};
+use crate::sys::NetError;
+use scope_sim::Job;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use tasq::pipeline::ScoreResponse;
+
+/// Outcome of one scoring round trip, from the client's point of view.
+#[derive(Debug)]
+pub enum ScoreOutcome {
+    /// Scored; the decoded response.
+    Ok(ScoreResponse),
+    /// The server rejected or failed the request with this HTTP status
+    /// (429, 503, …) or the binary-status equivalent.
+    Rejected(u16),
+}
+
+/// A persistent connection speaking the length-prefixed binary framing.
+pub struct BinaryClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+}
+
+impl BinaryClient {
+    /// Connect and send the protocol preamble byte.
+    pub fn connect(addr: &str) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| NetError::Protocol(format!("connect {addr}: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| NetError::Protocol(format!("nodelay: {e}")))?;
+        let mut client = Self { stream, rbuf: Vec::new() };
+        client.send_all(&[BINARY_PREAMBLE])?;
+        Ok(client)
+    }
+
+    /// Set the socket read timeout (so a dead server fails, not hangs).
+    pub fn set_timeout(&self, timeout: Duration) -> Result<(), NetError> {
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| NetError::Protocol(format!("set timeout: {e}")))
+    }
+
+    /// Score one job over the persistent connection.
+    pub fn score(&mut self, job: &Job) -> Result<ScoreOutcome, NetError> {
+        let payload = tasq::codec::to_bytes(job)
+            .map_err(|e| NetError::Protocol(format!("encode job: {e}")))?;
+        let mut wire = Vec::with_capacity(payload.len() + 4);
+        frame::write_request_frame(&mut wire, &payload);
+        self.send_all(&wire)?;
+        loop {
+            match frame::parse_response_frame(&self.rbuf, 0) {
+                FrameResponseParse::Complete(response, consumed) => {
+                    self.rbuf.drain(..consumed);
+                    return Ok(match response {
+                        FrameResponse::Ok(score) => ScoreOutcome::Ok(score),
+                        FrameResponse::Error(status) => {
+                            ScoreOutcome::Rejected(binary_status_code(status))
+                        }
+                    });
+                }
+                FrameResponseParse::NeedMore => self.fill()?,
+                FrameResponseParse::Malformed(why) => {
+                    return Err(NetError::Protocol(format!("malformed response frame: {why}")))
+                }
+            }
+        }
+    }
+
+    fn send_all(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        self.stream
+            .write_all(bytes)
+            .map_err(|e| NetError::Protocol(format!("send: {e}")))
+    }
+
+    fn fill(&mut self) -> Result<(), NetError> {
+        let mut chunk = [0u8; 8192];
+        let n = self
+            .stream
+            .read(&mut chunk)
+            .map_err(|e| NetError::Protocol(format!("recv: {e}")))?;
+        if n == 0 {
+            return Err(NetError::PeerClosed);
+        }
+        self.rbuf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+}
+
+/// Map a binary status byte to the HTTP status it corresponds to, so
+/// callers can aggregate outcomes uniformly across framings.
+fn binary_status_code(status: FrameStatus) -> u16 {
+    match status {
+        FrameStatus::Ok => 200,
+        FrameStatus::Overloaded => 429,
+        FrameStatus::ShuttingDown
+        | FrameStatus::WorkerLost
+        | FrameStatus::DeadlineExceeded => 503,
+        FrameStatus::BadRequest => 400,
+        FrameStatus::TooLarge => 413,
+    }
+}
+
+/// A parsed HTTP response (status + body), minimally decoded.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Numeric status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+/// A persistent keep-alive HTTP/1.1 connection.
+pub struct HttpClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connect (no preamble: the first request line selects HTTP).
+    pub fn connect(addr: &str) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| NetError::Protocol(format!("connect {addr}: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| NetError::Protocol(format!("nodelay: {e}")))?;
+        Ok(Self { stream, rbuf: Vec::new() })
+    }
+
+    /// Set the socket read timeout.
+    pub fn set_timeout(&self, timeout: Duration) -> Result<(), NetError> {
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| NetError::Protocol(format!("set timeout: {e}")))
+    }
+
+    /// Send one request and block for the response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<HttpResponse, NetError> {
+        let mut wire = Vec::with_capacity(body.len() + 128);
+        wire.extend_from_slice(format!("{method} {path} HTTP/1.1\r\n").as_bytes());
+        wire.extend_from_slice(b"host: tasq\r\n");
+        if !body.is_empty() || method == "POST" {
+            wire.extend_from_slice(format!("content-length: {}\r\n", body.len()).as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        wire.extend_from_slice(body);
+        self.stream
+            .write_all(&wire)
+            .map_err(|e| NetError::Protocol(format!("send: {e}")))?;
+        self.read_response()
+    }
+
+    /// Score one job over this connection (codec-encoded `Job` body).
+    pub fn score(&mut self, job: &Job) -> Result<ScoreOutcome, NetError> {
+        let payload = tasq::codec::to_bytes(job)
+            .map_err(|e| NetError::Protocol(format!("encode job: {e}")))?;
+        let response = self.request("POST", "/score", &payload)?;
+        if response.status == 200 {
+            let score = tasq::codec::from_bytes::<ScoreResponse>(&response.body)
+                .map_err(|e| NetError::Protocol(format!("decode score: {e}")))?;
+            Ok(ScoreOutcome::Ok(score))
+        } else {
+            Ok(ScoreOutcome::Rejected(response.status))
+        }
+    }
+
+    fn read_response(&mut self) -> Result<HttpResponse, NetError> {
+        loop {
+            if let Some(parsed) = self.try_parse()? {
+                return Ok(parsed);
+            }
+            let mut chunk = [0u8; 8192];
+            let n = self
+                .stream
+                .read(&mut chunk)
+                .map_err(|e| NetError::Protocol(format!("recv: {e}")))?;
+            if n == 0 {
+                return Err(NetError::PeerClosed);
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Try to parse one buffered response; `Ok(None)` means need more
+    /// bytes.
+    fn try_parse(&mut self) -> Result<Option<HttpResponse>, NetError> {
+        let Some(head_end) = self.rbuf.windows(4).position(|w| w == b"\r\n\r\n") else {
+            return Ok(None);
+        };
+        let head = String::from_utf8_lossy(&self.rbuf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines
+            .next()
+            .ok_or_else(|| NetError::Protocol("empty response head".into()))?;
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|code| code.parse::<u16>().ok())
+            .ok_or_else(|| NetError::Protocol(format!("bad status line: {status_line}")))?;
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| NetError::Protocol("bad content-length".into()))?;
+                }
+            }
+        }
+        let body_start = head_end + 4;
+        if self.rbuf.len() < body_start + content_length {
+            return Ok(None);
+        }
+        let body = self.rbuf[body_start..body_start + content_length].to_vec();
+        self.rbuf.drain(..body_start + content_length);
+        Ok(Some(HttpResponse { status, body }))
+    }
+}

@@ -1,0 +1,259 @@
+//! Length-prefixed binary framing — the peak-throughput wire mode.
+//!
+//! A client opts in by sending a single [`BINARY_PREAMBLE`] byte (0x01)
+//! as the first byte on the connection; HTTP request lines always start
+//! with an uppercase ASCII letter, so one byte is enough to sniff the
+//! protocol. After the preamble the stream is a sequence of frames:
+//!
+//! ```text
+//! request:  [u32 LE payload len][payload = tasq::codec(Job)]
+//! response: [u32 LE rest len][status: u8][payload = tasq::codec(ScoreResponse) if status == 0]
+//! ```
+//!
+//! The response length counts the status byte plus the payload, so a
+//! reader can always frame on the prefix alone. Error responses carry
+//! the status byte and an empty payload.
+
+use tasq::pipeline::ScoreResponse;
+use tasq_serve::{RequestError, SubmitError};
+
+/// First byte a client sends to select binary framing for the connection.
+pub const BINARY_PREAMBLE: u8 = 0x01;
+
+/// Hard cap on a request frame's declared payload length.
+pub const MAX_FRAME_BYTES: usize = 1024 * 1024;
+
+/// Status byte in a binary response frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameStatus {
+    /// Scored successfully; payload is a codec-encoded `ScoreResponse`.
+    Ok = 0,
+    /// Admission control shed the request (queue at capacity).
+    Overloaded = 1,
+    /// Server is draining; no new work accepted.
+    ShuttingDown = 2,
+    /// The worker scoring this batch died.
+    WorkerLost = 3,
+    /// The request's deadline elapsed before completion.
+    DeadlineExceeded = 4,
+    /// The request payload did not decode as a `Job`.
+    BadRequest = 5,
+    /// The declared frame length exceeded [`MAX_FRAME_BYTES`].
+    TooLarge = 6,
+}
+
+impl FrameStatus {
+    /// Decode a status byte from the wire.
+    pub fn from_byte(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(Self::Ok),
+            1 => Some(Self::Overloaded),
+            2 => Some(Self::ShuttingDown),
+            3 => Some(Self::WorkerLost),
+            4 => Some(Self::DeadlineExceeded),
+            5 => Some(Self::BadRequest),
+            6 => Some(Self::TooLarge),
+            _ => None,
+        }
+    }
+
+    /// Map a submit-side rejection to its wire status.
+    pub fn from_submit_error(error: &SubmitError) -> Self {
+        match error {
+            SubmitError::Overloaded { .. } => Self::Overloaded,
+            SubmitError::ShuttingDown => Self::ShuttingDown,
+        }
+    }
+
+    /// Map a resolution-side failure to its wire status.
+    pub fn from_request_error(error: &RequestError) -> Self {
+        match error {
+            RequestError::WorkerLost => Self::WorkerLost,
+            RequestError::DeadlineExceeded { .. } => Self::DeadlineExceeded,
+        }
+    }
+}
+
+/// One step of pulling a request frame out of a receive buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameParse {
+    /// The buffer does not yet hold the full frame.
+    NeedMore,
+    /// A complete payload plus total bytes consumed (prefix + payload).
+    Complete(Vec<u8>, usize),
+    /// The declared length exceeds [`MAX_FRAME_BYTES`]; answer
+    /// [`FrameStatus::TooLarge`] and close.
+    TooLarge(usize),
+}
+
+/// Try to pull one request frame starting at `buf[start..]`.
+pub fn parse_frame(buf: &[u8], start: usize) -> FrameParse {
+    let input = &buf[start.min(buf.len())..];
+    if input.len() < 4 {
+        return FrameParse::NeedMore;
+    }
+    let len = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    if len > MAX_FRAME_BYTES {
+        return FrameParse::TooLarge(len);
+    }
+    if input.len() < 4 + len {
+        return FrameParse::NeedMore;
+    }
+    FrameParse::Complete(input[4..4 + len].to_vec(), 4 + len)
+}
+
+/// Append a request frame (`Job` payload already codec-encoded) to `out`.
+pub fn write_request_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Append a response frame to `out`. `payload` must be empty unless
+/// `status` is [`FrameStatus::Ok`].
+pub fn write_response_frame(out: &mut Vec<u8>, status: FrameStatus, payload: &[u8]) {
+    out.extend_from_slice(&((1 + payload.len()) as u32).to_le_bytes());
+    out.push(status as u8);
+    out.extend_from_slice(payload);
+}
+
+/// A decoded response frame, as seen by a client.
+#[derive(Debug)]
+pub enum FrameResponse {
+    /// Successful score.
+    Ok(ScoreResponse),
+    /// Server-side rejection or failure.
+    Error(FrameStatus),
+}
+
+/// One step of pulling a response frame out of a client's receive buffer.
+#[derive(Debug)]
+pub enum FrameResponseParse {
+    /// The buffer does not yet hold the full frame.
+    NeedMore,
+    /// A decoded response plus total bytes consumed.
+    Complete(FrameResponse, usize),
+    /// The frame was malformed (bad status byte, undecodable payload,
+    /// zero-length rest, or oversized declared length).
+    Malformed(&'static str),
+}
+
+/// Try to pull one response frame starting at `buf[start..]`.
+pub fn parse_response_frame(buf: &[u8], start: usize) -> FrameResponseParse {
+    let input = &buf[start.min(buf.len())..];
+    if input.len() < 4 {
+        return FrameResponseParse::NeedMore;
+    }
+    let len = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    if len == 0 {
+        return FrameResponseParse::Malformed("zero-length response frame");
+    }
+    if len > MAX_FRAME_BYTES + 1 {
+        return FrameResponseParse::Malformed("oversized response frame");
+    }
+    if input.len() < 4 + len {
+        return FrameResponseParse::NeedMore;
+    }
+    let Some(status) = FrameStatus::from_byte(input[4]) else {
+        return FrameResponseParse::Malformed("unknown status byte");
+    };
+    let payload = &input[5..4 + len];
+    let response = if status == FrameStatus::Ok {
+        match tasq::codec::from_bytes::<ScoreResponse>(payload) {
+            Ok(decoded) => FrameResponse::Ok(decoded),
+            Err(_) => return FrameResponseParse::Malformed("undecodable ok payload"),
+        }
+    } else {
+        FrameResponse::Error(status)
+    };
+    FrameResponseParse::Complete(response, 4 + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasq::pipeline::{AllocationDecision, ServedTier};
+
+    #[test]
+    fn request_frame_round_trips_byte_at_a_time() {
+        let payload = b"some job bytes".to_vec();
+        let mut wire = Vec::new();
+        write_request_frame(&mut wire, &payload);
+        let mut buf = Vec::new();
+        for (i, &byte) in wire.iter().enumerate() {
+            buf.push(byte);
+            match parse_frame(&buf, 0) {
+                FrameParse::NeedMore => assert!(i + 1 < wire.len()),
+                FrameParse::Complete(got, consumed) => {
+                    assert_eq!(i + 1, wire.len());
+                    assert_eq!(got, payload);
+                    assert_eq!(consumed, wire.len());
+                }
+                FrameParse::TooLarge(n) => panic!("spurious too-large ({n})"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_request_frame_is_rejected_from_the_prefix_alone() {
+        let wire = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes();
+        match parse_frame(&wire, 0) {
+            FrameParse::TooLarge(n) => assert_eq!(n, MAX_FRAME_BYTES + 1),
+            other => panic!("expected too-large, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_frame_round_trips_ok_and_errors() {
+        let response = ScoreResponse {
+            job_id: 42,
+            predicted_runtime_at_request: 1.5,
+            optimal_tokens: 7,
+            decision: AllocationDecision::Automatic { tokens: 7 },
+            served_tier: ServedTier::Primary,
+        };
+        let payload = tasq::codec::to_bytes(&response).unwrap();
+        let mut wire = Vec::new();
+        write_response_frame(&mut wire, FrameStatus::Ok, &payload);
+        write_response_frame(&mut wire, FrameStatus::Overloaded, &[]);
+        let FrameResponseParse::Complete(FrameResponse::Ok(decoded), consumed) =
+            parse_response_frame(&wire, 0)
+        else {
+            panic!("ok frame should decode");
+        };
+        assert_eq!(decoded.job_id, 42);
+        assert_eq!(decoded.optimal_tokens, 7);
+        let FrameResponseParse::Complete(FrameResponse::Error(status), consumed2) =
+            parse_response_frame(&wire, consumed)
+        else {
+            panic!("error frame should decode");
+        };
+        assert_eq!(status, FrameStatus::Overloaded);
+        assert_eq!(consumed + consumed2, wire.len());
+    }
+
+    #[test]
+    fn malformed_response_frames_fail_typed() {
+        let zero = 0u32.to_le_bytes();
+        assert!(matches!(parse_response_frame(&zero, 0), FrameResponseParse::Malformed(_)));
+        let mut bad_status = Vec::new();
+        bad_status.extend_from_slice(&1u32.to_le_bytes());
+        bad_status.push(250);
+        assert!(matches!(parse_response_frame(&bad_status, 0), FrameResponseParse::Malformed(_)));
+        let mut bad_payload = Vec::new();
+        write_response_frame(&mut bad_payload, FrameStatus::Ok, b"not a score response");
+        assert!(matches!(
+            parse_response_frame(&bad_payload, 0),
+            FrameResponseParse::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn status_bytes_round_trip() {
+        for byte in 0u8..=6 {
+            let status = FrameStatus::from_byte(byte).unwrap();
+            assert_eq!(status as u8, byte);
+        }
+        assert!(FrameStatus::from_byte(7).is_none());
+    }
+}

@@ -1,0 +1,341 @@
+//! Incremental HTTP/1.1 request parsing and response rendering.
+//!
+//! The parser is a pull-style state machine over a connection's receive
+//! buffer: feed it the buffer and a start offset, get back either a
+//! complete request (with how many bytes it consumed), "need more bytes",
+//! or a typed protocol error that maps onto a 4xx status. It never copies
+//! the buffer while searching and never panics on torn, pipelined, or
+//! hostile input — byte-at-a-time delivery must walk through the same
+//! states as a single large read.
+//!
+//! Supported surface (all the serving front-end needs):
+//! request line + headers, `Content-Length` bodies, keep-alive /
+//! `Connection: close`, and a hard cap on header and body sizes. Chunked
+//! transfer encoding is intentionally rejected (`411 Length Required`
+//! semantics folded into 400): every producer in this workspace sends
+//! explicit lengths.
+
+/// Parsed request, borrowing nothing (the body is copied out so the
+/// connection buffer can be compacted immediately).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path + optional query), e.g. `/score`.
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be parsed. Each variant maps to the HTTP
+/// status the server should answer with before closing the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpParseError {
+    /// Malformed request line, header, or unsupported framing → 400.
+    BadRequest(&'static str),
+    /// Headers exceeded the configured cap → 431 (reported as 400 family).
+    HeadersTooLarge,
+    /// Declared body exceeds the configured cap → 413.
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The configured cap it exceeded.
+        limit: usize,
+    },
+}
+
+/// One step of the incremental parse.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpParse {
+    /// The buffer does not yet hold a complete request.
+    NeedMore,
+    /// A complete request, plus the total bytes it consumed from `buf`
+    /// (request line + headers + body).
+    Complete(HttpRequest, usize),
+    /// Parsing failed; the connection should answer and close.
+    Failed(HttpParseError),
+}
+
+/// Size caps enforced during parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers (including the blank line).
+    pub max_head_bytes: usize,
+    /// Maximum declared `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        Self { max_head_bytes: 8 * 1024, max_body_bytes: 1024 * 1024 }
+    }
+}
+
+/// Try to parse one request starting at `buf[start..]`.
+///
+/// Stateless between calls: the caller re-invokes with the same `start`
+/// as more bytes arrive (the head search is cheap and bounded by
+/// `max_head_bytes`), then advances `start` by the consumed count on
+/// [`HttpParse::Complete`].
+pub fn parse_request(buf: &[u8], start: usize, limits: &HttpLimits) -> HttpParse {
+    let input = &buf[start.min(buf.len())..];
+    if input.is_empty() {
+        return HttpParse::NeedMore;
+    }
+    let Some(head_end) = find_head_end(input, limits.max_head_bytes) else {
+        if input.len() > limits.max_head_bytes {
+            return HttpParse::Failed(HttpParseError::HeadersTooLarge);
+        }
+        return HttpParse::NeedMore;
+    };
+    let head = &input[..head_end];
+    let Ok(head_text) = std::str::from_utf8(head) else {
+        return HttpParse::Failed(HttpParseError::BadRequest("non-UTF-8 header block"));
+    };
+    let mut lines = head_text.split("\r\n");
+    let Some(request_line) = lines.next() else {
+        return HttpParse::Failed(HttpParseError::BadRequest("empty head"));
+    };
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return HttpParse::Failed(HttpParseError::BadRequest("malformed request line"));
+    };
+    if parts.next().is_some() {
+        return HttpParse::Failed(HttpParseError::BadRequest("malformed request line"));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return HttpParse::Failed(HttpParseError::BadRequest("bad method"));
+    }
+    if path.is_empty() || !path.starts_with('/') {
+        return HttpParse::Failed(HttpParseError::BadRequest("bad request target"));
+    }
+    let keep_alive_default = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return HttpParse::Failed(HttpParseError::BadRequest("unsupported HTTP version")),
+    };
+
+    let mut content_length = 0usize;
+    let mut keep_alive = keep_alive_default;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return HttpParse::Failed(HttpParseError::BadRequest("malformed header line"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let Ok(parsed) = value.parse::<usize>() else {
+                return HttpParse::Failed(HttpParseError::BadRequest("bad Content-Length"));
+            };
+            content_length = parsed;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return HttpParse::Failed(HttpParseError::BadRequest(
+                "chunked transfer encoding unsupported",
+            ));
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return HttpParse::Failed(HttpParseError::BodyTooLarge {
+            declared: content_length,
+            limit: limits.max_body_bytes,
+        });
+    }
+    let body_start = head_end + 4;
+    if input.len() < body_start + content_length {
+        return HttpParse::NeedMore;
+    }
+    let body = input[body_start..body_start + content_length].to_vec();
+    HttpParse::Complete(
+        HttpRequest {
+            method: method.to_string(),
+            path: path.to_string(),
+            body,
+            keep_alive,
+        },
+        body_start + content_length,
+    )
+}
+
+/// Find the byte offset of `\r\n\r\n` (start of the blank line) within
+/// the first `cap + 4` bytes, or `None` if not yet present.
+fn find_head_end(input: &[u8], cap: usize) -> Option<usize> {
+    let window = &input[..input.len().min(cap.saturating_add(4))];
+    window.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Render a response head + body into `out`. `content_type` is sent
+/// verbatim; connection close is signalled explicitly when `close`.
+pub fn write_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) {
+    out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
+    out.extend_from_slice(format!("content-type: {content_type}\r\n").as_bytes());
+    out.extend_from_slice(format!("content-length: {}\r\n", body.len()).as_bytes());
+    if close {
+        out.extend_from_slice(b"connection: close\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+}
+
+/// The status line (code + reason) a parse error maps to.
+pub fn error_status(error: &HttpParseError) -> (u16, &'static str) {
+    match error {
+        HttpParseError::BadRequest(_) => (400, "Bad Request"),
+        HttpParseError::HeadersTooLarge => (431, "Request Header Fields Too Large"),
+        HttpParseError::BodyTooLarge { .. } => (413, "Payload Too Large"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> HttpLimits {
+        HttpLimits::default()
+    }
+
+    #[test]
+    fn parses_a_complete_get() {
+        let raw = b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n";
+        match parse_request(raw, 0, &limits()) {
+            HttpParse::Complete(req, consumed) => {
+                assert_eq!(req.method, "GET");
+                assert_eq!(req.path, "/healthz");
+                assert!(req.body.is_empty());
+                assert!(req.keep_alive);
+                assert_eq!(consumed, raw.len());
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_walks_need_more_then_completes() {
+        let raw = b"POST /score HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd";
+        let mut buf = Vec::new();
+        for (i, &byte) in raw.iter().enumerate() {
+            buf.push(byte);
+            match parse_request(&buf, 0, &limits()) {
+                HttpParse::NeedMore => assert!(i + 1 < raw.len(), "must complete on last byte"),
+                HttpParse::Complete(req, consumed) => {
+                    assert_eq!(i + 1, raw.len());
+                    assert_eq!(req.body, b"abcd");
+                    assert_eq!(consumed, raw.len());
+                }
+                HttpParse::Failed(e) => panic!("unexpected failure at byte {i}: {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_consume_in_order() {
+        let raw: Vec<u8> = [
+            &b"POST /score HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi"[..],
+            &b"GET /metrics HTTP/1.1\r\n\r\n"[..],
+        ]
+        .concat();
+        let HttpParse::Complete(first, consumed) = parse_request(&raw, 0, &limits()) else {
+            panic!("first request should parse");
+        };
+        assert_eq!(first.path, "/score");
+        assert_eq!(first.body, b"hi");
+        let HttpParse::Complete(second, consumed2) = parse_request(&raw, consumed, &limits())
+        else {
+            panic!("second request should parse");
+        };
+        assert_eq!(second.path, "/metrics");
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let raw = b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let HttpParse::Complete(req, _) = parse_request(raw, 0, &limits()) else {
+            panic!("should parse");
+        };
+        assert!(!req.keep_alive);
+        let raw = b"GET / HTTP/1.0\r\n\r\n";
+        let HttpParse::Complete(req, _) = parse_request(raw, 0, &limits()) else {
+            panic!("should parse");
+        };
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn oversized_declared_body_fails_as_413() {
+        let raw = b"POST /score HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n";
+        match parse_request(raw, 0, &limits()) {
+            HttpParse::Failed(e @ HttpParseError::BodyTooLarge { declared, .. }) => {
+                assert_eq!(declared, 999_999_999);
+                assert_eq!(error_status(&e).0, 413);
+            }
+            other => panic!("expected 413, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_headers_fail_without_completing() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        while raw.len() <= limits().max_head_bytes {
+            raw.extend_from_slice(b"x-pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        match parse_request(&raw, 0, &limits()) {
+            HttpParse::Failed(HttpParseError::HeadersTooLarge) => {}
+            other => panic!("expected header cap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_fail_typed_never_panic() {
+        let cases: &[&[u8]] = &[
+            b"\r\n\r\n",
+            b"GET\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET relative HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbadheader\r\n\r\n",
+            b"GET / HTTP/1.1\r\ncontent-length: -4\r\n\r\n",
+            b"GET / HTTP/1.1\r\ncontent-length: 4e2\r\n\r\n",
+            b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"\xff\xfe\x00 / HTTP/1.1\r\n\r\n",
+        ];
+        for case in cases {
+            match parse_request(case, 0, &limits()) {
+                HttpParse::Failed(e) => {
+                    let (status, _) = error_status(&e);
+                    assert!((400..500).contains(&status));
+                }
+                other => panic!("{case:?} should fail, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn response_renders_with_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "Too Many Requests", "text/plain", b"slow down", true);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("content-length: 9\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nslow down"));
+    }
+}

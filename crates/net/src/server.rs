@@ -1,0 +1,582 @@
+//! The epoll-sharded network front-end over [`ScoringServer`].
+//!
+//! `NetServer::bind` opens one nonblocking listener and spawns
+//! `NetConfig::shards` event-loop threads. Every shard owns a private
+//! epoll instance; the shared listener fd is registered in each with
+//! `EPOLLEXCLUSIVE`, so the kernel wakes exactly one shard per incoming
+//! connection burst instead of thundering the whole herd. Accepted
+//! sockets stay pinned to the accepting shard for their lifetime and are
+//! driven edge-triggered (`EPOLLET`): each readiness event drains the
+//! socket to `EAGAIN`, extracts every complete request, submits them all
+//! to the scoring server (letting the micro-batcher coalesce pipelined
+//! bursts), then resolves tickets in arrival order so responses never
+//! reorder within a connection.
+//!
+//! Backpressure is inherited, not reinvented: `submit_with_deadline`
+//! still applies the shed watermark and bounded-queue admission, and the
+//! wire simply translates `SubmitError`/`RequestError` into 429/503 (or
+//! binary status bytes). Draining arrives over the wire too — `POST
+//! /drain` acks, flips a flag, and the owner thread joins the shards and
+//! runs the scoring server's exact-accounting drain.
+
+use crate::conn::{Conn, Extracted, ReadOutcome, WireError, WireRequest};
+use crate::frame::{self, FrameStatus};
+use crate::http::{self, HttpLimits, HttpRequest};
+use crate::sys::{self, EpollEvent, NetError};
+use scope_sim::Job;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+use tasq_obs::metrics::{Counter, Histogram, Registry};
+use tasq_serve::{ScoringServer, ServerStatsSnapshot, Ticket};
+
+/// Tuning knobs for the network front-end.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Event-loop threads; each owns an epoll instance and its accepted
+    /// connections.
+    pub shards: usize,
+    /// Per-shard cap on concurrently open connections; accepts beyond it
+    /// are closed immediately.
+    pub max_connections_per_shard: usize,
+    /// HTTP header/body size caps.
+    pub http_limits: HttpLimits,
+    /// Per-request deadline budget passed to `submit_with_deadline`.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            max_connections_per_shard: 1024,
+            http_limits: HttpLimits::default(),
+            deadline: None,
+        }
+    }
+}
+
+/// Wire-level counters, registered once in the process-global registry.
+pub struct NetMetrics {
+    /// Connections accepted across all shards.
+    pub connections: Counter,
+    /// Bytes read off sockets.
+    pub bytes_read: Counter,
+    /// Bytes written to sockets.
+    pub bytes_written: Counter,
+    /// Connections terminated by a protocol parse error.
+    pub parse_errors: Counter,
+    /// Per-request latency from parse-complete to response-queued (µs).
+    pub wire_latency_us: Histogram,
+}
+
+/// The process-global wire metrics.
+pub fn net_metrics() -> &'static NetMetrics {
+    static METRICS: OnceLock<NetMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        NetMetrics {
+            connections: r.counter("net_connections_total", "connections accepted"),
+            bytes_read: r.counter("net_bytes_read_total", "bytes read from sockets"),
+            bytes_written: r.counter("net_bytes_written_total", "bytes written to sockets"),
+            parse_errors: r.counter("net_parse_errors_total", "connections killed by parse errors"),
+            wire_latency_us: r.histogram(
+                "net_wire_latency_us",
+                "request latency from parse to response enqueue (us)",
+            ),
+        }
+    })
+}
+
+/// A running network front-end: listener + shard threads over a shared
+/// [`ScoringServer`].
+pub struct NetServer {
+    addr: SocketAddr,
+    // Kept alive so the listener fd stays valid for the shard epoll sets.
+    _listener: TcpListener,
+    shards: Vec<thread::JoinHandle<()>>,
+    drain: Arc<AtomicBool>,
+    server: Arc<ScoringServer>,
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and start the shard event loops
+    /// over `server`.
+    pub fn bind(addr: &str, config: NetConfig, server: ScoringServer) -> Result<Self, NetError> {
+        if !sys::supported() {
+            return Err(NetError::Unsupported);
+        }
+        let listener =
+            TcpListener::bind(addr).map_err(|e| NetError::Bind(format!("{addr}: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::Bind(format!("set_nonblocking: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| NetError::Bind(format!("local_addr: {e}")))?;
+        let server = Arc::new(server);
+        let drain = Arc::new(AtomicBool::new(false));
+        let listener_fd = listener.as_raw_fd();
+        let shard_count = config.shards.max(1);
+        let mut shards = Vec::with_capacity(shard_count);
+        for shard_id in 0..shard_count {
+            let server = Arc::clone(&server);
+            let drain = Arc::clone(&drain);
+            let config = config.clone();
+            let handle = thread::Builder::new()
+                .name(format!("net-shard-{shard_id}"))
+                .spawn(move || {
+                    // A failed shard must not take the process down; the
+                    // other shards keep serving and drain still works.
+                    if let Err(e) = shard_loop(listener_fd, &config, &server, &drain) {
+                        eprintln!("net-shard-{shard_id}: event loop failed: {e}");
+                    }
+                })
+                .map_err(|e| NetError::Bind(format!("spawn shard: {e}")))?;
+            shards.push(handle);
+        }
+        Ok(Self { addr: local, _listener: listener, shards, drain, server })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a drain has been requested (over the wire or locally).
+    pub fn drain_requested(&self) -> bool {
+        self.drain.load(Ordering::SeqCst)
+    }
+
+    /// Request a drain locally (same effect as `POST /drain`).
+    pub fn trigger_drain(&self) {
+        self.drain.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until a drain is requested.
+    pub fn wait_for_drain(&self) {
+        while !self.drain_requested() {
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Stop accepting, join the shard threads, and drain the scoring
+    /// server, returning its exact-accounting final snapshot.
+    pub fn shutdown(self) -> ServerStatsSnapshot {
+        self.drain.store(true, Ordering::SeqCst);
+        for handle in self.shards {
+            let _ = handle.join();
+        }
+        match Arc::try_unwrap(self.server) {
+            Ok(server) => server.drain(),
+            // Unreachable once every shard has exited (they hold the only
+            // other clones), but never panic on the shutdown path.
+            Err(server) => server.stats(),
+        }
+    }
+}
+
+/// A connection slot plus its epoll interest state.
+struct Slot {
+    conn: Conn,
+    /// Whether `EPOLLOUT` is currently armed for this fd.
+    armed_out: bool,
+}
+
+const BASE_INTEREST: u32 = sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLET;
+
+fn shard_loop(
+    listener_fd: i32,
+    config: &NetConfig,
+    server: &Arc<ScoringServer>,
+    drain: &AtomicBool,
+) -> Result<(), NetError> {
+    let epfd = sys::epoll_create1()?;
+    let result = shard_loop_inner(epfd, listener_fd, config, server, drain);
+    sys::close(epfd);
+    result
+}
+
+fn shard_loop_inner(
+    epfd: i32,
+    listener_fd: i32,
+    config: &NetConfig,
+    server: &Arc<ScoringServer>,
+    drain: &AtomicBool,
+) -> Result<(), NetError> {
+    // Level-triggered + EPOLLEXCLUSIVE on the shared listener: exactly
+    // one shard wakes per connection burst, and un-accepted backlog
+    // re-triggers on the next wait.
+    sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, listener_fd, sys::EPOLLIN | sys::EPOLLEXCLUSIVE)?;
+    let mut events = [EpollEvent::zeroed(); 64];
+    let mut slots: HashMap<i32, Slot> = HashMap::new();
+    loop {
+        if drain.load(Ordering::SeqCst) {
+            flush_remaining(&mut slots);
+            return Ok(());
+        }
+        let n = sys::epoll_wait(epfd, &mut events, 50)?;
+        for event in events.iter().take(n) {
+            let fd = event.fd();
+            let ready = event.ready();
+            if fd == listener_fd {
+                accept_burst(epfd, listener_fd, config, &mut slots);
+                continue;
+            }
+            let Some(slot) = slots.get_mut(&fd) else { continue };
+            if ready & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+                slots.remove(&fd);
+                continue;
+            }
+            let mut peer_closed = false;
+            if ready & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 {
+                match slot.conn.fill() {
+                    Ok(ReadOutcome::Drained { bytes }) => {
+                        net_metrics().bytes_read.add(bytes as u64);
+                    }
+                    Ok(ReadOutcome::Closed) => peer_closed = true,
+                    Err(_) => {
+                        slots.remove(&fd);
+                        continue;
+                    }
+                }
+                let extracted = slot.conn.extract(&config.http_limits);
+                serve_extracted(extracted, &mut slot.conn, config, server, drain);
+            }
+            match slot.conn.flush() {
+                Ok(bytes) => net_metrics().bytes_written.add(bytes as u64),
+                Err(_) => {
+                    slots.remove(&fd);
+                    continue;
+                }
+            }
+            let done = slot.conn.pending_write() == 0;
+            if done && (peer_closed || slot.conn.close_after_flush) {
+                slots.remove(&fd);
+                continue;
+            }
+            // Arm or disarm EPOLLOUT as the transmit buffer fills/empties.
+            if !done && !slot.armed_out {
+                if sys::epoll_ctl(epfd, sys::EPOLL_CTL_MOD, fd, BASE_INTEREST | sys::EPOLLOUT)
+                    .is_err()
+                {
+                    slots.remove(&fd);
+                    continue;
+                }
+                slot.armed_out = true;
+            } else if done && slot.armed_out {
+                if sys::epoll_ctl(epfd, sys::EPOLL_CTL_MOD, fd, BASE_INTEREST).is_err() {
+                    slots.remove(&fd);
+                    continue;
+                }
+                slot.armed_out = false;
+            }
+        }
+    }
+}
+
+/// Accept until the listener would block, registering each socket
+/// edge-triggered with this shard's epoll set.
+fn accept_burst(epfd: i32, listener_fd: i32, config: &NetConfig, slots: &mut HashMap<i32, Slot>) {
+    loop {
+        match sys::accept4(listener_fd) {
+            Ok(fd) => {
+                if slots.len() >= config.max_connections_per_shard {
+                    sys::close(fd);
+                    continue;
+                }
+                if sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, fd, BASE_INTEREST).is_err() {
+                    sys::close(fd);
+                    continue;
+                }
+                net_metrics().connections.inc();
+                slots.insert(fd, Slot { conn: Conn::new(fd), armed_out: false });
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Best-effort flush of pending responses (the drain ack, mostly) before
+/// a shard exits. Bounded so a stuck peer cannot wedge shutdown.
+fn flush_remaining(slots: &mut HashMap<i32, Slot>) {
+    let deadline = Instant::now() + Duration::from_secs(1);
+    for slot in slots.values_mut() {
+        while slot.conn.pending_write() > 0 && Instant::now() < deadline {
+            match slot.conn.flush() {
+                Ok(bytes) => {
+                    net_metrics().bytes_written.add(bytes as u64);
+                    if slot.conn.pending_write() > 0 {
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+    slots.clear();
+}
+
+/// A response whose bytes may depend on a still-inflight scoring ticket.
+enum PendingReply {
+    /// Bytes already rendered (health, metrics, admission errors, …).
+    Ready(Vec<u8>),
+    /// An admitted HTTP scoring request awaiting its ticket.
+    HttpTicket { ticket: Box<Ticket>, keep_alive: bool, parsed_at: Instant },
+    /// An admitted binary scoring request awaiting its ticket.
+    BinaryTicket { ticket: Box<Ticket>, parsed_at: Instant },
+}
+
+/// Submit every extracted request, then resolve tickets in arrival order
+/// so pipelined bursts hit the micro-batcher together but responses keep
+/// their order on the wire.
+fn serve_extracted(
+    extracted: Extracted,
+    conn: &mut Conn,
+    config: &NetConfig,
+    server: &Arc<ScoringServer>,
+    drain: &AtomicBool,
+) {
+    let mut pending = Vec::with_capacity(extracted.requests.len());
+    for request in extracted.requests {
+        let parsed_at = Instant::now();
+        match request {
+            WireRequest::Http(req) => pending.push(submit_http(req, parsed_at, config, server, conn, drain)),
+            WireRequest::Binary(payload) => {
+                pending.push(submit_binary(&payload, parsed_at, config, server));
+            }
+        }
+    }
+    for reply in pending {
+        match reply {
+            PendingReply::Ready(bytes) => conn.queue_write(&bytes),
+            PendingReply::HttpTicket { ticket, keep_alive, parsed_at } => {
+                let mut out = Vec::new();
+                match ticket.outcome() {
+                    Ok(served) => match tasq::codec::to_bytes(&served.response) {
+                        Ok(body) => http::write_response(
+                            &mut out,
+                            200,
+                            "OK",
+                            "application/octet-stream",
+                            &body,
+                            !keep_alive,
+                        ),
+                        Err(_) => http::write_response(
+                            &mut out,
+                            500,
+                            "Internal Server Error",
+                            "text/plain",
+                            b"response encoding failed\n",
+                            !keep_alive,
+                        ),
+                    },
+                    Err(e) => http::write_response(
+                        &mut out,
+                        503,
+                        "Service Unavailable",
+                        "text/plain",
+                        format!("{e}\n").as_bytes(),
+                        !keep_alive,
+                    ),
+                }
+                if !keep_alive {
+                    conn.close_after_flush = true;
+                }
+                net_metrics().wire_latency_us.record(parsed_at.elapsed().as_micros() as u64);
+                conn.queue_write(&out);
+            }
+            PendingReply::BinaryTicket { ticket, parsed_at } => {
+                let mut out = Vec::new();
+                match ticket.outcome() {
+                    Ok(served) => match tasq::codec::to_bytes(&served.response) {
+                        Ok(body) => frame::write_response_frame(&mut out, FrameStatus::Ok, &body),
+                        Err(_) => {
+                            frame::write_response_frame(&mut out, FrameStatus::BadRequest, &[]);
+                        }
+                    },
+                    Err(e) => frame::write_response_frame(
+                        &mut out,
+                        FrameStatus::from_request_error(&e),
+                        &[],
+                    ),
+                }
+                net_metrics().wire_latency_us.record(parsed_at.elapsed().as_micros() as u64);
+                conn.queue_write(&out);
+            }
+        }
+    }
+    if let Some(error) = extracted.error {
+        net_metrics().parse_errors.inc();
+        let mut out = Vec::new();
+        match error {
+            WireError::Http(e) => {
+                let (status, reason) = http::error_status(&e);
+                http::write_response(
+                    &mut out,
+                    status,
+                    reason,
+                    "text/plain",
+                    format!("{e:?}\n").as_bytes(),
+                    true,
+                );
+            }
+            WireError::FrameTooLarge(_) => {
+                frame::write_response_frame(&mut out, FrameStatus::TooLarge, &[]);
+            }
+        }
+        conn.queue_write(&out);
+        conn.close_after_flush = true;
+    }
+}
+
+/// Route one HTTP request: scoring goes through admission control, the
+/// introspection endpoints answer inline.
+fn submit_http(
+    req: HttpRequest,
+    parsed_at: Instant,
+    config: &NetConfig,
+    server: &Arc<ScoringServer>,
+    conn: &mut Conn,
+    drain: &AtomicBool,
+) -> PendingReply {
+    let keep_alive = req.keep_alive;
+    let close = !keep_alive;
+    if close {
+        conn.close_after_flush = true;
+    }
+    let mut out = Vec::new();
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/score") => match tasq::codec::from_bytes::<Job>(&req.body) {
+            Ok(job) => match server.submit_with_deadline(job, config.deadline) {
+                Ok(ticket) => {
+                    return PendingReply::HttpTicket {
+                        ticket: Box::new(ticket),
+                        keep_alive,
+                        parsed_at,
+                    }
+                }
+                Err(e) => {
+                    let (status, reason) = match &e {
+                        tasq_serve::SubmitError::Overloaded { .. } => (429, "Too Many Requests"),
+                        tasq_serve::SubmitError::ShuttingDown => (503, "Service Unavailable"),
+                    };
+                    http::write_response(
+                        &mut out,
+                        status,
+                        reason,
+                        "text/plain",
+                        format!("{e}\n").as_bytes(),
+                        close,
+                    );
+                }
+            },
+            Err(_) => {
+                net_metrics().parse_errors.inc();
+                http::write_response(
+                    &mut out,
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    b"body is not a codec-encoded Job\n",
+                    close,
+                );
+            }
+        },
+        ("GET", "/healthz") => {
+            http::write_response(&mut out, 200, "OK", "text/plain", b"ok\n", close);
+        }
+        ("GET", "/metrics") => {
+            let body = Registry::global().render_prometheus();
+            http::write_response(&mut out, 200, "OK", "text/plain; version=0.0.4", body.as_bytes(), close);
+        }
+        ("GET", "/stats") => {
+            let body = stats_json(&server.stats());
+            http::write_response(&mut out, 200, "OK", "application/json", body.as_bytes(), close);
+        }
+        ("POST", "/drain") => {
+            http::write_response(
+                &mut out,
+                200,
+                "OK",
+                "application/json",
+                b"{\"draining\":true}",
+                true,
+            );
+            conn.close_after_flush = true;
+            drain.store(true, Ordering::SeqCst);
+        }
+        _ => {
+            http::write_response(&mut out, 404, "Not Found", "text/plain", b"not found\n", close);
+        }
+    }
+    net_metrics().wire_latency_us.record(parsed_at.elapsed().as_micros() as u64);
+    PendingReply::Ready(out)
+}
+
+/// Decode and submit one binary frame payload.
+fn submit_binary(
+    payload: &[u8],
+    parsed_at: Instant,
+    config: &NetConfig,
+    server: &Arc<ScoringServer>,
+) -> PendingReply {
+    let mut out = Vec::new();
+    match tasq::codec::from_bytes::<Job>(payload) {
+        Ok(job) => match server.submit_with_deadline(job, config.deadline) {
+            Ok(ticket) => {
+                return PendingReply::BinaryTicket { ticket: Box::new(ticket), parsed_at }
+            }
+            Err(e) => {
+                frame::write_response_frame(&mut out, FrameStatus::from_submit_error(&e), &[]);
+            }
+        },
+        Err(_) => {
+            net_metrics().parse_errors.inc();
+            frame::write_response_frame(&mut out, FrameStatus::BadRequest, &[]);
+        }
+    }
+    net_metrics().wire_latency_us.record(parsed_at.elapsed().as_micros() as u64);
+    PendingReply::Ready(out)
+}
+
+/// Hand-rolled JSON for the `/stats` endpoint (no serde_json in the
+/// workspace; mirrors the counters the CLI's loadgen reports).
+fn stats_json(stats: &ServerStatsSnapshot) -> String {
+    format!(
+        "{{\"submitted\":{},\"completed\":{},\"cache_hits\":{},\"model_scored\":{},\
+         \"shed\":{},\"rejected\":{},\"worker_lost\":{},\"deadline_timeouts\":{},\
+         \"resolved\":{},\"p50_us\":{:.1},\"p99_us\":{:.1}}}",
+        stats.submitted,
+        stats.completed,
+        stats.cache_hits,
+        stats.model_scored,
+        stats.shed,
+        stats.rejected,
+        stats.worker_lost,
+        stats.deadline_timeouts,
+        stats.resolved(),
+        stats.latency.p50_us,
+        stats.latency.p99_us,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_json_is_parseable_and_complete() {
+        let stats = ServerStatsSnapshot::default();
+        let json = stats_json(&stats);
+        let parsed = tasq_obs::json::parse(&json).expect("stats json must parse");
+        assert!(parsed.as_object().is_some(), "stats json must be an object");
+        for key in ["submitted", "completed", "rejected", "resolved", "p50_us", "p99_us"] {
+            assert!(parsed.get(key).is_some(), "missing {key} in {json}");
+        }
+    }
+}

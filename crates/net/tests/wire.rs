@@ -1,0 +1,227 @@
+//! End-to-end wire tests: real TCP sockets through both framings into a
+//! live `ScoringServer` and back.
+//!
+//! One trained model registry is shared across tests (training is the
+//! expensive part); every test binds its own ephemeral-port server so
+//! they can run concurrently.
+
+use scope_sim::{Job, WorkloadConfig, WorkloadGenerator};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+use tasq::models::{NnTrainConfig, XgbTrainConfig};
+use tasq::pipeline::{
+    JobRepository, ModelChoice, ModelStore, PipelineConfig, ScoringConfig, TasqPipeline,
+};
+use tasq_net::{BinaryClient, HttpClient, HttpLimits, NetConfig, NetServer, ScoreOutcome};
+use tasq_serve::{ModelRegistry, ScoringServer, ServeConfig};
+
+fn jobs(n: usize, seed: u64) -> Vec<Job> {
+    WorkloadGenerator::new(WorkloadConfig { num_jobs: n, seed, ..Default::default() }).generate()
+}
+
+fn registry() -> Arc<ModelRegistry> {
+    static REGISTRY: OnceLock<Arc<ModelRegistry>> = OnceLock::new();
+    Arc::clone(REGISTRY.get_or_init(|| {
+        let repo = JobRepository::new();
+        repo.ingest(jobs(20, 7001));
+        let store = ModelStore::new();
+        TasqPipeline::new(PipelineConfig {
+            xgb: XgbTrainConfig { num_rounds: 15, ..Default::default() },
+            nn: NnTrainConfig { epochs: 8, ..Default::default() },
+            ..Default::default()
+        })
+        .train(&repo, &store)
+        .expect("pipeline trains");
+        Arc::new(
+            ModelRegistry::deploy(&store, ModelChoice::Nn, ScoringConfig::default())
+                .expect("registry deploys"),
+        )
+    }))
+}
+
+fn start_net(config: NetConfig) -> NetServer {
+    let scoring = ScoringServer::start(registry(), ServeConfig::default());
+    NetServer::bind("127.0.0.1:0", config, scoring).expect("net server binds")
+}
+
+#[test]
+fn http_keep_alive_serves_100_requests_on_one_connection() {
+    let net = start_net(NetConfig::default());
+    let addr = net.local_addr().to_string();
+    let mut client = HttpClient::connect(&addr).expect("connects");
+    client.set_timeout(Duration::from_secs(10)).expect("timeout");
+    let workload = jobs(10, 7002);
+    for i in 0..100 {
+        let job = workload[i % workload.len()].clone();
+        let expect_id = job.id;
+        match client.score(&job).expect("round trip") {
+            ScoreOutcome::Ok(score) => {
+                assert_eq!(score.job_id, expect_id, "request {i} answered out of order");
+                assert!(score.optimal_tokens > 0);
+            }
+            ScoreOutcome::Rejected(status) => panic!("request {i} rejected with {status}"),
+        }
+    }
+    // Introspection endpoints ride the same connection.
+    let health = client.request("GET", "/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, b"ok\n");
+    let stats = client.request("GET", "/stats", b"").expect("stats");
+    assert_eq!(stats.status, 200);
+    let parsed = tasq_obs::json::parse(&String::from_utf8_lossy(&stats.body)).expect("json");
+    assert!(parsed.get("submitted").and_then(|v| v.as_f64()).unwrap_or(0.0) >= 100.0);
+    let final_stats = net.shutdown();
+    assert_eq!(final_stats.submitted, final_stats.resolved());
+}
+
+#[test]
+fn binary_framing_round_trips_and_preserves_order() {
+    let net = start_net(NetConfig::default());
+    let addr = net.local_addr().to_string();
+    let mut client = BinaryClient::connect(&addr).expect("connects");
+    client.set_timeout(Duration::from_secs(10)).expect("timeout");
+    let workload = jobs(8, 7003);
+    for round in 0..25 {
+        for job in &workload {
+            match client.score(job).expect("round trip") {
+                ScoreOutcome::Ok(score) => assert_eq!(score.job_id, job.id, "round {round}"),
+                ScoreOutcome::Rejected(status) => panic!("rejected with {status}"),
+            }
+        }
+    }
+    let final_stats = net.shutdown();
+    assert!(final_stats.submitted >= 200);
+    assert_eq!(final_stats.submitted, final_stats.resolved());
+}
+
+#[test]
+fn oversized_http_body_is_rejected_with_413() {
+    let config = NetConfig {
+        http_limits: HttpLimits { max_body_bytes: 512, ..Default::default() },
+        ..Default::default()
+    };
+    let net = start_net(config);
+    let addr = net.local_addr().to_string();
+    let mut stream = TcpStream::connect(&addr).expect("connects");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    // Declare a body over the cap; the server must answer 413 from the
+    // headers alone and close.
+    stream
+        .write_all(b"POST /score HTTP/1.1\r\ncontent-length: 4096\r\n\r\n")
+        .expect("send");
+    let mut response = String::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => response.push_str(&String::from_utf8_lossy(&chunk[..n])),
+            Err(_) => break,
+        }
+    }
+    assert!(
+        response.starts_with("HTTP/1.1 413 "),
+        "expected 413, got: {response:.60}"
+    );
+    net.shutdown();
+}
+
+#[test]
+fn torn_and_garbage_bytes_never_wedge_the_server() {
+    let net = start_net(NetConfig::default());
+    let addr = net.local_addr().to_string();
+
+    // 1. A valid request delivered one byte at a time still scores.
+    let job = jobs(1, 7004).remove(0);
+    let payload = tasq::codec::to_bytes(&job).expect("encode");
+    let mut raw = Vec::new();
+    raw.extend_from_slice(
+        format!("POST /score HTTP/1.1\r\ncontent-length: {}\r\n\r\n", payload.len()).as_bytes(),
+    );
+    raw.extend_from_slice(&payload);
+    let mut stream = TcpStream::connect(&addr).expect("connects");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    for chunk in raw.chunks(7) {
+        stream.write_all(chunk).expect("send");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut first = [0u8; 16];
+    let mut got = 0;
+    while got < first.len() {
+        let n = stream.read(&mut first[got..]).expect("recv");
+        assert!(n > 0, "server closed before answering");
+        got += n;
+    }
+    assert!(first.starts_with(b"HTTP/1.1 200"), "torn request should score: {first:?}");
+    drop(stream);
+
+    // 2. Garbage bytes get a 4xx (or a close), never a hang; the server
+    //    keeps serving fresh connections afterwards.
+    let mut garbage = TcpStream::connect(&addr).expect("connects");
+    garbage.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    garbage.write_all(b"\x7f\x45\x4c\x46 total nonsense\r\n\r\n").expect("send");
+    let mut sink = Vec::new();
+    let _ = garbage.read_to_end(&mut sink);
+    drop(garbage);
+
+    let mut client = HttpClient::connect(&addr).expect("reconnects");
+    client.set_timeout(Duration::from_secs(10)).expect("timeout");
+    let health = client.request("GET", "/healthz", b"").expect("healthz after garbage");
+    assert_eq!(health.status, 200);
+    net.shutdown();
+}
+
+#[test]
+fn drain_over_the_wire_keeps_exact_accounting() {
+    let net = start_net(NetConfig::default());
+    let addr = net.local_addr().to_string();
+    let workload = jobs(6, 7005);
+    let mut http = HttpClient::connect(&addr).expect("connects");
+    http.set_timeout(Duration::from_secs(10)).expect("timeout");
+    let mut binary = BinaryClient::connect(&addr).expect("connects");
+    binary.set_timeout(Duration::from_secs(10)).expect("timeout");
+    let mut submitted = 0u64;
+    for job in &workload {
+        assert!(matches!(http.score(job).expect("http score"), ScoreOutcome::Ok(_)));
+        assert!(matches!(binary.score(job).expect("binary score"), ScoreOutcome::Ok(_)));
+        submitted += 2;
+    }
+    let ack = http.request("POST", "/drain", b"").expect("drain ack");
+    assert_eq!(ack.status, 200);
+    let parsed = tasq_obs::json::parse(&String::from_utf8_lossy(&ack.body)).expect("json ack");
+    assert_eq!(parsed.get("draining").and_then(|v| v.as_bool()), Some(true));
+    assert!(net.drain_requested(), "wire drain must set the drain flag");
+    net.wait_for_drain();
+    let stats = net.shutdown();
+    assert!(stats.submitted >= submitted);
+    assert_eq!(
+        stats.submitted,
+        stats.resolved(),
+        "drain must resolve every submission: {stats:?}"
+    );
+}
+
+#[test]
+fn metrics_endpoint_exposes_wire_counters() {
+    let net = start_net(NetConfig::default());
+    let addr = net.local_addr().to_string();
+    let mut client = HttpClient::connect(&addr).expect("connects");
+    client.set_timeout(Duration::from_secs(10)).expect("timeout");
+    let job = jobs(1, 7006).remove(0);
+    assert!(matches!(client.score(&job).expect("score"), ScoreOutcome::Ok(_)));
+    let metrics = client.request("GET", "/metrics", b"").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = String::from_utf8_lossy(&metrics.body).into_owned();
+    for name in [
+        "net_connections_total",
+        "net_bytes_read_total",
+        "net_bytes_written_total",
+        "net_parse_errors_total",
+        "net_wire_latency_us",
+    ] {
+        assert!(text.contains(name), "missing {name} in /metrics:\n{text}");
+    }
+    net.shutdown();
+}

@@ -15,20 +15,27 @@
 //!   shed-to-analytic-tier degradation, and lock-free latency stats
 //!   ([`stats`]).
 //!
+//! - [`scaling`] — queue-utilization worker autoscaling (min/max pool
+//!   bounds, up/down thresholds, cooldown) applied through the server's
+//!   dynamic worker pool.
+//!
 //! Everything is std-threads + channels + atomics over the workspace's
 //! vendored dependencies; there is no async runtime and no network
-//! surface — the server embeds into a host process (here, the `tasq` CLI
-//! `serve` / `loadgen` subcommands).
+//! surface *in this crate* — the server embeds into a host process
+//! (the `tasq` CLI `serve` / `loadgen` subcommands), and `tasq-net`
+//! puts it on a socket.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod registry;
+pub mod scaling;
 pub mod server;
 pub mod signature;
 pub mod stats;
 
 pub use cache::{CacheConfig, CacheStats, SignatureCache};
+pub use scaling::{AutoScaler, ScaleAction, ScalingConfig};
 pub use registry::{
     ActiveModel, DurableDeployError, ManifestRecord, ModelRegistry, SwapError,
 };

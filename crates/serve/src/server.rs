@@ -28,6 +28,7 @@
 
 use crate::cache::{CacheConfig, SignatureCache};
 use crate::registry::ModelRegistry;
+use crate::scaling::{AutoScaler, ScaleAction, ScalingConfig};
 use crate::signature::PlanSignature;
 use crate::stats::{LatencyHistogram, ServerStatsSnapshot};
 use parking_lot::Mutex;
@@ -129,6 +130,11 @@ pub struct ServeConfig {
     /// all keyed by request sequence number. `None` (the default) injects
     /// nothing and costs one branch per request.
     pub chaos: Option<ChaosPlan>,
+    /// Worker-pool autoscaling policy (min/max workers, queue-utilization
+    /// thresholds, cooldown). Disabled by default; when enabled a scaler
+    /// thread resizes the pool between [`ScoringServer::resize_workers`]
+    /// bounds as load swings.
+    pub scaling: ScalingConfig,
 }
 
 impl Default for ServeConfig {
@@ -144,6 +150,7 @@ impl Default for ServeConfig {
             deadline: None,
             breaker: BreakerConfig::default(),
             chaos: None,
+            scaling: ScalingConfig::default(),
         }
     }
 }
@@ -329,6 +336,18 @@ struct Shared {
     /// Primary-tier circuit breaker, ticked by request sequence number.
     breaker: Mutex<CircuitBreaker>,
     config: ServeConfig,
+    /// Desired worker-pool size; surplus workers exit cooperatively at
+    /// their next idle poll.
+    target_workers: AtomicUsize,
+    /// Workers currently alive (incremented at spawn, CAS-decremented by
+    /// a worker electing itself to exit).
+    live_workers: AtomicUsize,
+    /// Monotonic worker slot numbering across resizes.
+    next_slot: AtomicUsize,
+    /// Autoscaler scale-up actions applied.
+    scale_ups: AtomicU64,
+    /// Autoscaler scale-down actions applied.
+    scale_downs: AtomicU64,
 }
 
 impl Shared {
@@ -363,7 +382,10 @@ impl Shared {
 pub struct ScoringServer {
     shared: Arc<Shared>,
     tx: mpsc::SyncSender<Envelope>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    rx: Arc<Mutex<mpsc::Receiver<Envelope>>>,
+    /// Worker (and scaler) join handles; a shared mutex-backed vec so
+    /// the autoscaler thread can push freshly spawned workers.
+    workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
 /// How long an idle worker sleeps between shutdown checks.
@@ -384,20 +406,35 @@ impl ScoringServer {
             draining: AtomicBool::new(false),
             breaker: Mutex::new(CircuitBreaker::new(config.breaker)),
             config: config.clone(),
+            target_workers: AtomicUsize::new(config.workers.max(1)),
+            live_workers: AtomicUsize::new(0),
+            next_slot: AtomicUsize::new(0),
+            scale_ups: AtomicU64::new(0),
+            scale_downs: AtomicU64::new(0),
         });
-        // The channel bound exceeds the admission bound, so `send` below
-        // never blocks: depth accounting rejects first.
-        let bound = config.queue_capacity + config.workers.max(1) * config.max_batch.max(1) + 1;
+        // The channel bound exceeds the admission bound at the largest
+        // pool the autoscaler may grow to, so `send` below never blocks:
+        // depth accounting rejects first.
+        let pool_ceiling = if config.scaling.auto_scaling {
+            config.workers.max(config.scaling.max_workers)
+        } else {
+            config.workers
+        };
+        let bound = config.queue_capacity + pool_ceiling.max(1) * config.max_batch.max(1) + 1;
         let (tx, rx) = mpsc::sync_channel::<Envelope>(bound);
         let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..config.workers.max(1))
-            .map(|slot| {
-                let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
-                std::thread::spawn(move || supervise_worker(&shared, &rx, slot))
-            })
-            .collect();
-        Self { shared, tx, workers }
+        let workers = Arc::new(Mutex::new(Vec::new()));
+        resize_pool(&shared, &rx, &workers, config.workers.max(1));
+        if config.scaling.auto_scaling {
+            let scaler_shared = Arc::clone(&shared);
+            let scaler_rx = Arc::clone(&rx);
+            let scaler_workers = Arc::clone(&workers);
+            let handle = std::thread::spawn(move || {
+                scaler_loop(&scaler_shared, &scaler_rx, &scaler_workers);
+            });
+            workers.lock().push(handle);
+        }
+        Self { shared, tx, rx, workers }
     }
 
     /// Submit one job for scoring. Returns a [`Ticket`] immediately; the
@@ -570,10 +607,105 @@ impl ScoringServer {
 
     fn stop_and_join(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        for handle in self.workers.drain(..) {
-            if handle.join().is_err() {
-                // A panicked worker is a bug elsewhere; shutdown still
-                // completes so callers can read stats.
+        // Joining happens outside the lock (the autoscaler thread takes
+        // it to push workers), and loops in case a resize raced the
+        // shutdown flag and pushed a handle after the first sweep.
+        loop {
+            let batch: Vec<_> = self.workers.lock().drain(..).collect();
+            if batch.is_empty() {
+                return;
+            }
+            for handle in batch {
+                if handle.join().is_err() {
+                    // A panicked worker is a bug elsewhere; shutdown still
+                    // completes so callers can read stats.
+                }
+            }
+        }
+    }
+
+    /// Workers currently alive (the autoscaler's cooperative scale-down
+    /// lands within one idle poll, so this may briefly exceed the
+    /// target after a `Down` action).
+    pub fn worker_count(&self) -> usize {
+        self.shared.live_workers.load(Ordering::SeqCst)
+    }
+
+    /// Resize the worker pool to `target` (clamped to ≥ 1). Growth
+    /// spawns supervised workers immediately; shrinkage is cooperative —
+    /// surplus workers exit at their next idle poll without abandoning
+    /// requests they already hold.
+    pub fn resize_workers(&self, target: usize) {
+        resize_pool(&self.shared, &self.rx, &self.workers, target);
+    }
+
+    /// `(scale_ups, scale_downs)` applied by the autoscaler thread.
+    pub fn scaling_events(&self) -> (u64, u64) {
+        (
+            self.shared.scale_ups.load(Ordering::Relaxed),
+            self.shared.scale_downs.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Set the pool's target size and spawn workers up to it. Serialized on
+/// the handles lock so concurrent resizes cannot overshoot.
+fn resize_pool(
+    shared: &Arc<Shared>,
+    rx: &Arc<Mutex<mpsc::Receiver<Envelope>>>,
+    handles: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    target: usize,
+) {
+    let target = target.max(1);
+    let mut guard = handles.lock();
+    shared.target_workers.store(target, Ordering::SeqCst);
+    while shared.live_workers.load(Ordering::SeqCst) < target {
+        shared.live_workers.fetch_add(1, Ordering::SeqCst);
+        let slot = shared.next_slot.fetch_add(1, Ordering::SeqCst);
+        let worker_shared = Arc::clone(shared);
+        let worker_rx = Arc::clone(rx);
+        guard.push(std::thread::spawn(move || supervise_worker(&worker_shared, &worker_rx, slot)));
+    }
+}
+
+/// How often the autoscaler samples queue utilization.
+const SCALER_POLL: Duration = Duration::from_millis(20);
+
+/// The autoscaler thread: sample `depth / queue_capacity`, tick the pure
+/// [`AutoScaler`], apply its decision through the dynamic pool.
+fn scaler_loop(
+    shared: &Arc<Shared>,
+    rx: &Arc<Mutex<mpsc::Receiver<Envelope>>>,
+    handles: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    let mut scaler = AutoScaler::new(shared.config.scaling.clone());
+    let epoch = Instant::now();
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(SCALER_POLL);
+        let depth = shared.depth.load(Ordering::Relaxed);
+        let utilization = depth as f64 / shared.config.queue_capacity.max(1) as f64;
+        // Decide against the *target* (not live) count so a pending
+        // cooperative scale-down isn't re-decided every poll.
+        let current = shared.target_workers.load(Ordering::SeqCst);
+        match scaler.tick(epoch.elapsed(), utilization, current) {
+            ScaleAction::Hold => {}
+            ScaleAction::Up(n) => {
+                resize_pool(shared, rx, handles, n);
+                shared.scale_ups.fetch_add(1, Ordering::Relaxed);
+                tasq_obs::event(
+                    Level::Info,
+                    "serve_scale_up",
+                    &[("workers", FieldValue::U64(n as u64))],
+                );
+            }
+            ScaleAction::Down(n) => {
+                shared.target_workers.store(n.max(1), Ordering::SeqCst);
+                shared.scale_downs.fetch_add(1, Ordering::Relaxed);
+                tasq_obs::event(
+                    Level::Info,
+                    "serve_scale_down",
+                    &[("workers", FieldValue::U64(n as u64))],
+                );
             }
         }
     }
@@ -591,12 +723,20 @@ fn collect_batch(
     shared: &Shared,
     rx: &Mutex<mpsc::Receiver<Envelope>>,
 ) -> Option<Vec<Envelope>> {
+    if elect_to_exit(shared) {
+        return None;
+    }
     let guard = rx.lock();
     let first = loop {
         match guard.recv_timeout(IDLE_POLL) {
             Ok(envelope) => break envelope,
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if shared.shutdown.load(Ordering::Relaxed) {
+                    return None;
+                }
+                // Cooperative scale-down: only a worker holding no
+                // request may retire, and only from the idle poll.
+                if elect_to_exit(shared) {
                     return None;
                 }
             }
@@ -613,6 +753,26 @@ fn collect_batch(
         }
     }
     Some(batch)
+}
+
+/// Whether this worker should retire to honour a pending scale-down:
+/// true iff the pool is over target and this worker won the CAS race to
+/// be the one that leaves.
+fn elect_to_exit(shared: &Shared) -> bool {
+    loop {
+        let live = shared.live_workers.load(Ordering::SeqCst);
+        let target = shared.target_workers.load(Ordering::SeqCst);
+        if live <= target.max(1) {
+            return false;
+        }
+        if shared
+            .live_workers
+            .compare_exchange(live, live - 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            return true;
+        }
+    }
 }
 
 /// One worker slot: run [`worker_loop`] under a panic boundary and
@@ -1193,5 +1353,80 @@ mod tests {
         for ticket in tickets {
             assert!(ticket.outcome().is_ok());
         }
+    }
+
+    /// Spin until `server.worker_count()` reaches `expected` or ~2s pass.
+    fn await_worker_count(server: &ScoringServer, expected: usize) {
+        for _ in 0..200 {
+            if server.worker_count() == expected {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!(
+            "worker pool stuck at {} (wanted {expected})",
+            server.worker_count()
+        );
+    }
+
+    #[test]
+    fn resize_workers_grows_and_shrinks_the_pool() {
+        let server = ScoringServer::start(
+            registry(141),
+            ServeConfig { workers: 2, ..Default::default() },
+        );
+        assert_eq!(server.worker_count(), 2);
+
+        server.resize_workers(5);
+        assert_eq!(server.worker_count(), 5, "scale-up spawns immediately");
+
+        server.resize_workers(1);
+        // Scale-down is cooperative: surplus workers exit at their next
+        // idle poll.
+        await_worker_count(&server, 1);
+
+        // The shrunken pool still serves.
+        let job = jobs(1, 143).remove(0);
+        let served = server.submit(job).expect("admitted").outcome().expect("answered");
+        assert!(served.response.optimal_tokens > 0);
+
+        // And a resized-up pool serves again too.
+        server.resize_workers(3);
+        assert_eq!(server.worker_count(), 3);
+        let job = jobs(1, 144).remove(0);
+        assert!(server.submit(job).expect("admitted").outcome().is_ok());
+        let stats = server.drain();
+        assert_eq!(stats.submitted, stats.resolved());
+    }
+
+    #[test]
+    fn autoscaler_shrinks_an_idle_pool_to_min() {
+        let server = ScoringServer::start(
+            registry(151),
+            ServeConfig {
+                workers: 4,
+                scaling: ScalingConfig {
+                    auto_scaling: true,
+                    min_workers: 1,
+                    max_workers: 4,
+                    scale_up_threshold: 0.75,
+                    // An idle queue (utilization 0) is always below this,
+                    // so the scaler steps the pool down once per cooldown.
+                    scale_down_threshold: 0.25,
+                    cooldown_secs: 0.05,
+                },
+                ..Default::default()
+            },
+        );
+        await_worker_count(&server, 1);
+        let (ups, downs) = server.scaling_events();
+        assert!(downs >= 3, "4 → 1 takes three downs, saw {downs}");
+        assert_eq!(ups, 0, "an idle queue must never scale up");
+
+        // The minimum pool still answers.
+        let job = jobs(1, 153).remove(0);
+        assert!(server.submit(job).expect("admitted").outcome().is_ok());
+        let stats = server.drain();
+        assert_eq!(stats.submitted, stats.resolved());
     }
 }
