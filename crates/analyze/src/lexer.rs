@@ -27,6 +27,10 @@ pub struct ScannedLine {
     /// directive on a comment-only line carries forward to the next line
     /// that holds code.
     pub allows: Vec<String>,
+    /// Raw comment bodies that ended on this line (`//` text without the
+    /// slashes, block-comment interiors). The parser-driven passes use
+    /// these to find `SAFETY:` justifications and `# Safety` doc sections.
+    pub comments: Vec<String>,
 }
 
 /// A fully scanned source file.
@@ -78,8 +82,8 @@ pub fn scan(source: &str) -> ScannedFile {
                 code: std::mem::take(&mut code),
                 in_test,
                 allows: parse_allows(&line_comments),
+                comments: std::mem::take(&mut line_comments),
             });
-            line_comments.clear();
             line_touched_test = test_below.is_some();
             if c.is_none() {
                 break;
@@ -115,7 +119,10 @@ pub fn scan(source: &str) -> ScannedFile {
                     // `'outer:`) is left in the code text untouched.
                     if next == Some('\\') {
                         code.push('\'');
-                        i += 2; // skip the backslash
+                        // Skip the quote, the backslash, and the escaped
+                        // character itself — `'\''` must not mistake the
+                        // escaped quote for the closing one.
+                        i += 3;
                         while let Some(&cc) = chars.get(i) {
                             i += 1;
                             if cc == '\'' {
@@ -324,6 +331,21 @@ mod tests {
         assert!(f.lines[0].code.contains("fn f<'a>"));
         // The quote char literal must not open a string.
         assert!(f.lines[0].code.contains("else"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_open_a_string() {
+        // Regression: `'\''` used to step only past the backslash, so
+        // the escaped quote read as the closing one and the real closer
+        // opened a phantom string that swallowed the rest of the file.
+        let src = "let q = '\\''; let after = value.len();\nlet next = 1;\n";
+        let f = scan(src);
+        assert!(f.lines[0].code.contains("let after = value.len();"), "{:?}", f.lines[0].code);
+        assert!(f.lines[1].code.contains("let next = 1;"), "{:?}", f.lines[1].code);
+        // Longer escapes (`'\n'`, `'\x7f'`, `'\u{1F600}'`) also close.
+        let src = "let a = '\\x7f'; let b = '\\u{41}'; done();\n";
+        let f = scan(src);
+        assert!(f.lines[0].code.contains("done();"), "{:?}", f.lines[0].code);
     }
 
     #[test]

@@ -1,18 +1,23 @@
 //! `tasq-analyze` — the workspace gatekeeper.
 //!
-//! Three analysis families run under one `tasq-analyze check` command:
+//! Four analysis families run under one `tasq-analyze check` command:
 //!
 //! 1. **Source lints** ([`rules`]): a hand-rolled, string/comment-aware
 //!    scanner ([`lexer`]) drives pluggable rules — panicking constructs
 //!    outside tests, float `==`, unseeded RNG, wall-clock reads in the
 //!    simulator, unbounded channels — with per-path allowlists and inline
 //!    `// lint: allow(rule-id) — reason` waivers.
-//! 2. **Semantic invariants** ([`invariants`]): generated job plans must
+//! 2. **Dataflow passes** ([`passes`]): a recursive-descent parser
+//!    ([`parser`]) builds per-function ASTs, a CFG builder ([`cfg`]) adds
+//!    explicit `?`-error and panic edges, and a worklist solver
+//!    ([`dataflow`]) runs the resource-leak, unsafe-boundary, and
+//!    lock-discipline audits over the raw-syscall networking stack.
+//! 3. **Semantic invariants** ([`invariants`]): generated job plans must
 //!    pass [`scope_sim::validate_job`]; measured scaling curves and fitted
 //!    power-law PCCs must pass [`tasq::validate::validate_curve`] /
 //!    [`tasq::validate::validate_pcc`] (positivity, monotonicity,
 //!    Amdahl-consistency).
-//! 3. **Concurrency audits** ([`locks`], [`hb`]): a lock-acquisition-order
+//! 4. **Concurrency audits** ([`locks`], [`hb`]): a lock-acquisition-order
 //!    extractor over the serving stack's sources fails on cyclic lock
 //!    graphs, and a vector-clock happens-before checker replays
 //!    synchronization logs from seeded simulator and server runs to prove
@@ -23,10 +28,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cfg;
+pub mod dataflow;
 pub mod hb;
 pub mod invariants;
 pub mod lexer;
 pub mod locks;
+pub mod parser;
+pub mod passes;
 pub mod report;
 pub mod rules;
 
@@ -98,6 +107,14 @@ pub struct CheckReport {
     pub curves_audited: usize,
     /// Synchronization events replayed by the happens-before checker.
     pub hb_events: usize,
+    /// Functions the recursive-descent parser handled across the
+    /// workspace (dataflow-pass phase only).
+    pub functions_parsed: usize,
+    /// Non-test functions the parser could not handle (each also gets a
+    /// `parse-coverage` diagnostic).
+    pub functions_unparsed: usize,
+    /// Names of the dataflow passes that ran.
+    pub passes: Vec<String>,
     /// Every finding, lint and dynamic alike.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -117,20 +134,46 @@ pub struct CheckOptions {
     /// Skip the dynamic passes (workload validation, PCC audit,
     /// happens-before replay); lint and lock analysis only.
     pub static_only: bool,
+    /// Run a single analysis family instead of everything: `lints`,
+    /// `lock-order`, or one of the dataflow pass names
+    /// (`resource-leak`, `unsafe-boundary`, `lock-discipline`).
+    pub pass: Option<String>,
 }
 
 impl Default for CheckOptions {
     fn default() -> Self {
-        Self { root: PathBuf::from("."), static_only: false }
+        Self { root: PathBuf::from("."), static_only: false, pass: None }
     }
 }
 
-/// Run every analysis pass and aggregate the findings.
+/// Run every analysis pass (or the one selected by `opts.pass`) and
+/// aggregate the findings.
 pub fn run_check(opts: &CheckOptions) -> io::Result<CheckReport> {
     let mut report = CheckReport::default();
 
-    // Pass 1: lints over every workspace source file. A missing `crates/`
-    // is an error, not a vacuous pass — a typo'd --root must not go green.
+    // Resolve the pass selection up front so a typo'd --pass errors
+    // instead of silently running nothing.
+    let (run_lints, run_locks, pass_names, run_dynamic): (bool, bool, Vec<&'static str>, bool) =
+        match opts.pass.as_deref() {
+            None => (true, true, passes::PASS_NAMES.to_vec(), true),
+            Some("lints") => (true, false, Vec::new(), false),
+            Some("lock-order") => (false, true, Vec::new(), false),
+            Some(p) => match passes::PASS_NAMES.iter().copied().find(|n| *n == p) {
+                Some(name) => (false, false, vec![name], false),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "unknown pass `{p}` (expected lints, lock-order, {})",
+                            passes::PASS_NAMES.join(", ")
+                        ),
+                    ));
+                }
+            },
+        };
+
+    // A missing `crates/` is an error, not a vacuous pass — a typo'd
+    // --root must not go green.
     let crates_dir = opts.root.join("crates");
     if !crates_dir.is_dir() {
         return Err(io::Error::new(
@@ -141,38 +184,61 @@ pub fn run_check(opts: &CheckOptions) -> io::Result<CheckReport> {
     let mut files = Vec::new();
     collect_rs_files(&crates_dir, &mut files)?;
     files.sort();
+    let mut sources = Vec::with_capacity(files.len());
     for file in &files {
-        let rel = relative_path(&opts.root, file);
-        let source = fs::read_to_string(file)?;
-        report.diagnostics.extend(rules::lint_source(&rel, &source));
-        report.files_scanned += 1;
+        sources.push((relative_path(&opts.root, file), fs::read_to_string(file)?));
     }
+    report.files_scanned = sources.len();
 
-    // Pass 2: lock-order audit over the concurrent serving stack.
-    let mut graph = locks::LockGraph::default();
-    for file in &files {
-        let rel = relative_path(&opts.root, file);
-        if rel.starts_with("crates/serve/src") {
-            graph.add_file(&rel, &fs::read_to_string(file)?);
+    // Phase 1: line-oriented lints over every workspace source file.
+    if run_lints {
+        for (rel, source) in &sources {
+            report.diagnostics.extend(rules::lint_source(rel, source));
         }
     }
-    report.lock_edges = graph.edges.len();
-    if let Some(cycle) = graph.find_cycle() {
-        report.diagnostics.push(Diagnostic {
-            rule: "lock-order".into(),
-            severity: Severity::Deny,
-            path: "crates/serve/src".into(),
-            line: 0,
-            col: 0,
-            message: format!(
-                "cyclic lock acquisition order (potential deadlock): {}",
-                cycle.join(" -> ")
-            ),
-        });
+
+    // Phase 2: parser → CFG → dataflow passes. Integration-test and
+    // fixture trees are exempt, same as for the lints — they hold
+    // planted defects on purpose.
+    if !pass_names.is_empty() {
+        report.passes = pass_names.iter().map(|s| s.to_string()).collect();
+        for (rel, source) in &sources {
+            if rules::path_is_exempt(rel) {
+                continue;
+            }
+            let outcome = passes::analyze_file(rel, source, &pass_names);
+            report.functions_parsed += outcome.functions_parsed;
+            report.functions_unparsed += outcome.functions_unparsed;
+            report.diagnostics.extend(outcome.diagnostics);
+        }
     }
 
-    // Pass 3: dynamic invariants + happens-before replay.
-    if !opts.static_only {
+    // Phase 3: lock-order audit over the concurrent serving stack.
+    if run_locks {
+        let mut graph = locks::LockGraph::default();
+        for (rel, source) in &sources {
+            if rel.starts_with("crates/serve/src") {
+                graph.add_file(rel, source);
+            }
+        }
+        report.lock_edges = graph.edges.len();
+        if let Some(cycle) = graph.find_cycle() {
+            report.diagnostics.push(Diagnostic {
+                rule: "lock-order".into(),
+                severity: Severity::Deny,
+                path: "crates/serve/src".into(),
+                line: 0,
+                col: 0,
+                message: format!(
+                    "cyclic lock acquisition order (potential deadlock): {}",
+                    cycle.join(" -> ")
+                ),
+            });
+        }
+    }
+
+    // Phase 4: dynamic invariants + happens-before replay.
+    if run_dynamic && !opts.static_only {
         invariants::run_dynamic_pass(&mut report);
     }
     Ok(report)

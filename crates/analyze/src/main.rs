@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! tasq-analyze check [--root DIR] [--format human|json] [--out FILE] [--static-only]
+//!                    [--pass lints|lock-order|resource-leak|unsafe-boundary|lock-discipline]
 //! ```
 //!
 //! Exits 0 when every pass is clean, 1 when any deny diagnostic is
@@ -12,7 +13,8 @@ use std::process::ExitCode;
 use tasq_analyze::{report, run_check, CheckOptions};
 
 const USAGE: &str = "usage: tasq-analyze check [--root DIR] [--format human|json] \
-                     [--out FILE] [--static-only]";
+                     [--out FILE] [--static-only] [--pass NAME]\n  passes: lints, \
+                     lock-order, resource-leak, unsafe-boundary, lock-discipline";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,6 +61,9 @@ fn run(args: &[String]) -> Result<bool, String> {
             }
             "--static-only" => {
                 opts.static_only = true;
+            }
+            "--pass" => {
+                opts.pass = Some(flag_value(args, &mut i)?);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }

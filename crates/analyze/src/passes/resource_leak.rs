@@ -1,0 +1,577 @@
+//! Resource-leak audit: every raw fd acquired from the syscall shim must
+//! reach `sys::close` (or transfer ownership) on **every** CFG path —
+//! including the `?`-error paths a reader never sees in the happy-path
+//! diff.
+//!
+//! The analysis is a forward may-dataflow over [`crate::cfg`] graphs. A
+//! fact maps each tracked binding to a bitset of states observed on some
+//! path reaching the node: `OPEN`, `CLOSED`, `MOVED` (ownership left the
+//! function via `return`, a constructor like `Conn::new`, a struct
+//! literal, or a closure capture), and `RAII` (the acquisition returns a
+//! guard that closes itself on drop). Joins union the bits, so an `OPEN`
+//! bit surviving to a scope end means *some* path leaks even if others
+//! close. Closing replaces the state outright, which keeps straight-line
+//! paths precise.
+//!
+//! Findings are emitted in a post-pass over the solved facts:
+//!
+//! - `OPEN` at a [`NodeKind::ScopeEnd`] → leak on a normal exit path;
+//! - `OPEN` flowing down an `Err` edge → leak on an error path ("the
+//!   second `?` leaks the first fd");
+//! - `CLOSED` at a close site → double close;
+//! - `MOVED` at a close site → close after ownership transfer;
+//! - rebinding a name whose fd is still `OPEN`;
+//! - an acquisition evaluated for effect only (fd discarded on the spot);
+//! - `mem::forget` of an open fd.
+//!
+//! Panic edges are deliberately ignored: an fd leak while unwinding is
+//! the least of the process's problems, and flagging it would bury real
+//! findings under `unwrap` noise.
+
+use crate::cfg::{label, Cfg, Edge, EdgeKind, NodeKind};
+use crate::dataflow::{solve, Analysis};
+use crate::parser::{Expr, Span};
+use crate::passes::Finding;
+use crate::Severity;
+use std::collections::BTreeMap;
+
+/// Rule id reported by this pass.
+pub const RULE: &str = "resource-leak";
+
+const OPEN: u8 = 1;
+const CLOSED: u8 = 2;
+const MOVED: u8 = 4;
+const RAII: u8 = 8;
+
+/// Free functions in the raw-syscall shim that return an owned fd.
+const FD_ACQUIRERS: [&str; 3] = ["epoll_create1", "accept4", "socket"];
+
+/// Constructors returning guards that release on drop; tracked so a
+/// manual close of one can be flagged, but never reported as a leak.
+const RAII_ACQUIRERS: [(&str, &str); 1] = [("FrameLog", "open")];
+
+/// Pattern constructors whose payload receives the scrutinee's success
+/// value (`Ok(fd)` / `Some(fd)`); `Err(e)` arms must not inherit the fd.
+const OK_CTORS: [&str; 2] = ["Ok", "Some"];
+
+/// Per-variable state: observed bits plus the acquisition site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct State {
+    bits: u8,
+    line: usize,
+    col: usize,
+}
+
+type Fact = BTreeMap<String, State>;
+
+fn leaky(s: &State) -> bool {
+    s.bits & OPEN != 0 && s.bits & (MOVED | RAII) == 0
+}
+
+/// Strip the postfix wrappers an acquisition routinely wears:
+/// `sys::accept4(l)?`, `sys::socket().unwrap()`, `… as i32`.
+fn peel(e: &Expr) -> &Expr {
+    match e {
+        Expr::Try { inner, .. } | Expr::Cast { inner, .. } => peel(inner),
+        Expr::MethodCall { recv, method, .. }
+            if method == "unwrap" || method == "expect" || method == "unwrap_or_else" =>
+        {
+            peel(recv)
+        }
+        _ => e,
+    }
+}
+
+/// Does this expression (after peeling) acquire a tracked resource?
+/// Returns the RAII flag bit to add.
+fn acquisition(e: &Expr) -> Option<u8> {
+    let Expr::Call { callee, .. } = peel(e) else { return None };
+    let Expr::Path { segs, .. } = &**callee else { return None };
+    let n = segs.len();
+    let last = segs.last()?;
+    if FD_ACQUIRERS.contains(&last.as_str()) && (n == 1 || segs[n - 2] == "sys") {
+        return Some(0);
+    }
+    if n >= 2 && RAII_ACQUIRERS.contains(&(segs[n - 2].as_str(), last.as_str())) {
+        return Some(RAII);
+    }
+    None
+}
+
+/// Callee-path suffix check for free-function calls.
+fn path_ends(callee: &Expr, suffix: &[&str]) -> bool {
+    let Expr::Path { segs, .. } = callee else { return false };
+    segs.len() >= suffix.len()
+        && segs[segs.len() - suffix.len()..]
+            .iter()
+            .zip(suffix)
+            .all(|(a, b)| a == b)
+}
+
+/// `sys::close(fd)` / bare `close(fd)`.
+fn close_target(callee: &Expr, args: &[Expr]) -> Option<String> {
+    let is_close = match callee {
+        Expr::Path { segs, .. } => {
+            let n = segs.len();
+            segs.last().map(String::as_str) == Some("close") && (n == 1 || segs[n - 2] == "sys")
+        }
+        _ => false,
+    };
+    if !is_close {
+        return None;
+    }
+    arg_var(args.first()?)
+}
+
+/// The single-segment variable an argument names, through `&`/casts.
+fn arg_var(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Path { segs, .. } if segs.len() == 1 => Some(segs[0].clone()),
+        Expr::Unary { inner, .. } | Expr::Cast { inner, .. } | Expr::Try { inner, .. } => {
+            arg_var(inner)
+        }
+        _ => None,
+    }
+}
+
+/// Ownership-taking constructors: `Conn::new(fd)` and friends.
+fn is_transfer_ctor(callee: &Expr) -> bool {
+    matches!(callee, Expr::Path { segs, .. }
+        if segs.len() >= 2
+            && matches!(segs.last().map(String::as_str), Some("new" | "from_fd" | "from_raw_fd")))
+}
+
+/// One observed close/move/forget effect inside a node's expression.
+enum Effect {
+    Close(String, Span),
+    Move(String),
+    Forget(String, Span),
+}
+
+/// Collect the resource effects of evaluating `e` against the variables
+/// tracked in `fact`. Closures transfer ownership of anything they
+/// mention (their bodies run later, on their own CFG).
+fn effects_of(e: &Expr, fact: &Fact, out: &mut Vec<Effect>) {
+    e.walk_pruned(&mut |x| {
+        match x {
+            Expr::Closure { body, .. } => {
+                body.walk(&mut |c| {
+                    if let Expr::Path { segs, .. } = c {
+                        if segs.len() == 1 && fact.contains_key(&segs[0]) {
+                            out.push(Effect::Move(segs[0].clone()));
+                        }
+                    }
+                });
+                return false;
+            }
+            Expr::Call { callee, args, .. } => {
+                if let Some(var) = close_target(callee, args) {
+                    if fact.contains_key(&var) {
+                        out.push(Effect::Close(var, callee.span()));
+                    }
+                } else if path_ends(callee, &["mem", "forget"]) || path_ends(callee, &["forget"])
+                {
+                    for a in args {
+                        if let Some(var) = arg_var(a) {
+                            if fact.contains_key(&var) {
+                                out.push(Effect::Forget(var, callee.span()));
+                            }
+                        }
+                    }
+                } else if is_transfer_ctor(callee) {
+                    for a in args {
+                        if let Some(var) = arg_var(a) {
+                            if fact.contains_key(&var) {
+                                out.push(Effect::Move(var));
+                            }
+                        }
+                    }
+                }
+            }
+            Expr::StructLit { fields, .. } => {
+                for f in fields {
+                    f.walk(&mut |c| {
+                        if let Expr::Path { segs, .. } = c {
+                            if segs.len() == 1 && fact.contains_key(&segs[0]) {
+                                out.push(Effect::Move(segs[0].clone()));
+                            }
+                        }
+                    });
+                }
+            }
+            _ => {}
+        }
+        true
+    });
+}
+
+fn apply_effects(e: &Expr, fact: &mut Fact) {
+    let mut fx = Vec::new();
+    effects_of(e, &*fact, &mut fx);
+    for f in fx {
+        match f {
+            Effect::Close(v, _) => {
+                if let Some(s) = fact.get_mut(&v) {
+                    s.bits = CLOSED | (s.bits & RAII);
+                }
+            }
+            Effect::Move(v) | Effect::Forget(v, _) => {
+                if let Some(s) = fact.get_mut(&v) {
+                    s.bits |= MOVED;
+                }
+            }
+        }
+    }
+}
+
+/// The acquisition a [`NodeKind::Bind`] performs on its success edges,
+/// looking through the pred `Branch` scrutinee for pattern binds
+/// (`if let Ok(fd) = sys::accept4(l)` / match arms / `let … else`).
+fn bind_acquisition(cfg: &Cfg, node: usize) -> Option<u8> {
+    let NodeKind::Bind { vars, init, ctor } = &cfg.nodes[node].kind else { return None };
+    if vars.len() != 1 {
+        return None;
+    }
+    if let Some(e) = init {
+        return acquisition(e);
+    }
+    if !matches!(ctor.as_deref(), Some(c) if OK_CTORS.contains(&c)) {
+        return None;
+    }
+    cfg.preds(node).find_map(|p| {
+        if let NodeKind::Branch { cond: Some(c) } = &cfg.nodes[p.from].kind {
+            acquisition(c)
+        } else {
+            None
+        }
+    })
+}
+
+struct Leaks;
+
+impl Analysis for Leaks {
+    type Fact = Fact;
+
+    fn boundary(&self, _cfg: &Cfg) -> Fact {
+        // Parameters are borrowed fds — the caller owns them.
+        Fact::new()
+    }
+
+    fn transfer(&self, cfg: &Cfg, node: usize, edge: &Edge, fact: &Fact) -> Fact {
+        let mut out = fact.clone();
+        let n = &cfg.nodes[node];
+        match &n.kind {
+            NodeKind::Bind { vars, init, .. } => {
+                if let Some(e) = init {
+                    apply_effects(e, &mut out);
+                }
+                for v in vars {
+                    out.remove(v);
+                }
+                // The fd exists only on edges where the call succeeded.
+                if edge.kind != EdgeKind::Err && edge.kind != EdgeKind::Panic {
+                    if let Some(extra) = bind_acquisition(cfg, node) {
+                        out.insert(
+                            vars[0].clone(),
+                            State { bits: OPEN | extra, line: n.span.line, col: n.span.col },
+                        );
+                    }
+                }
+            }
+            NodeKind::Eval(e) | NodeKind::Branch { cond: Some(e) } => apply_effects(e, &mut out),
+            NodeKind::Ret(e) => {
+                apply_effects(e, &mut out);
+                // The value escapes to the caller: everything it mentions
+                // is the caller's to close now.
+                e.walk(&mut |x| {
+                    if let Expr::Path { segs, .. } = x {
+                        if segs.len() == 1 {
+                            if let Some(s) = out.get_mut(&segs[0]) {
+                                s.bits |= MOVED;
+                            }
+                        }
+                    }
+                });
+            }
+            NodeKind::ScopeEnd(vars) => {
+                for v in vars {
+                    out.remove(v);
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    fn join(&self, a: &Fact, b: &Fact) -> Fact {
+        let mut out = a.clone();
+        for (k, s) in b {
+            out.entry(k.clone())
+                .and_modify(|cur| {
+                    cur.bits |= s.bits;
+                    if (s.line, s.col) < (cur.line, cur.col) {
+                        cur.line = s.line;
+                        cur.col = s.col;
+                    }
+                })
+                .or_insert(*s);
+        }
+        out
+    }
+}
+
+fn node_expr(kind: &NodeKind) -> Option<&Expr> {
+    match kind {
+        NodeKind::Bind { init: Some(e), .. }
+        | NodeKind::Eval(e)
+        | NodeKind::Ret(e)
+        | NodeKind::Branch { cond: Some(e) } => Some(e),
+        _ => None,
+    }
+}
+
+/// Run the pass over one function CFG.
+pub fn run(cfg: &Cfg) -> Vec<Finding> {
+    let facts = solve(&Leaks, cfg);
+    let mut out = Vec::new();
+    let mut push = |span: Span, message: String| {
+        out.push(Finding {
+            rule: RULE,
+            severity: Severity::Deny,
+            line: span.line,
+            col: span.col,
+            message,
+        });
+    };
+    for (id, n) in cfg.nodes.iter().enumerate() {
+        let Some(fact) = &facts[id] else { continue };
+        match &n.kind {
+            NodeKind::ScopeEnd(vars) => {
+                for v in vars {
+                    if let Some(s) = fact.get(v) {
+                        if leaky(s) {
+                            // Report at the acquisition so the finding
+                            // (and any inline waiver) sits on the line
+                            // that owns the fd.
+                            push(
+                                Span { line: s.line, col: s.col },
+                                format!(
+                                    "fd `{v}` acquired here is not closed on every path \
+                                     through `{}`",
+                                    cfg.name
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            NodeKind::Bind { vars, .. } => {
+                for v in vars {
+                    if let Some(s) = fact.get(v) {
+                        if leaky(s) {
+                            push(
+                                n.span,
+                                format!(
+                                    "rebinding `{v}` drops the still-open fd acquired at \
+                                     {}:{} without closing it",
+                                    s.line, s.col
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Error-path leaks: anything still OPEN flowing down an Err edge
+        // is leaked by the implicit early return.
+        if cfg.succs(id).any(|e| e.kind == EdgeKind::Err) {
+            let err_edge = Edge { from: id, to: cfg.exit, kind: EdgeKind::Err };
+            let esc = Leaks.transfer(cfg, id, &err_edge, fact);
+            for (v, s) in &esc {
+                if leaky(s) {
+                    push(
+                        n.span,
+                        format!(
+                            "fd `{v}` (acquired at {}:{}) leaks if `{}` takes the `?` \
+                             error path",
+                            s.line,
+                            s.col,
+                            node_expr(&n.kind).map(label).unwrap_or_default()
+                        ),
+                    );
+                }
+            }
+        }
+        if let Some(e) = node_expr(&n.kind) {
+            // Discarded acquisition: evaluated for effect, fd dropped.
+            if matches!(n.kind, NodeKind::Eval(_)) && acquisition(e) == Some(0) {
+                push(
+                    e.span(),
+                    format!("acquired fd from `{}` is discarded immediately", label(peel(e))),
+                );
+            }
+            let mut fx = Vec::new();
+            effects_of(e, fact, &mut fx);
+            for f in fx {
+                match f {
+                    Effect::Close(v, span) => {
+                        let s = &fact[&v];
+                        if s.bits & CLOSED != 0 {
+                            push(
+                                span,
+                                format!(
+                                    "`{v}` may already be closed on a path reaching this \
+                                     `sys::close` (double close)"
+                                ),
+                            );
+                        } else if s.bits & MOVED != 0 {
+                            push(
+                                span,
+                                format!(
+                                    "`{v}` was moved (ownership transferred) before this \
+                                     `sys::close`"
+                                ),
+                            );
+                        }
+                    }
+                    Effect::Forget(v, span) => {
+                        let s = &fact[&v];
+                        if s.bits & OPEN != 0 {
+                            push(span, format!("`mem::forget` leaks the open fd `{v}`"));
+                        }
+                    }
+                    Effect::Move(_) => {}
+                }
+            }
+        }
+    }
+    out.sort_by_key(|f| (f.line, f.col));
+    out.dedup_by(|a, b| a.line == b.line && a.col == b.col && a.message == b.message);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build;
+    use crate::lexer::scan;
+    use crate::parser::parse_file;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let parsed = parse_file(&scan(src));
+        assert!(parsed.unparsed.is_empty(), "{:?}", parsed.unparsed);
+        run(&build(&parsed.functions[0]))
+    }
+
+    #[test]
+    fn balanced_open_close_is_clean() {
+        let f = findings(
+            "fn f() -> io::Result<()> {\n    let fd = sys::epoll_create1()?;\n    sys::close(fd);\n    Ok(())\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn second_try_leaks_first_fd() {
+        let src = "fn f() -> io::Result<()> {\n    let ep = sys::epoll_create1()?;\n    let lst = sys::socket()?;\n    sys::close(lst);\n    sys::close(ep);\n    Ok(())\n}\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`ep`"), "{}", f[0].message);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn early_return_leaks() {
+        let src = "fn f(c: bool) -> io::Result<()> {\n    let fd = sys::socket()?;\n    if c {\n        return Ok(());\n    }\n    sys::close(fd);\n    Ok(())\n}\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("not closed on every path"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn returning_the_fd_transfers_ownership() {
+        let f = findings("fn f() -> io::Result<i32> {\n    let fd = sys::socket()?;\n    Ok(fd)\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn conn_new_transfers_ownership() {
+        let f = findings(
+            "fn f(reg: &mut R) -> io::Result<()> {\n    let fd = sys::accept4(9)?;\n    reg.add(Conn::new(fd));\n    Ok(())\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn double_close_detected() {
+        let src = "fn f() -> io::Result<()> {\n    let fd = sys::socket()?;\n    sys::close(fd);\n    sys::close(fd);\n    Ok(())\n}\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("double close"), "{}", f[0].message);
+        assert_eq!((f[0].line, f[0].col), (4, 5));
+    }
+
+    #[test]
+    fn conditional_close_leaks_other_path() {
+        let src = "fn f(c: bool) -> io::Result<()> {\n    let fd = sys::socket()?;\n    if c {\n        sys::close(fd);\n    }\n    Ok(())\n}\n";
+        let f = findings(src);
+        assert!(
+            f.iter().any(|x| x.message.contains("not closed on every path")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn match_err_arm_does_not_inherit_fd() {
+        let src = "fn f() {\n    match sys::socket() {\n        Ok(fd) => sys::close(fd),\n        Err(e) => log(e),\n    }\n}\n";
+        let f = findings(src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn if_let_ok_must_close() {
+        let src = "fn f() {\n    if let Ok(fd) = sys::socket() {\n        work(fd);\n    }\n}\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`fd`"));
+    }
+
+    #[test]
+    fn discarded_acquisition_flagged() {
+        let f = findings("fn f() -> io::Result<()> {\n    sys::socket()?;\n    Ok(())\n}\n");
+        assert!(
+            f.iter().any(|x| x.message.contains("discarded immediately")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn rebind_while_open_flagged() {
+        let src = "fn f() -> io::Result<()> {\n    let fd = sys::socket()?;\n    let fd = sys::socket()?;\n    sys::close(fd);\n    Ok(())\n}\n";
+        let f = findings(src);
+        assert!(f.iter().any(|x| x.message.contains("rebinding `fd`")), "{f:?}");
+    }
+
+    #[test]
+    fn raii_guard_is_not_a_leak() {
+        let f = findings(
+            "fn f() -> io::Result<()> {\n    let log = FrameLog::open(path)?;\n    let fd = sys::socket()?;\n    sys::close(fd);\n    log.append(b)?;\n    Ok(())\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn closure_capture_transfers_ownership() {
+        let src = "fn f() -> io::Result<()> {\n    let fd = sys::socket()?;\n    spawn(move || sys::close(fd));\n    Ok(())\n}\n";
+        let f = findings(src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn mem_forget_flagged() {
+        let src = "fn f() -> io::Result<()> {\n    let fd = sys::socket()?;\n    mem::forget(fd);\n    Ok(())\n}\n";
+        let f = findings(src);
+        assert!(f.iter().any(|x| x.message.contains("mem::forget")), "{f:?}");
+    }
+}

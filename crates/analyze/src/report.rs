@@ -5,8 +5,12 @@
 //!
 //! ```json
 //! {
+//!   "schema": 2,
 //!   "ok": true,
 //!   "files_scanned": 120,
+//!   "functions_parsed": 840,
+//!   "functions_unparsed": 0,
+//!   "passes": ["resource-leak", "unsafe-boundary", "lock-discipline"],
 //!   "lock_edges": 3,
 //!   "jobs_validated": 32,
 //!   "curves_audited": 4,
@@ -17,6 +21,10 @@
 //!   ]
 //! }
 //! ```
+//!
+//! Schema history: v1 lacked `schema`, `functions_parsed`,
+//! `functions_unparsed`, and `passes`; v2 added them with the dataflow
+//! passes.
 
 use crate::CheckReport;
 use std::fmt::Write as _;
@@ -25,8 +33,13 @@ use std::fmt::Write as _;
 pub fn to_json(report: &CheckReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
+    out.push_str("  \"schema\": 2,\n");
     let _ = writeln!(out, "  \"ok\": {},", report.ok());
     let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(out, "  \"functions_parsed\": {},", report.functions_parsed);
+    let _ = writeln!(out, "  \"functions_unparsed\": {},", report.functions_unparsed);
+    let passes: Vec<String> = report.passes.iter().map(|p| json_string(p)).collect();
+    let _ = writeln!(out, "  \"passes\": [{}],", passes.join(", "));
     let _ = writeln!(out, "  \"lock_edges\": {},", report.lock_edges);
     let _ = writeln!(out, "  \"jobs_validated\": {},", report.jobs_validated);
     let _ = writeln!(out, "  \"curves_audited\": {},", report.curves_audited);
@@ -65,9 +78,11 @@ pub fn to_human(report: &CheckReport) -> String {
     }
     let _ = writeln!(
         out,
-        "tasq-analyze: {} files, {} lock edges, {} jobs validated, {} curves audited, \
-         {} sync events replayed: {}",
+        "tasq-analyze: {} files, {} fns parsed ({} unparsed), {} lock edges, \
+         {} jobs validated, {} curves audited, {} sync events replayed: {}",
         report.files_scanned,
+        report.functions_parsed,
+        report.functions_unparsed,
         report.lock_edges,
         report.jobs_validated,
         report.curves_audited,
@@ -129,6 +144,21 @@ mod tests {
         assert!(json.contains("\"ok\": false"));
         assert!(json.contains("\\\"no\\\" to\\npanics"));
         assert!(json.contains("\"line\": 3"));
+    }
+
+    #[test]
+    fn json_reports_schema_2_with_pass_inventory() {
+        let report = CheckReport {
+            functions_parsed: 12,
+            functions_unparsed: 1,
+            passes: vec!["resource-leak".into(), "lock-discipline".into()],
+            ..Default::default()
+        };
+        let json = to_json(&report);
+        assert!(json.contains("\"schema\": 2"), "{json}");
+        assert!(json.contains("\"functions_parsed\": 12"), "{json}");
+        assert!(json.contains("\"functions_unparsed\": 1"), "{json}");
+        assert!(json.contains("\"passes\": [\"resource-leak\", \"lock-discipline\"]"), "{json}");
     }
 
     #[test]

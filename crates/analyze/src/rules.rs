@@ -27,7 +27,7 @@ pub const ALL_RULES: [&str; 5] =
 /// Paths never linted: vendored stand-ins and integration-test /
 /// benchmark / example trees (unit tests are excluded by the scanner's
 /// `#[cfg(test)]` tracking instead).
-fn path_is_exempt(path: &str) -> bool {
+pub fn path_is_exempt(path: &str) -> bool {
     path.contains("vendor/")
         || path.contains("/tests/")
         || path.contains("/benches/")

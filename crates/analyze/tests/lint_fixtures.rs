@@ -112,3 +112,23 @@ fn diagnostics_carry_precise_spans() {
         "span must render clickable: {rendered}"
     );
 }
+
+#[test]
+fn no_panic_and_float_eq_cover_the_syscall_and_recovery_crates() {
+    // The raw-syscall networking stack and the checkpoint/recovery layer
+    // are exactly where a stray panic or a bitwise float comparison does
+    // the most damage — pin that the rules are in force there, so a
+    // future path-allowlist edit cannot silently exempt them.
+    let panics = include_str!("fixtures/panics_positive.rs");
+    let floats = include_str!("fixtures/float_eq_positive.rs");
+    for path in ["crates/net/src/server.rs", "crates/resil/src/checkpoint.rs"] {
+        assert!(
+            rules_only(path, panics).iter().any(|r| r == NO_PANIC),
+            "no-panic must apply to {path}"
+        );
+        assert!(
+            rules_only(path, floats).iter().any(|r| r == FLOAT_EQ),
+            "float-eq must apply to {path}"
+        );
+    }
+}

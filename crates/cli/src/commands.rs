@@ -1461,9 +1461,9 @@ pub fn bench_train(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `tasq analyze [--root <dir>] [--mode full|static]`
+/// `tasq analyze [--root <dir>] [--mode full|static] [--pass <name>]`
 pub fn analyze(args: &[String]) -> Result<String, CliError> {
-    let opts = Options::parse(args, &["root", "mode"])?;
+    let opts = Options::parse(args, &["root", "mode", "pass"])?;
     let mode = opts.get("mode").unwrap_or("full");
     let static_only = match mode {
         "full" => false,
@@ -1475,6 +1475,7 @@ pub fn analyze(args: &[String]) -> Result<String, CliError> {
     let check_opts = tasq_analyze::CheckOptions {
         root: std::path::PathBuf::from(opts.get("root").unwrap_or(".")),
         static_only,
+        pass: opts.get("pass").map(str::to_string),
     };
     let report = tasq_analyze::run_check(&check_opts)?;
     let rendered = tasq_analyze::report::to_human(&report);

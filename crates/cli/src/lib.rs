@@ -192,7 +192,8 @@ USAGE:
     tasq-cli bench-train [--out <json>] [--jobs N] [--seed N] [--threads N] [--quick true]
     tasq-cli chaos    --preset none|mild|production|adversarial [--seed N] [--jobs N]
                       [--requests N] [--dir <dir>] [--out <json>]
-    tasq-cli analyze  [--root <dir>] [--mode full|static]
+    tasq-cli analyze  [--root <dir>] [--mode full|static] [--pass lints|lock-order|
+                      resource-leak|unsafe-boundary|lock-discipline]
     tasq-cli metrics  [--format prometheus|json]
     tasq-cli help
 

@@ -68,13 +68,22 @@ impl Deque {
     /// Owner-only: push `v` at the bottom. Returns `false` when the ring
     /// is full (caller keeps the work and runs it inline).
     pub fn push(&self, v: u64) -> bool {
+        // ORDERING: `bottom` is only written by the owner (this thread),
+        // so Relaxed reads back our own last store. `top` needs Acquire
+        // to synchronize with the thief's `top` CAS release: slot
+        // `t - 1` may only be recycled once the steal of it is visible,
+        // otherwise the fullness check could overwrite an in-flight
+        // steal's slot.
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
         if b - t >= CAPACITY as isize {
             return false;
         }
         self.buf[(b as usize) % CAPACITY].store(v, Ordering::Relaxed);
-        // Publish the slot before publishing the new bottom.
+        // ORDERING: release fence publishes the slot write before the
+        // `bottom` store below; a thief that observes `b + 1` therefore
+        // observes the slot contents (paired with the thief's SeqCst
+        // fence in `steal`).
         fence(Ordering::Release);
         self.bottom.store(b + 1, Ordering::Relaxed);
         true
@@ -84,12 +93,22 @@ impl Deque {
     pub fn pop(&self) -> Option<u64> {
         let b = self.bottom.load(Ordering::Relaxed) - 1;
         self.bottom.store(b, Ordering::Relaxed);
+        // ORDERING: the SeqCst fence makes the `bottom` decrement and the
+        // `top` read below a single point in the total order against the
+        // matching fence in `steal`. Without it, owner and thief could
+        // each read the *old* value of the other's counter and both take
+        // the same last item.
         fence(Ordering::SeqCst);
         let t = self.top.load(Ordering::Relaxed);
         if t <= b {
             let v = self.buf[(b as usize) % CAPACITY].load(Ordering::Relaxed);
             if t == b {
                 // Last item: race thieves for it via `top`.
+                // ORDERING: the CAS is SeqCst so exactly one of
+                // {owner, thief} wins the slot in the single total
+                // order; Relaxed on failure is enough because a lost
+                // race only means "a thief already took it" and we
+                // restore `bottom` either way.
                 let won = self
                     .top
                     .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
@@ -113,11 +132,21 @@ impl Deque {
     /// Any thread: steal from the top (FIFO — thieves take the oldest,
     /// largest ranges, which is what makes splitting effective).
     pub fn steal(&self) -> Steal {
+        // ORDERING: Acquire on `top` observes other thieves' CAS
+        // releases; the SeqCst fence orders this load against the
+        // `bottom` read so the emptiness check pairs with the owner's
+        // fence in `pop` (see there). Acquire on `bottom` pairs with the
+        // owner's release fence in `push`, making the slot contents for
+        // every index below `b` visible before we read them.
         let t = self.top.load(Ordering::Acquire);
         fence(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::Acquire);
         if t < b {
             let v = self.buf[(t as usize) % CAPACITY].load(Ordering::Relaxed);
+            // ORDERING: SeqCst success makes the claim of index `t`
+            // globally ordered against the owner's last-item CAS; a
+            // failed CAS (Relaxed) means someone else advanced `top`
+            // first and `v` must be discarded, hence `Retry`.
             if self
                 .top
                 .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)

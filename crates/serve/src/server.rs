@@ -728,6 +728,10 @@ fn collect_batch(
     }
     let guard = rx.lock();
     let first = loop {
+        // lint: allow(lock-discipline) — the Mutex<Receiver> IS the
+        // hand-off: exactly one worker may own the receive side while it
+        // collects a whole batch, so blocking under the guard is the
+        // design, not a hazard.
         match guard.recv_timeout(IDLE_POLL) {
             Ok(envelope) => break envelope,
             Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -747,6 +751,9 @@ fn collect_batch(
     let deadline = Instant::now() + shared.config.max_delay;
     while batch.len() < shared.config.max_batch.max(1) {
         let remaining = deadline.saturating_duration_since(Instant::now());
+        // lint: allow(lock-discipline) — same single-consumer hand-off:
+        // the batch is filled under the guard so no other worker can
+        // interleave requests into it.
         match guard.recv_timeout(remaining) {
             Ok(envelope) => batch.push(envelope),
             Err(_) => break,
