@@ -38,12 +38,13 @@ const BLOCKING_METHODS: [&str; 6] =
     ["recv", "recv_timeout", "recv_deadline", "park_timeout", "wait", "wait_timeout"];
 
 /// Free-function call-path suffixes that block.
-const BLOCKING_CALLS: [[&str; 2]; 7] = [
+const BLOCKING_CALLS: [[&str; 2]; 8] = [
     ["thread", "park"],
     ["thread", "park_timeout"],
     ["thread", "sleep"],
     ["sys", "read"],
     ["sys", "write"],
+    ["sys", "writev"],
     ["sys", "epoll_wait"],
     ["sys", "accept4"],
 ];
@@ -319,6 +320,14 @@ mod tests {
         let f = findings(src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].message.contains("sys::epoll_wait"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn guard_across_writev_flagged() {
+        let src = "fn f(m: &M, fd: i32, iovs: &V) {\n    let g = m.lock().unwrap();\n    let n = sys::writev(fd, iovs);\n    g.note(n);\n}\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("sys::writev"), "{}", f[0].message);
     }
 
     #[test]

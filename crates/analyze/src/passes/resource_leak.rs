@@ -7,8 +7,14 @@
 //! fact maps each tracked binding to a bitset of states observed on some
 //! path reaching the node: `OPEN`, `CLOSED`, `MOVED` (ownership left the
 //! function via `return`, a constructor like `Conn::new`, a struct
-//! literal, or a closure capture), and `RAII` (the acquisition returns a
-//! guard that closes itself on drop). Joins union the bits, so an `OPEN`
+//! literal, or a closure capture), `RAII` (the acquisition returns a
+//! guard that closes itself on drop), and `POOLED` (the resource is a
+//! buffer checked out of a [`tasq_net::BufPool`]-style pool rather than
+//! an fd: acquired by a `.checkout()` call, released by naming it as the
+//! argument of a `.restore(buf)` call, and moved by naming it as an
+//! argument of any other method call — `conn.queue_buffer(buf)`,
+//! `Conn::from_fd(fd, rbuf)` — receivers are exempt, so `buf.clear()`
+//! keeps ownership). Joins union the bits, so an `OPEN`
 //! bit surviving to a scope end means *some* path leaks even if others
 //! close. Closing replaces the state outright, which keeps straight-line
 //! paths precise.
@@ -42,6 +48,7 @@ const OPEN: u8 = 1;
 const CLOSED: u8 = 2;
 const MOVED: u8 = 4;
 const RAII: u8 = 8;
+const POOLED: u8 = 16;
 
 /// Free functions in the raw-syscall shim that return an owned fd.
 const FD_ACQUIRERS: [&str; 3] = ["epoll_create1", "accept4", "socket"];
@@ -83,19 +90,29 @@ fn peel(e: &Expr) -> &Expr {
 }
 
 /// Does this expression (after peeling) acquire a tracked resource?
-/// Returns the RAII flag bit to add.
+/// Returns the extra flag bits (`RAII`/`POOLED`) to add.
 fn acquisition(e: &Expr) -> Option<u8> {
-    let Expr::Call { callee, .. } = peel(e) else { return None };
-    let Expr::Path { segs, .. } = &**callee else { return None };
-    let n = segs.len();
-    let last = segs.last()?;
-    if FD_ACQUIRERS.contains(&last.as_str()) && (n == 1 || segs[n - 2] == "sys") {
-        return Some(0);
+    match peel(e) {
+        Expr::Call { callee, .. } => {
+            let Expr::Path { segs, .. } = &**callee else { return None };
+            let n = segs.len();
+            let last = segs.last()?;
+            if FD_ACQUIRERS.contains(&last.as_str()) && (n == 1 || segs[n - 2] == "sys") {
+                return Some(0);
+            }
+            if n >= 2 && RAII_ACQUIRERS.contains(&(segs[n - 2].as_str(), last.as_str())) {
+                return Some(RAII);
+            }
+            None
+        }
+        // `pool.checkout()`: a buffer borrowed from the pool's free list
+        // that owes a matching `.restore(buf)` (or a move into the
+        // connection) on every path.
+        Expr::MethodCall { method, args, .. } if method == "checkout" && args.is_empty() => {
+            Some(POOLED)
+        }
+        _ => None,
     }
-    if n >= 2 && RAII_ACQUIRERS.contains(&(segs[n - 2].as_str(), last.as_str())) {
-        return Some(RAII);
-    }
-    None
 }
 
 /// Callee-path suffix check for free-function calls.
@@ -188,6 +205,28 @@ fn effects_of(e: &Expr, fact: &Fact, out: &mut Vec<Effect>) {
                     }
                 }
             }
+            Expr::MethodCall { method, args, .. } => {
+                if method == "restore" {
+                    // `pool.restore(buf)` hands the buffer back: the
+                    // pooled analogue of `sys::close(fd)`.
+                    if let Some(var) = args.first().and_then(arg_var) {
+                        if fact.get(&var).is_some_and(|s| s.bits & POOLED != 0) {
+                            out.push(Effect::Close(var, x.span()));
+                        }
+                    }
+                } else {
+                    // Any other method naming a pooled buffer as an
+                    // *argument* takes ownership (`conn.queue_buffer(buf)`);
+                    // receivers are exempt (`buf.clear()` keeps it).
+                    for a in args {
+                        if let Some(var) = arg_var(a) {
+                            if fact.get(&var).is_some_and(|s| s.bits & POOLED != 0) {
+                                out.push(Effect::Move(var));
+                            }
+                        }
+                    }
+                }
+            }
             Expr::StructLit { fields, .. } => {
                 for f in fields {
                     f.walk(&mut |c| {
@@ -212,7 +251,7 @@ fn apply_effects(e: &Expr, fact: &mut Fact) {
         match f {
             Effect::Close(v, _) => {
                 if let Some(s) = fact.get_mut(&v) {
-                    s.bits = CLOSED | (s.bits & RAII);
+                    s.bits = CLOSED | (s.bits & (RAII | POOLED));
                 }
             }
             Effect::Move(v) | Effect::Forget(v, _) => {
@@ -352,15 +391,22 @@ pub fn run(cfg: &Cfg) -> Vec<Finding> {
                         if leaky(s) {
                             // Report at the acquisition so the finding
                             // (and any inline waiver) sits on the line
-                            // that owns the fd.
-                            push(
-                                Span { line: s.line, col: s.col },
+                            // that owns the resource.
+                            let msg = if s.bits & POOLED != 0 {
+                                format!(
+                                    "pooled buffer `{v}` checked out here is not restored \
+                                     (or moved into the connection) on every path through \
+                                     `{}`",
+                                    cfg.name
+                                )
+                            } else {
                                 format!(
                                     "fd `{v}` acquired here is not closed on every path \
                                      through `{}`",
                                     cfg.name
-                                ),
-                            );
+                                )
+                            };
+                            push(Span { line: s.line, col: s.col }, msg);
                         }
                     }
                 }
@@ -369,11 +415,16 @@ pub fn run(cfg: &Cfg) -> Vec<Finding> {
                 for v in vars {
                     if let Some(s) = fact.get(v) {
                         if leaky(s) {
+                            let what = if s.bits & POOLED != 0 {
+                                "still-checked-out pooled buffer"
+                            } else {
+                                "still-open fd"
+                            };
                             push(
                                 n.span,
                                 format!(
-                                    "rebinding `{v}` drops the still-open fd acquired at \
-                                     {}:{} without closing it",
+                                    "rebinding `{v}` drops the {what} acquired at \
+                                     {}:{} without releasing it",
                                     s.line, s.col
                                 ),
                             );
@@ -390,10 +441,11 @@ pub fn run(cfg: &Cfg) -> Vec<Finding> {
             let esc = Leaks.transfer(cfg, id, &err_edge, fact);
             for (v, s) in &esc {
                 if leaky(s) {
+                    let what = if s.bits & POOLED != 0 { "pooled buffer" } else { "fd" };
                     push(
                         n.span,
                         format!(
-                            "fd `{v}` (acquired at {}:{}) leaks if `{}` takes the `?` \
+                            "{what} `{v}` (acquired at {}:{}) leaks if `{}` takes the `?` \
                              error path",
                             s.line,
                             s.col,
@@ -404,12 +456,23 @@ pub fn run(cfg: &Cfg) -> Vec<Finding> {
             }
         }
         if let Some(e) = node_expr(&n.kind) {
-            // Discarded acquisition: evaluated for effect, fd dropped.
-            if matches!(n.kind, NodeKind::Eval(_)) && acquisition(e) == Some(0) {
-                push(
-                    e.span(),
-                    format!("acquired fd from `{}` is discarded immediately", label(peel(e))),
-                );
+            // Discarded acquisition: evaluated for effect, resource dropped.
+            if matches!(n.kind, NodeKind::Eval(_)) {
+                match acquisition(e) {
+                    Some(0) => push(
+                        e.span(),
+                        format!("acquired fd from `{}` is discarded immediately", label(peel(e))),
+                    ),
+                    Some(b) if b & POOLED != 0 => push(
+                        e.span(),
+                        format!(
+                            "checked-out buffer from `{}` is discarded immediately \
+                             (never restored to the pool)",
+                            label(peel(e))
+                        ),
+                    ),
+                    _ => {}
+                }
             }
             let mut fx = Vec::new();
             effects_of(e, fact, &mut fx);
@@ -417,12 +480,17 @@ pub fn run(cfg: &Cfg) -> Vec<Finding> {
                 match f {
                     Effect::Close(v, span) => {
                         let s = &fact[&v];
+                        let (site, verb, dup) = if s.bits & POOLED != 0 {
+                            ("`.restore()`", "restored", "double restore")
+                        } else {
+                            ("`sys::close`", "closed", "double close")
+                        };
                         if s.bits & CLOSED != 0 {
                             push(
                                 span,
                                 format!(
-                                    "`{v}` may already be closed on a path reaching this \
-                                     `sys::close` (double close)"
+                                    "`{v}` may already be {verb} on a path reaching this \
+                                     {site} ({dup})"
                                 ),
                             );
                         } else if s.bits & MOVED != 0 {
@@ -430,7 +498,7 @@ pub fn run(cfg: &Cfg) -> Vec<Finding> {
                                 span,
                                 format!(
                                     "`{v}` was moved (ownership transferred) before this \
-                                     `sys::close`"
+                                     {site}"
                                 ),
                             );
                         }
@@ -573,5 +641,67 @@ mod tests {
         let src = "fn f() -> io::Result<()> {\n    let fd = sys::socket()?;\n    mem::forget(fd);\n    Ok(())\n}\n";
         let f = findings(src);
         assert!(f.iter().any(|x| x.message.contains("mem::forget")), "{f:?}");
+    }
+
+    #[test]
+    fn pooled_checkout_restore_balanced_is_clean() {
+        let f = findings(
+            "fn f(pool: &mut BufPool) {\n    let buf = pool.checkout();\n    pool.restore(buf);\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn pooled_early_return_without_restore_flagged() {
+        // Planted leak: the early return skips the restore.
+        let src = "fn f(pool: &mut BufPool, c: bool) -> io::Result<()> {\n    let buf = pool.checkout();\n    if c {\n        return Ok(());\n    }\n    pool.restore(buf);\n    Ok(())\n}\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("pooled buffer `buf`"), "{}", f[0].message);
+        assert!(f[0].message.contains("not restored"), "{}", f[0].message);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn pooled_move_into_queue_buffer_is_clean() {
+        let f = findings(
+            "fn f(pool: &mut BufPool, conn: &mut Conn) {\n    let buf = pool.checkout();\n    conn.queue_buffer(buf);\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn pooled_move_into_from_fd_is_clean() {
+        let f = findings(
+            "fn f(pool: &mut BufPool, fd: i32) -> Conn {\n    let rbuf = pool.checkout();\n    Conn::from_fd(fd, rbuf)\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn pooled_receiver_method_is_not_a_move() {
+        // `buf.clear()` keeps ownership; only naming the buffer as an
+        // argument of another call moves it.
+        let f = findings(
+            "fn f(pool: &mut BufPool) {\n    let buf = pool.checkout();\n    buf.clear();\n    pool.restore(buf);\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn double_restore_flagged() {
+        let src = "fn f(pool: &mut BufPool) {\n    let buf = pool.checkout();\n    pool.restore(buf);\n    pool.restore(buf);\n}\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("double restore"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn discarded_checkout_flagged() {
+        let f = findings("fn f(pool: &mut BufPool) {\n    pool.checkout();\n}\n");
+        assert!(
+            f.iter().any(|x| x.message.contains("never restored to the pool")),
+            "{f:?}"
+        );
     }
 }

@@ -16,7 +16,8 @@ use tasq::pipeline::{
     JobRepository, ModelChoice, ModelStore, PipelineConfig, ScoringConfig, TasqPipeline,
 };
 use tasq_net::{
-    frame, http, BinaryClient, HttpClient, HttpLimits, NetConfig, NetServer, ScoreOutcome,
+    frame, http, sys, BinaryClient, BufPool, Conn, HttpClient, HttpLimits, NetConfig, NetServer,
+    ScoreOutcome,
 };
 use tasq_serve::{ModelRegistry, ScoringServer, ServeConfig};
 
@@ -75,6 +76,74 @@ fn bench_frame_parse(c: &mut Criterion) {
     });
 }
 
+/// Span extraction against the copying parsers: the hot path resolves
+/// requests as `(start, len)` offsets into the receive buffer, so the
+/// only per-request allocation left is the submission-boundary copy.
+fn bench_parse_spans(c: &mut Criterion) {
+    let payload = codec::to_bytes(&jobs(1, 13)[0]).expect("encodes");
+    let mut wire = Vec::new();
+    frame::write_request_frame(&mut wire, &payload);
+    c.bench_function("net/frame_parse_span", |b| {
+        b.iter(|| match frame::parse_frame_span(black_box(&wire), 0) {
+            frame::FrameParseSpan::Complete { payload_start, payload_len, used } => {
+                black_box((payload_start, payload_len, used));
+            }
+            other => panic!("unexpected frame state {other:?}"),
+        });
+    });
+
+    let body = codec::to_bytes(&jobs(1, 11)[0]).expect("encodes");
+    let mut request = format!(
+        "POST /score HTTP/1.1\r\nHost: bench\r\nContent-Type: application/octet-stream\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(&body);
+    let limits = HttpLimits::default();
+    c.bench_function("net/http_parse_span", |b| {
+        b.iter(|| match http::parse_request_span(black_box(&request), 0, &limits) {
+            http::HttpParseSpan::Complete { head, body_start, body_len, used } => {
+                black_box((head, body_start, body_len, used));
+            }
+            other => panic!("unexpected parse state {other:?}"),
+        });
+    });
+}
+
+/// Flushing a multi-response write queue: one `write` per buffer versus
+/// one gathered `writev` for the whole queue. `/dev/null` always accepts
+/// the full vector, so each iteration measures pure gather + syscall
+/// cost — the same work the shard does once per epoll wake.
+fn bench_flush_strategies(c: &mut Criterion) {
+    use std::os::unix::io::IntoRawFd;
+    if !sys::supported() {
+        return;
+    }
+    let response = vec![0u8; 96];
+    for (name, coalesce) in [("net/flush_write_per_buffer", false), ("net/flush_writev", true)] {
+        let fd = std::fs::OpenOptions::new()
+            .write(true)
+            .open("/dev/null")
+            .expect("opens /dev/null")
+            .into_raw_fd();
+        let mut pool = BufPool::new(16);
+        let mut conn = Conn::from_fd(fd, pool.checkout());
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                for _ in 0..8 {
+                    let mut buf = pool.checkout();
+                    buf.extend_from_slice(&response);
+                    conn.queue_buffer(buf);
+                }
+                let flushed = conn.flush(&mut pool, coalesce).expect("flushes");
+                black_box(flushed);
+            });
+        });
+        conn.reclaim(&mut pool);
+    }
+}
+
 fn bench_wire_roundtrip(c: &mut Criterion) {
     let server = ScoringServer::start(registry(17), ServeConfig::default());
     let net = NetServer::bind("127.0.0.1:0", NetConfig::default(), server).expect("binds");
@@ -111,6 +180,8 @@ criterion_group!(
     benches,
     bench_http_parse,
     bench_frame_parse,
+    bench_parse_spans,
+    bench_flush_strategies,
     bench_wire_roundtrip
 );
 criterion_main!(benches);

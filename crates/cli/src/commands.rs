@@ -1067,6 +1067,196 @@ fn networked_round(
     })
 }
 
+/// In-flight request depth of the pipelined hot-path client. Deep
+/// enough that a wake's worth of responses exercises the coalesced
+/// flush, shallow enough to stay inside default socket buffers.
+const HOT_PATH_DEPTH: usize = 32;
+
+/// Result of the syscall-lean hot-path benchmark: the same pipelined
+/// binary traffic against two in-process servers that differ only in
+/// `coalesce_writes`, so the syscall deltas isolate the `writev` win.
+struct HotPathReport {
+    requests: u64,
+    rps_write: f64,
+    rps_writev: f64,
+    p50_us: f64,
+    p99_us: f64,
+    syscalls_per_request_write: f64,
+    syscalls_per_request_writev: f64,
+    fastpath_hits: u64,
+}
+
+impl HotPathReport {
+    fn json(&self) -> String {
+        format!(
+            "  \"hot_path\": {{\n    \"requests\": {},\n    \"pipeline_depth\": {HOT_PATH_DEPTH},\n    \
+             \"repeat_fraction\": 0.9,\n    \"rps_write\": {:.1},\n    \"rps_writev\": {:.1},\n    \
+             \"p50_us\": {:.1},\n    \"p99_us\": {:.1},\n    \
+             \"syscalls_per_request_write\": {:.3},\n    \
+             \"syscalls_per_request_writev\": {:.3},\n    \"fastpath_hits\": {}\n  }}",
+            self.requests,
+            self.rps_write,
+            self.rps_writev,
+            self.p50_us,
+            self.p99_us,
+            self.syscalls_per_request_write,
+            self.syscalls_per_request_writev,
+            self.fastpath_hits,
+        )
+    }
+}
+
+/// Drive one hot-path arm: a single-shard in-process [`NetServer`]
+/// (`coalesce` selects one-`write`-per-buffer vs one gathered `writev`
+/// per flush), a pipelined binary client [`HOT_PATH_DEPTH`] requests
+/// deep over one persistent connection, and `serial` depth-1 requests
+/// for honest latency numbers. The syscall figure is the delta of the
+/// process-global [`tasq_net::syscall_counters`] across the pipelined
+/// window divided by its request count — only the server's event loop
+/// issues raw syscalls, so the delta is exactly its kernel crossings.
+fn hot_path_arm(
+    registry: &std::sync::Arc<ModelRegistry>,
+    traffic: &[Job],
+    coalesce: bool,
+    serial: usize,
+) -> Result<(f64, f64, tasq_obs::Histogram, ServerStatsSnapshot), CliError> {
+    use std::io::Write as _;
+    let server = ScoringServer::start(
+        registry.clone(),
+        ServeConfig {
+            workers: 1,
+            cache: CacheConfig { enabled: true, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let net = NetServer::bind(
+        "127.0.0.1:0",
+        NetConfig { shards: 1, coalesce_writes: coalesce, ..Default::default() },
+        server,
+    )?;
+    let addr = net.local_addr().to_string();
+
+    // Pre-encode every request frame so client-side encoding stays out
+    // of the measured window.
+    let mut frames: Vec<Vec<u8>> = Vec::with_capacity(traffic.len());
+    for job in traffic {
+        let payload = codec::to_bytes(job)?;
+        let mut wire = Vec::with_capacity(payload.len() + 4);
+        tasq_net::frame::write_request_frame(&mut wire, &payload);
+        frames.push(wire);
+    }
+
+    let mut stream = std::net::TcpStream::connect(&addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.write_all(&[tasq_net::BINARY_PREAMBLE])?;
+
+    // One warm-up exchange so the accept/preamble syscalls land outside
+    // the measured window (and the first signature enters the cache).
+    let mut rbuf: Vec<u8> = Vec::new();
+    exchange_pipelined(&mut stream, &frames[..1], &mut rbuf)?;
+
+    let counters = tasq_net::syscall_counters();
+    let before = counters.total();
+    let start = Instant::now();
+    let mut answered = 0u64;
+    for chunk in frames.chunks(HOT_PATH_DEPTH) {
+        answered += exchange_pipelined(&mut stream, chunk, &mut rbuf)?;
+    }
+    let elapsed = start.elapsed();
+    let syscalls = (counters.total() - before) as f64 / frames.len().max(1) as f64;
+    let rps = answered as f64 / elapsed.as_secs_f64().max(1e-9);
+    drop(stream);
+
+    // Serial depth-1 pass: per-request wire latency without pipelining.
+    let latency = tasq_obs::Histogram::new();
+    let mut client = BinaryClient::connect(&addr)?;
+    client.set_timeout(Duration::from_secs(60))?;
+    for job in traffic.iter().take(serial) {
+        let sent = Instant::now();
+        let _ = client.score(job)?;
+        latency.record(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+    drop(client);
+
+    net.trigger_drain();
+    net.wait_for_drain();
+    Ok((rps, syscalls, latency, net.shutdown()))
+}
+
+/// Write `chunk`'s request frames in one burst, then read until every
+/// response frame came back. Returns the number answered `Ok`+rejected.
+fn exchange_pipelined(
+    stream: &mut std::net::TcpStream,
+    chunk: &[Vec<u8>],
+    rbuf: &mut Vec<u8>,
+) -> Result<u64, CliError> {
+    use std::io::{Read as _, Write as _};
+    use tasq_net::frame::FrameResponseParse;
+    let mut burst = Vec::with_capacity(chunk.iter().map(Vec::len).sum());
+    for frame in chunk {
+        burst.extend_from_slice(frame);
+    }
+    stream.write_all(&burst)?;
+    let mut answered = 0u64;
+    let mut consumed = 0usize;
+    rbuf.clear();
+    while (answered as usize) < chunk.len() {
+        match tasq_net::frame::parse_response_frame(rbuf, consumed) {
+            FrameResponseParse::Complete(_, used) => {
+                consumed += used;
+                answered += 1;
+            }
+            FrameResponseParse::NeedMore => {
+                let mut buf = [0u8; 16384];
+                let n = stream.read(&mut buf)?;
+                if n == 0 {
+                    return Err(CliError::Usage(
+                        "server closed the connection mid-benchmark".to_string(),
+                    ));
+                }
+                rbuf.extend_from_slice(&buf[..n]);
+            }
+            FrameResponseParse::Malformed(why) => {
+                return Err(CliError::Usage(format!("malformed response frame: {why}")))
+            }
+        }
+    }
+    Ok(answered)
+}
+
+/// Both hot-path arms over the same repeat-heavy traffic, one shared
+/// registry. The `write` arm runs first so the cache state entering
+/// each pipelined window is identical (each arm has its own server and
+/// therefore its own cold cache).
+fn hot_path_report(
+    jobs: &[Job],
+    model_dir: Option<&str>,
+    requests: usize,
+    seed: u64,
+) -> Result<HotPathReport, CliError> {
+    let registry =
+        std::sync::Arc::new(build_registry(jobs, model_dir, ModelChoice::Nn)?);
+    let traffic = replay_traffic(
+        jobs,
+        &TrafficConfig { requests, repeat_fraction: 0.9, seed: seed ^ 0x5ca1ab1e },
+    );
+    let serial = requests.min(200);
+    let (rps_write, sys_write, _, _) = hot_path_arm(&registry, &traffic, false, 0)?;
+    let (rps_writev, sys_writev, latency, stats) =
+        hot_path_arm(&registry, &traffic, true, serial)?;
+    Ok(HotPathReport {
+        requests: traffic.len() as u64,
+        rps_write,
+        rps_writev,
+        p50_us: latency.quantile(0.50),
+        p99_us: latency.quantile(0.99),
+        syscalls_per_request_write: sys_write,
+        syscalls_per_request_writev: sys_writev,
+        fastpath_hits: stats.fastpath_hits,
+    })
+}
+
 fn phase_json(label: &str, elapsed: Duration, stats: &ServerStatsSnapshot) -> String {
     format!(
         "  \"{label}\": {{\n    \"elapsed_ms\": {:.3},\n    \"throughput_rps\": {:.1},\n    \
@@ -1216,6 +1406,16 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
         format!(",\n  \"networked\": [\n{}\n  ]", rounds.join(",\n"))
     };
 
+    // The syscall-lean hot path needs the raw-syscall shim; skip the
+    // section (rather than fail the whole report) where it's absent.
+    let hot_path = if tasq_net::sys::supported() {
+        Some(hot_path_report(&jobs, model_dir, requests.min(2000), seed)?)
+    } else {
+        None
+    };
+    let hot_path_section =
+        hot_path.as_ref().map(|h| format!(",\n{}", h.json())).unwrap_or_default();
+
     let json = format!(
         "{{\n  \"requests\": {requests},\n  \"repeat_fraction\": {repeat},\n  \
          \"qps_target\": {qps},\n  \"qps_achieved\": {qps_achieved:.1},\n{},\n{},\n  \
@@ -1223,7 +1423,7 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
          \"overload\": {{\n    \"reject_burst\": {{\"submitted\": {}, \"rejected\": {}, \
          \"queue_capacity\": 8, \"peak_queue_depth\": {}}},\n    \
          \"shed_burst\": {{\"submitted\": {}, \"shed\": {}, \"shed_watermark\": 4, \
-         \"peak_queue_depth\": {}}}\n  }}{networked_section}\n}}\n",
+         \"peak_queue_depth\": {}}}\n  }}{networked_section}{hot_path_section}\n}}\n",
         phase_json("uncached", uncached_elapsed, &uncached),
         phase_json("cached", cached_elapsed, &cached),
         reject_burst.submitted,
@@ -1242,6 +1442,18 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
     cached.publish(registry);
 
     let mut networked_summary = String::new();
+    if let Some(h) = &hot_path {
+        let _ = writeln!(
+            networked_summary,
+            "hot path (pipelined binary, depth {HOT_PATH_DEPTH}): {:.0} req/s writev vs \
+             {:.0} req/s write, {:.2} vs {:.2} syscalls/request, {} fastpath hits",
+            h.rps_writev,
+            h.rps_write,
+            h.syscalls_per_request_writev,
+            h.syscalls_per_request_write,
+            h.fastpath_hits,
+        );
+    }
     for round in &networked_rounds {
         let _ = writeln!(
             networked_summary,
@@ -1839,6 +2051,16 @@ mod tests {
             "\"cache_hit_rate\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
+        }
+        if tasq_net::sys::supported() {
+            for key in [
+                "\"hot_path\"",
+                "\"syscalls_per_request_write\"",
+                "\"syscalls_per_request_writev\"",
+                "\"fastpath_hits\"",
+            ] {
+                assert!(json.contains(key), "missing {key} in {json}");
+            }
         }
         // The report is one well-formed JSON object (braces balance).
         let opens = json.matches('{').count();

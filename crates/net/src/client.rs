@@ -121,9 +121,23 @@ pub struct HttpResponse {
 }
 
 /// A persistent keep-alive HTTP/1.1 connection.
+///
+/// The receive buffer lives for the connection: responses are parsed as
+/// spans at a consumed offset and the buffer is reset (capacity kept)
+/// once fully consumed, so serial keep-alive traffic reuses one
+/// allocation instead of copying and reallocating per response.
 pub struct HttpClient {
     stream: TcpStream,
     rbuf: Vec<u8>,
+    /// Bytes of `rbuf` already consumed by parsed responses.
+    consumed: usize,
+}
+
+/// Location of one complete response within the client receive buffer.
+struct ResponseSpan {
+    status: u16,
+    body_start: usize,
+    body_len: usize,
 }
 
 impl HttpClient {
@@ -134,7 +148,7 @@ impl HttpClient {
         stream
             .set_nodelay(true)
             .map_err(|e| NetError::Protocol(format!("nodelay: {e}")))?;
-        Ok(Self { stream, rbuf: Vec::new() })
+        Ok(Self { stream, rbuf: Vec::new(), consumed: 0 })
     }
 
     /// Set the socket read timeout.
@@ -162,24 +176,58 @@ impl HttpClient {
         self.stream
             .write_all(&wire)
             .map_err(|e| NetError::Protocol(format!("send: {e}")))?;
-        self.read_response()
+        let span = self.read_response()?;
+        // The one copy left: `HttpResponse` owns its body, so the bytes
+        // cross the public-API boundary here (not inside the parser).
+        let body = self.rbuf[span.body_start..span.body_start + span.body_len].to_vec();
+        let status = span.status;
+        self.release(&span);
+        Ok(HttpResponse { status, body })
     }
 
     /// Score one job over this connection (codec-encoded `Job` body).
+    /// The response decodes straight out of the receive buffer — no
+    /// intermediate body copy.
     pub fn score(&mut self, job: &Job) -> Result<ScoreOutcome, NetError> {
         let payload = tasq::codec::to_bytes(job)
             .map_err(|e| NetError::Protocol(format!("encode job: {e}")))?;
-        let response = self.request("POST", "/score", &payload)?;
-        if response.status == 200 {
-            let score = tasq::codec::from_bytes::<ScoreResponse>(&response.body)
-                .map_err(|e| NetError::Protocol(format!("decode score: {e}")))?;
-            Ok(ScoreOutcome::Ok(score))
+        let mut wire = Vec::with_capacity(payload.len() + 128);
+        wire.extend_from_slice(b"POST /score HTTP/1.1\r\nhost: tasq\r\n");
+        wire.extend_from_slice(format!("content-length: {}\r\n\r\n", payload.len()).as_bytes());
+        wire.extend_from_slice(&payload);
+        self.stream
+            .write_all(&wire)
+            .map_err(|e| NetError::Protocol(format!("send: {e}")))?;
+        let span = self.read_response()?;
+        let decoded = if span.status == 200 {
+            Some(tasq::codec::from_bytes::<ScoreResponse>(
+                &self.rbuf[span.body_start..span.body_start + span.body_len],
+            ))
         } else {
-            Ok(ScoreOutcome::Rejected(response.status))
+            None
+        };
+        let status = span.status;
+        self.release(&span);
+        match decoded {
+            Some(Ok(score)) => Ok(ScoreOutcome::Ok(score)),
+            Some(Err(e)) => Err(NetError::Protocol(format!("decode score: {e}"))),
+            None => Ok(ScoreOutcome::Rejected(status)),
         }
     }
 
-    fn read_response(&mut self) -> Result<HttpResponse, NetError> {
+    /// Mark one parsed response consumed. Once everything buffered has
+    /// been consumed — the steady state for serial keep-alive traffic —
+    /// the buffer resets to empty with its capacity kept, so subsequent
+    /// responses reuse the same allocation with no memmove.
+    fn release(&mut self, span: &ResponseSpan) {
+        self.consumed = span.body_start + span.body_len;
+        if self.consumed >= self.rbuf.len() {
+            self.rbuf.clear();
+            self.consumed = 0;
+        }
+    }
+
+    fn read_response(&mut self) -> Result<ResponseSpan, NetError> {
         loop {
             if let Some(parsed) = self.try_parse()? {
                 return Ok(parsed);
@@ -196,13 +244,14 @@ impl HttpClient {
         }
     }
 
-    /// Try to parse one buffered response; `Ok(None)` means need more
-    /// bytes.
-    fn try_parse(&mut self) -> Result<Option<HttpResponse>, NetError> {
-        let Some(head_end) = self.rbuf.windows(4).position(|w| w == b"\r\n\r\n") else {
+    /// Try to locate one buffered response after the consumed offset;
+    /// `Ok(None)` means need more bytes. Does not copy the body.
+    fn try_parse(&mut self) -> Result<Option<ResponseSpan>, NetError> {
+        let input = &self.rbuf[self.consumed..];
+        let Some(head_end) = input.windows(4).position(|w| w == b"\r\n\r\n") else {
             return Ok(None);
         };
-        let head = String::from_utf8_lossy(&self.rbuf[..head_end]).into_owned();
+        let head = String::from_utf8_lossy(&input[..head_end]).into_owned();
         let mut lines = head.split("\r\n");
         let status_line = lines
             .next()
@@ -223,12 +272,65 @@ impl HttpClient {
                 }
             }
         }
-        let body_start = head_end + 4;
+        let body_start = self.consumed + head_end + 4;
         if self.rbuf.len() < body_start + content_length {
             return Ok(None);
         }
-        let body = self.rbuf[body_start..body_start + content_length].to_vec();
-        self.rbuf.drain(..body_start + content_length);
-        Ok(Some(HttpResponse { status, body }))
+        Ok(Some(ResponseSpan { status, body_start, body_len: content_length }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A canned-response HTTP server: answers `count` requests on one
+    /// connection, each with the same small body.
+    fn canned_server(count: usize) -> (String, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let handle = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().expect("accept");
+            let mut pending: Vec<u8> = Vec::new();
+            let mut scratch = [0u8; 4096];
+            for _ in 0..count {
+                while !pending.windows(4).any(|w| w == b"\r\n\r\n") {
+                    let n = std::io::Read::read(&mut sock, &mut scratch).expect("read");
+                    assert!(n > 0, "client hung up early");
+                    pending.extend_from_slice(&scratch[..n]);
+                }
+                let end = pending.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+                pending.drain(..end);
+                let response = b"HTTP/1.1 200 OK\r\ncontent-length: 4\r\n\r\npong";
+                std::io::Write::write_all(&mut sock, response).expect("write");
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn http_keep_alive_reuses_the_receive_buffer() {
+        let (addr, server) = canned_server(20);
+        let mut client = HttpClient::connect(&addr).expect("connect");
+        client.set_timeout(Duration::from_secs(5)).expect("timeout");
+        let mut capacity_after_first = 0usize;
+        for i in 0..20 {
+            let response = client.request("GET", "/ping", &[]).expect("request");
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body, b"pong");
+            assert_eq!(client.consumed, 0, "serial responses are fully consumed");
+            assert!(client.rbuf.is_empty(), "buffer resets between responses");
+            if i == 0 {
+                capacity_after_first = client.rbuf.capacity();
+                assert!(capacity_after_first > 0, "first response must have buffered bytes");
+            } else {
+                assert_eq!(
+                    client.rbuf.capacity(),
+                    capacity_after_first,
+                    "keep-alive must reuse the same receive allocation (request {i})"
+                );
+            }
+        }
+        server.join().expect("server thread");
     }
 }

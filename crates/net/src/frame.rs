@@ -87,20 +87,58 @@ pub enum FrameParse {
     TooLarge(usize),
 }
 
-/// Try to pull one request frame starting at `buf[start..]`.
-pub fn parse_frame(buf: &[u8], start: usize) -> FrameParse {
-    let input = &buf[start.min(buf.len())..];
+/// One step of locating a request frame in a receive buffer without
+/// copying it: the zero-copy twin of [`FrameParse`], reporting *where*
+/// the payload sits instead of materializing it.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameParseSpan {
+    /// The buffer does not yet hold the full frame.
+    NeedMore,
+    /// A complete frame was located.
+    Complete {
+        /// Absolute offset of the payload's first byte within `buf`.
+        payload_start: usize,
+        /// Payload byte length.
+        payload_len: usize,
+        /// Total bytes consumed from `start` (prefix + payload).
+        used: usize,
+    },
+    /// The declared length exceeds [`MAX_FRAME_BYTES`]; answer
+    /// [`FrameStatus::TooLarge`] and close.
+    TooLarge(usize),
+}
+
+/// Locate one request frame starting at `buf[start..]` without copying
+/// the payload. Offsets in the result are absolute into `buf`, so the
+/// caller can keep extracting pipelined frames and only borrow payload
+/// slices when each request is actually served.
+pub fn parse_frame_span(buf: &[u8], start: usize) -> FrameParseSpan {
+    let start = start.min(buf.len());
+    let input = &buf[start..];
     if input.len() < 4 {
-        return FrameParse::NeedMore;
+        return FrameParseSpan::NeedMore;
     }
     let len = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
     if len > MAX_FRAME_BYTES {
-        return FrameParse::TooLarge(len);
+        return FrameParseSpan::TooLarge(len);
     }
     if input.len() < 4 + len {
-        return FrameParse::NeedMore;
+        return FrameParseSpan::NeedMore;
     }
-    FrameParse::Complete(input[4..4 + len].to_vec(), 4 + len)
+    FrameParseSpan::Complete { payload_start: start + 4, payload_len: len, used: 4 + len }
+}
+
+/// Try to pull one request frame starting at `buf[start..]`, copying the
+/// payload out (convenience wrapper over [`parse_frame_span`]; the
+/// serving path uses the span form and skips this copy).
+pub fn parse_frame(buf: &[u8], start: usize) -> FrameParse {
+    match parse_frame_span(buf, start) {
+        FrameParseSpan::NeedMore => FrameParse::NeedMore,
+        FrameParseSpan::TooLarge(declared) => FrameParse::TooLarge(declared),
+        FrameParseSpan::Complete { payload_start, payload_len, used } => {
+            FrameParse::Complete(buf[payload_start..payload_start + payload_len].to_vec(), used)
+        }
+    }
 }
 
 /// Append a request frame (`Job` payload already codec-encoded) to `out`.

@@ -58,6 +58,40 @@ pub enum HttpParse {
     Failed(HttpParseError),
 }
 
+/// Parsed request line + headers; the body stays in the receive buffer
+/// (see [`HttpParseSpan::Complete`] for its location).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpHead {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path + optional query), e.g. `/score`.
+    pub path: String,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+/// One step of the incremental parse, zero-copy form: the body is
+/// reported as absolute offsets into `buf` instead of being copied out,
+/// so the serving path can decode straight from the receive buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpParseSpan {
+    /// The buffer does not yet hold a complete request.
+    NeedMore,
+    /// A complete request was located.
+    Complete {
+        /// Parsed request line + connection semantics.
+        head: HttpHead,
+        /// Absolute offset of the body's first byte within `buf`.
+        body_start: usize,
+        /// Body byte length (0 when no `Content-Length`).
+        body_len: usize,
+        /// Total bytes consumed from `start` (head + body).
+        used: usize,
+    },
+    /// Parsing failed; the connection should answer and close.
+    Failed(HttpParseError),
+}
+
 /// Size caps enforced during parsing.
 #[derive(Debug, Clone, Copy)]
 pub struct HttpLimits {
@@ -73,49 +107,71 @@ impl Default for HttpLimits {
     }
 }
 
-/// Try to parse one request starting at `buf[start..]`.
+/// Try to parse one request starting at `buf[start..]`, copying the body
+/// out (convenience wrapper over [`parse_request_span`]; the serving
+/// path uses the span form and skips this copy).
 ///
 /// Stateless between calls: the caller re-invokes with the same `start`
 /// as more bytes arrive (the head search is cheap and bounded by
 /// `max_head_bytes`), then advances `start` by the consumed count on
 /// [`HttpParse::Complete`].
 pub fn parse_request(buf: &[u8], start: usize, limits: &HttpLimits) -> HttpParse {
-    let input = &buf[start.min(buf.len())..];
+    match parse_request_span(buf, start, limits) {
+        HttpParseSpan::NeedMore => HttpParse::NeedMore,
+        HttpParseSpan::Failed(e) => HttpParse::Failed(e),
+        HttpParseSpan::Complete { head, body_start, body_len, used } => HttpParse::Complete(
+            HttpRequest {
+                method: head.method,
+                path: head.path,
+                body: buf[body_start..body_start + body_len].to_vec(),
+                keep_alive: head.keep_alive,
+            },
+            used,
+        ),
+    }
+}
+
+/// Try to parse one request starting at `buf[start..]` without copying
+/// the body; offsets in the result are absolute into `buf`. Same
+/// statelessness contract as [`parse_request`].
+pub fn parse_request_span(buf: &[u8], start: usize, limits: &HttpLimits) -> HttpParseSpan {
+    let start = start.min(buf.len());
+    let input = &buf[start..];
     if input.is_empty() {
-        return HttpParse::NeedMore;
+        return HttpParseSpan::NeedMore;
     }
     let Some(head_end) = find_head_end(input, limits.max_head_bytes) else {
         if input.len() > limits.max_head_bytes {
-            return HttpParse::Failed(HttpParseError::HeadersTooLarge);
+            return HttpParseSpan::Failed(HttpParseError::HeadersTooLarge);
         }
-        return HttpParse::NeedMore;
+        return HttpParseSpan::NeedMore;
     };
     let head = &input[..head_end];
     let Ok(head_text) = std::str::from_utf8(head) else {
-        return HttpParse::Failed(HttpParseError::BadRequest("non-UTF-8 header block"));
+        return HttpParseSpan::Failed(HttpParseError::BadRequest("non-UTF-8 header block"));
     };
     let mut lines = head_text.split("\r\n");
     let Some(request_line) = lines.next() else {
-        return HttpParse::Failed(HttpParseError::BadRequest("empty head"));
+        return HttpParseSpan::Failed(HttpParseError::BadRequest("empty head"));
     };
     let mut parts = request_line.split(' ');
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return HttpParse::Failed(HttpParseError::BadRequest("malformed request line"));
+        return HttpParseSpan::Failed(HttpParseError::BadRequest("malformed request line"));
     };
     if parts.next().is_some() {
-        return HttpParse::Failed(HttpParseError::BadRequest("malformed request line"));
+        return HttpParseSpan::Failed(HttpParseError::BadRequest("malformed request line"));
     }
     if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
-        return HttpParse::Failed(HttpParseError::BadRequest("bad method"));
+        return HttpParseSpan::Failed(HttpParseError::BadRequest("bad method"));
     }
     if path.is_empty() || !path.starts_with('/') {
-        return HttpParse::Failed(HttpParseError::BadRequest("bad request target"));
+        return HttpParseSpan::Failed(HttpParseError::BadRequest("bad request target"));
     }
     let keep_alive_default = match version {
         "HTTP/1.1" => true,
         "HTTP/1.0" => false,
-        _ => return HttpParse::Failed(HttpParseError::BadRequest("unsupported HTTP version")),
+        _ => return HttpParseSpan::Failed(HttpParseError::BadRequest("unsupported HTTP version")),
     };
 
     let mut content_length = 0usize;
@@ -125,12 +181,12 @@ pub fn parse_request(buf: &[u8], start: usize, limits: &HttpLimits) -> HttpParse
             continue;
         }
         let Some((name, value)) = line.split_once(':') else {
-            return HttpParse::Failed(HttpParseError::BadRequest("malformed header line"));
+            return HttpParseSpan::Failed(HttpParseError::BadRequest("malformed header line"));
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
             let Ok(parsed) = value.parse::<usize>() else {
-                return HttpParse::Failed(HttpParseError::BadRequest("bad Content-Length"));
+                return HttpParseSpan::Failed(HttpParseError::BadRequest("bad Content-Length"));
             };
             content_length = parsed;
         } else if name.eq_ignore_ascii_case("connection") {
@@ -140,31 +196,31 @@ pub fn parse_request(buf: &[u8], start: usize, limits: &HttpLimits) -> HttpParse
                 keep_alive = true;
             }
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
-            return HttpParse::Failed(HttpParseError::BadRequest(
+            return HttpParseSpan::Failed(HttpParseError::BadRequest(
                 "chunked transfer encoding unsupported",
             ));
         }
     }
     if content_length > limits.max_body_bytes {
-        return HttpParse::Failed(HttpParseError::BodyTooLarge {
+        return HttpParseSpan::Failed(HttpParseError::BodyTooLarge {
             declared: content_length,
             limit: limits.max_body_bytes,
         });
     }
-    let body_start = head_end + 4;
-    if input.len() < body_start + content_length {
-        return HttpParse::NeedMore;
+    let body_offset = head_end + 4;
+    if input.len() < body_offset + content_length {
+        return HttpParseSpan::NeedMore;
     }
-    let body = input[body_start..body_start + content_length].to_vec();
-    HttpParse::Complete(
-        HttpRequest {
+    HttpParseSpan::Complete {
+        head: HttpHead {
             method: method.to_string(),
             path: path.to_string(),
-            body,
             keep_alive,
         },
-        body_start + content_length,
-    )
+        body_start: start + body_offset,
+        body_len: content_length,
+        used: body_offset + content_length,
+    }
 }
 
 /// Find the byte offset of `\r\n\r\n` (start of the blank line) within

@@ -11,11 +11,16 @@
 //! - [`frame`] — length-prefixed binary framing for peak throughput,
 //!   selected by a one-byte preamble.
 //! - [`conn`] — per-connection buffers, protocol sniffing, in-order
-//!   request extraction.
+//!   zero-copy request extraction (spans into the receive buffer), and a
+//!   `writev`-gathered write queue with exact partial-write resumption.
+//! - [`pool`] — bounded per-shard [`BufPool`] of reusable IO buffers,
+//!   checked out on accept / per response and restored on close/flush.
 //! - [`server`] — [`NetServer`]: sharded edge-triggered epoll event
 //!   loops feeding `submit_with_deadline`, so admission control, shed,
 //!   circuit breaking, and exact-accounting drain carry over to the
-//!   wire unchanged.
+//!   wire unchanged; signature-cache hits answer inline on the event
+//!   loop (`serve_fastpath_hits_total`), and every readiness event's
+//!   responses leave in a single `writev` (`net_syscalls_total{op}`).
 //! - [`client`] — blocking persistent-connection clients for both
 //!   framings (tests + load generation).
 //! - [`pacer`] — token-bucket QPS pacing for the load generator.
@@ -28,13 +33,15 @@ pub mod conn;
 pub mod frame;
 pub mod http;
 pub mod pacer;
+pub mod pool;
 pub mod server;
 pub mod sys;
 
 pub use client::{BinaryClient, HttpClient, HttpResponse, ScoreOutcome};
-pub use conn::{Conn, Protocol, WireRequest};
+pub use conn::{Conn, ExtractedSpans, Protocol, WireRequest, WireRequestSpan};
 pub use frame::{FrameStatus, BINARY_PREAMBLE, MAX_FRAME_BYTES};
-pub use http::{HttpLimits, HttpRequest};
+pub use http::{HttpHead, HttpLimits, HttpRequest};
 pub use pacer::TokenBucket;
+pub use pool::BufPool;
 pub use server::{net_metrics, NetConfig, NetMetrics, NetServer};
-pub use sys::NetError;
+pub use sys::{syscall_counters, IoVec, NetError};

@@ -7,10 +7,19 @@
 //! connection burst instead of thundering the whole herd. Accepted
 //! sockets stay pinned to the accepting shard for their lifetime and are
 //! driven edge-triggered (`EPOLLET`): each readiness event drains the
-//! socket to `EAGAIN`, extracts every complete request, submits them all
-//! to the scoring server (letting the micro-batcher coalesce pipelined
-//! bursts), then resolves tickets in arrival order so responses never
-//! reorder within a connection.
+//! socket to `EAGAIN`, locates every complete request as *spans* into
+//! the receive buffer (no per-request copies), submits them all to the
+//! scoring server (letting the micro-batcher coalesce pipelined bursts),
+//! then resolves tickets in arrival order so responses never reorder
+//! within a connection.
+//!
+//! The response path is syscall-lean: every response resolved in one
+//! readiness event is rendered into a buffer checked out of the shard's
+//! [`BufPool`] and queued; one `writev` then flushes the whole burst in
+//! a single syscall (`NetConfig::coalesce_writes`), resuming exactly
+//! across partial writes. Signature-cache hits short-circuit on the
+//! event-loop thread itself via `try_score_cached` — no queue hop, no
+//! worker wakeup — and are counted as `serve_fastpath_hits_total`.
 //!
 //! Backpressure is inherited, not reinvented: `submit_with_deadline`
 //! still applies the shed watermark and bounded-queue admission, and the
@@ -19,9 +28,10 @@
 //! /drain` acks, flips a flag, and the owner thread joins the shards and
 //! runs the scoring server's exact-accounting drain.
 
-use crate::conn::{Conn, Extracted, ReadOutcome, WireError, WireRequest};
+use crate::conn::{Conn, ExtractedSpans, ReadOutcome, WireError, WireRequestSpan};
 use crate::frame::{self, FrameStatus};
-use crate::http::{self, HttpLimits, HttpRequest};
+use crate::http::{self, HttpHead, HttpLimits};
+use crate::pool::BufPool;
 use crate::sys::{self, EpollEvent, NetError};
 use scope_sim::Job;
 use std::collections::HashMap;
@@ -47,6 +57,11 @@ pub struct NetConfig {
     pub http_limits: HttpLimits,
     /// Per-request deadline budget passed to `submit_with_deadline`.
     pub deadline: Option<Duration>,
+    /// Gather all queued responses on a connection into a single
+    /// `writev` per flush (the default). `false` falls back to one
+    /// `write` per buffer — kept as a knob so the benchmark harness can
+    /// measure the syscall savings honestly.
+    pub coalesce_writes: bool,
 }
 
 impl Default for NetConfig {
@@ -56,9 +71,15 @@ impl Default for NetConfig {
             max_connections_per_shard: 1024,
             http_limits: HttpLimits::default(),
             deadline: None,
+            coalesce_writes: true,
         }
     }
 }
+
+/// Free buffers each shard's [`BufPool`] retains: enough to turn over a
+/// large pipelined burst without minting, bounded so idle shards do not
+/// pin memory.
+const POOL_RETAINED_BUFFERS: usize = 64;
 
 /// Wire-level counters, registered once in the process-global registry.
 pub struct NetMetrics {
@@ -214,9 +235,12 @@ fn shard_loop_inner(
     sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, listener_fd, sys::EPOLLIN | sys::EPOLLEXCLUSIVE)?;
     let mut events = [EpollEvent::zeroed(); 64];
     let mut slots: HashMap<i32, Slot> = HashMap::new();
+    // One buffer pool per shard: the event loop is single-threaded, so
+    // checkout/restore are plain `&mut` calls with no synchronization.
+    let mut pool = BufPool::new(POOL_RETAINED_BUFFERS);
     loop {
         if drain.load(Ordering::SeqCst) {
-            flush_remaining(&mut slots);
+            flush_remaining(&mut slots, &mut pool, config.coalesce_writes);
             return Ok(());
         }
         let n = sys::epoll_wait(epfd, &mut events, 50)?;
@@ -224,12 +248,12 @@ fn shard_loop_inner(
             let fd = event.fd();
             let ready = event.ready();
             if fd == listener_fd {
-                accept_burst(epfd, listener_fd, config, &mut slots);
+                accept_burst(epfd, listener_fd, config, &mut slots, &mut pool);
                 continue;
             }
             let Some(slot) = slots.get_mut(&fd) else { continue };
             if ready & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
-                slots.remove(&fd);
+                drop_slot(&mut slots, fd, &mut pool);
                 continue;
             }
             let mut peer_closed = false;
@@ -240,23 +264,25 @@ fn shard_loop_inner(
                     }
                     Ok(ReadOutcome::Closed) => peer_closed = true,
                     Err(_) => {
-                        slots.remove(&fd);
+                        drop_slot(&mut slots, fd, &mut pool);
                         continue;
                     }
                 }
-                let extracted = slot.conn.extract(&config.http_limits);
-                serve_extracted(extracted, &mut slot.conn, config, server, drain);
+                let extracted = slot.conn.extract_spans(&config.http_limits);
+                serve_spans(extracted, &mut slot.conn, &mut pool, config, server, drain);
             }
-            match slot.conn.flush() {
+            // Every response resolved in this wake leaves in one flush —
+            // a single writev when more than one buffer is queued.
+            match slot.conn.flush(&mut pool, config.coalesce_writes) {
                 Ok(bytes) => net_metrics().bytes_written.add(bytes as u64),
                 Err(_) => {
-                    slots.remove(&fd);
+                    drop_slot(&mut slots, fd, &mut pool);
                     continue;
                 }
             }
             let done = slot.conn.pending_write() == 0;
             if done && (peer_closed || slot.conn.close_after_flush) {
-                slots.remove(&fd);
+                drop_slot(&mut slots, fd, &mut pool);
                 continue;
             }
             // Arm or disarm EPOLLOUT as the transmit buffer fills/empties.
@@ -264,13 +290,13 @@ fn shard_loop_inner(
                 if sys::epoll_ctl(epfd, sys::EPOLL_CTL_MOD, fd, BASE_INTEREST | sys::EPOLLOUT)
                     .is_err()
                 {
-                    slots.remove(&fd);
+                    drop_slot(&mut slots, fd, &mut pool);
                     continue;
                 }
                 slot.armed_out = true;
             } else if done && slot.armed_out {
                 if sys::epoll_ctl(epfd, sys::EPOLL_CTL_MOD, fd, BASE_INTEREST).is_err() {
-                    slots.remove(&fd);
+                    drop_slot(&mut slots, fd, &mut pool);
                     continue;
                 }
                 slot.armed_out = false;
@@ -279,9 +305,23 @@ fn shard_loop_inner(
     }
 }
 
+/// Remove a connection from the event loop, handing every buffer it
+/// still holds back to the shard pool before drop closes the fd.
+fn drop_slot(slots: &mut HashMap<i32, Slot>, fd: i32, pool: &mut BufPool) {
+    if let Some(mut slot) = slots.remove(&fd) {
+        slot.conn.reclaim(pool);
+    }
+}
+
 /// Accept until the listener would block, registering each socket
 /// edge-triggered with this shard's epoll set.
-fn accept_burst(epfd: i32, listener_fd: i32, config: &NetConfig, slots: &mut HashMap<i32, Slot>) {
+fn accept_burst(
+    epfd: i32,
+    listener_fd: i32,
+    config: &NetConfig,
+    slots: &mut HashMap<i32, Slot>,
+    pool: &mut BufPool,
+) {
     loop {
         match sys::accept4(listener_fd) {
             Ok(fd) => {
@@ -294,7 +334,11 @@ fn accept_burst(epfd: i32, listener_fd: i32, config: &NetConfig, slots: &mut Has
                     continue;
                 }
                 net_metrics().connections.inc();
-                slots.insert(fd, Slot { conn: Conn::new(fd), armed_out: false });
+                // Checked out only after the fd is registered, so the
+                // early-exit paths above owe the pool nothing; the
+                // connection owns the buffer until `drop_slot` reclaims.
+                let rbuf = pool.checkout();
+                slots.insert(fd, Slot { conn: Conn::from_fd(fd, rbuf), armed_out: false });
             }
             Err(_) => return,
         }
@@ -303,11 +347,11 @@ fn accept_burst(epfd: i32, listener_fd: i32, config: &NetConfig, slots: &mut Has
 
 /// Best-effort flush of pending responses (the drain ack, mostly) before
 /// a shard exits. Bounded so a stuck peer cannot wedge shutdown.
-fn flush_remaining(slots: &mut HashMap<i32, Slot>) {
+fn flush_remaining(slots: &mut HashMap<i32, Slot>, pool: &mut BufPool, coalesce: bool) {
     let deadline = Instant::now() + Duration::from_secs(1);
     for slot in slots.values_mut() {
         while slot.conn.pending_write() > 0 && Instant::now() < deadline {
-            match slot.conn.flush() {
+            match slot.conn.flush(pool, coalesce) {
                 Ok(bytes) => {
                     net_metrics().bytes_written.add(bytes as u64);
                     if slot.conn.pending_write() > 0 {
@@ -318,7 +362,9 @@ fn flush_remaining(slots: &mut HashMap<i32, Slot>) {
             }
         }
     }
-    slots.clear();
+    for (_, mut slot) in slots.drain() {
+        slot.conn.reclaim(pool);
+    }
 }
 
 /// A response whose bytes may depend on a still-inflight scoring ticket.
@@ -331,31 +377,70 @@ enum PendingReply {
     BinaryTicket { ticket: Box<Ticket>, parsed_at: Instant },
 }
 
-/// Submit every extracted request, then resolve tickets in arrival order
-/// so pipelined bursts hit the micro-batcher together but responses keep
-/// their order on the wire.
-fn serve_extracted(
-    extracted: Extracted,
+/// Render a complete HTTP response into a pooled buffer. Single exit:
+/// every checkout leaves as a queued [`PendingReply::Ready`], which the
+/// resource-leak pass can follow to `Conn::queue_buffer`.
+fn ready_http(
+    pool: &mut BufPool,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> PendingReply {
+    let mut out = pool.checkout();
+    http::write_response(&mut out, status, reason, content_type, body, close);
+    PendingReply::Ready(out)
+}
+
+/// Render a binary response frame into a pooled buffer.
+fn ready_frame(pool: &mut BufPool, status: FrameStatus, payload: &[u8]) -> PendingReply {
+    let mut out = pool.checkout();
+    frame::write_response_frame(&mut out, status, payload);
+    PendingReply::Ready(out)
+}
+
+/// Submit every located request (borrowing payloads straight out of the
+/// receive buffer — the only copy left is the `Job` decode at the
+/// scoring boundary), then resolve tickets in arrival order so pipelined
+/// bursts hit the micro-batcher together but responses keep their order
+/// on the wire. Responses render into pooled buffers and ride the write
+/// queue whole; the caller flushes them in one `writev`.
+fn serve_spans(
+    extracted: ExtractedSpans,
     conn: &mut Conn,
+    pool: &mut BufPool,
     config: &NetConfig,
     server: &Arc<ScoringServer>,
     drain: &AtomicBool,
 ) {
     let mut pending = Vec::with_capacity(extracted.requests.len());
-    for request in extracted.requests {
+    for span in &extracted.requests {
         let parsed_at = Instant::now();
-        match request {
-            WireRequest::Http(req) => pending.push(submit_http(req, parsed_at, config, server, conn, drain)),
-            WireRequest::Binary(payload) => {
-                pending.push(submit_binary(&payload, parsed_at, config, server));
+        match span {
+            WireRequestSpan::Http { head, body_start, body_len } => {
+                let body = conn.payload(*body_start, *body_len);
+                let (reply, close) =
+                    submit_http(head, body, parsed_at, config, server, drain, pool);
+                if close {
+                    conn.close_after_flush = true;
+                }
+                pending.push(reply);
+            }
+            WireRequestSpan::Binary { payload_start, payload_len } => {
+                let payload = conn.payload(*payload_start, *payload_len);
+                pending.push(submit_binary(payload, parsed_at, config, server, pool));
             }
         }
     }
+    // Every span has been decoded; reclaim the consumed receive prefix
+    // before ticket resolution can block.
+    conn.compact();
     for reply in pending {
         match reply {
-            PendingReply::Ready(bytes) => conn.queue_write(&bytes),
+            PendingReply::Ready(buf) => conn.queue_buffer(buf),
             PendingReply::HttpTicket { ticket, keep_alive, parsed_at } => {
-                let mut out = Vec::new();
+                let mut out = pool.checkout();
                 match ticket.outcome() {
                     Ok(served) => match tasq::codec::to_bytes(&served.response) {
                         Ok(body) => http::write_response(
@@ -388,10 +473,10 @@ fn serve_extracted(
                     conn.close_after_flush = true;
                 }
                 net_metrics().wire_latency_us.record(parsed_at.elapsed().as_micros() as u64);
-                conn.queue_write(&out);
+                conn.queue_buffer(out);
             }
             PendingReply::BinaryTicket { ticket, parsed_at } => {
-                let mut out = Vec::new();
+                let mut out = pool.checkout();
                 match ticket.outcome() {
                     Ok(served) => match tasq::codec::to_bytes(&served.response) {
                         Ok(body) => frame::write_response_frame(&mut out, FrameStatus::Ok, &body),
@@ -406,13 +491,13 @@ fn serve_extracted(
                     ),
                 }
                 net_metrics().wire_latency_us.record(parsed_at.elapsed().as_micros() as u64);
-                conn.queue_write(&out);
+                conn.queue_buffer(out);
             }
         }
     }
     if let Some(error) = extracted.error {
         net_metrics().parse_errors.inc();
-        let mut out = Vec::new();
+        let mut out = pool.checkout();
         match error {
             WireError::Http(e) => {
                 let (status, reason) = http::error_status(&e);
@@ -429,131 +514,155 @@ fn serve_extracted(
                 frame::write_response_frame(&mut out, FrameStatus::TooLarge, &[]);
             }
         }
-        conn.queue_write(&out);
+        conn.queue_buffer(out);
         conn.close_after_flush = true;
     }
 }
 
-/// Route one HTTP request: scoring goes through admission control, the
-/// introspection endpoints answer inline.
+/// Route one HTTP request: scoring goes through the inline cache fast
+/// path and then admission control; the introspection endpoints answer
+/// inline. Returns the reply plus whether the connection must close
+/// after the flush (the caller owns the connection state; the body
+/// borrowed from its receive buffer keeps it immutable here).
 fn submit_http(
-    req: HttpRequest,
+    head: &HttpHead,
+    body: &[u8],
     parsed_at: Instant,
     config: &NetConfig,
     server: &Arc<ScoringServer>,
-    conn: &mut Conn,
     drain: &AtomicBool,
-) -> PendingReply {
-    let keep_alive = req.keep_alive;
-    let close = !keep_alive;
-    if close {
-        conn.close_after_flush = true;
-    }
-    let mut out = Vec::new();
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/score") => match tasq::codec::from_bytes::<Job>(&req.body) {
-            Ok(job) => match server.submit_with_deadline(job, config.deadline) {
-                Ok(ticket) => {
-                    return PendingReply::HttpTicket {
-                        ticket: Box::new(ticket),
-                        keep_alive,
-                        parsed_at,
+    pool: &mut BufPool,
+) -> (PendingReply, bool) {
+    let keep_alive = head.keep_alive;
+    let mut close = !keep_alive;
+    let reply = match (head.method.as_str(), head.path.as_str()) {
+        ("POST", "/score") => match tasq::codec::from_bytes::<Job>(body) {
+            Ok(job) => {
+                // Fast path: a signature-cache hit is rendered right here
+                // on the event-loop thread — no queue slot, no worker.
+                if let Some(served) = server.try_score_cached(&job) {
+                    match tasq::codec::to_bytes(&served.response) {
+                        Ok(enc) => {
+                            ready_http(pool, 200, "OK", "application/octet-stream", &enc, close)
+                        }
+                        Err(_) => ready_http(
+                            pool,
+                            500,
+                            "Internal Server Error",
+                            "text/plain",
+                            b"response encoding failed\n",
+                            close,
+                        ),
+                    }
+                } else {
+                    match server.submit_with_deadline(job, config.deadline) {
+                        Ok(ticket) => {
+                            let reply = PendingReply::HttpTicket {
+                                ticket: Box::new(ticket),
+                                keep_alive,
+                                parsed_at,
+                            };
+                            return (reply, close);
+                        }
+                        Err(e) => {
+                            let (status, reason) = match &e {
+                                tasq_serve::SubmitError::Overloaded { .. } => {
+                                    (429, "Too Many Requests")
+                                }
+                                tasq_serve::SubmitError::ShuttingDown => {
+                                    (503, "Service Unavailable")
+                                }
+                            };
+                            ready_http(
+                                pool,
+                                status,
+                                reason,
+                                "text/plain",
+                                format!("{e}\n").as_bytes(),
+                                close,
+                            )
+                        }
                     }
                 }
-                Err(e) => {
-                    let (status, reason) = match &e {
-                        tasq_serve::SubmitError::Overloaded { .. } => (429, "Too Many Requests"),
-                        tasq_serve::SubmitError::ShuttingDown => (503, "Service Unavailable"),
-                    };
-                    http::write_response(
-                        &mut out,
-                        status,
-                        reason,
-                        "text/plain",
-                        format!("{e}\n").as_bytes(),
-                        close,
-                    );
-                }
-            },
+            }
             Err(_) => {
                 net_metrics().parse_errors.inc();
-                http::write_response(
-                    &mut out,
+                ready_http(
+                    pool,
                     400,
                     "Bad Request",
                     "text/plain",
                     b"body is not a codec-encoded Job\n",
                     close,
-                );
+                )
             }
         },
-        ("GET", "/healthz") => {
-            http::write_response(&mut out, 200, "OK", "text/plain", b"ok\n", close);
-        }
+        ("GET", "/healthz") => ready_http(pool, 200, "OK", "text/plain", b"ok\n", close),
         ("GET", "/metrics") => {
             let body = Registry::global().render_prometheus();
-            http::write_response(&mut out, 200, "OK", "text/plain; version=0.0.4", body.as_bytes(), close);
+            ready_http(pool, 200, "OK", "text/plain; version=0.0.4", body.as_bytes(), close)
         }
         ("GET", "/stats") => {
             let body = stats_json(&server.stats());
-            http::write_response(&mut out, 200, "OK", "application/json", body.as_bytes(), close);
+            ready_http(pool, 200, "OK", "application/json", body.as_bytes(), close)
         }
         ("POST", "/drain") => {
-            http::write_response(
-                &mut out,
-                200,
-                "OK",
-                "application/json",
-                b"{\"draining\":true}",
-                true,
-            );
-            conn.close_after_flush = true;
+            close = true;
             drain.store(true, Ordering::SeqCst);
+            ready_http(pool, 200, "OK", "application/json", b"{\"draining\":true}", true)
         }
-        _ => {
-            http::write_response(&mut out, 404, "Not Found", "text/plain", b"not found\n", close);
-        }
-    }
+        _ => ready_http(pool, 404, "Not Found", "text/plain", b"not found\n", close),
+    };
     net_metrics().wire_latency_us.record(parsed_at.elapsed().as_micros() as u64);
-    PendingReply::Ready(out)
+    (reply, close)
 }
 
-/// Decode and submit one binary frame payload.
+/// Decode and submit one binary frame payload, answering cache hits
+/// inline on the event-loop thread.
 fn submit_binary(
     payload: &[u8],
     parsed_at: Instant,
     config: &NetConfig,
     server: &Arc<ScoringServer>,
+    pool: &mut BufPool,
 ) -> PendingReply {
-    let mut out = Vec::new();
-    match tasq::codec::from_bytes::<Job>(payload) {
-        Ok(job) => match server.submit_with_deadline(job, config.deadline) {
-            Ok(ticket) => {
-                return PendingReply::BinaryTicket { ticket: Box::new(ticket), parsed_at }
+    let reply = match tasq::codec::from_bytes::<Job>(payload) {
+        Ok(job) => {
+            if let Some(served) = server.try_score_cached(&job) {
+                match tasq::codec::to_bytes(&served.response) {
+                    Ok(enc) => ready_frame(pool, FrameStatus::Ok, &enc),
+                    Err(_) => ready_frame(pool, FrameStatus::BadRequest, &[]),
+                }
+            } else {
+                match server.submit_with_deadline(job, config.deadline) {
+                    Ok(ticket) => {
+                        return PendingReply::BinaryTicket { ticket: Box::new(ticket), parsed_at }
+                    }
+                    Err(e) => ready_frame(pool, FrameStatus::from_submit_error(&e), &[]),
+                }
             }
-            Err(e) => {
-                frame::write_response_frame(&mut out, FrameStatus::from_submit_error(&e), &[]);
-            }
-        },
+        }
         Err(_) => {
             net_metrics().parse_errors.inc();
-            frame::write_response_frame(&mut out, FrameStatus::BadRequest, &[]);
+            ready_frame(pool, FrameStatus::BadRequest, &[])
         }
-    }
+    };
     net_metrics().wire_latency_us.record(parsed_at.elapsed().as_micros() as u64);
-    PendingReply::Ready(out)
+    reply
 }
 
 /// Hand-rolled JSON for the `/stats` endpoint (no serde_json in the
 /// workspace; mirrors the counters the CLI's loadgen reports).
 fn stats_json(stats: &ServerStatsSnapshot) -> String {
     format!(
-        "{{\"submitted\":{},\"completed\":{},\"cache_hits\":{},\"model_scored\":{},\
+        "{{\"submitted\":{},\"completed\":{},\"cache_hits\":{},\"fastpath_hits\":{},\
+         \"model_scored\":{},\
          \"shed\":{},\"rejected\":{},\"worker_lost\":{},\"deadline_timeouts\":{},\
          \"resolved\":{},\"p50_us\":{:.1},\"p99_us\":{:.1}}}",
         stats.submitted,
         stats.completed,
         stats.cache_hits,
+        stats.fastpath_hits,
         stats.model_scored,
         stats.shed,
         stats.rejected,

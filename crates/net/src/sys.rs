@@ -14,6 +14,8 @@
 //! from real faults without reading errno themselves.
 
 use std::fmt;
+use std::sync::OnceLock;
+use tasq_obs::metrics::{Counter, Registry};
 
 /// Typed failure of a network syscall or protocol layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +106,39 @@ pub struct EpollEvent {
     pub data: u64,
 }
 
+/// One `struct iovec` for vectored IO ([`writev`]).
+///
+/// The kernel layout is `{ void *iov_base; size_t iov_len; }`; both
+/// fields are pointer-sized, so the base is carried as a `usize` and the
+/// only raw-pointer handling stays inside [`writev`] itself.
+///
+/// An `IoVec` is a *snapshot* of a slice's address: the caller must keep
+/// the source buffer alive and unmoved until the `writev` call that
+/// consumes it returns (the [`writev`] safety comment restates this).
+#[derive(Clone, Copy)]
+#[repr(C)]
+pub struct IoVec {
+    base: usize,
+    len: usize,
+}
+
+impl IoVec {
+    /// Capture `slice`'s address and length.
+    pub fn new(slice: &[u8]) -> Self {
+        IoVec { base: slice.as_ptr() as usize, len: slice.len() }
+    }
+
+    /// Byte length of the captured slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the captured slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 impl EpollEvent {
     /// Zeroed event (for `epoll_wait` output buffers).
     pub fn zeroed() -> Self {
@@ -130,6 +165,7 @@ impl EpollEvent {
 mod raw {
     pub const SYS_READ: usize = 0;
     pub const SYS_WRITE: usize = 1;
+    pub const SYS_WRITEV: usize = 20;
     pub const SYS_CLOSE: usize = 3;
     pub const SYS_EPOLL_WAIT: usize = 232;
     pub const SYS_EPOLL_CTL: usize = 233;
@@ -176,6 +212,7 @@ mod raw {
 mod raw {
     pub const SYS_READ: usize = 63;
     pub const SYS_WRITE: usize = 64;
+    pub const SYS_WRITEV: usize = 66;
     pub const SYS_CLOSE: usize = 57;
     /// aarch64 never had plain `epoll_wait`; `epoll_pwait` with a null
     /// sigmask is the equivalent.
@@ -222,6 +259,7 @@ mod raw {
     //! the server cannot run on.
     pub const SYS_READ: usize = 0;
     pub const SYS_WRITE: usize = 0;
+    pub const SYS_WRITEV: usize = 0;
     pub const SYS_CLOSE: usize = 0;
     pub const SYS_EPOLL_WAIT: usize = 0;
     pub const SYS_EPOLL_CTL: usize = 0;
@@ -252,6 +290,85 @@ pub fn supported() -> bool {
     cfg!(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))
 }
 
+/// Per-op syscall counters, exposed in the global metrics registry as
+/// `net_syscalls_total{op="…"}` so syscall reduction (writev coalescing,
+/// pooled buffers) is directly visible at `/metrics`.
+///
+/// Every attempt is counted, including `EINTR` retries — the point is to
+/// measure kernel crossings, and a retried call crosses twice.
+pub struct SyscallCounters {
+    /// `read(2)` attempts.
+    pub read: Counter,
+    /// `write(2)` attempts.
+    pub write: Counter,
+    /// `writev(2)` attempts.
+    pub writev: Counter,
+    /// `close(2)` attempts.
+    pub close: Counter,
+    /// `accept4(2)` attempts.
+    pub accept4: Counter,
+    /// `epoll_wait(2)` / `epoll_pwait(2)` attempts.
+    pub epoll_wait: Counter,
+    /// `epoll_ctl(2)` attempts.
+    pub epoll_ctl: Counter,
+    /// `epoll_create1(2)` attempts.
+    pub epoll_create1: Counter,
+}
+
+impl SyscallCounters {
+    /// Sum over every op — the denominator for syscalls-per-request.
+    pub fn total(&self) -> u64 {
+        self.read.get()
+            + self.write.get()
+            + self.writev.get()
+            + self.close.get()
+            + self.accept4.get()
+            + self.epoll_wait.get()
+            + self.epoll_ctl.get()
+            + self.epoll_create1.get()
+    }
+}
+
+/// Process-global [`SyscallCounters`], registered on first use.
+pub fn syscall_counters() -> &'static SyscallCounters {
+    static COUNTERS: OnceLock<SyscallCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let registry = Registry::global();
+        let op = |name: &str| {
+            registry.counter(
+                &format!("net_syscalls_total{{op=\"{name}\"}}"),
+                "Raw syscalls issued by the tasq-net event loop, by op.",
+            )
+        };
+        SyscallCounters {
+            read: op("read"),
+            write: op("write"),
+            writev: op("writev"),
+            close: op("close"),
+            accept4: op("accept4"),
+            epoll_wait: op("epoll_wait"),
+            epoll_ctl: op("epoll_ctl"),
+            epoll_create1: op("epoll_create1"),
+        }
+    })
+}
+
+/// Count one attempt of `call` (called from [`retrying`] per iteration).
+fn count_syscall(call: &'static str) {
+    let counters = syscall_counters();
+    match call {
+        "read" => counters.read.inc(),
+        "write" => counters.write.inc(),
+        "writev" => counters.writev.inc(),
+        "close" => counters.close.inc(),
+        "accept4" => counters.accept4.inc(),
+        "epoll_wait" | "epoll_pwait" => counters.epoll_wait.inc(),
+        "epoll_ctl" => counters.epoll_ctl.inc(),
+        "epoll_create1" => counters.epoll_create1.inc(),
+        _ => {}
+    }
+}
+
 /// Run a syscall, retrying `EINTR`, and map the result.
 ///
 /// # Safety
@@ -268,6 +385,7 @@ unsafe fn retrying(
     f: usize,
 ) -> Result<isize, NetError> {
     loop {
+        count_syscall(call);
         let ret = raw::syscall6(n, a, b, c, d, e, f);
         if ret >= 0 {
             return Ok(ret);
@@ -395,6 +513,36 @@ pub fn write(fd: i32, buf: &[u8]) -> Result<usize, NetError> {
     }
 }
 
+/// Nonblocking `writev`: write the gathered `iovs` in one kernel
+/// crossing; maps `EPIPE`/`ECONNRESET` to [`NetError::PeerClosed`].
+///
+/// Returns the number of bytes accepted, which may land mid-iovec; the
+/// caller resumes from that byte offset (see `Conn::advance_write`).
+pub fn writev(fd: i32, iovs: &[IoVec]) -> Result<usize, NetError> {
+    // SAFETY: every `IoVec` in `iovs` was built by `IoVec::new` from a
+    // slice the caller keeps alive and unmoved across this call, and the
+    // repr(C) layout matches the kernel's `struct iovec`; the kernel only
+    // reads the described buffers.
+    let result = unsafe {
+        retrying(
+            "writev",
+            raw::SYS_WRITEV,
+            fd as usize,
+            iovs.as_ptr() as usize,
+            iovs.len(),
+            0,
+            0,
+            0,
+        )
+    };
+    match result {
+        Err(NetError::Sys { errno, .. }) if errno == EPIPE || errno == ECONNRESET => {
+            Err(NetError::PeerClosed)
+        }
+        other => other.map(|n| n as usize),
+    }
+}
+
 /// `close(fd)`; errors are ignored (the fd is gone either way, and the
 /// event loop has nothing useful to do with a failed close).
 pub fn close(fd: i32) {
@@ -455,6 +603,58 @@ mod tests {
         epoll_ctl(epfd, EPOLL_CTL_DEL, conn, 0).expect("ctl del");
         close(conn);
         close(epfd);
+    }
+
+    #[test]
+    fn writev_gathers_scattered_buffers_in_one_call() {
+        if !supported() {
+            return;
+        }
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::net::TcpStream::connect(addr).expect("connect");
+        let (mut server_side, _) = listener.accept().expect("accept");
+
+        let parts: [&[u8]; 3] = [b"alpha-", b"beta-", b"gamma"];
+        let iovs: Vec<IoVec> = parts.iter().map(|p| IoVec::new(p)).collect();
+        let before = syscall_counters().writev.get();
+        let wrote = writev(client.as_raw_fd(), &iovs).expect("writev");
+        assert_eq!(wrote, 16);
+        assert_eq!(syscall_counters().writev.get(), before + 1);
+
+        let mut got = [0u8; 16];
+        std::io::Read::read_exact(&mut server_side, &mut got).expect("read back");
+        assert_eq!(&got, b"alpha-beta-gamma");
+    }
+
+    #[test]
+    fn writev_to_a_closed_peer_reports_peer_closed() {
+        if !supported() {
+            return;
+        }
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::net::TcpStream::connect(addr).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        drop(server_side);
+
+        // The first writev may be accepted into the socket buffer before
+        // the kernel notices the reset; keep pushing until the error
+        // surfaces as the typed PeerClosed (EPIPE or ECONNRESET).
+        let chunk = vec![0u8; 64 * 1024];
+        let iovs = [IoVec::new(&chunk), IoVec::new(&chunk)];
+        let mut saw_peer_closed = false;
+        for _ in 0..64 {
+            match writev(client.as_raw_fd(), &iovs) {
+                Err(NetError::PeerClosed) => {
+                    saw_peer_closed = true;
+                    break;
+                }
+                Err(NetError::WouldBlock) | Ok(_) => continue,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(saw_peer_closed);
     }
 
     #[test]

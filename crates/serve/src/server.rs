@@ -50,6 +50,9 @@ struct ServeMetrics {
     submitted: Counter,
     completed: Counter,
     cache_hits: Counter,
+    /// Cache hits answered inline on a network shard's event-loop thread
+    /// via [`ScoringServer::try_score_cached`] (a subset of `cache_hits`).
+    fastpath_hits: Counter,
     model_scored: Counter,
     shed: Counter,
     rejected: Counter,
@@ -71,6 +74,10 @@ fn serve_metrics() -> &'static ServeMetrics {
             completed: r.counter("serve_completed_total", "requests answered on any path"),
             cache_hits: r
                 .counter("serve_cache_hits_total", "requests answered from the signature cache"),
+            fastpath_hits: r.counter(
+                "serve_fastpath_hits_total",
+                "cache hits answered inline on the serving event-loop thread",
+            ),
             model_scored: r
                 .counter("serve_model_scored_total", "requests scored by the worker pool"),
             shed: r.counter("serve_shed_total", "requests shed to the analytic tier"),
@@ -307,6 +314,7 @@ struct Counters {
     submitted: AtomicU64,
     completed: AtomicU64,
     cache_hits: AtomicU64,
+    fastpath_hits: AtomicU64,
     model_scored: AtomicU64,
     shed: AtomicU64,
     rejected: AtomicU64,
@@ -344,6 +352,15 @@ struct Shared {
     live_workers: AtomicUsize,
     /// Monotonic worker slot numbering across resizes.
     next_slot: AtomicUsize,
+    /// Send handles of every live worker's private request channel,
+    /// keyed by worker slot. [`send_envelope`] round-robins admitted
+    /// envelopes across them *under this lock*, and a retiring worker
+    /// deregisters its entry under the same lock before sweeping its
+    /// channel — that ordering is what makes cooperative scale-down
+    /// unable to strand an admitted request.
+    senders: Mutex<Vec<(usize, mpsc::SyncSender<Envelope>)>>,
+    /// Round-robin cursor over `senders`.
+    rr: AtomicUsize,
     /// Autoscaler scale-up actions applied.
     scale_ups: AtomicU64,
     /// Autoscaler scale-down actions applied.
@@ -381,8 +398,6 @@ impl Shared {
 /// to stop. Dropping joins the workers after draining the queue.
 pub struct ScoringServer {
     shared: Arc<Shared>,
-    tx: mpsc::SyncSender<Envelope>,
-    rx: Arc<Mutex<mpsc::Receiver<Envelope>>>,
     /// Worker (and scaler) join handles; a shared mutex-backed vec so
     /// the autoscaler thread can push freshly spawned workers.
     workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
@@ -409,32 +424,22 @@ impl ScoringServer {
             target_workers: AtomicUsize::new(config.workers.max(1)),
             live_workers: AtomicUsize::new(0),
             next_slot: AtomicUsize::new(0),
+            senders: Mutex::new(Vec::new()),
+            rr: AtomicUsize::new(0),
             scale_ups: AtomicU64::new(0),
             scale_downs: AtomicU64::new(0),
         });
-        // The channel bound exceeds the admission bound at the largest
-        // pool the autoscaler may grow to, so `send` below never blocks:
-        // depth accounting rejects first.
-        let pool_ceiling = if config.scaling.auto_scaling {
-            config.workers.max(config.scaling.max_workers)
-        } else {
-            config.workers
-        };
-        let bound = config.queue_capacity + pool_ceiling.max(1) * config.max_batch.max(1) + 1;
-        let (tx, rx) = mpsc::sync_channel::<Envelope>(bound);
-        let rx = Arc::new(Mutex::new(rx));
         let workers = Arc::new(Mutex::new(Vec::new()));
-        resize_pool(&shared, &rx, &workers, config.workers.max(1));
+        resize_pool(&shared, &workers, config.workers.max(1));
         if config.scaling.auto_scaling {
             let scaler_shared = Arc::clone(&shared);
-            let scaler_rx = Arc::clone(&rx);
             let scaler_workers = Arc::clone(&workers);
             let handle = std::thread::spawn(move || {
-                scaler_loop(&scaler_shared, &scaler_rx, &scaler_workers);
+                scaler_loop(&scaler_shared, &scaler_workers);
             });
             workers.lock().push(handle);
         }
-        Self { shared, tx, rx, workers }
+        Self { shared, workers }
     }
 
     /// Submit one job for scoring. Returns a [`Ticket`] immediately; the
@@ -532,13 +537,43 @@ impl ScoringServer {
             }
         }
         let envelope = Envelope { job, key, seq, submitted, deadline, reply };
-        if self.tx.send(envelope).is_err() {
+        if send_envelope(shared, envelope).is_err() {
             shared.depth.fetch_sub(1, Ordering::SeqCst);
             return Err(SubmitError::ShuttingDown);
         }
         Ok(Ticket {
             inner: TicketInner::Pending { rx, trace: config.trace.clone(), seq },
         })
+    }
+
+    /// Non-blocking cache probe: answer a signature-cache hit inline on
+    /// the caller's thread — no queue slot claimed, no channel hop, no
+    /// batcher wakeup — or return `None` without side effects on the
+    /// admission state, so the caller can fall through to
+    /// [`ScoringServer::submit_with_deadline`] unchanged. This is the
+    /// network shard's fast path: a hit is rendered and flushed without
+    /// ever leaving the event-loop thread, and shed/overload behavior is
+    /// untouched because misses never touch the queue depth here.
+    pub fn try_score_cached(&self, job: &Job) -> Option<ServedResponse> {
+        let shared = &self.shared;
+        if shared.shutdown.load(Ordering::Relaxed) || shared.draining.load(Ordering::Relaxed) {
+            return None;
+        }
+        let generation = shared.registry.generation();
+        let key = PlanSignature::of_job(job).cache_key(generation);
+        let mut response = shared.cache.get(key)?;
+        // Only a hit counts as a submission: misses are re-submitted in
+        // full, and double-counting them would break the
+        // `submitted == resolved` zero-silent-loss accounting.
+        let submitted = Instant::now();
+        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.counters.fastpath_hits.fetch_add(1, Ordering::Relaxed);
+        let metrics = serve_metrics();
+        metrics.submitted.inc();
+        metrics.fastpath_hits.inc();
+        response.job_id = job.id;
+        shared.finish(ServedVia::Cache, submitted);
+        Some(ServedResponse { response, via: ServedVia::Cache, generation })
     }
 
     /// Submit and wait: the synchronous convenience wrapper.
@@ -555,6 +590,7 @@ impl ScoringServer {
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            fastpath_hits: c.fastpath_hits.load(Ordering::Relaxed),
             model_scored: c.model_scored.load(Ordering::Relaxed),
             shed: c.shed.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
@@ -636,7 +672,7 @@ impl ScoringServer {
     /// surplus workers exit at their next idle poll without abandoning
     /// requests they already hold.
     pub fn resize_workers(&self, target: usize) {
-        resize_pool(&self.shared, &self.rx, &self.workers, target);
+        resize_pool(&self.shared, &self.workers, target);
     }
 
     /// `(scale_ups, scale_downs)` applied by the autoscaler thread.
@@ -648,11 +684,22 @@ impl ScoringServer {
     }
 }
 
+/// Per-worker request-channel bound. In the worst case every admitted
+/// envelope round-robins onto one worker, so each private channel's bound
+/// must exceed the admission bound on its own — that is what keeps the
+/// lock-held send in [`send_envelope`] provably non-blocking: depth
+/// accounting rejects before any channel can fill.
+fn worker_channel_bound(config: &ServeConfig) -> usize {
+    config.queue_capacity + config.max_batch.max(1) + 1
+}
+
 /// Set the pool's target size and spawn workers up to it. Serialized on
-/// the handles lock so concurrent resizes cannot overshoot.
+/// the handles lock so concurrent resizes cannot overshoot. Each new
+/// worker gets a private bounded request channel; it owns the `Receiver`
+/// outright (no shared `Mutex<Receiver>`), and its `SyncSender` is
+/// registered under the worker's slot for [`send_envelope`] to route to.
 fn resize_pool(
     shared: &Arc<Shared>,
-    rx: &Arc<Mutex<mpsc::Receiver<Envelope>>>,
     handles: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
     target: usize,
 ) {
@@ -662,10 +709,37 @@ fn resize_pool(
     while shared.live_workers.load(Ordering::SeqCst) < target {
         shared.live_workers.fetch_add(1, Ordering::SeqCst);
         let slot = shared.next_slot.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = mpsc::sync_channel::<Envelope>(worker_channel_bound(&shared.config));
+        shared.senders.lock().push((slot, tx));
         let worker_shared = Arc::clone(shared);
-        let worker_rx = Arc::clone(rx);
-        guard.push(std::thread::spawn(move || supervise_worker(&worker_shared, &worker_rx, slot)));
+        guard.push(std::thread::spawn(move || supervise_worker(&worker_shared, rx, slot)));
     }
+}
+
+/// Route one admitted envelope to a worker, round-robin over the live
+/// send handles. The send happens *under* the senders lock so it is
+/// ordered against worker retirement: an envelope either lands before
+/// the worker deregisters (and is swept by that worker's post-retirement
+/// drain) or sees the updated handle list. `SyncSender::send` cannot
+/// block here — each channel's bound exceeds the admission bound (see
+/// [`worker_channel_bound`]) — so the guard is held only for the enqueue
+/// itself. Handles with a hung-up receiver (a worker torn down at
+/// shutdown) are pruned in place and the envelope is re-routed; when no
+/// handle is left the envelope is handed back for the caller to refuse.
+fn send_envelope(shared: &Shared, envelope: Envelope) -> Result<(), ()> {
+    let mut envelope = envelope;
+    let mut senders = shared.senders.lock();
+    while !senders.is_empty() {
+        let i = shared.rr.fetch_add(1, Ordering::Relaxed) % senders.len();
+        match senders[i].1.send(envelope) {
+            Ok(()) => return Ok(()),
+            Err(mpsc::SendError(returned)) => {
+                envelope = returned;
+                senders.remove(i);
+            }
+        }
+    }
+    Err(())
 }
 
 /// How often the autoscaler samples queue utilization.
@@ -673,11 +747,7 @@ const SCALER_POLL: Duration = Duration::from_millis(20);
 
 /// The autoscaler thread: sample `depth / queue_capacity`, tick the pure
 /// [`AutoScaler`], apply its decision through the dynamic pool.
-fn scaler_loop(
-    shared: &Arc<Shared>,
-    rx: &Arc<Mutex<mpsc::Receiver<Envelope>>>,
-    handles: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
-) {
+fn scaler_loop(shared: &Arc<Shared>, handles: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>) {
     let mut scaler = AutoScaler::new(shared.config.scaling.clone());
     let epoch = Instant::now();
     while !shared.shutdown.load(Ordering::Relaxed) {
@@ -690,7 +760,7 @@ fn scaler_loop(
         match scaler.tick(epoch.elapsed(), utilization, current) {
             ScaleAction::Hold => {}
             ScaleAction::Up(n) => {
-                resize_pool(shared, rx, handles, n);
+                resize_pool(shared, handles, n);
                 shared.scale_ups.fetch_add(1, Ordering::Relaxed);
                 tasq_obs::event(
                     Level::Info,
@@ -717,49 +787,43 @@ impl Drop for ScoringServer {
     }
 }
 
-/// Collect one micro-batch: block for the first request, then fill until
-/// `max_batch` or `max_delay`. Returns `None` when the worker should exit.
-fn collect_batch(
-    shared: &Shared,
-    rx: &Mutex<mpsc::Receiver<Envelope>>,
-) -> Option<Vec<Envelope>> {
-    if elect_to_exit(shared) {
-        return None;
-    }
-    let guard = rx.lock();
-    let first = loop {
-        // lint: allow(lock-discipline) — the Mutex<Receiver> IS the
-        // hand-off: exactly one worker may own the receive side while it
-        // collects a whole batch, so blocking under the guard is the
-        // design, not a hazard.
-        match guard.recv_timeout(IDLE_POLL) {
-            Ok(envelope) => break envelope,
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if shared.shutdown.load(Ordering::Relaxed) {
-                    return None;
-                }
-                // Cooperative scale-down: only a worker holding no
-                // request may retire, and only from the idle poll.
-                if elect_to_exit(shared) {
-                    return None;
-                }
+/// Outcome of one [`collect_batch`] attempt.
+enum Collected {
+    /// A non-empty micro-batch to score.
+    Work(Vec<Envelope>),
+    /// The idle poll elapsed with nothing queued; re-check exit
+    /// conditions and try again.
+    Idle,
+    /// Shutdown observed or the channel hung up; the worker should exit.
+    Exit,
+}
+
+/// Collect one micro-batch from this worker's private channel: block for
+/// the first request, then fill until `max_batch` or `max_delay`. The
+/// worker owns its `Receiver` outright, so every blocking receive here
+/// runs lock-free — no guard is held anywhere near a blocking call,
+/// which is exactly what the lock-discipline pass verifies.
+fn collect_batch(shared: &Shared, rx: &mpsc::Receiver<Envelope>) -> Collected {
+    let first = match rx.recv_timeout(IDLE_POLL) {
+        Ok(envelope) => envelope,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return Collected::Exit;
             }
-            Err(mpsc::RecvTimeoutError::Disconnected) => return None,
+            return Collected::Idle;
         }
+        Err(mpsc::RecvTimeoutError::Disconnected) => return Collected::Exit,
     };
     let mut batch = vec![first];
     let deadline = Instant::now() + shared.config.max_delay;
     while batch.len() < shared.config.max_batch.max(1) {
         let remaining = deadline.saturating_duration_since(Instant::now());
-        // lint: allow(lock-discipline) — same single-consumer hand-off:
-        // the batch is filled under the guard so no other worker can
-        // interleave requests into it.
-        match guard.recv_timeout(remaining) {
+        match rx.recv_timeout(remaining) {
             Ok(envelope) => batch.push(envelope),
             Err(_) => break,
         }
     }
-    Some(batch)
+    Collected::Work(batch)
 }
 
 /// Whether this worker should retire to honour a pending scale-down:
@@ -787,10 +851,11 @@ fn elect_to_exit(shared: &Shared) -> bool {
 /// A panicking worker cannot hang its in-flight requests: the unwinding
 /// [`BatchGuard`] resolves everything it still holds to
 /// [`RequestError::WorkerLost`].
-fn supervise_worker(shared: &Shared, rx: &Mutex<mpsc::Receiver<Envelope>>, slot: usize) {
+fn supervise_worker(shared: &Shared, rx: mpsc::Receiver<Envelope>, slot: usize) {
     loop {
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_loop(shared, rx)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker_loop(shared, &rx, slot)
+        }));
         match outcome {
             // Clean exit: shutdown observed or the queue disconnected.
             Ok(()) => break,
@@ -807,6 +872,15 @@ fn supervise_worker(shared: &Shared, rx: &Mutex<mpsc::Receiver<Envelope>>, slot:
                 }
             }
         }
+    }
+    // Final sweep: anything still sitting in this worker's channel when
+    // it stops receiving (a shutdown race, or a panic after retirement)
+    // resolves to the typed `WorkerLost` with its queue slot released —
+    // never a silent hang, and `drain` cannot wait on a dead channel.
+    while let Ok(envelope) = rx.try_recv() {
+        shared.depth.fetch_sub(1, Ordering::SeqCst);
+        shared.counters.worker_lost.fetch_add(1, Ordering::Relaxed);
+        let _ = envelope.reply.send(Err(RequestError::WorkerLost));
     }
 }
 
@@ -829,10 +903,58 @@ impl Drop for BatchGuard<'_> {
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<Envelope>>) {
+fn worker_loop(shared: &Shared, rx: &mpsc::Receiver<Envelope>, slot: usize) {
     let trace = shared.config.trace.clone();
     let trace_actor = trace.as_ref().map(EventTrace::register_actor);
-    while let Some(batch) = collect_batch(shared, rx) {
+    loop {
+        // Cooperative scale-down: only a worker holding no request may
+        // retire, and only between batches.
+        if elect_to_exit(shared) {
+            retire_worker(shared, rx, slot, &trace, trace_actor);
+            return;
+        }
+        match collect_batch(shared, rx) {
+            Collected::Work(batch) => process_batch(shared, batch, &trace, trace_actor),
+            Collected::Idle => {}
+            Collected::Exit => return,
+        }
+    }
+}
+
+/// Retire one worker to honour a scale-down: deregister its send handle
+/// so [`send_envelope`] stops routing here, then sweep and *serve* every
+/// envelope that landed in the channel before deregistration. The sweep
+/// cannot miss one: sends happen under the senders lock, and this
+/// deregistration takes the same lock, so by the time `retain` returns,
+/// any envelope routed to this slot is already in the channel.
+fn retire_worker(
+    shared: &Shared,
+    rx: &mpsc::Receiver<Envelope>,
+    slot: usize,
+    trace: &Option<EventTrace>,
+    trace_actor: Option<u32>,
+) {
+    shared.senders.lock().retain(|entry| entry.0 != slot);
+    let mut stragglers = Vec::new();
+    while let Ok(envelope) = rx.try_recv() {
+        stragglers.push(envelope);
+        if stragglers.len() >= shared.config.max_batch.max(1) {
+            process_batch(shared, std::mem::take(&mut stragglers), trace, trace_actor);
+        }
+    }
+    if !stragglers.is_empty() {
+        process_batch(shared, stragglers, trace, trace_actor);
+    }
+}
+
+/// Score one collected micro-batch and reply to every envelope in it.
+fn process_batch(
+    shared: &Shared,
+    batch: Vec<Envelope>,
+    trace: &Option<EventTrace>,
+    trace_actor: Option<u32>,
+) {
+    {
         let _span = tasq_obs::span(
             Level::Debug,
             "serve_batch",
@@ -1017,6 +1139,31 @@ mod tests {
         assert_eq!(stats.model_scored, 1);
         assert_eq!(stats.completed, 2);
         assert!(stats.latency.count == 2);
+    }
+
+    #[test]
+    fn try_score_cached_answers_inline_only_on_a_hit() {
+        let server = ScoringServer::start(registry(201), ServeConfig::default());
+        let job = jobs(1, 203).remove(0);
+        assert!(
+            server.try_score_cached(&job).is_none(),
+            "cold cache: the probe misses and leaves the admission state untouched"
+        );
+        let first = server.score_blocking(job.clone()).expect("scored");
+        assert_eq!(first.via, ServedVia::Model);
+
+        let mut resubmission = job.clone();
+        resubmission.id = 4242;
+        let hit = server.try_score_cached(&resubmission).expect("warm cache answers inline");
+        assert_eq!(hit.via, ServedVia::Cache);
+        assert_eq!(hit.response.job_id, 4242, "cached response re-addressed");
+        assert_eq!(hit.response.optimal_tokens, first.response.optimal_tokens);
+
+        let stats = server.shutdown();
+        assert_eq!(stats.fastpath_hits, 1);
+        assert_eq!(stats.cache_hits, 1, "a fastpath hit is counted as a cache hit");
+        assert_eq!(stats.submitted, 2, "the cold probe is not a submission");
+        assert_eq!(stats.submitted, stats.resolved(), "zero silent loss");
     }
 
     #[test]

@@ -85,6 +85,9 @@ pub struct ServerStatsSnapshot {
     pub completed: u64,
     /// Requests answered from the signature cache.
     pub cache_hits: u64,
+    /// Cache hits answered inline on a serving event-loop thread via
+    /// `try_score_cached` (a subset of `cache_hits`).
+    pub fastpath_hits: u64,
     /// Requests scored by the model worker pool.
     pub model_scored: u64,
     /// Requests shed to the analytic tier under queue pressure.
@@ -146,6 +149,11 @@ impl ServerStatsSnapshot {
         g("serve_submitted", "requests accepted by submit", self.submitted as f64);
         g("serve_completed", "requests answered on any path", self.completed as f64);
         g("serve_cache_hits", "requests answered from the signature cache", self.cache_hits as f64);
+        g(
+            "serve_fastpath_hits",
+            "cache hits answered inline on the serving event loop",
+            self.fastpath_hits as f64,
+        );
         g("serve_model_scored", "requests scored by the worker pool", self.model_scored as f64);
         g("serve_shed", "requests shed to the analytic tier", self.shed as f64);
         g("serve_rejected", "requests rejected as overloaded", self.rejected as f64);
