@@ -85,7 +85,7 @@ fn bench_parse_spans(c: &mut Criterion) {
     frame::write_request_frame(&mut wire, &payload);
     c.bench_function("net/frame_parse_span", |b| {
         b.iter(|| match frame::parse_frame_span(black_box(&wire), 0) {
-            frame::FrameParseSpan::Complete { payload_start, payload_len, used } => {
+            frame::FrameParseSpan::Complete { payload_start, payload_len, used, .. } => {
                 black_box((payload_start, payload_len, used));
             }
             other => panic!("unexpected frame state {other:?}"),

@@ -1,0 +1,81 @@
+//! Tracing hot-path micro-benchmarks: the costs a request pays for
+//! observability. Context minting and wire codecs run on every traced
+//! request; `span_off` and `histogram_record` quantify the two claims
+//! the serving stack leans on — an unsampled span is one relaxed load
+//! plus a context copy, and `record_traced` on an already-populated
+//! exemplar slot is a floor check away from plain `record`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tasq_obs::{span, subscriber_off, FieldValue, Level, Registry, TraceContext};
+
+fn bench_context(c: &mut Criterion) {
+    c.bench_function("trace/mint", |b| {
+        b.iter(|| black_box(TraceContext::mint(black_box(true))));
+    });
+
+    let header = TraceContext::mint(true).traceparent();
+    c.bench_function("trace/parse_traceparent", |b| {
+        b.iter(|| black_box(TraceContext::parse_traceparent(black_box(&header))));
+    });
+
+    let ctx = TraceContext::mint(true);
+    let mut wire = Vec::with_capacity(TraceContext::WIRE_BYTES);
+    c.bench_function("trace/wire_roundtrip", |b| {
+        b.iter(|| {
+            wire.clear();
+            black_box(&ctx).encode(&mut wire);
+            black_box(TraceContext::decode(&wire))
+        });
+    });
+}
+
+fn bench_span_off(c: &mut Criterion) {
+    // The subscriber-off path every request takes in a plain benchmark
+    // run: one relaxed load, no allocation, no field formatting.
+    subscriber_off();
+    let ctx = TraceContext::mint(true);
+    c.bench_function("trace/span_subscriber_off", |b| {
+        b.iter(|| {
+            let _guard = span(
+                Level::Debug,
+                "bench_request",
+                &[("trace", FieldValue::TraceId(black_box(ctx.trace_id)))],
+            );
+        });
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let registry = Registry::new();
+    let plain = registry.histogram("bench_plain_us", "plain record path");
+    c.bench_function("trace/histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 37) % 10_000;
+            plain.record(black_box(v));
+        });
+    });
+
+    // Warm the exemplar slots first so the steady state measures the
+    // floor fast path, not slot acquisition.
+    let traced = registry.histogram("bench_traced_us", "exemplar record path");
+    let ctx = TraceContext::mint(true);
+    for v in 0..64u64 {
+        traced.record_traced(v * 151, ctx.trace_id);
+    }
+    c.bench_function("trace/histogram_record_traced", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 37) % 10_000;
+            traced.record_traced(black_box(v), black_box(ctx.trace_id));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_context, bench_span_off, bench_histogram
+}
+criterion_main!(benches);

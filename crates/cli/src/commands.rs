@@ -677,7 +677,7 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
         &[
             "workload", "model-dir", "model", "workers", "max-batch", "max-delay-us", "cache",
             "requests", "repeat", "seed", "listen", "shards", "deadline-ms", "autoscale",
-            "min-workers", "max-workers", "scale-up", "scale-down", "cooldown-secs",
+            "min-workers", "max-workers", "scale-up", "scale-down", "cooldown-secs", "burn-up",
         ],
     )?;
     let jobs = read_workload(opts.required("workload")?)?;
@@ -704,6 +704,7 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
             scale_up_threshold: opts.number::<f64>("scale-up", 0.75)?,
             scale_down_threshold: opts.number::<f64>("scale-down", 0.20)?,
             cooldown_secs: opts.number::<f64>("cooldown-secs", 5.0)?,
+            burn_up_threshold: opts.number::<f64>("burn-up", 0.0)?,
         },
         ..Default::default()
     };
@@ -734,7 +735,7 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
         return Ok(format!(
             "{{\"submitted\":{},\"completed\":{},\"cache_hits\":{},\"shed\":{},\
              \"rejected\":{},\"worker_lost\":{},\"deadline_timeouts\":{},\"resolved\":{},\
-             \"p50_us\":{:.1},\"p99_us\":{:.1}}}\n",
+             \"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1}}}\n",
             stats.submitted,
             stats.completed,
             stats.cache_hits,
@@ -745,6 +746,7 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
             stats.resolved(),
             stats.latency.p50_us,
             stats.latency.p99_us,
+            stats.latency.p999_us,
         ));
     }
     let traffic =
@@ -766,8 +768,12 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
     );
     let _ = writeln!(
         out,
-        "latency us: p50 {:.1}, p95 {:.1}, p99 {:.1} (mean {:.0})",
-        stats.latency.p50_us, stats.latency.p95_us, stats.latency.p99_us, stats.latency.mean_us
+        "latency us: p50 {:.1}, p95 {:.1}, p99 {:.1}, p99.9 {:.1} (mean {:.0})",
+        stats.latency.p50_us,
+        stats.latency.p95_us,
+        stats.latency.p99_us,
+        stats.latency.p999_us,
+        stats.latency.mean_us
     );
     let _ = writeln!(
         out,
@@ -812,10 +818,17 @@ impl WireClient {
         Ok(client)
     }
 
-    fn score(&mut self, job: &Job) -> Result<ScoreOutcome, CliError> {
+    /// Score carrying `ctx` on the wire (a `traceparent` header or a
+    /// binary frame trace field); an inactive context sends the plain,
+    /// pre-tracing encoding.
+    fn score_traced(
+        &mut self,
+        job: &Job,
+        ctx: tasq_obs::TraceContext,
+    ) -> Result<ScoreOutcome, CliError> {
         Ok(match self {
-            WireClient::Http(c) => c.score(job)?,
-            WireClient::Binary(c) => c.score(job)?,
+            WireClient::Http(c) => c.score_traced(job, ctx)?,
+            WireClient::Binary(c) => c.score_traced(job, ctx)?,
         })
     }
 }
@@ -851,23 +864,53 @@ pub fn netgen(args: &[String]) -> Result<String, CliError> {
     }
 
     let latency = tasq_obs::Histogram::new();
-    let (mut ok, mut rejected) = (0u64, 0u64);
+    let (mut ok, mut rejected, mut traced) = (0u64, 0u64, 0u64);
     let mut pacer =
         if qps > 0.0 { TokenBucket::new(qps, 1.0) } else { TokenBucket::unlimited() };
     let start = Instant::now();
     for (i, job) in traffic.iter().enumerate() {
         pacer.acquire();
+        // With span collection on (`--trace-out`) every request mints a
+        // sampled context, carried on the wire so the server's spans join
+        // this client's trace; otherwise the wire stays byte-identical to
+        // the untraced encoding.
+        let ctx = if tasq_obs::collect_enabled() {
+            tasq_obs::TraceContext::mint(true)
+        } else {
+            tasq_obs::TraceContext::NONE
+        };
+        let _span = if ctx.sampled {
+            traced += 1;
+            Some(tasq_obs::span(
+                tasq_obs::Level::Debug,
+                "netgen_request",
+                &[
+                    ("job", tasq_obs::FieldValue::U64(job.id)),
+                    ("trace", tasq_obs::FieldValue::TraceId(ctx.trace_id)),
+                ],
+            ))
+        } else {
+            None
+        };
         let sent = Instant::now();
-        match conns[i % connections].score(job)? {
+        match conns[i % connections].score_traced(job, ctx)? {
             ScoreOutcome::Ok(_) => ok += 1,
             ScoreOutcome::Rejected(_) => rejected += 1,
         }
-        latency.record(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        if ctx.is_active() {
+            latency.record_traced(
+                sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                ctx.trace_id,
+            );
+        } else {
+            latency.record(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        }
     }
     let elapsed = start.elapsed();
     let achieved = (ok + rejected) as f64 / elapsed.as_secs_f64().max(1e-9);
     Ok(format!(
         "{{\"mode\":\"{mode}\",\"requests\":{requests},\"ok\":{ok},\"rejected\":{rejected},\
+         \"traced\":{traced},\
          \"connections\":{connections},\"elapsed_ms\":{:.3},\"qps_target\":{qps},\
          \"achieved_rps\":{achieved:.1},\"p50_us\":{:.1},\"p99_us\":{:.1},\"mean_us\":{:.1}}}\n",
         elapsed.as_secs_f64() * 1e3,
@@ -889,6 +932,10 @@ struct NetBenchRound {
     aggregate_rps: f64,
     p50_us: f64,
     p99_us: f64,
+    /// Entries retained across the servers' `/debug/slowest` endpoints.
+    slowest_entries: u64,
+    /// Largest fast-window burn rate reported by any server's `/slo`.
+    slo_max_fast_burn: f64,
 }
 
 impl NetBenchRound {
@@ -896,7 +943,8 @@ impl NetBenchRound {
         format!(
             "    {{\"server_procs\": {}, \"clients\": {}, \"mode\": \"{}\", \
              \"requests\": {}, \"ok\": {}, \"rejected\": {}, \"aggregate_rps\": {:.1}, \
-             \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"slowest_entries\": {}, \
+             \"slo_max_fast_burn\": {:.4}}}",
             self.server_procs,
             self.clients,
             self.mode,
@@ -906,6 +954,8 @@ impl NetBenchRound {
             self.aggregate_rps,
             self.p50_us,
             self.p99_us,
+            self.slowest_entries,
+            self.slo_max_fast_burn,
         )
     }
 }
@@ -1032,11 +1082,42 @@ fn networked_round(
         p99_max = p99_max.max(json_f64(&report, "p99_us")?);
     }
 
-    // Drain each server over the wire (the HTTP control plane works even
-    // when the benchmark traffic was binary-framed), then reap it.
+    // Pull each server's tail-latency and SLO views, then drain it over
+    // the wire (the HTTP control plane works even when the benchmark
+    // traffic was binary-framed) and reap it.
+    let (mut slowest_entries, mut slo_max_fast_burn) = (0u64, 0.0f64);
     for addr in &addrs {
         let mut control = HttpClient::connect(addr)?;
         control.set_timeout(Duration::from_secs(60))?;
+        let slowest = control.request("GET", "/debug/slowest", b"")?;
+        if slowest.status == 200 {
+            if let Ok(parsed) = tasq_obs::json::parse(&String::from_utf8_lossy(&slowest.body)) {
+                slowest_entries += parsed
+                    .get("slowest")
+                    .and_then(|v| v.as_array())
+                    .map(|entries| entries.len() as u64)
+                    .unwrap_or(0);
+            }
+        }
+        let slo = control.request("GET", "/slo", b"")?;
+        if slo.status == 200 {
+            if let Ok(parsed) = tasq_obs::json::parse(&String::from_utf8_lossy(&slo.body)) {
+                let burns = parsed
+                    .get("objectives")
+                    .and_then(|v| v.as_array())
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|objective| objective.get("windows").and_then(|w| w.as_array()))
+                    .flatten()
+                    .filter(|w| {
+                        w.get("window").and_then(|v| v.as_str()) == Some("fast")
+                    })
+                    .filter_map(|w| w.get("burn_rate").and_then(|v| v.as_f64()));
+                for burn in burns {
+                    slo_max_fast_burn = slo_max_fast_burn.max(burn);
+                }
+            }
+        }
         let ack = control.request("POST", "/drain", b"")?;
         if ack.status != 200 {
             return Err(CliError::Usage(format!(
@@ -1064,6 +1145,8 @@ fn networked_round(
         aggregate_rps,
         p50_us: p50_weighted / (total.max(1)) as f64,
         p99_us: p99_max,
+        slowest_entries,
+        slo_max_fast_burn,
     })
 }
 
@@ -1257,6 +1340,50 @@ fn hot_path_report(
     })
 }
 
+/// The `latency_attribution` section of BENCH_serve.json: per-segment
+/// p50/p99 plus each segment's share of total end-to-end time, read from
+/// the process-global registry (which every in-process server feeds).
+/// The serve-side segments are contiguous per request, so their sums
+/// must reproduce `serve_latency_us`'s sum — `sum_ratio` is that check
+/// (slightly under 1.0 is expected: each segment truncates to whole µs).
+fn latency_attribution_json() -> String {
+    let r = tasq_obs::Registry::global();
+    let total = r
+        .histogram("serve_latency_us", "end-to-end request latency in microseconds")
+        .sum();
+    let segments = [
+        ("fastpath_probe", "segment_fastpath_probe_us"),
+        ("queue_wait", "segment_queue_wait_us"),
+        ("batch_wait", "segment_batch_wait_us"),
+        ("score_primary", "segment_score_primary_us"),
+        ("score_fallback", "segment_score_fallback_us"),
+        ("score_analytic", "segment_score_analytic_us"),
+        ("flush", "segment_flush_us"),
+    ];
+    let mut segment_sum = 0u64;
+    let mut parts = Vec::with_capacity(segments.len());
+    for (label, name) in segments {
+        let h = r.histogram(name, "");
+        segment_sum += h.sum();
+        parts.push(format!(
+            "    \"{label}\": {{\"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"share\": {:.4}}}",
+            h.count(),
+            h.quantile(0.50),
+            h.quantile(0.99),
+            h.sum() as f64 / total.max(1) as f64,
+        ));
+    }
+    let ratio = segment_sum as f64 / total.max(1) as f64;
+    format!(
+        "  \"latency_attribution\": {{\n{},\n    \"segment_sum_us\": {segment_sum},\n    \
+         \"end_to_end_sum_us\": {total},\n    \"sum_ratio\": {ratio:.4},\n    \
+         \"sum_check\": \"{}\"\n  }}",
+        parts.join(",\n"),
+        if (0.90..=1.02).contains(&ratio) { "ok" } else { "off" },
+    )
+}
+
 fn phase_json(label: &str, elapsed: Duration, stats: &ServerStatsSnapshot) -> String {
     format!(
         "  \"{label}\": {{\n    \"elapsed_ms\": {:.3},\n    \"throughput_rps\": {:.1},\n    \
@@ -1328,7 +1455,7 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
 
     // Cached-vs-uncached comparison: one worker so the uncached run
     // reflects the true per-request inference cost.
-    let measure = |enabled: bool| -> Result<(Duration, ServerStatsSnapshot), CliError> {
+    let measure = |enabled: bool| -> Result<(Duration, ServerStatsSnapshot, String), CliError> {
         let registry = build_registry(&jobs, model_dir, ModelChoice::Nn)?;
         let server = ScoringServer::start(
             std::sync::Arc::new(registry),
@@ -1339,13 +1466,16 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
             },
         );
         let (elapsed, _) = drive(&server, traffic.clone(), qps);
+        // The SLO view is read before drain so it reflects the run, not
+        // the post-drain idle window.
+        let slo = server.slo_json();
         // Drain, don't shut down: the benchmark must count every admitted
         // request, so the server stops accepting and answers its backlog
         // before the stats are read.
-        Ok((elapsed, server.drain()))
+        Ok((elapsed, server.drain(), slo))
     };
-    let (uncached_elapsed, uncached) = measure(false)?;
-    let (cached_elapsed, cached) = measure(true)?;
+    let (uncached_elapsed, uncached, _) = measure(false)?;
+    let (cached_elapsed, cached, cached_slo) = measure(true)?;
     let speedup = uncached_elapsed.as_secs_f64() / cached_elapsed.as_secs_f64().max(1e-9);
 
     // Overload bursts: fresh (0%-repeat) traffic into deliberately tiny
@@ -1416,10 +1546,14 @@ pub fn loadgen(args: &[String]) -> Result<String, CliError> {
     let hot_path_section =
         hot_path.as_ref().map(|h| format!(",\n{}", h.json())).unwrap_or_default();
 
+    // Attribution reads the process-global registry, so it is computed
+    // after every in-process serving phase (cached/uncached, bursts, hot
+    // path) has fed its segments.
+    let attribution = latency_attribution_json();
     let json = format!(
         "{{\n  \"requests\": {requests},\n  \"repeat_fraction\": {repeat},\n  \
          \"qps_target\": {qps},\n  \"qps_achieved\": {qps_achieved:.1},\n{},\n{},\n  \
-         \"speedup\": {speedup:.2},\n  \
+         \"speedup\": {speedup:.2},\n{attribution},\n  \"slo\": {cached_slo},\n  \
          \"overload\": {{\n    \"reject_burst\": {{\"submitted\": {}, \"rejected\": {}, \
          \"queue_capacity\": 8, \"peak_queue_depth\": {}}},\n    \
          \"shed_burst\": {{\"submitted\": {}, \"shed\": {}, \"shed_watermark\": 4, \

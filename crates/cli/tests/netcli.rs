@@ -39,13 +39,15 @@ fn generate_workload(dir: &std::path::Path) -> String {
     path
 }
 
-/// Spawn `serve --listen 127.0.0.1:0` and read the handshake line.
-fn spawn_server(workload: &str) -> (Child, BufReader<ChildStdout>, String) {
+/// Spawn `serve --listen 127.0.0.1:0` (plus `extra` args) and read the
+/// handshake line.
+fn spawn_server_with(workload: &str, extra: &[&str]) -> (Child, BufReader<ChildStdout>, String) {
     let mut child = Command::new(EXE)
         .args([
             "serve", "--workload", workload, "--listen", "127.0.0.1:0", "--workers", "2",
             "--shards", "2",
         ])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -62,6 +64,28 @@ fn spawn_server(workload: &str) -> (Child, BufReader<ChildStdout>, String) {
         }
     };
     (child, reader, addr)
+}
+
+fn spawn_server(workload: &str) -> (Child, BufReader<ChildStdout>, String) {
+    spawn_server_with(workload, &[])
+}
+
+/// Every non-zero 32-hex trace id in a Chrome trace document (the
+/// `"trace":"<32 hex>"` span args written by `FieldValue::TraceId`).
+fn trace_ids(doc: &str) -> std::collections::BTreeSet<String> {
+    let mut ids = std::collections::BTreeSet::new();
+    let mut rest = doc;
+    while let Some(at) = rest.find("\"trace\":\"") {
+        rest = &rest[at + "\"trace\":\"".len()..];
+        let candidate: String = rest.chars().take(32).collect();
+        if candidate.len() == 32
+            && candidate.chars().all(|c| c.is_ascii_hexdigit())
+            && candidate.chars().any(|c| c != '0')
+        {
+            ids.insert(candidate);
+        }
+    }
+    ids
 }
 
 fn parse_report(stdout: &str) -> JsonValue {
@@ -120,6 +144,72 @@ fn serve_listen_netgen_both_framings_and_drain() {
 }
 
 #[test]
+fn cross_process_traces_share_a_trace_id() {
+    let dir = scratch_dir("trace");
+    let workload = generate_workload(&dir);
+    let server_trace = dir.join("server_trace.json");
+    let server_trace = server_trace.to_str().expect("utf8 path").to_string();
+    let (mut server, mut reader, addr) =
+        spawn_server_with(&workload, &["--trace-out", &server_trace]);
+
+    // One traced netgen run per framing: the binary frame preamble and
+    // the HTTP `traceparent` header both carry the context.
+    let mut client_ids_by_mode = Vec::new();
+    for mode in ["binary", "http"] {
+        let client_trace = dir.join(format!("client_trace_{mode}.json"));
+        let client_trace = client_trace.to_str().expect("utf8 path").to_string();
+        let stdout = run(&[
+            "netgen", "--trace-out", &client_trace, "--addr", &addr, "--workload", &workload,
+            "--requests", "5", "--mode", mode, "--seed", "11",
+        ]);
+        let report = parse_report(&stdout);
+        assert_eq!(f64_field(&report, "traced"), 5.0, "every request minted a context");
+        assert_eq!(f64_field(&report, "ok"), 5.0);
+        let doc = std::fs::read_to_string(&client_trace).expect("client trace written");
+        tasq_obs::validate_chrome_trace(&doc).expect("client trace is valid Chrome JSON");
+        let ids = trace_ids(&doc);
+        assert!(!ids.is_empty(), "client spans must carry trace ids:\n{doc}");
+        client_ids_by_mode.push((mode, ids));
+    }
+
+    // Drain; the server exports its trace on exit.
+    let mut control = HttpClient::connect(&addr).expect("connect control");
+    control.set_timeout(Duration::from_secs(30)).expect("timeout");
+    let slowest = control.request("GET", "/debug/slowest", b"").expect("slowest");
+    assert_eq!(slowest.status, 200);
+    let parsed = json::parse(&String::from_utf8_lossy(&slowest.body)).expect("slowest json");
+    let entries = parsed
+        .get("slowest")
+        .and_then(JsonValue::as_array)
+        .unwrap_or_else(|| panic!("missing slowest array"));
+    assert!(!entries.is_empty(), "/debug/slowest must retain the traced traffic");
+    let slo = control.request("GET", "/slo", b"").expect("slo");
+    assert_eq!(slo.status, 200);
+    let ack = control.request("POST", "/drain", b"").expect("drain");
+    assert_eq!(ack.status, 200);
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read server stdout");
+    assert!(server.wait().expect("wait server").success());
+
+    let server_doc = std::fs::read_to_string(&server_trace).expect("server trace written");
+    tasq_obs::validate_chrome_trace(&server_doc).expect("server trace is valid Chrome JSON");
+    let server_ids = trace_ids(&server_doc);
+    // The acceptance check: each client's minted trace ids reappear in
+    // the server's exported spans, so one request forms one causally
+    // linked cross-process trace.
+    for (mode, client_ids) in &client_ids_by_mode {
+        let shared: Vec<_> = client_ids.intersection(&server_ids).collect();
+        assert!(
+            !shared.is_empty(),
+            "{mode}: no trace id shared between client {client_ids:?} and server \
+             {server_ids:?}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn loadgen_networked_writes_bench_section() {
     let dir = scratch_dir("bench");
     let workload = generate_workload(&dir);
@@ -134,6 +224,18 @@ fn loadgen_networked_writes_bench_section() {
     let report = std::fs::read_to_string(&out).expect("read bench json");
     let parsed = json::parse(&report).unwrap_or_else(|e| panic!("bad bench JSON: {e}\n{report}"));
     assert!(f64_field(&parsed, "qps_achieved") > 0.0);
+    let attribution = parsed
+        .get("latency_attribution")
+        .unwrap_or_else(|| panic!("missing latency_attribution section:\n{report}"));
+    assert_eq!(
+        attribution.get("sum_check").and_then(JsonValue::as_str),
+        Some("ok"),
+        "segment sums must reproduce end-to-end time:\n{report}"
+    );
+    assert!(
+        parsed.get("slo").and_then(|s| s.get("objectives")).is_some(),
+        "missing slo section:\n{report}"
+    );
     let rounds = parsed
         .get("networked")
         .and_then(JsonValue::as_array)
@@ -145,6 +247,10 @@ fn loadgen_networked_writes_bench_section() {
         assert!(f64_field(round, "p99_us") >= f64_field(round, "p50_us"));
         let total = f64_field(round, "requests");
         assert_eq!(f64_field(round, "ok") + f64_field(round, "rejected"), total);
+        assert!(
+            f64_field(round, "slowest_entries") > 0.0,
+            "servers must retain slowest requests ({report})"
+        );
     }
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -14,6 +14,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 use tasq::pipeline::ScoreResponse;
+use tasq_obs::TraceContext;
 
 /// Outcome of one scoring round trip, from the client's point of view.
 #[derive(Debug)]
@@ -53,10 +54,17 @@ impl BinaryClient {
 
     /// Score one job over the persistent connection.
     pub fn score(&mut self, job: &Job) -> Result<ScoreOutcome, NetError> {
+        self.score_traced(job, TraceContext::NONE)
+    }
+
+    /// [`BinaryClient::score`] carrying `ctx` in the frame preamble, so
+    /// the server's spans join this client's trace. An inactive context
+    /// sends a plain (unflagged) frame — zero wire overhead.
+    pub fn score_traced(&mut self, job: &Job, ctx: TraceContext) -> Result<ScoreOutcome, NetError> {
         let payload = tasq::codec::to_bytes(job)
             .map_err(|e| NetError::Protocol(format!("encode job: {e}")))?;
-        let mut wire = Vec::with_capacity(payload.len() + 4);
-        frame::write_request_frame(&mut wire, &payload);
+        let mut wire = Vec::with_capacity(payload.len() + 4 + TraceContext::WIRE_BYTES);
+        frame::write_request_frame_traced(&mut wire, &payload, ctx);
         self.send_all(&wire)?;
         loop {
             match frame::parse_response_frame(&self.rbuf, 0) {
@@ -189,10 +197,20 @@ impl HttpClient {
     /// The response decodes straight out of the receive buffer — no
     /// intermediate body copy.
     pub fn score(&mut self, job: &Job) -> Result<ScoreOutcome, NetError> {
+        self.score_traced(job, TraceContext::NONE)
+    }
+
+    /// [`HttpClient::score`] with a `traceparent` header carrying `ctx`,
+    /// so the server's spans join this client's trace. An inactive
+    /// context sends no header.
+    pub fn score_traced(&mut self, job: &Job, ctx: TraceContext) -> Result<ScoreOutcome, NetError> {
         let payload = tasq::codec::to_bytes(job)
             .map_err(|e| NetError::Protocol(format!("encode job: {e}")))?;
-        let mut wire = Vec::with_capacity(payload.len() + 128);
+        let mut wire = Vec::with_capacity(payload.len() + 192);
         wire.extend_from_slice(b"POST /score HTTP/1.1\r\nhost: tasq\r\n");
+        if ctx.is_active() {
+            wire.extend_from_slice(format!("traceparent: {}\r\n", ctx.traceparent()).as_bytes());
+        }
         wire.extend_from_slice(format!("content-length: {}\r\n\r\n", payload.len()).as_bytes());
         wire.extend_from_slice(&payload);
         self.stream

@@ -71,6 +71,8 @@ pub enum WireRequestSpan {
         payload_start: usize,
         /// Payload length in bytes.
         payload_len: usize,
+        /// Trace context carried in the frame's optional trace field.
+        trace: Option<tasq_obs::TraceContext>,
     },
 }
 
@@ -217,9 +219,9 @@ impl Conn {
                 }
                 Protocol::Binary => match frame::parse_frame_span(&self.rbuf, self.consumed) {
                     FrameParseSpan::NeedMore => break,
-                    FrameParseSpan::Complete { payload_start, payload_len, used } => {
+                    FrameParseSpan::Complete { payload_start, payload_len, used, trace } => {
                         self.consumed += used;
-                        requests.push(WireRequestSpan::Binary { payload_start, payload_len });
+                        requests.push(WireRequestSpan::Binary { payload_start, payload_len, trace });
                     }
                     FrameParseSpan::TooLarge(declared) => {
                         error = Some(WireError::FrameTooLarge(declared));
@@ -268,7 +270,7 @@ impl Conn {
                         keep_alive: head.keep_alive,
                     })
                 }
-                WireRequestSpan::Binary { payload_start, payload_len } => {
+                WireRequestSpan::Binary { payload_start, payload_len, .. } => {
                     WireRequest::Binary(self.payload(payload_start, payload_len).to_vec())
                 }
             })
@@ -471,9 +473,11 @@ mod tests {
         push(&mut conn, b"");
         let out = conn.extract_spans(&HttpLimits::default());
         assert!(out.error.is_none());
-        let [WireRequestSpan::Binary { payload_start, payload_len }] = out.requests[..] else {
+        let [WireRequestSpan::Binary { payload_start, payload_len, trace }] = out.requests[..]
+        else {
             panic!("expected one binary span, got {:?}", out.requests);
         };
+        assert_eq!(trace, None);
         assert_eq!(conn.payload(payload_start, payload_len), b"alpha");
         // Spans do not drain the buffer; compact() reclaims the prefix.
         assert_eq!(conn.consumed, wire.len());
@@ -498,6 +502,32 @@ mod tests {
         assert_eq!(
             got,
             vec![WireRequest::Binary(b"abc".to_vec()), WireRequest::Binary(b"defgh".to_vec())]
+        );
+    }
+
+    #[test]
+    fn traced_frames_survive_torn_delivery_with_context_intact() {
+        let ctx = tasq_obs::TraceContext::mint(true);
+        let mut wire = vec![frame::BINARY_PREAMBLE];
+        frame::write_request_frame_traced(&mut wire, b"traced", ctx);
+        write_request_frame(&mut wire, b"plain");
+        let mut conn = detached_conn();
+        let mut got = Vec::new();
+        for &byte in &wire {
+            push(&mut conn, &[byte]);
+            let out = conn.extract_spans(&HttpLimits::default());
+            assert!(out.error.is_none());
+            for span in out.requests {
+                let WireRequestSpan::Binary { payload_start, payload_len, trace } = span else {
+                    panic!("expected binary span");
+                };
+                got.push((conn.payload(payload_start, payload_len).to_vec(), trace));
+            }
+            conn.compact();
+        }
+        assert_eq!(
+            got,
+            vec![(b"traced".to_vec(), Some(ctx)), (b"plain".to_vec(), None)]
         );
     }
 

@@ -6,15 +6,25 @@
 //! protocol. After the preamble the stream is a sequence of frames:
 //!
 //! ```text
-//! request:  [u32 LE payload len][payload = tasq::codec(Job)]
+//! request:  [u32 LE body len][body = tasq::codec(Job)]
+//! traced:   [u32 LE body len | TRACE_FLAG][25-byte TraceContext][payload]
 //! response: [u32 LE rest len][status: u8][payload = tasq::codec(ScoreResponse) if status == 0]
 //! ```
+//!
+//! A request's length word may set [`TRACE_FLAG`] (bit 31 — safe because
+//! [`MAX_FRAME_BYTES`] keeps legitimate lengths far below it) to declare
+//! that the body opens with a fixed [`TraceContext::WIRE_BYTES`] trace
+//! field before the payload. The length word counts the whole body
+//! (trace field included) and stays the sole framing authority: a
+//! malformed or truncated trace field is *ignored* (the request proceeds
+//! untraced or fails `Job` decode) but can never desynchronize framing.
 //!
 //! The response length counts the status byte plus the payload, so a
 //! reader can always frame on the prefix alone. Error responses carry
 //! the status byte and an empty payload.
 
 use tasq::pipeline::ScoreResponse;
+use tasq_obs::TraceContext;
 use tasq_serve::{RequestError, SubmitError};
 
 /// First byte a client sends to select binary framing for the connection.
@@ -22,6 +32,11 @@ pub const BINARY_PREAMBLE: u8 = 0x01;
 
 /// Hard cap on a request frame's declared payload length.
 pub const MAX_FRAME_BYTES: usize = 1024 * 1024;
+
+/// Bit set in a request frame's length word when the body opens with a
+/// [`TraceContext`] wire field. The remaining 31 bits are the body
+/// length, which [`MAX_FRAME_BYTES`] keeps well clear of this bit.
+pub const TRACE_FLAG: u32 = 1 << 31;
 
 /// Status byte in a binary response frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,8 +115,12 @@ pub enum FrameParseSpan {
         payload_start: usize,
         /// Payload byte length.
         payload_len: usize,
-        /// Total bytes consumed from `start` (prefix + payload).
+        /// Total bytes consumed from `start` (prefix + body).
         used: usize,
+        /// Trace context carried by the frame, if the length word set
+        /// [`TRACE_FLAG`] and the field decoded. `None` never fails the
+        /// frame — the request just proceeds untraced.
+        trace: Option<TraceContext>,
     },
     /// The declared length exceeds [`MAX_FRAME_BYTES`]; answer
     /// [`FrameStatus::TooLarge`] and close.
@@ -118,14 +137,30 @@ pub fn parse_frame_span(buf: &[u8], start: usize) -> FrameParseSpan {
     if input.len() < 4 {
         return FrameParseSpan::NeedMore;
     }
-    let len = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
-    if len > MAX_FRAME_BYTES {
+    let word = u32::from_le_bytes([input[0], input[1], input[2], input[3]]);
+    let traced = word & TRACE_FLAG != 0;
+    let len = (word & !TRACE_FLAG) as usize;
+    let cap = if traced { MAX_FRAME_BYTES + TraceContext::WIRE_BYTES } else { MAX_FRAME_BYTES };
+    if len > cap {
         return FrameParseSpan::TooLarge(len);
     }
     if input.len() < 4 + len {
         return FrameParseSpan::NeedMore;
     }
-    FrameParseSpan::Complete { payload_start: start + 4, payload_len: len, used: 4 + len }
+    // The length word alone frames the body; the trace field is an
+    // optional prefix inside it. A flagged body too short to hold the
+    // field, or holding junk, yields `trace: None` — never a desync.
+    let (trace, skip) = if traced && len >= TraceContext::WIRE_BYTES {
+        (TraceContext::decode(&input[4..4 + TraceContext::WIRE_BYTES]), TraceContext::WIRE_BYTES)
+    } else {
+        (None, 0)
+    };
+    FrameParseSpan::Complete {
+        payload_start: start + 4 + skip,
+        payload_len: len - skip,
+        used: 4 + len,
+        trace,
+    }
 }
 
 /// Try to pull one request frame starting at `buf[start..]`, copying the
@@ -135,7 +170,7 @@ pub fn parse_frame(buf: &[u8], start: usize) -> FrameParse {
     match parse_frame_span(buf, start) {
         FrameParseSpan::NeedMore => FrameParse::NeedMore,
         FrameParseSpan::TooLarge(declared) => FrameParse::TooLarge(declared),
-        FrameParseSpan::Complete { payload_start, payload_len, used } => {
+        FrameParseSpan::Complete { payload_start, payload_len, used, .. } => {
             FrameParse::Complete(buf[payload_start..payload_start + payload_len].to_vec(), used)
         }
     }
@@ -144,6 +179,19 @@ pub fn parse_frame(buf: &[u8], start: usize) -> FrameParse {
 /// Append a request frame (`Job` payload already codec-encoded) to `out`.
 pub fn write_request_frame(out: &mut Vec<u8>, payload: &[u8]) {
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Append a request frame carrying a trace field. Falls back to the
+/// plain encoding when `ctx` is inactive, so untraced requests stay
+/// byte-identical to the pre-tracing wire format.
+pub fn write_request_frame_traced(out: &mut Vec<u8>, payload: &[u8], ctx: TraceContext) {
+    if !ctx.is_active() {
+        return write_request_frame(out, payload);
+    }
+    let body_len = (payload.len() + TraceContext::WIRE_BYTES) as u32;
+    out.extend_from_slice(&(body_len | TRACE_FLAG).to_le_bytes());
+    ctx.encode(out);
     out.extend_from_slice(payload);
 }
 
@@ -229,6 +277,96 @@ mod tests {
                 }
                 FrameParse::TooLarge(n) => panic!("spurious too-large ({n})"),
             }
+        }
+    }
+
+    #[test]
+    fn traced_request_frame_round_trips_byte_at_a_time() {
+        let payload = b"traced job bytes".to_vec();
+        let ctx = TraceContext::mint(true);
+        let mut wire = Vec::new();
+        write_request_frame_traced(&mut wire, &payload, ctx);
+        assert_eq!(wire.len(), 4 + TraceContext::WIRE_BYTES + payload.len());
+        let mut buf = Vec::new();
+        for (i, &byte) in wire.iter().enumerate() {
+            buf.push(byte);
+            match parse_frame_span(&buf, 0) {
+                FrameParseSpan::NeedMore => assert!(i + 1 < wire.len()),
+                FrameParseSpan::Complete { payload_start, payload_len, used, trace } => {
+                    assert_eq!(i + 1, wire.len());
+                    assert_eq!(&buf[payload_start..payload_start + payload_len], &payload[..]);
+                    assert_eq!(used, wire.len());
+                    assert_eq!(trace, Some(ctx));
+                }
+                FrameParseSpan::TooLarge(n) => panic!("spurious too-large ({n})"),
+            }
+        }
+    }
+
+    #[test]
+    fn inactive_context_writes_the_plain_encoding() {
+        let mut traced = Vec::new();
+        write_request_frame_traced(&mut traced, b"job", TraceContext::NONE);
+        let mut plain = Vec::new();
+        write_request_frame(&mut plain, b"job");
+        assert_eq!(traced, plain);
+    }
+
+    #[test]
+    fn malformed_trace_fields_never_desync_framing() {
+        // Flagged frame whose trace field is junk (reserved flag bits):
+        // the payload after the field still frames correctly.
+        let payload = b"payload".to_vec();
+        let ctx = TraceContext::mint(true);
+        let mut wire = Vec::new();
+        write_request_frame_traced(&mut wire, &payload, ctx);
+        wire[4 + TraceContext::WIRE_BYTES - 1] = 0xff; // corrupt flags byte
+        match parse_frame_span(&wire, 0) {
+            FrameParseSpan::Complete { payload_start, payload_len, used, trace } => {
+                assert_eq!(trace, None);
+                assert_eq!(&wire[payload_start..payload_start + payload_len], &payload[..]);
+                assert_eq!(used, wire.len());
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+        // Flagged frame whose body is shorter than the trace field: the
+        // whole body becomes the (undecodable) payload, frame intact.
+        let mut short = Vec::new();
+        short.extend_from_slice(&(3u32 | TRACE_FLAG).to_le_bytes());
+        short.extend_from_slice(b"abc");
+        match parse_frame_span(&short, 0) {
+            FrameParseSpan::Complete { payload_len, used, trace, .. } => {
+                assert_eq!(trace, None);
+                assert_eq!(payload_len, 3);
+                assert_eq!(used, short.len());
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+        // Zero trace id in the field: ignored, payload intact.
+        let mut zero = Vec::new();
+        zero.extend_from_slice(
+            &((TraceContext::WIRE_BYTES as u32 + 2) | TRACE_FLAG).to_le_bytes(),
+        );
+        zero.extend_from_slice(&[0u8; TraceContext::WIRE_BYTES]);
+        zero.extend_from_slice(b"ok");
+        match parse_frame_span(&zero, 0) {
+            FrameParseSpan::Complete { payload_start, payload_len, trace, .. } => {
+                assert_eq!(trace, None);
+                assert_eq!(&zero[payload_start..payload_start + payload_len], b"ok");
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_oversize_is_still_rejected_from_the_prefix() {
+        let declared = (MAX_FRAME_BYTES + TraceContext::WIRE_BYTES + 1) as u32;
+        let wire = (declared | TRACE_FLAG).to_le_bytes();
+        match parse_frame_span(&wire, 0) {
+            FrameParseSpan::TooLarge(n) => {
+                assert_eq!(n, MAX_FRAME_BYTES + TraceContext::WIRE_BYTES + 1);
+            }
+            other => panic!("expected too-large, got {other:?}"),
         }
     }
 

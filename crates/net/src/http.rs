@@ -14,6 +14,12 @@
 //! transfer encoding is intentionally rejected (`411 Length Required`
 //! semantics folded into 400): every producer in this workspace sends
 //! explicit lengths.
+//!
+//! A `traceparent` header, when present and well-formed, is decoded into
+//! [`HttpHead::trace`]; malformed values are ignored (the request just
+//! proceeds untraced) — tracing is diagnostics, never a reason to 400.
+
+use tasq_obs::TraceContext;
 
 /// Parsed request, borrowing nothing (the body is copied out so the
 /// connection buffer can be compacted immediately).
@@ -68,6 +74,8 @@ pub struct HttpHead {
     pub path: String,
     /// Whether the connection should stay open after the response.
     pub keep_alive: bool,
+    /// Trace context from a well-formed `traceparent` header, if any.
+    pub trace: Option<TraceContext>,
 }
 
 /// One step of the incremental parse, zero-copy form: the body is
@@ -176,6 +184,7 @@ pub fn parse_request_span(buf: &[u8], start: usize, limits: &HttpLimits) -> Http
 
     let mut content_length = 0usize;
     let mut keep_alive = keep_alive_default;
+    let mut trace = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -195,6 +204,10 @@ pub fn parse_request_span(buf: &[u8], start: usize, limits: &HttpLimits) -> Http
             } else if value.eq_ignore_ascii_case("keep-alive") {
                 keep_alive = true;
             }
+        } else if name.eq_ignore_ascii_case("traceparent") {
+            // Lenient by design: junk traceparent values parse to None
+            // and the request proceeds untraced.
+            trace = TraceContext::parse_traceparent(value);
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return HttpParseSpan::Failed(HttpParseError::BadRequest(
                 "chunked transfer encoding unsupported",
@@ -216,6 +229,7 @@ pub fn parse_request_span(buf: &[u8], start: usize, limits: &HttpLimits) -> Http
             method: method.to_string(),
             path: path.to_string(),
             keep_alive,
+            trace,
         },
         body_start: start + body_offset,
         body_len: content_length,
@@ -381,6 +395,34 @@ mod tests {
                 }
                 other => panic!("{case:?} should fail, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn traceparent_header_is_decoded_into_the_head() {
+        let ctx = TraceContext::mint(true);
+        let raw = format!(
+            "POST /score HTTP/1.1\r\ntraceparent: {}\r\ncontent-length: 2\r\n\r\nhi",
+            ctx.traceparent()
+        );
+        let HttpParseSpan::Complete { head, .. } =
+            parse_request_span(raw.as_bytes(), 0, &limits())
+        else {
+            panic!("should parse");
+        };
+        assert_eq!(head.trace, Some(ctx));
+    }
+
+    #[test]
+    fn malformed_traceparent_is_ignored_not_rejected() {
+        for junk in ["nonsense", "00-zz-zz-zz", "ff-00-00-00", "00-0-0-0", ""] {
+            let raw = format!("GET /healthz HTTP/1.1\r\ntraceparent: {junk}\r\n\r\n");
+            let HttpParseSpan::Complete { head, .. } =
+                parse_request_span(raw.as_bytes(), 0, &limits())
+            else {
+                panic!("request with junk traceparent {junk:?} must still parse");
+            };
+            assert_eq!(head.trace, None, "junk {junk:?} must not decode");
         }
     }
 

@@ -39,7 +39,7 @@ pub mod sys;
 
 pub use client::{BinaryClient, HttpClient, HttpResponse, ScoreOutcome};
 pub use conn::{Conn, ExtractedSpans, Protocol, WireRequest, WireRequestSpan};
-pub use frame::{FrameStatus, BINARY_PREAMBLE, MAX_FRAME_BYTES};
+pub use frame::{FrameStatus, BINARY_PREAMBLE, MAX_FRAME_BYTES, TRACE_FLAG};
 pub use http::{HttpHead, HttpLimits, HttpRequest};
 pub use pacer::TokenBucket;
 pub use pool::BufPool;

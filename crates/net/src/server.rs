@@ -42,6 +42,7 @@ use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 use tasq_obs::metrics::{Counter, Histogram, Registry};
+use tasq_obs::{FieldValue, Level, TraceContext};
 use tasq_serve::{ScoringServer, ServerStatsSnapshot, Ticket};
 
 /// Tuning knobs for the network front-end.
@@ -93,6 +94,13 @@ pub struct NetMetrics {
     pub parse_errors: Counter,
     /// Per-request latency from parse-complete to response-queued (µs).
     pub wire_latency_us: Histogram,
+    /// Wire-parse time per readiness wake that located ≥ 1 request (µs) —
+    /// the network-side head of the per-request segment chain (the
+    /// serve-side segments pick up at `segment_fastpath_probe_us`).
+    pub segment_parse_us: Histogram,
+    /// Socket-flush time per readiness wake that wrote ≥ 1 byte (µs) —
+    /// the network-side tail of the segment chain.
+    pub segment_wire_flush_us: Histogram,
 }
 
 /// The process-global wire metrics.
@@ -109,6 +117,10 @@ pub fn net_metrics() -> &'static NetMetrics {
                 "net_wire_latency_us",
                 "request latency from parse to response enqueue (us)",
             ),
+            segment_parse_us: r
+                .histogram("segment_parse_us", "wire parse time per readiness wake (us)"),
+            segment_wire_flush_us: r
+                .histogram("segment_wire_flush_us", "socket flush time per readiness wake (us)"),
         }
     })
 }
@@ -268,13 +280,27 @@ fn shard_loop_inner(
                         continue;
                     }
                 }
+                let parse_start = Instant::now();
                 let extracted = slot.conn.extract_spans(&config.http_limits);
+                if !extracted.requests.is_empty() {
+                    net_metrics()
+                        .segment_parse_us
+                        .record(parse_start.elapsed().as_micros() as u64);
+                }
                 serve_spans(extracted, &mut slot.conn, &mut pool, config, server, drain);
             }
             // Every response resolved in this wake leaves in one flush —
             // a single writev when more than one buffer is queued.
+            let flush_start = Instant::now();
             match slot.conn.flush(&mut pool, config.coalesce_writes) {
-                Ok(bytes) => net_metrics().bytes_written.add(bytes as u64),
+                Ok(bytes) => {
+                    if bytes > 0 {
+                        net_metrics()
+                            .segment_wire_flush_us
+                            .record(flush_start.elapsed().as_micros() as u64);
+                    }
+                    net_metrics().bytes_written.add(bytes as u64);
+                }
                 Err(_) => {
                     drop_slot(&mut slots, fd, &mut pool);
                     continue;
@@ -427,9 +453,10 @@ fn serve_spans(
                 }
                 pending.push(reply);
             }
-            WireRequestSpan::Binary { payload_start, payload_len } => {
+            WireRequestSpan::Binary { payload_start, payload_len, trace } => {
                 let payload = conn.payload(*payload_start, *payload_len);
-                pending.push(submit_binary(payload, parsed_at, config, server, pool));
+                let ctx = trace.unwrap_or(TraceContext::NONE);
+                pending.push(submit_binary(payload, ctx, parsed_at, config, server, pool));
             }
         }
     }
@@ -535,12 +562,17 @@ fn submit_http(
 ) -> (PendingReply, bool) {
     let keep_alive = head.keep_alive;
     let mut close = !keep_alive;
+    let ctx = head.trace.unwrap_or(TraceContext::NONE);
     let reply = match (head.method.as_str(), head.path.as_str()) {
         ("POST", "/score") => match tasq::codec::from_bytes::<Job>(body) {
             Ok(job) => {
+                // The wire span joins the client's trace when the request
+                // carried a sampled `traceparent`; the serve-side spans
+                // parent from the same context below it.
+                let _span = wire_span(ctx, "net_http_request");
                 // Fast path: a signature-cache hit is rendered right here
                 // on the event-loop thread — no queue slot, no worker.
-                if let Some(served) = server.try_score_cached(&job) {
+                if let Some(served) = server.try_score_cached_traced(&job, ctx) {
                     match tasq::codec::to_bytes(&served.response) {
                         Ok(enc) => {
                             ready_http(pool, 200, "OK", "application/octet-stream", &enc, close)
@@ -555,7 +587,7 @@ fn submit_http(
                         ),
                     }
                 } else {
-                    match server.submit_with_deadline(job, config.deadline) {
+                    match server.submit_traced(job, config.deadline, ctx) {
                         Ok(ticket) => {
                             let reply = PendingReply::HttpTicket {
                                 ticket: Box::new(ticket),
@@ -606,6 +638,14 @@ fn submit_http(
             let body = stats_json(&server.stats());
             ready_http(pool, 200, "OK", "application/json", body.as_bytes(), close)
         }
+        ("GET", "/slo") => {
+            let body = server.slo_json();
+            ready_http(pool, 200, "OK", "application/json", body.as_bytes(), close)
+        }
+        ("GET", "/debug/slowest") => {
+            let body = server.slowest_json();
+            ready_http(pool, 200, "OK", "application/json", body.as_bytes(), close)
+        }
         ("POST", "/drain") => {
             close = true;
             drain.store(true, Ordering::SeqCst);
@@ -618,9 +658,11 @@ fn submit_http(
 }
 
 /// Decode and submit one binary frame payload, answering cache hits
-/// inline on the event-loop thread.
+/// inline on the event-loop thread. `ctx` is the trace context carried
+/// in the frame preamble ([`TraceContext::NONE`] when absent).
 fn submit_binary(
     payload: &[u8],
+    ctx: TraceContext,
     parsed_at: Instant,
     config: &NetConfig,
     server: &Arc<ScoringServer>,
@@ -628,13 +670,14 @@ fn submit_binary(
 ) -> PendingReply {
     let reply = match tasq::codec::from_bytes::<Job>(payload) {
         Ok(job) => {
-            if let Some(served) = server.try_score_cached(&job) {
+            let _span = wire_span(ctx, "net_binary_request");
+            if let Some(served) = server.try_score_cached_traced(&job, ctx) {
                 match tasq::codec::to_bytes(&served.response) {
                     Ok(enc) => ready_frame(pool, FrameStatus::Ok, &enc),
                     Err(_) => ready_frame(pool, FrameStatus::BadRequest, &[]),
                 }
             } else {
-                match server.submit_with_deadline(job, config.deadline) {
+                match server.submit_traced(job, config.deadline, ctx) {
                     Ok(ticket) => {
                         return PendingReply::BinaryTicket { ticket: Box::new(ticket), parsed_at }
                     }
@@ -651,6 +694,20 @@ fn submit_binary(
     reply
 }
 
+/// A wire-side span joined to the request's carried trace context: the
+/// client's span id becomes the parent, so the server-side tree hangs
+/// under the client's request span in a joined Perfetto view. Untraced
+/// requests get a plain (root) span, which costs one relaxed load when
+/// the subscriber is off.
+fn wire_span(ctx: TraceContext, name: &'static str) -> tasq_obs::SpanGuard {
+    let fields = [("trace", FieldValue::TraceId(ctx.trace_id))];
+    if ctx.sampled {
+        tasq_obs::span_with_parent(Level::Debug, name, ctx.span_id, &fields)
+    } else {
+        tasq_obs::span(Level::Debug, name, &fields)
+    }
+}
+
 /// Hand-rolled JSON for the `/stats` endpoint (no serde_json in the
 /// workspace; mirrors the counters the CLI's loadgen reports).
 fn stats_json(stats: &ServerStatsSnapshot) -> String {
@@ -658,7 +715,7 @@ fn stats_json(stats: &ServerStatsSnapshot) -> String {
         "{{\"submitted\":{},\"completed\":{},\"cache_hits\":{},\"fastpath_hits\":{},\
          \"model_scored\":{},\
          \"shed\":{},\"rejected\":{},\"worker_lost\":{},\"deadline_timeouts\":{},\
-         \"resolved\":{},\"p50_us\":{:.1},\"p99_us\":{:.1}}}",
+         \"resolved\":{},\"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1}}}",
         stats.submitted,
         stats.completed,
         stats.cache_hits,
@@ -671,6 +728,7 @@ fn stats_json(stats: &ServerStatsSnapshot) -> String {
         stats.resolved(),
         stats.latency.p50_us,
         stats.latency.p99_us,
+        stats.latency.p999_us,
     )
 }
 
@@ -684,7 +742,8 @@ mod tests {
         let json = stats_json(&stats);
         let parsed = tasq_obs::json::parse(&json).expect("stats json must parse");
         assert!(parsed.as_object().is_some(), "stats json must be an object");
-        for key in ["submitted", "completed", "rejected", "resolved", "p50_us", "p99_us"] {
+        for key in ["submitted", "completed", "rejected", "resolved", "p50_us", "p99_us", "p999_us"]
+        {
             assert!(parsed.get(key).is_some(), "missing {key} in {json}");
         }
     }

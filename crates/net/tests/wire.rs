@@ -203,6 +203,177 @@ fn drain_over_the_wire_keeps_exact_accounting() {
     );
 }
 
+/// Read one HTTP response (head + content-length body) off a raw socket.
+fn read_http_response(stream: &mut TcpStream) -> (u16, Vec<u8>) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("recv");
+        assert!(n > 0, "server closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head}"));
+    let content_length: usize = head
+        .split("\r\n")
+        .filter_map(|line| line.split_once(':'))
+        .find(|(name, _)| name.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, value)| value.trim().parse().ok())
+        .unwrap_or(0);
+    let body_start = head_end + 4;
+    while buf.len() < body_start + content_length {
+        let n = stream.read(&mut chunk).expect("recv body");
+        assert!(n > 0, "server closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    (status, buf[body_start..body_start + content_length].to_vec())
+}
+
+#[test]
+fn fuzzed_traceparent_headers_parse_or_ignore_without_desync() {
+    let net = start_net(NetConfig::default());
+    let addr = net.local_addr().to_string();
+    let job = jobs(1, 7007).remove(0);
+    let payload = tasq::codec::to_bytes(&job).expect("encode");
+    // Torn, truncated, non-hex, wrong-version, zero-id, and oversized
+    // traceparent values: each request must still score (the header is
+    // ignored), and the framing must stay in sync across all of them on
+    // one keep-alive connection.
+    let fuzzed = [
+        "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331", // missing flags
+        "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+        "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // version ff
+        "00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+        "00-zzzz651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // non-hex
+        "00-0af7",                                                 // truncated
+        "garbage",
+        "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01\x01", // control byte
+    ];
+    let mut stream = TcpStream::connect(&addr).expect("connects");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    for (i, tp) in fuzzed.iter().enumerate() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(
+            format!(
+                "POST /score HTTP/1.1\r\ntraceparent: {tp}\r\ncontent-length: {}\r\n\r\n",
+                payload.len()
+            )
+            .as_bytes(),
+        );
+        raw.extend_from_slice(&payload);
+        // Torn delivery: the header fragments must reassemble cleanly.
+        for chunk in raw.chunks(5) {
+            stream.write_all(chunk).expect("send");
+        }
+        let (status, _) = read_http_response(&mut stream);
+        assert_eq!(status, 200, "fuzzed traceparent {i} ({tp:?}) broke the request");
+    }
+    // A well-formed traceparent on the same connection still works too.
+    let mut raw = Vec::new();
+    raw.extend_from_slice(
+        format!(
+            "POST /score HTTP/1.1\r\n\
+             traceparent: 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01\r\n\
+             content-length: {}\r\n\r\n",
+            payload.len()
+        )
+        .as_bytes(),
+    );
+    raw.extend_from_slice(&payload);
+    stream.write_all(&raw).expect("send");
+    let (status, _) = read_http_response(&mut stream);
+    assert_eq!(status, 200);
+    drop(stream);
+    // The introspection endpoints are live and the slowest tracker
+    // retained the traffic above.
+    let mut client = HttpClient::connect(&addr).expect("connects");
+    client.set_timeout(Duration::from_secs(10)).expect("timeout");
+    let slo = client.request("GET", "/slo", b"").expect("slo");
+    assert_eq!(slo.status, 200);
+    let parsed = tasq_obs::json::parse(&String::from_utf8_lossy(&slo.body)).expect("slo json");
+    assert!(parsed.get("objectives").is_some(), "missing objectives in /slo");
+    let slowest = client.request("GET", "/debug/slowest", b"").expect("slowest");
+    assert_eq!(slowest.status, 200);
+    let parsed =
+        tasq_obs::json::parse(&String::from_utf8_lossy(&slowest.body)).expect("slowest json");
+    let entries = parsed.get("slowest").and_then(|v| v.as_array().map(|a| a.len()));
+    assert!(entries.unwrap_or(0) > 0, "/debug/slowest empty after traffic");
+    net.shutdown();
+}
+
+#[test]
+fn malformed_binary_trace_fields_never_desync_framing() {
+    use tasq_net::frame::{self, FrameResponse, FrameResponseParse};
+    use tasq_net::TRACE_FLAG;
+    use tasq_obs::TraceContext;
+
+    let net = start_net(NetConfig::default());
+    let addr = net.local_addr().to_string();
+    let job = jobs(1, 7008).remove(0);
+    let payload = tasq::codec::to_bytes(&job).expect("encode");
+    let mut stream = TcpStream::connect(&addr).expect("connects");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.write_all(&[tasq_net::BINARY_PREAMBLE]).expect("preamble");
+
+    let mut wire = Vec::new();
+    // 1. A well-formed traced frame.
+    let ctx = TraceContext { trace_id: 0xabcdef, span_id: 7, sampled: true };
+    frame::write_request_frame_traced(&mut wire, &payload, ctx);
+    // 2. A flagged frame whose 25-byte trace field is garbage (reserved
+    //    flag bits set): the field must be skipped, the payload must
+    //    still decode, and the framing must not slip.
+    let body_len = (payload.len() + TraceContext::WIRE_BYTES) as u32;
+    wire.extend_from_slice(&(body_len | TRACE_FLAG).to_le_bytes());
+    wire.extend_from_slice(&[0xFF; 25]);
+    wire.extend_from_slice(&payload);
+    // 3. A flagged frame whose body is *shorter* than a trace field: the
+    //    whole body is treated as payload (undecodable → BadRequest),
+    //    and the next frame must still parse from the right offset.
+    wire.extend_from_slice(&(5u32 | TRACE_FLAG).to_le_bytes());
+    wire.extend_from_slice(&[0xAA; 5]);
+    // 4. A plain untraced frame after all of the above.
+    frame::write_request_frame(&mut wire, &payload);
+    // Byte-at-a-time delivery to exercise every torn-boundary resume.
+    for byte in &wire {
+        stream.write_all(std::slice::from_ref(byte)).expect("send");
+    }
+
+    let mut rbuf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut outcomes = Vec::new();
+    while outcomes.len() < 4 {
+        match frame::parse_response_frame(&rbuf, 0) {
+            FrameResponseParse::Complete(response, consumed) => {
+                rbuf.drain(..consumed);
+                outcomes.push(match response {
+                    FrameResponse::Ok(score) => ("ok", score.job_id),
+                    FrameResponse::Error(status) => ("err", status as u64),
+                });
+            }
+            FrameResponseParse::NeedMore => {
+                let n = stream.read(&mut chunk).expect("recv");
+                assert!(n > 0, "server closed after {} responses", outcomes.len());
+                rbuf.extend_from_slice(&chunk[..n]);
+            }
+            FrameResponseParse::Malformed(why) => panic!("malformed response: {why}"),
+        }
+    }
+    assert_eq!(outcomes[0], ("ok", job.id), "traced frame must score");
+    assert_eq!(outcomes[1], ("ok", job.id), "garbage trace field must be ignored");
+    assert_eq!(outcomes[2].0, "err", "short flagged body must be a clean error");
+    assert_eq!(outcomes[3], ("ok", job.id), "framing must stay in sync after errors");
+    net.shutdown();
+}
+
 #[test]
 fn metrics_endpoint_exposes_wire_counters() {
     let net = start_net(NetConfig::default());

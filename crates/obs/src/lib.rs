@@ -16,6 +16,15 @@
 //!   `chrome://tracing`) rendering collected spans, plus arbitrary extra
 //!   tracks (the simulator injects its virtual-time events here).
 //!
+//! Two request-scoped subsystems build on those:
+//!
+//! * [`trace`] — the compact [`trace::TraceContext`] (128-bit trace id,
+//!   span id, sampled flag) that one request carries across threads and
+//!   processes, with `traceparent` header and binary wire encodings.
+//! * [`slo`] — declarative latency/availability objectives evaluated as
+//!   multi-window error-budget burn rates over bounded ring buffers,
+//!   deterministic under explicit timestamps.
+//!
 //! [`clock`] is the single wall-clock read site: every timestamp in the
 //! workspace's instrumentation flows through it, which keeps the
 //! `tasq-analyze` `wall-clock` lint enforceable everywhere else. [`json`]
@@ -27,11 +36,15 @@ pub mod clock;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
 pub use export::{validate_chrome_trace, ChromeTrace};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{Counter, Exemplar, Gauge, Histogram, Registry};
+pub use slo::{BurnSample, SloConfig, SloEngine, SloKind, SloObjective, SloWindow};
 pub use span::{
     collect_enabled, current_span_id, event, set_subscriber, span, span_with_parent,
     subscriber_off, FieldValue, Level, SpanEvent, SpanGuard,
 };
+pub use trace::TraceContext;

@@ -113,10 +113,31 @@ fn bucket_bounds(index: usize) -> (u64, u64) {
     (lo, lo + step)
 }
 
+/// Exemplar slots retained per histogram: enough to cover the tail
+/// buckets that matter, fixed so sustained load cannot grow memory.
+pub const EXEMPLAR_SLOTS: usize = 8;
+
+/// One retained high observation: the value, the trace that produced it,
+/// and when it was recorded (microseconds on the [`crate::clock`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded sample.
+    pub value: u64,
+    /// Trace id of the request that produced it (0 = untraced).
+    pub trace_id: u128,
+    /// Recording timestamp, microseconds since the process clock anchor.
+    pub ts_us: u64,
+}
+
 struct HistogramCore {
     buckets: [AtomicU64; NUM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    /// Smallest value currently retained in a full exemplar set (0 while
+    /// slots remain): the lock below is only taken when a new value
+    /// qualifies, so the common record path stays lock-free.
+    exemplar_floor: AtomicU64,
+    exemplars: Mutex<[Option<Exemplar>; EXEMPLAR_SLOTS]>,
 }
 
 /// Concurrent log-linear histogram of `u64` samples (typically
@@ -147,6 +168,8 @@ impl Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            exemplar_floor: AtomicU64::new(u64::MAX),
+            exemplars: Mutex::new([None; EXEMPLAR_SLOTS]),
         }))
     }
 
@@ -156,6 +179,63 @@ impl Histogram {
         self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
         self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record one sample and offer it as an exemplar. Exemplar retention
+    /// is top-[`EXEMPLAR_SLOTS`]-by-value in fixed slots: the hot path
+    /// pays one extra relaxed load unless the value beats the current
+    /// floor, and memory never grows under sustained load.
+    #[inline]
+    pub fn record_traced(&self, value: u64, trace_id: u128) {
+        self.record(value);
+        // Floor starts at MAX so the first EXEMPLAR_SLOTS offers always
+        // take the lock; once full it holds the smallest retained value.
+        let floor = self.0.exemplar_floor.load(Ordering::Relaxed);
+        if floor == u64::MAX || value > floor {
+            self.offer_exemplar(value, trace_id);
+        }
+    }
+
+    /// Slow path of [`Histogram::record_traced`]: insert into an empty
+    /// slot or replace the smallest retained exemplar.
+    fn offer_exemplar(&self, value: u64, trace_id: u128) {
+        let ts_us = crate::clock::now_micros();
+        let mut slots = self.0.exemplars.lock();
+        let mut min_index = 0usize;
+        let mut min_value = u64::MAX;
+        for (index, slot) in slots.iter().enumerate() {
+            match slot {
+                None => {
+                    slots[index] = Some(Exemplar { value, trace_id, ts_us });
+                    return;
+                }
+                Some(e) => {
+                    if e.value < min_value {
+                        min_value = e.value;
+                        min_index = index;
+                    }
+                }
+            }
+        }
+        // Slots full: establish the floor, replace the minimum if beaten.
+        if value > min_value {
+            slots[min_index] = Some(Exemplar { value, trace_id, ts_us });
+            min_value = slots
+                .iter()
+                .flatten()
+                .map(|e| e.value)
+                .min()
+                .unwrap_or(u64::MAX);
+        }
+        self.0.exemplar_floor.store(min_value, Ordering::Relaxed);
+    }
+
+    /// Currently retained exemplars, largest value first.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        let slots = self.0.exemplars.lock();
+        let mut out: Vec<Exemplar> = slots.iter().flatten().copied().collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.value));
+        out
     }
 
     /// Number of recorded samples.
@@ -312,24 +392,47 @@ impl Registry {
 
     /// Prometheus-style text exposition: `# HELP` / `# TYPE` headers,
     /// histograms as cumulative `_bucket{le="…"}` series (empty leading
-    /// and trailing buckets elided) plus `_sum` / `_count`.
+    /// and trailing buckets elided) plus `_sum` / `_count`. Histogram
+    /// exemplars render in OpenMetrics syntax on their landing bucket
+    /// line. Labeled series (names carrying `{…}` like
+    /// `slo_burn_rate{objective="x",window="fast"}`) share one family
+    /// `# HELP` / `# TYPE` header keyed by the base name.
     pub fn render_prometheus(&self) -> String {
         let entries = self.entries.lock();
         let mut out = String::new();
+        let mut last_family = String::new();
         for (name, entry) in entries.iter() {
-            if !entry.help.is_empty() {
-                out.push_str(&format!("# HELP {name} {}\n", entry.help));
+            // The metric family is the name before any label block; the
+            // BTreeMap keeps labeled series of one family adjacent, so
+            // one header per family is enough.
+            let family = name.split('{').next().unwrap_or(name);
+            if family != last_family {
+                last_family = family.to_string();
+                if !entry.help.is_empty() {
+                    out.push_str(&format!("# HELP {family} {}\n", entry.help));
+                }
+                let kind = match &entry.kind {
+                    Kind::Counter(_) => "counter",
+                    Kind::Gauge(_) => "gauge",
+                    Kind::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {family} {kind}\n"));
             }
             match &entry.kind {
                 Kind::Counter(c) => {
-                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                    out.push_str(&format!("{name} {}\n", c.get()));
                 }
                 Kind::Gauge(g) => {
-                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+                    out.push_str(&format!("{name} {}\n", g.get()));
                 }
                 Kind::Histogram(h) => {
-                    out.push_str(&format!("# TYPE {name} histogram\n"));
                     let counts = h.bucket_counts();
+                    // At most one exemplar per bucket line: keep the
+                    // largest value landing in each bucket.
+                    let mut by_bucket: BTreeMap<usize, Exemplar> = BTreeMap::new();
+                    for exemplar in h.exemplars() {
+                        by_bucket.entry(bucket_index(exemplar.value)).or_insert(exemplar);
+                    }
                     let last_used = counts.iter().rposition(|&c| c > 0);
                     let mut cumulative = 0u64;
                     if let Some(last) = last_used {
@@ -339,9 +442,18 @@ impl Registry {
                                 continue;
                             }
                             out.push_str(&format!(
-                                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                                "{name}_bucket{{le=\"{}\"}} {cumulative}",
                                 bucket_le(index)
                             ));
+                            if let Some(e) = by_bucket.get(&index) {
+                                out.push_str(&format!(
+                                    " # {{trace_id=\"{:032x}\"}} {} {:.6}",
+                                    e.trace_id,
+                                    e.value,
+                                    e.ts_us as f64 / 1e6
+                                ));
+                            }
+                            out.push('\n');
                         }
                     }
                     out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
@@ -375,13 +487,14 @@ impl Registry {
                 Kind::Histogram(h) => {
                     out.push_str(&format!(
                         "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"mean\":{},\
-                         \"p50\":{},\"p95\":{},\"p99\":{}}}",
+                         \"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{}}}",
                         h.count(),
                         h.sum(),
                         json_f64(h.mean()),
                         json_f64(h.quantile(0.50)),
                         json_f64(h.quantile(0.95)),
                         json_f64(h.quantile(0.99)),
+                        json_f64(h.quantile(0.999)),
                     ));
                 }
             }
@@ -534,6 +647,69 @@ mod tests {
         assert_eq!(gauge, Some(1.5));
         let p50 = value.get("c_us").and_then(|v| v.get("p50")).and_then(|v| v.as_f64());
         assert!(p50.is_some_and(|p| (7.0..8.0).contains(&p)));
+    }
+
+    #[test]
+    fn exemplar_retention_is_bounded_under_sustained_load() {
+        let hist = Histogram::new();
+        // Golden invariant: fixed slots, no growth, regardless of volume.
+        for i in 0..100_000u64 {
+            hist.record_traced(i % 977, u128::from(i) + 1);
+        }
+        let exemplars = hist.exemplars();
+        assert!(exemplars.len() <= EXEMPLAR_SLOTS);
+        assert_eq!(exemplars.len(), EXEMPLAR_SLOTS, "slots should be full after 100k offers");
+        // Top-by-value retention: every retained value sits in the tail.
+        for e in &exemplars {
+            assert!(e.value >= 976 - EXEMPLAR_SLOTS as u64, "kept a low value {}", e.value);
+            assert_ne!(e.trace_id, 0);
+        }
+        assert_eq!(hist.count(), 100_000);
+    }
+
+    #[test]
+    fn exemplars_render_in_openmetrics_syntax() {
+        let registry = Registry::new();
+        let hist = registry.histogram("seg_us", "segment latency");
+        hist.record(10);
+        hist.record_traced(5_000, 0xabcd_ef01);
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("# {trace_id=\"000000000000000000000000abcdef01\"} 5000"),
+            "missing exemplar in:\n{text}"
+        );
+        // Exemplar rides a bucket line, after the cumulative count.
+        let line = text
+            .lines()
+            .find(|l| l.contains("trace_id"))
+            .expect("exemplar line present");
+        assert!(line.starts_with("seg_us_bucket{le=\""), "exemplar on wrong line: {line}");
+    }
+
+    #[test]
+    fn json_reports_p999() {
+        let registry = Registry::new();
+        let hist = registry.histogram("tail_us", "");
+        for value in 1..=1000u64 {
+            hist.record(value);
+        }
+        let dump = registry.render_json();
+        let value = crate::json::parse(&dump).expect("json parses");
+        let p999 = value.get("tail_us").and_then(|v| v.get("p999")).and_then(|v| v.as_f64());
+        let p999 = p999.expect("p999 present");
+        assert!((930.0..=1070.0).contains(&p999), "p999 {p999} out of range");
+    }
+
+    #[test]
+    fn labeled_series_share_one_family_header() {
+        let registry = Registry::new();
+        registry.set_gauge("burn{objective=\"a\",window=\"fast\"}", "burn rate", 1.0);
+        registry.set_gauge("burn{objective=\"a\",window=\"slow\"}", "burn rate", 2.0);
+        registry.set_gauge("burn{objective=\"b\",window=\"fast\"}", "burn rate", 3.0);
+        let text = registry.render_prometheus();
+        assert_eq!(text.lines().filter(|l| l.starts_with("# TYPE burn ")).count(), 1);
+        assert_eq!(text.lines().filter(|l| l.starts_with("# HELP burn ")).count(), 1);
+        assert!(text.contains("burn{objective=\"b\",window=\"fast\"} 3"));
     }
 
     #[test]

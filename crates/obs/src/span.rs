@@ -95,6 +95,9 @@ pub enum FieldValue {
     Bool(bool),
     /// Static string.
     Str(&'static str),
+    /// 128-bit trace id, displayed as 32 hex digits so one request's
+    /// spans grep identically across processes and export formats.
+    TraceId(u128),
 }
 
 impl fmt::Display for FieldValue {
@@ -105,6 +108,7 @@ impl fmt::Display for FieldValue {
             FieldValue::F64(v) => write!(f, "{v}"),
             FieldValue::Bool(v) => write!(f, "{v}"),
             FieldValue::Str(v) => write!(f, "{v}"),
+            FieldValue::TraceId(v) => write!(f, "{v:032x}"),
         }
     }
 }

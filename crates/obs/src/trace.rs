@@ -1,0 +1,238 @@
+//! Request-scoped trace context, propagated across threads and processes.
+//!
+//! A [`TraceContext`] is the compact identity one request carries end to
+//! end: a 128-bit trace id (shared by every span the request touches, in
+//! every process), the 64-bit span id of the *current* hop, and a sampled
+//! flag. It crosses the wire in two encodings:
+//!
+//! * **HTTP** — a W3C `traceparent`-style header,
+//!   `00-<32 hex trace id>-<16 hex span id>-<2 hex flags>`, parsed
+//!   leniently: anything malformed is ignored (the request proceeds
+//!   untraced) rather than rejected.
+//! * **Binary framing** — a fixed [`TraceContext::WIRE_BYTES`] field
+//!   carried inside a frame when the length word's trace flag is set
+//!   (see `tasq-net`'s `frame` module).
+//!
+//! Minting is allocation-free and RNG-free: ids mix a process-wide
+//! counter with the [`crate::clock`] microsecond timestamp through a
+//! splitmix-style finalizer, so concurrent mints never collide within a
+//! process and collide across processes only with ~2⁻¹²⁸ probability.
+//! The zero trace id is reserved as "no trace" ([`TraceContext::NONE`]):
+//! unsampled requests carry it at the cost of one 25-byte copy and no
+//! atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Compact per-request trace identity. `Copy` on purpose: threading it
+/// through envelopes and wire frames is a plain memcpy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit trace id shared by every hop of one request (0 = none).
+    pub trace_id: u128,
+    /// Span id of the current hop (the parent for the next hop's spans).
+    pub span_id: u64,
+    /// Whether this request is being sampled into span collection.
+    pub sampled: bool,
+}
+
+/// Process-wide mint counter; the counter term guarantees in-process
+/// uniqueness even when two mints land on the same clock microsecond.
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+/// 64-bit splitmix finalizer: bijective, so distinct inputs stay distinct.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl TraceContext {
+    /// The "no trace" context: zero ids, unsampled. What an untraced
+    /// request carries — recording sites treat it as "skip".
+    pub const NONE: TraceContext = TraceContext { trace_id: 0, span_id: 0, sampled: false };
+
+    /// Bytes of the fixed binary wire encoding: 16 (trace id) + 8 (span
+    /// id) + 1 (flags).
+    pub const WIRE_BYTES: usize = 25;
+
+    /// Mint a fresh root context (new trace id, new span id).
+    pub fn mint(sampled: bool) -> Self {
+        let seq = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+        let now = crate::clock::now_micros();
+        let hi = mix64(seq ^ now.rotate_left(17));
+        let lo = mix64(seq.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ now);
+        let trace_id = (u128::from(hi) << 64) | u128::from(lo.max(1));
+        TraceContext { trace_id, span_id: mix64(hi ^ lo), sampled }
+    }
+
+    /// Whether this context names a real trace.
+    pub fn is_active(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// A child hop of this context: same trace id and sampling decision,
+    /// with `span_id` as the current span (the parent for spans opened
+    /// under the child).
+    pub fn child(&self, span_id: u64) -> Self {
+        TraceContext { trace_id: self.trace_id, span_id, sampled: self.sampled }
+    }
+
+    /// Render the `traceparent` header value
+    /// (`00-<trace>-<span>-<flags>`).
+    pub fn traceparent(&self) -> String {
+        format!(
+            "00-{:032x}-{:016x}-{:02x}",
+            self.trace_id,
+            self.span_id,
+            u8::from(self.sampled)
+        )
+    }
+
+    /// Parse a `traceparent` header value. Lenient on the trust boundary:
+    /// any malformed input — wrong field count, wrong lengths, non-hex,
+    /// unknown version, all-zero trace id — yields `None` and the caller
+    /// proceeds untraced. Never panics.
+    pub fn parse_traceparent(value: &str) -> Option<Self> {
+        let value = value.trim();
+        let mut parts = value.split('-');
+        let version = parts.next()?;
+        let trace = parts.next()?;
+        let span = parts.next()?;
+        let flags = parts.next()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        if version.len() != 2 || trace.len() != 32 || span.len() != 16 || flags.len() != 2 {
+            return None;
+        }
+        // Version ff is reserved-invalid in W3C trace context.
+        if version.eq_ignore_ascii_case("ff") {
+            return None;
+        }
+        u8::from_str_radix(version, 16).ok()?;
+        let trace_id = u128::from_str_radix(trace, 16).ok()?;
+        let span_id = u64::from_str_radix(span, 16).ok()?;
+        let flags = u8::from_str_radix(flags, 16).ok()?;
+        if trace_id == 0 {
+            return None;
+        }
+        Some(TraceContext { trace_id, span_id, sampled: flags & 1 == 1 })
+    }
+
+    /// Append the fixed 25-byte wire encoding (big-endian ids + flag
+    /// byte).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.trace_id.to_be_bytes());
+        out.extend_from_slice(&self.span_id.to_be_bytes());
+        out.push(u8::from(self.sampled));
+    }
+
+    /// Decode a wire field produced by [`TraceContext::encode`]. Returns
+    /// `None` (caller proceeds untraced) when the field is short, has
+    /// reserved flag bits set, or names the zero trace id.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < Self::WIRE_BYTES {
+            return None;
+        }
+        let mut trace = [0u8; 16];
+        trace.copy_from_slice(&bytes[..16]);
+        let mut span = [0u8; 8];
+        span.copy_from_slice(&bytes[16..24]);
+        let flags = bytes[24];
+        if flags & !1 != 0 {
+            return None;
+        }
+        let trace_id = u128::from_be_bytes(trace);
+        if trace_id == 0 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id,
+            span_id: u64::from_be_bytes(span),
+            sampled: flags & 1 == 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_contexts_are_unique_and_active() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let ctx = TraceContext::mint(true);
+            assert!(ctx.is_active());
+            assert!(ctx.sampled);
+            assert!(seen.insert(ctx.trace_id), "duplicate trace id {:032x}", ctx.trace_id);
+        }
+    }
+
+    #[test]
+    fn traceparent_round_trips() {
+        for sampled in [true, false] {
+            let ctx = TraceContext::mint(sampled);
+            let header = ctx.traceparent();
+            assert_eq!(header.len(), 55, "header {header} has wrong length");
+            let parsed = TraceContext::parse_traceparent(&header).expect("round trip");
+            assert_eq!(parsed, ctx);
+        }
+    }
+
+    #[test]
+    fn traceparent_parse_is_lenient_never_panics() {
+        let malformed = [
+            "",
+            "00",
+            "00-",
+            "abc",
+            "00-123-456-01",
+            "00-0123456789abcdef0123456789abcdef-0123456789abcdef", // missing flags
+            "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01-extra",
+            "zz-0123456789abcdef0123456789abcdef-0123456789abcdef-01",
+            "ff-0123456789abcdef0123456789abcdef-0123456789abcdef-01", // reserved version
+            "00-0123456789abcdef0123456789abcdeg-0123456789abcdef-01", // non-hex
+            "00-00000000000000000000000000000000-0123456789abcdef-01", // zero trace id
+            "00-0123456789abcdef0123456789abcdef-0123456789abcde-01",  // short span
+            "\u{0}\u{0}\u{0}",
+            "00-0123456789abcdef0123456789abcdef-0123456789abcdef-0g",
+        ];
+        for input in malformed {
+            assert_eq!(TraceContext::parse_traceparent(input), None, "accepted {input:?}");
+        }
+        let ok = TraceContext::parse_traceparent(
+            "  00-0123456789abcdef0123456789abcdef-0123456789abcdef-01  ",
+        )
+        .expect("whitespace-trimmed header parses");
+        assert_eq!(ok.span_id, 0x0123_4567_89ab_cdef);
+        assert!(ok.sampled);
+    }
+
+    #[test]
+    fn wire_encoding_round_trips_and_rejects_junk() {
+        let ctx = TraceContext::mint(true);
+        let mut wire = Vec::new();
+        ctx.encode(&mut wire);
+        assert_eq!(wire.len(), TraceContext::WIRE_BYTES);
+        assert_eq!(TraceContext::decode(&wire), Some(ctx));
+        // Short field, reserved flag bits, zero trace id: all ignored.
+        assert_eq!(TraceContext::decode(&wire[..24]), None);
+        let mut bad_flags = wire.clone();
+        bad_flags[24] = 0x80;
+        assert_eq!(TraceContext::decode(&bad_flags), None);
+        let zero = [0u8; TraceContext::WIRE_BYTES];
+        assert_eq!(TraceContext::decode(&zero), None);
+    }
+
+    #[test]
+    fn child_keeps_trace_identity() {
+        let root = TraceContext::mint(true);
+        let child = root.child(42);
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.span_id, 42);
+        assert!(child.sampled);
+        assert!(!TraceContext::NONE.is_active());
+    }
+}

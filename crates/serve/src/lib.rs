@@ -43,4 +43,7 @@ pub use server::{
     RequestError, ScoringServer, ServeConfig, ServedResponse, ServedVia, SubmitError, Ticket,
 };
 pub use signature::PlanSignature;
-pub use stats::{LatencyHistogram, LatencySnapshot, ServerStatsSnapshot};
+pub use stats::{
+    LatencyHistogram, LatencySnapshot, ServerStatsSnapshot, SlowRequest, SlowestTracker,
+    SLOWEST_SLOTS,
+};

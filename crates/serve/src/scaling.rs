@@ -40,6 +40,12 @@ pub struct ScalingConfig {
     /// kept as seconds rather than `Duration` so the config serializes
     /// with the workspace's vendored serde).
     pub cooldown_secs: f64,
+    /// SLO fast-window burn rate at or above which the pool grows even
+    /// when queue utilization is still below `scale_up_threshold` —
+    /// latency-SLO violations lead queue saturation, so burning the
+    /// error budget is an earlier scale-up signal. `0.0` disables the
+    /// input (and keeps old configs byte-compatible).
+    pub burn_up_threshold: f64,
 }
 
 impl ScalingConfig {
@@ -62,6 +68,7 @@ impl Default for ScalingConfig {
             scale_up_threshold: 0.75,
             scale_down_threshold: 0.20,
             cooldown_secs: 5.0,
+            burn_up_threshold: 0.0,
         }
     }
 }
@@ -100,6 +107,23 @@ impl AutoScaler {
     /// queue `utilization` in `[0, 1]` and `current` pool size. A
     /// returned `Up`/`Down` starts the cooldown clock; `Hold` does not.
     pub fn tick(&mut self, now: Duration, utilization: f64, current: usize) -> ScaleAction {
+        self.tick_with_burn(now, utilization, 0.0, current)
+    }
+
+    /// [`AutoScaler::tick`] with the SLO fast-window burn rate as an
+    /// additional scale-up input. A burn at or above
+    /// [`ScalingConfig::burn_up_threshold`] (when that threshold is
+    /// positive) triggers scale-up even while queue utilization is still
+    /// comfortable; burn never triggers scale-*down* — recovery is left
+    /// to the utilization signal, which is the one that proves capacity
+    /// is actually idle.
+    pub fn tick_with_burn(
+        &mut self,
+        now: Duration,
+        utilization: f64,
+        burn_rate: f64,
+        current: usize,
+    ) -> ScaleAction {
         let min = self.config.min_workers.max(1);
         let max = self.config.max_workers.max(min);
         if let Some(last) = self.last_action_at {
@@ -117,11 +141,16 @@ impl AutoScaler {
             self.last_action_at = Some(now);
             return ScaleAction::Down(max);
         }
-        if utilization >= self.config.scale_up_threshold && current < max {
+        let burn_hot = self.config.burn_up_threshold > 0.0
+            && burn_rate.is_finite()
+            && burn_rate >= self.config.burn_up_threshold;
+        if (utilization >= self.config.scale_up_threshold || burn_hot) && current < max {
             self.last_action_at = Some(now);
             return ScaleAction::Up(current + 1);
         }
-        if utilization <= self.config.scale_down_threshold && current > min {
+        // Burn rate vetoes scale-down: an SLO actively burning means the
+        // pool is not surplus no matter what the queue depth says.
+        if utilization <= self.config.scale_down_threshold && current > min && !burn_hot {
             self.last_action_at = Some(now);
             return ScaleAction::Down(current - 1);
         }
@@ -141,6 +170,7 @@ mod tests {
             scale_up_threshold: 0.75,
             scale_down_threshold: 0.25,
             cooldown_secs: 5.0,
+            burn_up_threshold: 0.0,
         }
     }
 
@@ -205,6 +235,43 @@ mod tests {
         let mut scaler = AutoScaler::new(config());
         assert_eq!(scaler.tick(at(0), 0.50, 1), ScaleAction::Up(2));
         assert_eq!(scaler.tick(at(10), 0.50, 9), ScaleAction::Down(6));
+    }
+
+    #[test]
+    fn burn_rate_scales_up_before_queue_saturation() {
+        let mut scaler = AutoScaler::new(ScalingConfig {
+            burn_up_threshold: 2.0,
+            ..config()
+        });
+        // Queue looks healthy (0.40 < 0.75) but the SLO is burning its
+        // budget 3x: grow anyway.
+        assert_eq!(scaler.tick_with_burn(at(0), 0.40, 3.0, 2), ScaleAction::Up(3));
+        // Cooldown still applies to burn-driven actions.
+        assert_eq!(scaler.tick_with_burn(at(1), 0.40, 5.0, 3), ScaleAction::Hold);
+        // Below the burn threshold and in the utilization dead band: hold.
+        assert_eq!(scaler.tick_with_burn(at(10), 0.40, 1.0, 3), ScaleAction::Hold);
+    }
+
+    #[test]
+    fn burn_rate_vetoes_scale_down() {
+        let mut scaler = AutoScaler::new(ScalingConfig {
+            burn_up_threshold: 2.0,
+            ..config()
+        });
+        // Idle queue would normally shrink the pool, but the SLO burn
+        // says the capacity is not actually surplus. At max already, so
+        // the burn can't grow it either: hold.
+        assert_eq!(scaler.tick_with_burn(at(0), 0.05, 4.0, 6), ScaleAction::Hold);
+        // Burn subsides: the utilization signal reclaims the workers.
+        assert_eq!(scaler.tick_with_burn(at(10), 0.05, 0.1, 6), ScaleAction::Down(5));
+    }
+
+    #[test]
+    fn zero_burn_threshold_disables_the_input() {
+        let mut scaler = AutoScaler::new(config()); // burn_up_threshold: 0.0
+        // Enormous burn, but the input is disabled: utilization rules.
+        assert_eq!(scaler.tick_with_burn(at(0), 0.40, 100.0, 3), ScaleAction::Hold);
+        assert_eq!(scaler.tick_with_burn(at(1), 0.10, 100.0, 3), ScaleAction::Down(2));
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::cache::{CacheConfig, SignatureCache};
 use crate::registry::ModelRegistry;
 use crate::scaling::{AutoScaler, ScaleAction, ScalingConfig};
 use crate::signature::PlanSignature;
-use crate::stats::{LatencyHistogram, ServerStatsSnapshot};
+use crate::stats::{LatencyHistogram, ServerStatsSnapshot, SlowRequest, SlowestTracker};
 use parking_lot::Mutex;
 use scope_sim::{EventTrace, Job, TraceOp};
 use serde::{Deserialize, Serialize};
@@ -39,8 +39,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, OnceLock};
 use std::time::{Duration, Instant};
-use tasq::pipeline::{ScoreResponse, ScoringService};
-use tasq_obs::{Counter, FieldValue, Level};
+use tasq::pipeline::{ScoreResponse, ScoringService, ServedTier};
+use tasq_obs::{Counter, FieldValue, Level, SloConfig, SloEngine, TraceContext};
 use tasq_resil::{BreakerConfig, BreakerState, ChaosPlan, CircuitBreaker};
 
 /// Always-on counters mirrored into the global metrics registry so the
@@ -63,6 +63,17 @@ struct ServeMetrics {
     /// Process-wide latency histogram; each server also keeps its own
     /// detached histogram for per-server snapshots.
     latency: tasq_obs::Histogram,
+    /// Tail-latency attribution: each request's end-to-end time is
+    /// decomposed into contiguous segments whose sums equal the
+    /// end-to-end total, so `sum(segment sums) ≈ serve_latency_us_sum`
+    /// is a checkable invariant. Traced requests leave exemplars.
+    seg_fastpath_probe: tasq_obs::Histogram,
+    seg_queue_wait: tasq_obs::Histogram,
+    seg_batch_wait: tasq_obs::Histogram,
+    seg_score_primary: tasq_obs::Histogram,
+    seg_score_fallback: tasq_obs::Histogram,
+    seg_score_analytic: tasq_obs::Histogram,
+    seg_flush: tasq_obs::Histogram,
 }
 
 fn serve_metrics() -> &'static ServeMetrics {
@@ -91,6 +102,24 @@ fn serve_metrics() -> &'static ServeMetrics {
                 .counter("serve_breaker_trips", "primary-tier circuit breaker open transitions"),
             latency: r
                 .histogram("serve_latency_us", "end-to-end request latency in microseconds"),
+            seg_fastpath_probe: r.histogram(
+                "segment_fastpath_probe_us",
+                "submit entry to admission decision (whole request for inline answers)",
+            ),
+            seg_queue_wait: r
+                .histogram("segment_queue_wait_us", "enqueue to worker dequeue"),
+            seg_batch_wait: r.histogram(
+                "segment_batch_wait_us",
+                "worker dequeue to this request's scoring turn",
+            ),
+            seg_score_primary: r
+                .histogram("segment_score_primary_us", "scoring time, primary tier"),
+            seg_score_fallback: r
+                .histogram("segment_score_fallback_us", "scoring time, fallback tier"),
+            seg_score_analytic: r
+                .histogram("segment_score_analytic_us", "scoring time, analytic tier"),
+            seg_flush: r
+                .histogram("segment_flush_us", "score end to completion bookkeeping"),
         }
     })
 }
@@ -142,6 +171,13 @@ pub struct ServeConfig {
     /// thread resizes the pool between [`ScoringServer::resize_workers`]
     /// bounds as load swings.
     pub scaling: ScalingConfig,
+    /// Service-level objectives evaluated continuously over every
+    /// request: latency quantile thresholds and availability, as
+    /// multi-window error-budget burn rates. Always on (bounded rings,
+    /// no per-request allocation); the burn rate feeds the autoscaler
+    /// when [`ScalingConfig::burn_up_threshold`] is positive and is
+    /// served at the network front-end's `/slo` endpoint.
+    pub slo: SloConfig,
 }
 
 impl Default for ServeConfig {
@@ -158,6 +194,7 @@ impl Default for ServeConfig {
             breaker: BreakerConfig::default(),
             chaos: None,
             scaling: ScalingConfig::default(),
+            slo: SloConfig::default(),
         }
     }
 }
@@ -305,6 +342,15 @@ struct Envelope {
     key: u64,
     seq: u64,
     submitted: Instant,
+    /// When the envelope entered the queue (end of the fastpath probe).
+    enqueued: Instant,
+    /// When a worker pulled it off its channel; stamped in
+    /// [`collect_batch`], equal to `enqueued` until then.
+    dequeued: Instant,
+    /// Request trace identity, carried across the channel hop so the
+    /// worker-side spans parent under the submitter's span instead of
+    /// starting a fresh root.
+    ctx: TraceContext,
     deadline: Option<Duration>,
     reply: mpsc::SyncSender<Result<ServedResponse, RequestError>>,
 }
@@ -365,15 +411,71 @@ struct Shared {
     scale_ups: AtomicU64,
     /// Autoscaler scale-down actions applied.
     scale_downs: AtomicU64,
+    /// Error-budget burn-rate engine fed by every completion/failure.
+    slo: SloEngine,
+    /// Fixed-slot worst-requests tracker behind `/debug/slowest`.
+    slowest: SlowestTracker,
+}
+
+/// Stage timestamps for a request that went through the worker pool;
+/// inline (cache/shed) answers have no stages — their whole life is the
+/// fastpath probe.
+struct StageClock {
+    dequeued: Instant,
+    score_start: Instant,
+    score_end: Instant,
+    tier: ServedTier,
+}
+
+/// Microseconds between two instants, saturating (clock steps between
+/// threads can make a later stamp read earlier).
+fn stage_us(from: Instant, to: Instant) -> u64 {
+    to.saturating_duration_since(from).as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+fn tier_label(tier: ServedTier) -> &'static str {
+    match tier {
+        ServedTier::Primary => "primary",
+        ServedTier::Fallback => "fallback",
+        ServedTier::Analytic => "analytic",
+    }
+}
+
+/// Record `value` plainly, or with an exemplar when the request is
+/// traced.
+fn record_segment(histogram: &tasq_obs::Histogram, value: u64, ctx: TraceContext) {
+    if ctx.is_active() {
+        histogram.record_traced(value, ctx.trace_id);
+    } else {
+        histogram.record(value);
+    }
 }
 
 impl Shared {
-    fn finish(&self, via: ServedVia, submitted: Instant) {
-        let elapsed = submitted.elapsed();
-        self.latency.record(elapsed);
+    /// Complete one request: latency + segment histograms (with trace
+    /// exemplars), SLO accounting, and slowest-request retention. The
+    /// segment chain is contiguous — probe → queue → batch → score →
+    /// flush for pooled requests, probe-only for inline answers — so
+    /// per-request segment sums equal the end-to-end total.
+    fn finish_traced(
+        &self,
+        via: ServedVia,
+        submitted: Instant,
+        enqueued: Instant,
+        ctx: TraceContext,
+        stages: Option<StageClock>,
+    ) {
+        let done = Instant::now();
+        let elapsed = done.saturating_duration_since(submitted);
+        let total_us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        if ctx.is_active() {
+            self.latency.record_traced(elapsed, ctx.trace_id);
+        } else {
+            self.latency.record(elapsed);
+        }
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
         let metrics = serve_metrics();
-        metrics.latency.record(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+        record_segment(&metrics.latency, total_us, ctx);
         metrics.completed.inc();
         match via {
             ServedVia::Cache => {
@@ -390,6 +492,85 @@ impl Shared {
             }
         }
         .fetch_add(1, Ordering::Relaxed);
+
+        let now_us = tasq_obs::clock::now_micros();
+        self.slo.record_latency(now_us, total_us);
+        // A shed answer is valid but degraded: it spends availability
+        // budget alongside rejects and lost workers.
+        self.slo.record_outcome(now_us, via != ServedVia::Shed);
+
+        let slow = match stages {
+            None => {
+                record_segment(&metrics.seg_fastpath_probe, total_us, ctx);
+                SlowRequest {
+                    trace_id: ctx.trace_id,
+                    total_us,
+                    via: via_label(via),
+                    tier: "-",
+                    fastpath_probe_us: total_us,
+                    queue_wait_us: 0,
+                    batch_wait_us: 0,
+                    score_us: 0,
+                    flush_us: 0,
+                }
+            }
+            Some(st) => {
+                let probe = stage_us(submitted, enqueued);
+                let queue_wait = stage_us(enqueued, st.dequeued);
+                let batch_wait = stage_us(st.dequeued, st.score_start);
+                let score = stage_us(st.score_start, st.score_end);
+                let flush = stage_us(st.score_end, done);
+                record_segment(&metrics.seg_fastpath_probe, probe, ctx);
+                record_segment(&metrics.seg_queue_wait, queue_wait, ctx);
+                record_segment(&metrics.seg_batch_wait, batch_wait, ctx);
+                let score_histogram = match st.tier {
+                    ServedTier::Primary => &metrics.seg_score_primary,
+                    ServedTier::Fallback => &metrics.seg_score_fallback,
+                    ServedTier::Analytic => &metrics.seg_score_analytic,
+                };
+                record_segment(score_histogram, score, ctx);
+                record_segment(&metrics.seg_flush, flush, ctx);
+                SlowRequest {
+                    trace_id: ctx.trace_id,
+                    total_us,
+                    via: via_label(via),
+                    tier: tier_label(st.tier),
+                    fastpath_probe_us: probe,
+                    queue_wait_us: queue_wait,
+                    batch_wait_us: batch_wait,
+                    score_us: score,
+                    flush_us: flush,
+                }
+            }
+        };
+        self.slowest.offer(slow);
+    }
+
+    /// An admitted request failed (reject, lost worker, deadline): burn
+    /// availability budget without recording a completion latency.
+    fn record_failure(&self) {
+        self.slo.record_outcome(tasq_obs::clock::now_micros(), false);
+    }
+}
+
+fn via_label(via: ServedVia) -> &'static str {
+    match via {
+        ServedVia::Cache => "cache",
+        ServedVia::Model => "model",
+        ServedVia::Shed => "shed",
+    }
+}
+
+/// Sampling decision for a request entering the server: a context carried
+/// in from the wire wins; otherwise mint a sampled one iff span
+/// collection is on, so the off state pays nothing beyond this check.
+fn resolve_context(ctx: TraceContext) -> TraceContext {
+    if ctx.is_active() {
+        ctx
+    } else if tasq_obs::collect_enabled() {
+        TraceContext::mint(true)
+    } else {
+        TraceContext::NONE
     }
 }
 
@@ -428,6 +609,8 @@ impl ScoringServer {
             rr: AtomicUsize::new(0),
             scale_ups: AtomicU64::new(0),
             scale_downs: AtomicU64::new(0),
+            slo: SloEngine::new(config.slo.clone()),
+            slowest: SlowestTracker::new(),
         });
         let workers = Arc::new(Mutex::new(Vec::new()));
         resize_pool(&shared, &workers, config.workers.max(1));
@@ -458,12 +641,35 @@ impl ScoringServer {
         job: Job,
         deadline: Option<Duration>,
     ) -> Result<Ticket, SubmitError> {
+        self.submit_traced(job, deadline, TraceContext::NONE)
+    }
+
+    /// Submit with an explicit trace context — the network front-end
+    /// passes the context it pulled off the wire so the whole server-side
+    /// life of the request joins the caller's trace. An inactive `ctx`
+    /// mints a fresh sampled context when span collection is on and stays
+    /// untraced otherwise, so unsampled requests pay only the context
+    /// copy.
+    pub fn submit_traced(
+        &self,
+        job: Job,
+        deadline: Option<Duration>,
+        ctx: TraceContext,
+    ) -> Result<Ticket, SubmitError> {
         let shared = &self.shared;
         if shared.shutdown.load(Ordering::Relaxed) || shared.draining.load(Ordering::Relaxed) {
             return Err(SubmitError::ShuttingDown);
         }
-        let _span =
-            tasq_obs::span(Level::Debug, "serve_submit", &[("job", FieldValue::U64(job.id))]);
+        let ctx = resolve_context(ctx);
+        let span_fields = [
+            ("job", FieldValue::U64(job.id)),
+            ("trace", FieldValue::TraceId(ctx.trace_id)),
+        ];
+        let _span = if ctx.sampled {
+            tasq_obs::span_with_parent(Level::Debug, "serve_submit", ctx.span_id, &span_fields)
+        } else {
+            tasq_obs::span(Level::Debug, "serve_submit", &span_fields)
+        };
         shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
         serve_metrics().submitted.inc();
         let submitted = Instant::now();
@@ -474,7 +680,7 @@ impl ScoringServer {
         // queue and all inference.
         if let Some(mut response) = shared.cache.get(key) {
             response.job_id = job.id;
-            shared.finish(ServedVia::Cache, submitted);
+            shared.finish_traced(ServedVia::Cache, submitted, submitted, ctx, None);
             return Ok(Ticket {
                 inner: TicketInner::Ready(ServedResponse {
                     response,
@@ -493,6 +699,7 @@ impl ScoringServer {
             shared.depth.fetch_sub(1, Ordering::SeqCst);
             shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
             serve_metrics().rejected.inc();
+            shared.record_failure();
             tasq_obs::event(
                 Level::Warn,
                 "serve_rejected",
@@ -504,7 +711,7 @@ impl ScoringServer {
             shared.depth.fetch_sub(1, Ordering::SeqCst);
             let mut response = shared.analytic.score(&job);
             response.job_id = job.id;
-            shared.finish(ServedVia::Shed, submitted);
+            shared.finish_traced(ServedVia::Shed, submitted, submitted, ctx, None);
             return Ok(Ticket {
                 inner: TicketInner::Ready(ServedResponse {
                     response,
@@ -536,7 +743,9 @@ impl ScoringServer {
                 deadline = Some(Duration::from_micros(budget_us));
             }
         }
-        let envelope = Envelope { job, key, seq, submitted, deadline, reply };
+        let enqueued = Instant::now();
+        let envelope =
+            Envelope { job, key, seq, submitted, enqueued, dequeued: enqueued, ctx, deadline, reply };
         if send_envelope(shared, envelope).is_err() {
             shared.depth.fetch_sub(1, Ordering::SeqCst);
             return Err(SubmitError::ShuttingDown);
@@ -555,6 +764,17 @@ impl ScoringServer {
     /// ever leaving the event-loop thread, and shed/overload behavior is
     /// untouched because misses never touch the queue depth here.
     pub fn try_score_cached(&self, job: &Job) -> Option<ServedResponse> {
+        self.try_score_cached_traced(job, TraceContext::NONE)
+    }
+
+    /// [`ScoringServer::try_score_cached`] with the request's wire trace
+    /// context, so even inline fastpath answers land in the caller's
+    /// trace and leave exemplars.
+    pub fn try_score_cached_traced(
+        &self,
+        job: &Job,
+        ctx: TraceContext,
+    ) -> Option<ServedResponse> {
         let shared = &self.shared;
         if shared.shutdown.load(Ordering::Relaxed) || shared.draining.load(Ordering::Relaxed) {
             return None;
@@ -565,6 +785,7 @@ impl ScoringServer {
         // Only a hit counts as a submission: misses are re-submitted in
         // full, and double-counting them would break the
         // `submitted == resolved` zero-silent-loss accounting.
+        let ctx = resolve_context(ctx);
         let submitted = Instant::now();
         shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
         shared.counters.fastpath_hits.fetch_add(1, Ordering::Relaxed);
@@ -572,7 +793,7 @@ impl ScoringServer {
         metrics.submitted.inc();
         metrics.fastpath_hits.inc();
         response.job_id = job.id;
-        shared.finish(ServedVia::Cache, submitted);
+        shared.finish_traced(ServedVia::Cache, submitted, submitted, ctx, None);
         Some(ServedResponse { response, via: ServedVia::Cache, generation })
     }
 
@@ -682,6 +903,28 @@ impl ScoringServer {
             self.shared.scale_downs.load(Ordering::Relaxed),
         )
     }
+
+    /// Current SLO state (objectives + multi-window burn rates) as the
+    /// JSON document the network front-end serves at `/slo`.
+    pub fn slo_json(&self) -> String {
+        self.shared.slo.render_json(tasq_obs::clock::now_micros())
+    }
+
+    /// Worst fast-window burn rate across objectives right now.
+    pub fn slo_burn(&self) -> f64 {
+        self.shared.slo.max_fast_burn(tasq_obs::clock::now_micros())
+    }
+
+    /// The retained slowest requests with segment breakdowns, worst
+    /// first (the `/debug/slowest` payload).
+    pub fn slowest(&self) -> Vec<SlowRequest> {
+        self.shared.slowest.snapshot()
+    }
+
+    /// JSON document for `/debug/slowest`.
+    pub fn slowest_json(&self) -> String {
+        self.shared.slowest.render_json()
+    }
 }
 
 /// Per-worker request-channel bound. In the worst case every admitted
@@ -757,7 +1000,12 @@ fn scaler_loop(shared: &Arc<Shared>, handles: &Arc<Mutex<Vec<std::thread::JoinHa
         // Decide against the *target* (not live) count so a pending
         // cooperative scale-down isn't re-decided every poll.
         let current = shared.target_workers.load(Ordering::SeqCst);
-        match scaler.tick(epoch.elapsed(), utilization, current) {
+        // The SLO burn rate is the leading scale-up signal: latency
+        // violations burn budget before the queue visibly saturates.
+        let now_us = tasq_obs::clock::now_micros();
+        let burn = shared.slo.max_fast_burn(now_us);
+        shared.slo.publish(tasq_obs::Registry::global(), now_us);
+        match scaler.tick_with_burn(epoch.elapsed(), utilization, burn, current) {
             ScaleAction::Hold => {}
             ScaleAction::Up(n) => {
                 resize_pool(shared, handles, n);
@@ -804,7 +1052,7 @@ enum Collected {
 /// runs lock-free — no guard is held anywhere near a blocking call,
 /// which is exactly what the lock-discipline pass verifies.
 fn collect_batch(shared: &Shared, rx: &mpsc::Receiver<Envelope>) -> Collected {
-    let first = match rx.recv_timeout(IDLE_POLL) {
+    let mut first = match rx.recv_timeout(IDLE_POLL) {
         Ok(envelope) => envelope,
         Err(mpsc::RecvTimeoutError::Timeout) => {
             if shared.shutdown.load(Ordering::Relaxed) {
@@ -814,12 +1062,16 @@ fn collect_batch(shared: &Shared, rx: &mpsc::Receiver<Envelope>) -> Collected {
         }
         Err(mpsc::RecvTimeoutError::Disconnected) => return Collected::Exit,
     };
+    first.dequeued = Instant::now();
     let mut batch = vec![first];
     let deadline = Instant::now() + shared.config.max_delay;
     while batch.len() < shared.config.max_batch.max(1) {
         let remaining = deadline.saturating_duration_since(Instant::now());
         match rx.recv_timeout(remaining) {
-            Ok(envelope) => batch.push(envelope),
+            Ok(mut envelope) => {
+                envelope.dequeued = Instant::now();
+                batch.push(envelope);
+            }
             Err(_) => break,
         }
     }
@@ -880,6 +1132,7 @@ fn supervise_worker(shared: &Shared, rx: mpsc::Receiver<Envelope>, slot: usize) 
     while let Ok(envelope) = rx.try_recv() {
         shared.depth.fetch_sub(1, Ordering::SeqCst);
         shared.counters.worker_lost.fetch_add(1, Ordering::Relaxed);
+        shared.record_failure();
         let _ = envelope.reply.send(Err(RequestError::WorkerLost));
     }
 }
@@ -898,6 +1151,7 @@ impl Drop for BatchGuard<'_> {
     fn drop(&mut self) {
         for envelope in self.pending.drain(..) {
             self.shared.counters.worker_lost.fetch_add(1, Ordering::Relaxed);
+            self.shared.record_failure();
             let _ = envelope.reply.send(Err(RequestError::WorkerLost));
         }
     }
@@ -955,11 +1209,26 @@ fn process_batch(
     trace_actor: Option<u32>,
 ) {
     {
-        let _span = tasq_obs::span(
-            Level::Debug,
-            "serve_batch",
-            &[("size", FieldValue::U64(batch.len() as u64))],
-        );
+        // Parent the worker-side batch span from the first traced
+        // envelope's carried context instead of opening a fresh root, so
+        // the cross-thread channel hop does not sever the trace.
+        let carried = batch.iter().find(|e| e.ctx.sampled).map(|e| e.ctx);
+        let batch_fields = [
+            ("size", FieldValue::U64(batch.len() as u64)),
+            (
+                "trace",
+                FieldValue::TraceId(carried.map_or(0, |ctx| ctx.trace_id)),
+            ),
+        ];
+        let _span = match carried {
+            Some(ctx) => tasq_obs::span_with_parent(
+                Level::Debug,
+                "serve_batch",
+                ctx.span_id,
+                &batch_fields,
+            ),
+            None => tasq_obs::span(Level::Debug, "serve_batch", &batch_fields),
+        };
         shared.depth.fetch_sub(batch.len(), Ordering::SeqCst);
         shared.counters.batches.fetch_add(1, Ordering::Relaxed);
         serve_metrics().batches.inc();
@@ -985,19 +1254,46 @@ fn process_batch(
                 // queue edge orders it after the submitter's write.
                 trace.record(actor, TraceOp::Read(RES_REQUEST_BASE | seq));
             }
+            let score_start = Instant::now();
+            let score_span = if envelope.ctx.sampled {
+                Some(tasq_obs::span_with_parent(
+                    Level::Debug,
+                    "serve_score",
+                    envelope.ctx.span_id,
+                    &[
+                        ("seq", FieldValue::U64(seq)),
+                        ("trace", FieldValue::TraceId(envelope.ctx.trace_id)),
+                    ],
+                ))
+            } else {
+                None
+            };
             let outcome = match envelope.deadline {
                 Some(budget) if envelope.submitted.elapsed() >= budget => {
                     Err(RequestError::DeadlineExceeded { budget })
                 }
                 _ => Ok(score_envelope(shared, &active, &mut scored_in_batch, envelope)),
             };
+            drop(score_span);
+            let score_end = Instant::now();
             // The immutable borrow of `envelope` ends here; reclaim it to
             // reply and mark it answered (a panic above leaves it in the
             // guard, which resolves it to WorkerLost on unwind).
             let Some(envelope) = guard.pending.pop_front() else { break };
             match outcome {
                 Ok(served) => {
-                    shared.finish(ServedVia::Model, envelope.submitted);
+                    shared.finish_traced(
+                        ServedVia::Model,
+                        envelope.submitted,
+                        envelope.enqueued,
+                        envelope.ctx,
+                        Some(StageClock {
+                            dequeued: envelope.dequeued,
+                            score_start,
+                            score_end,
+                            tier: served.response.served_tier,
+                        }),
+                    );
                     if let (Some(trace), Some(actor)) = (&trace, trace_actor) {
                         trace.record(actor, TraceOp::Write(RES_RESPONSE_BASE | envelope.seq));
                         let chan = CHAN_REPLY_BASE | envelope.seq;
@@ -1009,6 +1305,7 @@ fn process_batch(
                 Err(err) => {
                     shared.counters.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
                     serve_metrics().deadline_timeouts.inc();
+                    shared.record_failure();
                     tasq_obs::event(
                         Level::Warn,
                         "serve_deadline_timeout",
@@ -1568,6 +1865,7 @@ mod tests {
                     // so the scaler steps the pool down once per cooldown.
                     scale_down_threshold: 0.25,
                     cooldown_secs: 0.05,
+                    burn_up_threshold: 0.0,
                 },
                 ..Default::default()
             },
@@ -1582,5 +1880,56 @@ mod tests {
         assert!(server.submit(job).expect("admitted").outcome().is_ok());
         let stats = server.drain();
         assert_eq!(stats.submitted, stats.resolved());
+    }
+
+    #[test]
+    fn segment_chain_sums_to_end_to_end_per_request() {
+        let server = ScoringServer::start(registry(171), ServeConfig::default());
+        for job in replay_traffic(
+            &jobs(8, 173),
+            &TrafficConfig { requests: 40, repeat_fraction: 0.5, seed: 175 },
+        ) {
+            server.score_blocking(job).expect("scored");
+        }
+        let slowest = server.slowest();
+        assert!(!slowest.is_empty(), "slowest tracker retains untraced requests too");
+        for slow in &slowest {
+            let seg_sum = slow.fastpath_probe_us
+                + slow.queue_wait_us
+                + slow.batch_wait_us
+                + slow.score_us
+                + slow.flush_us;
+            // Each of the five segments truncates to whole µs, so the
+            // contiguous chain undershoots the total by at most 5 µs and
+            // never overshoots.
+            assert!(
+                slow.total_us >= seg_sum && slow.total_us - seg_sum <= 5,
+                "segments must sum to the end-to-end total: {slow:?}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_submission_flows_into_slowest_and_slo() {
+        let server = ScoringServer::start(registry(181), ServeConfig::default());
+        let ctx = TraceContext::mint(true);
+        let job = jobs(1, 183).remove(0);
+        assert!(server.submit_traced(job, None, ctx).expect("admitted").outcome().is_ok());
+        let slowest = server.slowest();
+        assert!(
+            slowest.iter().any(|s| s.trace_id == ctx.trace_id),
+            "the carried trace id must survive to /debug/slowest: {slowest:?}"
+        );
+        let doc = server.slowest_json();
+        assert!(
+            doc.contains(&format!("{:032x}", ctx.trace_id)),
+            "slowest json must render the trace id: {doc}"
+        );
+        let slo = server.slo_json();
+        let parsed = tasq_obs::json::parse(&slo).expect("slo json parses");
+        assert!(parsed.get("objectives").is_some(), "slo json lists objectives: {slo}");
+        assert!(server.slo_burn().is_finite());
+        server.shutdown();
     }
 }

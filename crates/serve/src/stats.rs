@@ -9,7 +9,9 @@
 //! bucketing allows (which collapsed p50 and p95 into the same value on
 //! realistic unimodal latency distributions).
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Lock-free log-linear latency histogram (microsecond resolution).
@@ -48,6 +50,13 @@ impl LatencyHistogram {
         self.inner.record(micros);
     }
 
+    /// Record one observed latency attributed to a trace, retaining it
+    /// as an exemplar when it lands in the histogram's slow tail.
+    pub fn record_traced(&self, latency: Duration, trace_id: u128) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.inner.record_traced(micros, trace_id);
+    }
+
     /// Snapshot with derived percentiles.
     pub fn snapshot(&self) -> LatencySnapshot {
         let count = self.inner.count();
@@ -57,6 +66,7 @@ impl LatencyHistogram {
             p50_us: self.inner.quantile(0.50),
             p95_us: self.inner.quantile(0.95),
             p99_us: self.inner.quantile(0.99),
+            p999_us: self.inner.quantile(0.999),
         }
     }
 }
@@ -74,6 +84,9 @@ pub struct LatencySnapshot {
     pub p95_us: f64,
     /// 99th-percentile estimate in microseconds.
     pub p99_us: f64,
+    /// 99.9th-percentile estimate in microseconds (the tail the SLO
+    /// burn-rate engine and exemplars exist to explain).
+    pub p999_us: f64,
 }
 
 /// Point-in-time server statistics (see `ScoringServer::stats`).
@@ -186,6 +199,125 @@ impl ServerStatsSnapshot {
     }
 }
 
+/// Retained slots in a [`SlowestTracker`] — fixed so sustained load can
+/// never grow the tracker's memory.
+pub const SLOWEST_SLOTS: usize = 8;
+
+/// One slow request retained for `/debug/slowest`: its trace identity
+/// plus the per-segment breakdown that explains where the time went.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowRequest {
+    /// Trace id (0 when the request was untraced).
+    pub trace_id: u128,
+    /// End-to-end latency in microseconds.
+    pub total_us: u64,
+    /// Which serving path answered (`"cache"`, `"model"`, `"shed"`).
+    pub via: &'static str,
+    /// Model tier that scored it (`"-"` for inline paths).
+    pub tier: &'static str,
+    /// Submit-entry → admission decision (the whole request, for inline
+    /// cache/shed answers).
+    pub fastpath_probe_us: u64,
+    /// Enqueue → worker dequeue.
+    pub queue_wait_us: u64,
+    /// Dequeue → this request's scoring turn (batch fill + in-batch
+    /// predecessors).
+    pub batch_wait_us: u64,
+    /// Scoring proper.
+    pub score_us: u64,
+    /// Score end → completion bookkeeping.
+    pub flush_us: u64,
+}
+
+/// Fixed-slot top-N-by-latency tracker behind `/debug/slowest`.
+///
+/// Same retention discipline as the histogram exemplars: an atomic floor
+/// makes the common case (request faster than everything retained) one
+/// relaxed load with no lock, and the slot array never grows.
+pub struct SlowestTracker {
+    /// Smallest retained total; `u64::MAX` until the slots fill.
+    floor: AtomicU64,
+    slots: Mutex<[Option<SlowRequest>; SLOWEST_SLOTS]>,
+}
+
+impl Default for SlowestTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SlowestTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self {
+            floor: AtomicU64::new(u64::MAX),
+            slots: Mutex::new(std::array::from_fn(|_| None)),
+        }
+    }
+
+    /// Offer one completed request; retained iff it beats the slowest-N
+    /// floor. Requests faster than the floor cost one relaxed load.
+    pub fn offer(&self, request: SlowRequest) {
+        let floor = self.floor.load(Ordering::Relaxed);
+        if floor != u64::MAX && request.total_us <= floor {
+            return;
+        }
+        let mut slots = self.slots.lock();
+        if let Some(slot) = slots.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(request);
+            return;
+        }
+        let Some(min_index) = (0..slots.len())
+            .min_by_key(|&i| slots[i].as_ref().map_or(0, |s| s.total_us))
+        else {
+            return;
+        };
+        let min_total = slots[min_index].as_ref().map_or(0, |s| s.total_us);
+        if request.total_us > min_total {
+            slots[min_index] = Some(request);
+        }
+        let new_floor = slots
+            .iter()
+            .flatten()
+            .map(|s| s.total_us)
+            .min()
+            .unwrap_or(u64::MAX);
+        self.floor.store(new_floor, Ordering::Relaxed);
+    }
+
+    /// Retained requests, slowest first.
+    pub fn snapshot(&self) -> Vec<SlowRequest> {
+        let mut out: Vec<SlowRequest> = self.slots.lock().iter().flatten().cloned().collect();
+        out.sort_by_key(|s| std::cmp::Reverse(s.total_us));
+        out
+    }
+
+    /// Hand-rolled JSON for the `/debug/slowest` endpoint.
+    pub fn render_json(&self) -> String {
+        let entries: Vec<String> = self
+            .snapshot()
+            .into_iter()
+            .map(|s| {
+                format!(
+                    "{{\"trace_id\":\"{:032x}\",\"total_us\":{},\"via\":\"{}\",\"tier\":\"{}\",\
+                     \"segments\":{{\"fastpath_probe_us\":{},\"queue_wait_us\":{},\
+                     \"batch_wait_us\":{},\"score_us\":{},\"flush_us\":{}}}}}",
+                    s.trace_id,
+                    s.total_us,
+                    s.via,
+                    s.tier,
+                    s.fastpath_probe_us,
+                    s.queue_wait_us,
+                    s.batch_wait_us,
+                    s.score_us,
+                    s.flush_us
+                )
+            })
+            .collect();
+        format!("{{\"slowest\":[{}]}}", entries.join(","))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +374,10 @@ mod tests {
         }
         let snap = h.snapshot();
         assert!(snap.p50_us <= snap.p95_us && snap.p95_us <= snap.p99_us);
+        assert!(snap.p99_us <= snap.p999_us, "p999 {} < p99 {}", snap.p999_us, snap.p99_us);
+        // Interpolation may overshoot the true max (6994) up to the top
+        // occupied bucket's upper edge.
+        assert!(snap.p999_us <= 7168.0, "p999 {} out of range", snap.p999_us);
         // Uniform over [1, 6994]: interpolated percentiles track the true
         // quantiles within one quarter-octave.
         assert!((snap.p50_us / 3497.0 - 1.0).abs() < 0.15, "p50 {}", snap.p50_us);
@@ -278,6 +414,50 @@ mod tests {
         assert!(text.contains("serve_completed 9"));
         assert!(text.contains("serve_cache_hits 3"));
         assert!(text.contains("serve_shed 1"));
+    }
+
+    fn slow(total_us: u64, trace_id: u128) -> SlowRequest {
+        SlowRequest {
+            trace_id,
+            total_us,
+            via: "model",
+            tier: "primary",
+            fastpath_probe_us: 1,
+            queue_wait_us: 2,
+            batch_wait_us: 3,
+            score_us: total_us.saturating_sub(7),
+            flush_us: 1,
+        }
+    }
+
+    #[test]
+    fn slowest_tracker_keeps_the_worst_n_and_stays_bounded() {
+        let tracker = SlowestTracker::new();
+        for i in 0..10_000u64 {
+            tracker.offer(slow(i, u128::from(i) + 1));
+        }
+        let snap = tracker.snapshot();
+        assert_eq!(snap.len(), SLOWEST_SLOTS, "retention is slot-bounded");
+        assert_eq!(snap[0].total_us, 9_999, "worst request retained");
+        for pair in snap.windows(2) {
+            assert!(pair[0].total_us >= pair[1].total_us, "sorted slowest-first");
+        }
+        assert!(
+            snap.iter().all(|s| s.total_us >= 10_000 - SLOWEST_SLOTS as u64),
+            "only the global worst survive"
+        );
+    }
+
+    #[test]
+    fn slowest_json_carries_trace_ids_and_segments() {
+        let tracker = SlowestTracker::new();
+        tracker.offer(slow(5000, 0xabcdef01));
+        let json = tracker.render_json();
+        assert!(json.contains("\"trace_id\":\"000000000000000000000000abcdef01\""), "{json}");
+        assert!(json.contains("\"total_us\":5000"), "{json}");
+        assert!(json.contains("\"queue_wait_us\":2"), "{json}");
+        let parsed = tasq_obs::json::parse(&json).expect("slowest json parses");
+        drop(parsed);
     }
 
     #[test]
